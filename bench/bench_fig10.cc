@@ -1,0 +1,62 @@
+// Figure 10: where K-LHR and K-FRA clients went during the events (the
+// paper: 70-80% of shifting VPs went to K-AMS), where K-AMS's new VPs
+// came from, and the post-event return.
+#include <iostream>
+
+#include "analysis/flips.h"
+#include "attack/events2015.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+namespace {
+void emit_map(const std::map<int, int>& counts,
+              const sim::SimulationResult& result, const std::string& title,
+              bool csv) {
+  int total = 0;
+  for (const auto& [site, n] : counts) total += n;
+  util::TextTable table({"destination", "VPs", "share"});
+  for (const auto& [site, n] : counts) {
+    table.begin_row();
+    table.cell(site < 0 ? std::string("(stayed / no other site)")
+                        : result.sites[static_cast<std::size_t>(site)].label);
+    table.cell(n);
+    table.cell(total > 0 ? 100.0 * n / total : 0.0, 1);
+  }
+  util::emit(table, title, csv, std::cout);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({'K'}, 2500));
+  const auto& result = report.result;
+  const auto& grid = report.grids[static_cast<std::size_t>(
+      result.service_index('K'))];
+
+  const auto bin_of = [&](net::SimTime t) { return grid.bin_of(t); };
+  const std::size_t before1 = bin_of(attack::kEvent1.begin) - 1;
+  const std::size_t end1 = bin_of(attack::kEvent1.end - net::SimTime(1));
+  const std::size_t after1 = std::min(grid.bin_count() - 1, end1 + 12);
+
+  for (const char* code : {"LHR", "FRA"}) {
+    const auto* site = result.find_site('K', code);
+    if (site == nullptr) continue;
+    emit_map(analysis::flip_destinations(grid, site->site_id, before1, end1),
+             result,
+             std::string("Fig 10: K-") + code +
+                 " VPs during event 1 (destinations)",
+             csv);
+  }
+  const auto* ams = result.find_site('K', "AMS");
+  if (ams != nullptr) {
+    emit_map(analysis::flip_origins(grid, ams->site_id, before1, end1),
+             result, "Fig 10: new K-AMS VPs during event 1 (came from)",
+             csv);
+    emit_map(analysis::flip_destinations(grid, ams->site_id, end1, after1),
+             result, "Fig 10: K-AMS VPs after event 1 (return to)", csv);
+  }
+  return 0;
+}

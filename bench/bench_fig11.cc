@@ -1,0 +1,103 @@
+// Figure 11: per-VP site-choice strips for K-Root clients that start at
+// K-LHR / K-FRA, in 4-minute bins across 36 hours. Legend:
+//   L = K-LHR, F = K-FRA, A = K-AMS, . = other K site,
+//   x = no response (timeout/error), ' ' = no probe in bin.
+#include <iostream>
+
+#include "analysis/flips.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({'K'}, 2500));
+  const auto& result = report.result;
+
+  // The paper uses 4-minute bins (one probe interval) for this figure.
+  const net::SimTime strip_bin = net::SimTime::from_minutes(4);
+  const std::size_t bins = static_cast<std::size_t>(
+      net::SimTime::from_hours(36).ms / strip_bin.ms);
+  atlas::LetterBins grid(static_cast<int>(result.vps.size()),
+                         result.probe_window.begin, strip_bin, bins);
+  const int k = result.service_index('K');
+  for (const auto& record : result.records) {
+    if (record.letter_index == k) grid.add(record);
+  }
+
+  const auto* lhr = result.find_site('K', "LHR");
+  const auto* fra = result.find_site('K', "FRA");
+  const auto* ams = result.find_site('K', "AMS");
+  std::map<int, char> chars;
+  std::vector<int> starts;
+  if (lhr != nullptr) {
+    chars[lhr->site_id] = 'L';
+    starts.push_back(lhr->site_id);
+  }
+  if (fra != nullptr) {
+    chars[fra->site_id] = 'F';
+    starts.push_back(fra->site_id);
+  }
+  if (ams != nullptr) chars[ams->site_id] = 'A';
+
+  util::Rng rng(7);
+  const auto strips =
+      analysis::vp_strips(grid, starts, chars, /*sample=*/300, rng);
+
+  if (csv) {
+    util::TextTable table({"vp", "strip"});
+    for (const auto& strip : strips) {
+      table.begin_row();
+      table.cell(strip.vp);
+      table.cell(strip.states);
+    }
+    table.print_csv(std::cout);
+    return 0;
+  }
+
+  std::cout << "== Fig 11: " << strips.size()
+            << " K-Root VPs starting at K-LHR(L)/K-FRA(F); A=K-AMS, "
+               ".=other, x=fail ==\n"
+            << "   (events at columns ~"
+            << (6 * 60 + 50) / 4 << "-" << (9 * 60 + 30) / 4 << " and ~"
+            << (29 * 60 + 10) / 4 << "-" << (30 * 60 + 10) / 4 << ")\n";
+  // Print a representative sample of 40 strips, as the paper zooms into.
+  const std::size_t show = std::min<std::size_t>(40, strips.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    std::printf("vp%-6d |%s|\n", strips[i].vp, strips[i].states.c_str());
+  }
+
+  // Behaviour groups around event 1 (§3.4.2): stuck / flip+return /
+  // flip+stay.
+  int stuck = 0, flip_return = 0, flip_stay = 0, dark = 0;
+  const std::size_t ev_begin = static_cast<std::size_t>((6 * 60 + 50) / 4);
+  const std::size_t ev_end = static_cast<std::size_t>((9 * 60 + 30) / 4);
+  for (const auto& strip : strips) {
+    const char before = strip.states[ev_begin > 0 ? ev_begin - 1 : 0];
+    bool moved = false, responded = false;
+    for (std::size_t b = ev_begin; b <= ev_end && b < strip.states.size();
+         ++b) {
+      const char c = strip.states[b];
+      if (c != ' ' && c != 'x') responded = true;
+      if (c != ' ' && c != 'x' && c != before) moved = true;
+    }
+    const char after =
+        strip.states[std::min(strip.states.size() - 1, ev_end + 30)];
+    if (!responded) {
+      ++dark;
+    } else if (!moved) {
+      ++stuck;
+    } else if (after == before) {
+      ++flip_return;
+    } else {
+      ++flip_stay;
+    }
+  }
+  std::printf(
+      "\ngroups during event 1: stuck=%d  flip-and-return=%d  "
+      "flip-and-stay=%d  dark=%d\n",
+      stuck, flip_return, flip_stay, dark);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 13: per-server median RTT at K-FRA (stable for the surviving
+// server) vs. K-NRT (all servers slow, S2 worst).
+#include <iostream>
+
+#include "analysis/servers.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+namespace {
+void emit_site(const core::EvaluationReport& report, const char* code,
+               bool csv) {
+  const auto& result = report.result;
+  const auto* site = result.find_site('K', code);
+  if (site == nullptr) return;
+  const std::size_t bins = static_cast<std::size_t>(
+      (result.probe_window.end - result.probe_window.begin).ms /
+      result.bin_width.ms);
+  const auto servers = analysis::server_breakdown(
+      result.records, result, site->site_id, result.probe_window.begin,
+      result.bin_width, bins);
+
+  std::vector<std::string> headers{"time"};
+  for (const auto& s : servers) {
+    headers.push_back(std::string("K-") + code + "-S" +
+                      std::to_string(s.server) + " ms");
+  }
+  util::TextTable table(std::move(headers));
+  const std::size_t stride = bench::bin_stride(csv, result.bin_width);
+  for (std::size_t b = 0; b < bins; b += stride) {
+    table.begin_row();
+    table.cell(bench::bin_label(result.probe_window.begin, result.bin_width, b));
+    for (const auto& s : servers) table.cell(s.median_rtt_per_bin[b], 1);
+  }
+  util::emit(table,
+             std::string("Fig 13: median RTT per server at K-") + code, csv,
+             std::cout);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({'K'}, 2500));
+  emit_site(report, "FRA", csv);
+  emit_site(report, "NRT", csv);
+  return 0;
+}

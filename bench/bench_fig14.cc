@@ -1,0 +1,50 @@
+// Figure 14: collateral damage at D-Root — D was not attacked, but sites
+// co-located with attacked letters (D-FRA, D-SYD) lose VPs during the
+// events. Selection per the paper: >= 10% dip, >= 20 VPs median.
+#include <iostream>
+
+#include "analysis/collateral.h"
+#include "analysis/site_stability.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({'D'}, 2500));
+  const auto& result = report.result;
+  const auto& grid =
+      report.grids[static_cast<std::size_t>(result.service_index('D'))];
+
+  const double min_vps = analysis::stability_threshold(
+      static_cast<int>(result.vps.size()));
+  const auto affected = analysis::collateral_sites(
+      grid, result, 'D', analysis::event_bins_2015(result), /*min_dip=*/0.10,
+      min_vps);
+
+  util::TextTable table({"site", "median VPs", "worst event fraction"});
+  for (const auto& site : affected) {
+    table.begin_row();
+    table.cell(site.label);
+    table.cell(site.median_vps, 1);
+    table.cell(site.worst_fraction, 2);
+  }
+  util::emit(table,
+             "Fig 14: D-Root sites with >=10% reachability dips during "
+             "the events (D was not attacked)",
+             csv, std::cout);
+
+  if (!csv) {
+    for (const auto& site : affected) {
+      std::vector<int> coarse;
+      for (std::size_t b = 0; b + 1 < site.vps_per_bin.size(); b += 2) {
+        coarse.push_back((site.vps_per_bin[b] + site.vps_per_bin[b + 1]) / 2);
+      }
+      std::printf("%-7s |%s|\n", site.label.c_str(),
+                  bench::spark(coarse, site.median_vps * 1.5).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4: median RTT for letters with visible change during the events
+// (paper shows B, C, G, H, K; others omitted as unchanged).
+#include <iostream>
+
+#include "analysis/rtt.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({}, 1000));
+  const auto& result = report.result;
+
+  const std::vector<char> shown{'B', 'C', 'G', 'H', 'K'};
+  const std::size_t bins = static_cast<std::size_t>(
+      (result.probe_window.end - result.probe_window.begin).ms /
+      result.bin_width.ms);
+
+  std::vector<std::vector<double>> series;
+  for (char letter : shown) {
+    analysis::RttFilter filter;
+    filter.service_index = result.service_index(letter);
+    series.push_back(analysis::median_rtt_series(result.records, filter,
+                                                 result.probe_window.begin,
+                                                 result.bin_width, bins));
+  }
+
+  std::vector<std::string> headers{"time"};
+  for (char letter : shown) {
+    headers.push_back(std::string(1, letter) + " ms");
+  }
+  util::TextTable table(std::move(headers));
+  const std::size_t stride = bench::bin_stride(csv, result.bin_width);
+  for (std::size_t b = 0; b < bins; b += stride) {
+    table.begin_row();
+    table.cell(bench::bin_label(result.probe_window.begin, result.bin_width, b));
+    for (const auto& s : series) table.cell(s[b], 1);
+  }
+  util::emit(table, "Fig 4: median RTT per letter (ms)", csv, std::cout);
+  return 0;
+}

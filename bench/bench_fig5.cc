@@ -1,0 +1,46 @@
+// Figure 5: per-site min/max VPs normalized to median, E- and K-Root.
+#include <iostream>
+
+#include "analysis/site_stability.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+namespace {
+void emit_letter(const core::EvaluationReport& report, char letter,
+                 bool csv) {
+  const auto& result = report.result;
+  const int s = result.service_index(letter);
+  const double threshold = analysis::stability_threshold(
+      static_cast<int>(result.vps.size()));
+  const auto stability = analysis::site_stability(
+      report.grids[static_cast<std::size_t>(s)], result, letter, threshold);
+
+  util::TextTable table({"site", "median VPs", "min", "max", "min/med",
+                         "max/med", "low-visibility"});
+  for (const auto& site : stability) {
+    table.begin_row();
+    table.cell(site.label);
+    table.cell(site.median_vps, 1);
+    table.cell(site.min_vps);
+    table.cell(site.max_vps);
+    table.cell(site.min_norm, 2);
+    table.cell(site.max_norm, 2);
+    table.cell(site.below_threshold ? "yes" : "");
+  }
+  util::emit(table,
+             std::string("Fig 5: site stability, ") + letter +
+                 "-Root (threshold " + std::to_string(threshold) + " VPs)",
+             csv, std::cout);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({'E', 'K'}, 2500));
+  emit_letter(report, 'E', csv);
+  emit_letter(report, 'K', csv);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 8: site flips per letter per bin — bursts during the events.
+#include <iostream>
+
+#include "analysis/flips.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({}, 1200));
+  const auto& result = report.result;
+
+  const std::vector<char> shown{'C', 'E', 'H', 'I', 'J', 'K'};
+  std::vector<std::vector<int>> flips;
+  std::vector<std::string> headers{"time"};
+  for (char letter : shown) {
+    const int s = result.service_index(letter);
+    flips.push_back(analysis::site_flips_per_bin(
+        report.grids[static_cast<std::size_t>(s)]));
+    headers.emplace_back(1, letter);
+  }
+
+  util::TextTable table(std::move(headers));
+  const std::size_t stride = bench::bin_stride(csv, result.bin_width);
+  for (std::size_t b = 0; b < flips.front().size(); b += stride) {
+    table.begin_row();
+    table.cell(bench::bin_label(result.probe_window.begin, result.bin_width, b));
+    for (const auto& f : flips) table.cell(f[b]);
+  }
+  util::emit(table, "Fig 8: site flips per letter (per 10-min bin)", csv,
+             std::cout);
+
+  util::TextTable totals({"letter", "total flips"});
+  for (std::size_t i = 0; i < shown.size(); ++i) {
+    int total = 0;
+    for (int f : flips[i]) total += f;
+    totals.begin_row();
+    totals.cell(std::string(1, shown[i]));
+    totals.cell(total);
+  }
+  util::emit(totals, "Fig 8 totals", csv, std::cout);
+  return 0;
+}

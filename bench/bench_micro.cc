@@ -1,0 +1,122 @@
+// Library micro-benchmarks (google-benchmark): the hot paths of the
+// simulator — DNS wire codec, CHAOS parsing, policy routing, the queue
+// model, RRL, and HyperLogLog.
+#include <benchmark/benchmark.h>
+
+#include "anycast/queue_model.h"
+#include "bgp/rib.h"
+#include "bgp/topology.h"
+#include "dns/chaos.h"
+#include "dns/rrl.h"
+#include "dns/server.h"
+#include "dns/wire.h"
+#include "util/hll.h"
+#include "util/rng.h"
+
+using namespace rootstress;
+
+static void BM_DnsEncodeChaosQuery(benchmark::State& state) {
+  const auto query = dns::make_chaos_query(0x1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(query));
+  }
+}
+BENCHMARK(BM_DnsEncodeChaosQuery);
+
+static void BM_DnsDecodeChaosResponse(benchmark::State& state) {
+  dns::RootServer server('K', "AMS", 1);
+  const auto query = dns::make_chaos_query(0x1234);
+  const auto response =
+      server.answer(query, net::Ipv4Addr(0x0a000001), net::SimTime(0));
+  const auto wire = dns::encode(*response);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsDecodeChaosResponse);
+
+static void BM_ChaosParseIdentity(benchmark::State& state) {
+  const std::string id = dns::server_identity('K', "AMS", 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::parse_identity('K', id));
+  }
+}
+BENCHMARK(BM_ChaosParseIdentity);
+
+static void BM_RootReferralResponse(benchmark::State& state) {
+  dns::RootServer server('A', "IAD", 1);
+  const auto name = *dns::Name::parse("www.336901.com");
+  const auto query =
+      dns::Message::query(7, name, dns::RrType::kA, dns::RrClass::kIn);
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server.answer(query, net::Ipv4Addr(src++), net::SimTime(0)));
+  }
+}
+BENCHMARK(BM_RootReferralResponse);
+
+static void BM_ComputeRoutes(benchmark::State& state) {
+  bgp::TopologyConfig config;
+  config.stub_count = static_cast<int>(state.range(0));
+  const auto topo = bgp::AsTopology::synthesize(config);
+  util::Rng rng(1);
+  bgp::AsTopology mutable_topo = topo;
+  std::vector<bgp::AnycastOrigin> origins;
+  for (int i = 0; i < 30; ++i) {
+    const net::Asn asn(90000 + static_cast<std::uint32_t>(i));
+    mutable_topo.add_edge_as(asn, "EU", net::GeoPoint{50, 8}, 2, rng);
+    origins.push_back(bgp::AnycastOrigin{i, asn, true, i % 3 == 2});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::compute_routes(mutable_topo, origins));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ComputeRoutes)->Arg(300)->Arg(1200)->Arg(4800)->Complexity();
+
+static void BM_QueueModel(benchmark::State& state) {
+  anycast::QueueConfig config;
+  config.capacity_qps = 1e6;
+  double offered = 0.0;
+  for (auto _ : state) {
+    offered += 1e5;
+    if (offered > 3e6) offered = 0.0;
+    benchmark::DoNotOptimize(anycast::evaluate_queue(offered, config));
+  }
+}
+BENCHMARK(BM_QueueModel);
+
+static void BM_RrlDecide(benchmark::State& state) {
+  dns::ResponseRateLimiter rrl;
+  util::Rng rng(3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 10;
+    benchmark::DoNotOptimize(
+        rrl.decide(net::Ipv4Addr(static_cast<std::uint32_t>(rng.below(4096))),
+                   rng.below(16), net::SimTime(t)));
+  }
+}
+BENCHMARK(BM_RrlDecide);
+
+static void BM_HllAdd(benchmark::State& state) {
+  util::HyperLogLog hll(14);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    hll.add(v++);
+  }
+  benchmark::DoNotOptimize(hll.estimate());
+}
+BENCHMARK(BM_HllAdd);
+
+static void BM_HllEstimate(benchmark::State& state) {
+  util::HyperLogLog hll(14);
+  for (std::uint64_t v = 0; v < 1'000'000; ++v) hll.add(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hll.estimate());
+  }
+}
+BENCHMARK(BM_HllEstimate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// "Policies in action" inventory: classify every site's observed
+// behaviour during the events from measurement data alone — the
+// automated version of the paper's §3.3 narrative (E mostly withdrew /
+// shifted; most K sites overlooked the attack while AMS absorbed).
+#include <iostream>
+
+#include "analysis/behavior.h"
+#include "analysis/site_stability.h"
+#include "analysis/collateral.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({'E', 'K'}, 2500));
+  const auto& result = report.result;
+  const auto event_bins = analysis::event_bins_2015(result);
+
+  analysis::BehaviorThresholds thresholds;
+  thresholds.min_median_vps = analysis::stability_threshold(
+      static_cast<int>(result.vps.size()));
+
+  util::TextTable inventory_table({"letter", "unaffected", "withdrew",
+                                   "absorbers", "receivers",
+                                   "low-visibility"});
+  for (const char letter : {'E', 'K'}) {
+    const int s = result.service_index(letter);
+    const auto reports = analysis::classify_sites(
+        report.grids[static_cast<std::size_t>(s)], result.records, result,
+        letter, event_bins, thresholds);
+    const auto inv = analysis::inventory(reports, letter);
+    inventory_table.begin_row();
+    inventory_table.cell(std::string(1, letter));
+    inventory_table.cell(inv.unaffected);
+    inventory_table.cell(inv.withdrew);
+    inventory_table.cell(inv.absorbers);
+    inventory_table.cell(inv.receivers);
+    inventory_table.cell(inv.low_visibility);
+
+    util::TextTable detail({"site", "behaviour", "median VPs",
+                            "event min/med", "event max/med",
+                            "RTT quiet->event ms"});
+    for (const auto& r : reports) {
+      if (r.behavior == analysis::SiteBehavior::kLowVisibility) continue;
+      detail.begin_row();
+      detail.cell(r.label);
+      detail.cell(analysis::to_string(r.behavior));
+      detail.cell(r.median_vps, 1);
+      detail.cell(r.event_min_fraction, 2);
+      detail.cell(r.event_max_fraction, 2);
+      std::string rtt = std::to_string(static_cast<int>(r.rtt_quiet_ms)) +
+                        " -> " +
+                        std::to_string(static_cast<int>(r.rtt_event_ms));
+      detail.cell(rtt);
+    }
+    util::emit(detail,
+               std::string("Observed behaviour, ") + letter + "-Root sites",
+               csv, std::cout);
+  }
+  util::emit(inventory_table,
+             "Policy inventory (paper: E = waterbed/withdraw, "
+             "K = mattress/absorb with AMS receiving)",
+             csv, std::cout);
+  return 0;
+}

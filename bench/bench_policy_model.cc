@@ -1,0 +1,40 @@
+// §2.2 "Policies in Action": the five-case withdraw-vs-absorb analysis
+// for s1 = s2, S3 = 10*s1, sweeping attack strength A0 = A1.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/policy_model.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+
+  util::TextTable table({"A0=A1", "case", "H(no-change)", "H(ISP1->s2)",
+                         "H(s1->s2)", "H(s1+s2->S3)", "H(ISP1->S3)",
+                         "best strategy", "best H"});
+  // Sweep across all five regimes: s1 = s2 = 1, S3 = 10.
+  for (const double a : {0.25, 0.49, 0.6, 0.9, 1.2, 2.0, 4.0, 4.9, 5.5, 8.0,
+                         10.5, 20.0}) {
+    core::PolicyScenario sc;
+    sc.A0 = a;
+    sc.A1 = a;
+    table.begin_row();
+    table.cell(a, 2);
+    table.cell(core::classify_case(sc));
+    for (const auto strategy : core::all_strategies()) {
+      table.cell(core::evaluate(sc, strategy).happiness);
+    }
+    const auto best = core::best_strategy(sc);
+    table.cell(core::to_string(best));
+    table.cell(core::evaluate(sc, best).happiness);
+  }
+  util::emit(table,
+             "S2.2 policy model: happiness per strategy (s1=s2=1, S3=10)",
+             csv, std::cout);
+
+  std::cout << "paper's cases: 1 (absorbed, H=4), 2 (shed ISP1, H=4), "
+               "3 (all to S3, H=4), 4 (reroute ISP1, H=3), "
+               "5 (degraded absorber, H=2)\n";
+  return 0;
+}

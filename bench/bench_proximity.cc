@@ -1,0 +1,54 @@
+// Proximity/geo-inflation analysis: how far past their closest site does
+// BGP route clients, and how much worse does it get when the events
+// displace catchments? (The anycast-proximity question of the paper's
+// related work [23], [7], answered for the simulated deployment.)
+#include <iostream>
+
+#include "analysis/proximity.h"
+#include "attack/events2015.h"
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({'E', 'K', 'J'}, 1500));
+  const auto& result = report.result;
+
+  util::TextTable table({"letter", "window", "probes", "median infl ms",
+                         "p90 infl ms", "at-best-site"});
+  for (const char letter : {'E', 'K', 'J'}) {
+    struct Window {
+      const char* name;
+      net::SimTime from, to;
+    };
+    const Window windows[] = {
+        {"quiet", net::SimTime(0), attack::kEvent1.begin},
+        {"event1", attack::kEvent1.begin, attack::kEvent1.end},
+    };
+    for (const auto& window : windows) {
+      const auto sample = analysis::proximity_inflation(
+          result, letter, window.from, window.to);
+      table.begin_row();
+      table.cell(std::string(1, letter));
+      table.cell(window.name);
+      table.cell(sample.inflation_ms.size());
+      table.cell(sample.median_ms, 1);
+      table.cell(sample.p90_ms, 1);
+      table.cell(sample.optimal_fraction, 2);
+    }
+  }
+  util::emit(table,
+             "Anycast proximity: propagation-RTT inflation over the "
+             "closest site (quiet vs. event 1)",
+             csv, std::cout);
+  std::cout << "expected shape: geographic inflation barely moves even "
+               "during the event -- intra-European displacement (LHR/FRA "
+               "-> AMS) adds almost no propagation distance. The second-"
+               "scale RTTs of Fig 7 are queueing delay, not geography; "
+               "H-Root's coast-to-coast failover (Fig 4) is the "
+               "exception that is.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 2: the 13 root letters — reported architecture vs. sites observed
+// through CHAOS probing.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/evaluation.h"
+
+using namespace rootstress;
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+  core::EvaluationReport report =
+      core::evaluate_scenario(bench::event_scenario({}, 1000));
+
+  const auto letters = anycast::root_letter_table(0);  // operator names only
+  util::TextTable table({"letter", "operator", "reported", "(global,local)",
+                         "observed"});
+  for (const auto& summary : report.letters) {
+    const auto& cfg = anycast::find_letter(letters, summary.letter);
+    table.begin_row();
+    table.cell(std::string(1, summary.letter));
+    table.cell(cfg.operator_name);
+    table.cell(cfg.reported_sites);
+    std::string arch;
+    if (cfg.unicast) {
+      arch = "(unicast)";
+    } else if (cfg.primary_backup) {
+      arch = "(pri/back)";
+    } else {
+      arch = "(" + std::to_string(cfg.reported_global) + ", " +
+             std::to_string(cfg.reported_local) + ")";
+    }
+    table.cell(arch);
+    table.cell(summary.observed_sites);
+  }
+  util::emit(table, "Table 2: root letters, reported vs. observed sites",
+             csv, std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 3: RSSAC-002 event-size estimation — per-letter deltas vs. the
+// 7-day baseline, with lower / scaled / upper bounds.
+#include <iostream>
+
+#include "analysis/event_size.h"
+#include "bench_util.h"
+
+using namespace rootstress;
+
+namespace {
+void bound_row(util::TextTable& table, const char* name,
+               const analysis::EventCell& d0, const analysis::EventCell& d1) {
+  table.begin_row();
+  table.cell(name);
+  table.cell(d0.dq_mqs, 2);
+  table.cell(d0.dq_gbps, 2);
+  table.cell("-");
+  table.cell(d0.dr_mqs, 2);
+  table.cell(d0.dr_gbps, 2);
+  table.cell(d1.dq_mqs, 2);
+  table.cell(d1.dq_gbps, 2);
+  table.cell("-");
+  table.cell(d1.dr_mqs, 2);
+  table.cell(d1.dr_gbps, 2);
+  table.cell("-");
+  table.cell("-");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = util::csv_requested(argc, argv);
+
+  // Fluid-only run over baseline week + event days: RSSAC needs no probes.
+  sim::ScenarioConfig config = sim::november_2015_scenario(
+      /*vp_count=*/100, /*attack_qps=*/5e6, /*include_baseline_week=*/true);
+  config.collect_records = false;
+  config.enable_collector = false;
+  sim::SimulationEngine engine(std::move(config));
+  const sim::SimulationResult result = engine.run();
+
+  const analysis::EventSizeEstimate estimate =
+      analysis::estimate_event_size(result);
+
+  util::TextTable table({"RSSAC", "d0 dQ Mq/s", "d0 dQ Gb/s", "d0 M IPs(x)",
+                         "d0 dR Mq/s", "d0 dR Gb/s", "d1 dQ Mq/s",
+                         "d1 dQ Gb/s", "d1 M IPs(x)", "d1 dR Mq/s",
+                         "d1 dR Gb/s", "base Mq/s", "base M IPs"});
+  for (const auto& row : estimate.rows) {
+    table.begin_row();
+    std::string name(1, row.letter);
+    if (!row.attacked) name += "*";  // not attacked; excluded from bounds
+    table.cell(name);
+    auto ips = [](const analysis::EventCell& c) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.1f(%.0fx)", c.ips_m, c.ips_ratio);
+      return std::string(buf);
+    };
+    table.cell(row.day0.dq_mqs, 2);
+    table.cell(row.day0.dq_gbps, 2);
+    table.cell(ips(row.day0));
+    table.cell(row.day0.dr_mqs, 2);
+    table.cell(row.day0.dr_gbps, 2);
+    table.cell(row.day1.dq_mqs, 2);
+    table.cell(row.day1.dq_gbps, 2);
+    table.cell(ips(row.day1));
+    table.cell(row.day1.dr_mqs, 2);
+    table.cell(row.day1.dr_gbps, 2);
+    table.cell(row.baseline_mqs, 3);
+    table.cell(row.baseline_ips_m, 2);
+  }
+  bound_row(table, "lower", estimate.lower_day0, estimate.lower_day1);
+  bound_row(table, "(scaled)", estimate.scaled_day0, estimate.scaled_day1);
+  bound_row(table, "upper", estimate.upper_day0, estimate.upper_day1);
+  util::emit(table, "Table 3: event sizes from RSSAC-002 reports", csv,
+             std::cout);
+
+  if (!csv) {
+    std::cout << "inferred attack query payloads: day0="
+              << estimate.query_payload_day0 << "B (paper: 32-47B bin), day1="
+              << estimate.query_payload_day1
+              << "B (paper: 16-31B bin); responses ~"
+              << estimate.response_payload << "B (paper: 480-495B)\n";
+  }
+  return 0;
+}

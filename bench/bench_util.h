@@ -1,0 +1,71 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Every bench prints an aligned text table by default (for eyeballing
+// against the paper) or CSV with --csv / ROOTSTRESS_CSV=1. Population
+// size can be overridden with ROOTSTRESS_VPS; EXPERIMENTS.md records the
+// defaults each figure was validated at.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "atlas/binning.h"
+#include "sim/engine.h"
+#include "sim/scenario.h"
+#include "util/table.h"
+
+namespace rootstress::bench {
+
+/// Builds the standard two-day event scenario restricted to `letters`
+/// (empty = all) with `vps` vantage points (env-overridable).
+inline sim::ScenarioConfig event_scenario(std::vector<char> letters,
+                                          int vps) {
+  sim::ScenarioConfig config =
+      sim::november_2015_scenario(sim::vp_count_from_env(vps));
+  config.probe_letters = std::move(letters);
+  return config;
+}
+
+/// Bins a result's records over its probe window.
+inline std::vector<atlas::LetterBins> make_grids(
+    const sim::SimulationResult& result, net::SimTime bin_width) {
+  const std::size_t bins = static_cast<std::size_t>(
+      (result.probe_window.end - result.probe_window.begin).ms /
+      bin_width.ms);
+  return atlas::bin_records(result.records,
+                            static_cast<int>(result.letter_chars.size()),
+                            static_cast<int>(result.vps.size()),
+                            result.probe_window.begin, bin_width, bins);
+}
+
+/// "HH:MM+Dd" label for a bin start.
+inline std::string bin_label(net::SimTime start, net::SimTime width,
+                             std::size_t bin) {
+  const net::SimTime t(start.ms + width.ms * static_cast<std::int64_t>(bin));
+  return t.to_string();
+}
+
+/// In text mode, print every Nth bin so tables stay readable; in CSV,
+/// print everything.
+inline std::size_t bin_stride(bool csv, net::SimTime bin_width) {
+  if (csv) return 1;
+  const std::size_t per_hour = static_cast<std::size_t>(
+      3600000 / bin_width.ms);
+  return per_hour == 0 ? 1 : per_hour;
+}
+
+/// Renders a small integer series as a bar strip for text figures.
+inline std::string spark(const std::vector<int>& values, double max_value) {
+  static const char* kLevels = " .:-=+*#%@";
+  std::string out;
+  out.reserve(values.size());
+  for (const int v : values) {
+    const double f = max_value > 0 ? static_cast<double>(v) / max_value : 0.0;
+    const int level = std::min(9, static_cast<int>(f * 9.0 + 0.5));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace rootstress::bench

@@ -1,0 +1,78 @@
+// Observed-behaviour classification: which §2.2 policy did each site
+// *actually* exhibit?
+//
+// The paper infers policies from observables — catchment shrinkage
+// (withdrawal), sustained-but-degraded service (absorption), catchment
+// growth (receiving displaced clients), or nothing. This module encodes
+// those inference rules so a whole deployment can be inventoried
+// automatically from measurement data alone (no ground-truth policy
+// access), the way an outside observer must.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/binning.h"
+#include "atlas/record.h"
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// The behaviour classes visible from outside.
+enum class SiteBehavior {
+  kUnaffected,        ///< catchment and RTT steady through the events
+  kWithdrew,          ///< catchment collapsed toward zero during events
+  kDegradedAbsorber,  ///< stayed reachable with elevated RTT or partial loss
+  kReceiver,          ///< grew: absorbed displaced catchments
+  kLowVisibility,     ///< too few VPs to say anything (below threshold)
+};
+
+std::string to_string(SiteBehavior behavior);
+
+/// One site's classification with the evidence.
+struct SiteBehaviorReport {
+  int site_id = -1;
+  std::string label;
+  SiteBehavior behavior = SiteBehavior::kLowVisibility;
+  double median_vps = 0.0;
+  double event_min_fraction = 1.0;  ///< min catchment/median inside events
+  double event_max_fraction = 1.0;  ///< max catchment/median inside events
+  double rtt_quiet_ms = 0.0;
+  double rtt_event_ms = 0.0;
+};
+
+/// Classification thresholds (tuned to the paper's qualitative labels).
+struct BehaviorThresholds {
+  double min_median_vps = 5.0;       ///< below: kLowVisibility
+  double withdrew_below = 0.25;      ///< event catchment under this fraction
+  /// Fraction of event bins that must sit below `withdrew_below` for a
+  /// sustained collapse to be read as withdrawal (few slow survivors do
+  /// not save the classification).
+  double withdrew_sustain = 0.5;
+  double receiver_above = 1.30;      ///< event catchment over this fraction
+  double rtt_inflation = 3.0;        ///< event/quiet RTT ratio for absorber
+  double absorber_loss_fraction = 0.6;  ///< or catchment partially down
+};
+
+/// Classifies every site of `letter` from its grid, probe records, and
+/// the event windows (`event_bins`).
+std::vector<SiteBehaviorReport> classify_sites(
+    const atlas::LetterBins& bins, const atlas::RecordSet& records,
+    const sim::SimulationResult& result, char letter,
+    const std::vector<std::size_t>& event_bins,
+    const BehaviorThresholds& thresholds = {});
+
+/// Aggregated counts per behaviour for one letter.
+struct BehaviorInventory {
+  char letter = '?';
+  int unaffected = 0;
+  int withdrew = 0;
+  int absorbers = 0;
+  int receivers = 0;
+  int low_visibility = 0;
+};
+
+BehaviorInventory inventory(const std::vector<SiteBehaviorReport>& reports,
+                            char letter);
+
+}  // namespace rootstress::analysis

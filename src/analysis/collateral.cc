@@ -1,0 +1,90 @@
+#include "analysis/collateral.h"
+
+#include <algorithm>
+
+#include "attack/events2015.h"
+#include "util/stats.h"
+
+namespace rootstress::analysis {
+
+std::vector<CollateralSite> collateral_sites(
+    const atlas::LetterBins& bins, const sim::SimulationResult& result,
+    char letter, const std::vector<std::size_t>& event_bins, double min_dip,
+    double min_vps) {
+  std::vector<CollateralSite> out;
+  for (const int site_id : result.sites_of(letter)) {
+    std::vector<double> series;
+    series.reserve(bins.bin_count());
+    for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+      series.push_back(static_cast<double>(bins.vps_at_site(b, site_id)));
+    }
+    const double median = util::median(series);
+    if (median < min_vps) continue;
+    double worst = 1.0;
+    for (const std::size_t b : event_bins) {
+      if (b < series.size()) {
+        worst = std::min(worst, series[b] / median);
+      }
+    }
+    if (worst > 1.0 - min_dip) continue;
+    CollateralSite site;
+    site.site_id = site_id;
+    site.label = result.sites[static_cast<std::size_t>(site_id)].label;
+    site.median_vps = median;
+    site.worst_fraction = worst;
+    site.vps_per_bin.reserve(series.size());
+    for (double v : series) site.vps_per_bin.push_back(static_cast<int>(v));
+    out.push_back(std::move(site));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CollateralSite& a, const CollateralSite& b) {
+              return a.worst_fraction < b.worst_fraction;
+            });
+  return out;
+}
+
+std::vector<NlSeries> nl_query_rates(const sim::SimulationResult& result) {
+  std::vector<NlSeries> out;
+  int counter = 0;
+  for (const auto& site : result.sites) {
+    if (site.letter != 'N') continue;
+    if (site.facility < 0) continue;  // only co-located sites (the victims)
+    const auto& series =
+        result.site_served_qps[static_cast<std::size_t>(site.site_id)];
+    std::vector<double> values;
+    values.reserve(series.bin_count());
+    for (std::size_t b = 0; b < series.bin_count(); ++b) {
+      values.push_back(series.mean(b));
+    }
+    NlSeries nl;
+    nl.anonymized_label = "anycast site " + std::to_string(++counter);
+    nl.median_qps = util::median(values);
+    nl.normalized_qps.reserve(values.size());
+    for (double v : values) {
+      nl.normalized_qps.push_back(nl.median_qps > 0.0 ? v / nl.median_qps
+                                                      : 0.0);
+    }
+    out.push_back(std::move(nl));
+  }
+  return out;
+}
+
+std::vector<std::size_t> event_bins_2015(const sim::SimulationResult& result) {
+  std::vector<std::size_t> bins;
+  const std::size_t total = static_cast<std::size_t>(
+      (result.end - result.start).ms / result.bin_width.ms);
+  for (std::size_t b = 0; b < total; ++b) {
+    const net::SimTime begin(result.start.ms +
+                             static_cast<std::int64_t>(b) *
+                                 result.bin_width.ms);
+    const net::SimTime end = begin + result.bin_width;
+    const bool in_event1 =
+        attack::kEvent1.begin < end && begin < attack::kEvent1.end;
+    const bool in_event2 =
+        attack::kEvent2.begin < end && begin < attack::kEvent2.end;
+    if (in_event1 || in_event2) bins.push_back(b);
+  }
+  return bins;
+}
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,48 @@
+// Collateral-damage detection (§3.6, Figs 14-15).
+//
+// End-to-end evidence only, as in the paper: service dips on
+// not-attacked services whose timing lines up with the events — D-Root
+// sites losing VPs, and .nl anycast sites whose query rates collapse.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/binning.h"
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// A not-attacked site showing an event-correlated dip.
+struct CollateralSite {
+  int site_id = -1;
+  std::string label;
+  double median_vps = 0.0;
+  std::vector<int> vps_per_bin;
+  double worst_fraction = 1.0;  ///< min / median during the event windows
+};
+
+/// D-Root-style selection (Fig 14): sites of `letter` with at least
+/// `min_vps` median VPs whose reachability dropped by at least
+/// `min_dip` (fraction) during any event bin. `event_bins` lists the bin
+/// indices covered by the events.
+std::vector<CollateralSite> collateral_sites(
+    const atlas::LetterBins& bins, const sim::SimulationResult& result,
+    char letter, const std::vector<std::size_t>& event_bins, double min_dip,
+    double min_vps);
+
+/// One .nl anycast site's normalized query-rate series (Fig 15). Labels
+/// are anonymized as the paper's are.
+struct NlSeries {
+  std::string anonymized_label;
+  double median_qps = 0.0;
+  std::vector<double> normalized_qps;  ///< served q/s per bin / median
+};
+
+/// Query-rate series for the .nl sites co-located with root letters.
+std::vector<NlSeries> nl_query_rates(const sim::SimulationResult& result);
+
+/// Bin indices overlapping the 2015 events for a result's binning.
+std::vector<std::size_t> event_bins_2015(const sim::SimulationResult& result);
+
+}  // namespace rootstress::analysis

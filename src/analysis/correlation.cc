@@ -1,0 +1,20 @@
+#include "analysis/correlation.h"
+
+namespace rootstress::analysis {
+
+SitesVsReachability sites_vs_min_reachability(
+    std::vector<LetterPoint> points) {
+  SitesVsReachability out;
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const auto& point : points) {
+    xs.push_back(static_cast<double>(point.sites));
+    ys.push_back(static_cast<double>(point.min_vps));
+  }
+  out.points = std::move(points);
+  out.fit = util::linear_fit(xs, ys);
+  return out;
+}
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,26 @@
+// Sites-vs-worst-reachability correlation (§3.2.1, the paper's R² = 0.87).
+#pragma once
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace rootstress::analysis {
+
+/// One letter's data point: deployment size vs. worst responsiveness.
+struct LetterPoint {
+  char letter = '?';
+  int sites = 0;    ///< Table 2 site count
+  int min_vps = 0;  ///< smallest successful-VP count during the events
+};
+
+/// The fitted relationship.
+struct SitesVsReachability {
+  std::vector<LetterPoint> points;
+  util::LinearFit fit;  ///< min_vps ~ slope * sites + intercept
+};
+
+/// Fits min reachability against site count over `points`.
+SitesVsReachability sites_vs_min_reachability(std::vector<LetterPoint> points);
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,67 @@
+// Event-size estimation (Table 3, §3.1).
+//
+// Reproduces the paper's method end to end: define the baseline as the
+// mean of the seven days before the event; identify attack payload sizes
+// from the RSSAC 16-byte size bins that grew; convert daily deltas to
+// rates over the event duration; and derive lower, scaled, and upper
+// bounds (the upper bound accepts A-Root's full metering and assumes all
+// attacked letters received equal traffic).
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// One (letter, event-day) estimate.
+struct EventCell {
+  double dq_mqs = 0.0;    ///< delta queries, Mq/s over the event window
+  double dq_gbps = 0.0;
+  double ips_m = 0.0;     ///< unique sources that day, millions
+  double ips_ratio = 0.0; ///< vs. the baseline mean
+  double dr_mqs = 0.0;    ///< delta responses
+  double dr_gbps = 0.0;
+};
+
+/// One reporting letter's row.
+struct EventSizeRow {
+  char letter = '?';
+  EventCell day0;  ///< Nov 30 (160-minute event)
+  EventCell day1;  ///< Dec 1 (60-minute event)
+  double baseline_mqs = 0.0;
+  double baseline_ips_m = 0.0;
+  bool attacked = true;  ///< non-attacked reporters are excluded from bounds
+};
+
+/// The whole table.
+struct EventSizeEstimate {
+  std::vector<EventSizeRow> rows;
+  EventCell lower_day0, lower_day1;    ///< sum of attacked reporters
+  EventCell scaled_day0, scaled_day1;  ///< lower scaled to all attacked
+  EventCell upper_day0, upper_day1;    ///< A-quality metering for all
+  double query_payload_day0 = 0.0;     ///< inferred from size-bin growth
+  double query_payload_day1 = 0.0;
+  double response_payload = 0.0;
+};
+
+/// Parameters of the estimation.
+struct EventSizeParams {
+  int baseline_first_day = -7;
+  int baseline_last_day = -1;
+  double event0_duration_s = 160.0 * 60.0;
+  double event1_duration_s = 60.0 * 60.0;
+  int attacked_letter_count = 10;  ///< letters under attack (D, L, M spared)
+  /// Per-packet overhead added to DNS payload for bitrates (the paper
+  /// adds 40 bytes for IP/UDP/framing).
+  double header_bytes = 40.0;
+  /// The letter whose metering is trusted for the upper bound.
+  char reference_letter = 'A';
+};
+
+/// Runs the estimation over a SimulationResult that covered the baseline
+/// week plus the two event days (scenario start at -7 days).
+EventSizeEstimate estimate_event_size(const sim::SimulationResult& result,
+                                      const EventSizeParams& params = {});
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,120 @@
+#include "analysis/flips.h"
+
+#include <algorithm>
+
+namespace rootstress::analysis {
+
+std::vector<int> site_flips_per_bin(const atlas::LetterBins& bins) {
+  std::vector<int> flips(bins.bin_count(), 0);
+  for (int vp = 0; vp < bins.vp_count(); ++vp) {
+    int current = -1;
+    for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+      const std::int16_t cell = bins.cell(vp, b);
+      if (cell < 0) continue;  // errors/timeouts don't end the tenure
+      if (current >= 0 && cell != current) ++flips[b];
+      current = cell;
+    }
+  }
+  return flips;
+}
+
+int total_site_flips(const atlas::LetterBins& bins) {
+  const auto per_bin = site_flips_per_bin(bins);
+  int total = 0;
+  for (int f : per_bin) total += f;
+  return total;
+}
+
+namespace {
+/// The site a VP was at in `bin`, or -1 when the bin holds no site.
+int site_at(const atlas::LetterBins& bins, int vp, std::size_t bin) {
+  const std::int16_t cell = bins.cell(vp, bin);
+  return cell >= 0 ? cell : -1;
+}
+}  // namespace
+
+std::map<int, int> flip_destinations(const atlas::LetterBins& bins,
+                                     int origin_site, std::size_t from_bin,
+                                     std::size_t to_bin) {
+  std::map<int, int> destinations;
+  for (int vp = 0; vp < bins.vp_count(); ++vp) {
+    if (site_at(bins, vp, from_bin) != origin_site) continue;
+    // First different site the VP lands on inside the window.
+    int landed = -1;
+    for (std::size_t b = from_bin + 1; b <= to_bin && b < bins.bin_count();
+         ++b) {
+      const int site = site_at(bins, vp, b);
+      if (site >= 0 && site != origin_site) {
+        landed = site;
+        break;
+      }
+    }
+    ++destinations[landed];
+  }
+  return destinations;
+}
+
+std::map<int, int> flip_origins(const atlas::LetterBins& bins, int dest_site,
+                                std::size_t from_bin, std::size_t to_bin) {
+  std::map<int, int> origins;
+  for (int vp = 0; vp < bins.vp_count(); ++vp) {
+    if (site_at(bins, vp, from_bin) == dest_site) continue;  // not new
+    bool arrived = false;
+    for (std::size_t b = from_bin + 1; b <= to_bin && b < bins.bin_count();
+         ++b) {
+      if (site_at(bins, vp, b) == dest_site) {
+        arrived = true;
+        break;
+      }
+    }
+    if (arrived) ++origins[site_at(bins, vp, from_bin)];
+  }
+  return origins;
+}
+
+std::vector<VpStrip> vp_strips(const atlas::LetterBins& bins,
+                               const std::vector<int>& start_sites,
+                               const std::map<int, char>& site_chars,
+                               std::size_t sample, util::Rng& rng) {
+  // Candidates: VPs whose first observed site is a start site.
+  std::vector<int> candidates;
+  for (int vp = 0; vp < bins.vp_count(); ++vp) {
+    for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+      const std::int16_t cell = bins.cell(vp, b);
+      if (cell < 0) continue;
+      if (std::find(start_sites.begin(), start_sites.end(), cell) !=
+          start_sites.end()) {
+        candidates.push_back(vp);
+      }
+      break;  // only the first observed site decides
+    }
+  }
+  rng.shuffle(candidates);
+  if (candidates.size() > sample) candidates.resize(sample);
+  std::sort(candidates.begin(), candidates.end());
+
+  std::vector<VpStrip> strips;
+  strips.reserve(candidates.size());
+  for (int vp : candidates) {
+    VpStrip strip;
+    strip.vp = vp;
+    strip.states.reserve(bins.bin_count());
+    for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+      const std::int16_t cell = bins.cell(vp, b);
+      if (cell == atlas::LetterBins::kNoData) {
+        strip.states += ' ';
+      } else if (cell < 0) {
+        strip.states += 'x';
+      } else if (const auto it = site_chars.find(cell);
+                 it != site_chars.end()) {
+        strip.states += it->second;
+      } else {
+        strip.states += '.';
+      }
+    }
+    strips.push_back(std::move(strip));
+  }
+  return strips;
+}
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,50 @@
+// Site-flip analyses (§3.4): flip counting (Fig 8), flip destination /
+// origin matrices (Fig 10), and per-VP site-choice strips (Fig 11).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atlas/binning.h"
+#include "util/rng.h"
+
+namespace rootstress::analysis {
+
+/// Site flips per bin: a flip is a VP whose bin cell is a site different
+/// from the previous site it was observed at (both cells are sites; bins
+/// without data or with errors do not end a VP's "current site").
+std::vector<int> site_flips_per_bin(const atlas::LetterBins& bins);
+
+/// Total flips over the grid.
+int total_site_flips(const atlas::LetterBins& bins);
+
+/// Where VPs that sat at `origin_site` at `from_bin` were observed during
+/// (from_bin, to_bin]: site id -> VP count. Key -1 aggregates VPs that
+/// never reached any site in the window (Fig 10 left half).
+std::map<int, int> flip_destinations(const atlas::LetterBins& bins,
+                                     int origin_site, std::size_t from_bin,
+                                     std::size_t to_bin);
+
+/// Where VPs newly observed at `dest_site` during (from_bin, to_bin] had
+/// been at `from_bin`: site id -> VP count (Fig 10 right half).
+std::map<int, int> flip_origins(const atlas::LetterBins& bins, int dest_site,
+                                std::size_t from_bin, std::size_t to_bin);
+
+/// One VP's site-choice strip (Fig 11): one char per bin.
+///   letters assigned by the caller for sites of interest,
+///   '.' = some other site, 'x' = timeout/error, ' ' = no data.
+struct VpStrip {
+  int vp = -1;
+  std::string states;
+};
+
+/// Builds strips for up to `sample` VPs whose first observed site is one
+/// of `start_sites`. `site_chars` maps sites of interest to display
+/// characters. Deterministic sampling via `rng`.
+std::vector<VpStrip> vp_strips(const atlas::LetterBins& bins,
+                               const std::vector<int>& start_sites,
+                               const std::map<int, char>& site_chars,
+                               std::size_t sample, util::Rng& rng);
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,60 @@
+#include "analysis/letter_flips.h"
+
+#include "attack/events2015.h"
+#include "util/stats.h"
+
+namespace rootstress::analysis {
+
+LetterFlipEvidence letter_flip_evidence(const sim::SimulationResult& result,
+                                        char letter) {
+  LetterFlipEvidence out;
+  out.letter = letter;
+  const int s = result.service_index(letter);
+  if (s < 0) return out;
+  const auto& served = result.service_served_qps[static_cast<std::size_t>(s)];
+
+  std::vector<double> quiet, event1, event2;
+  for (std::size_t b = 0; b < served.bin_count(); ++b) {
+    if (served.count(b) == 0) continue;
+    const net::SimTime begin(served.bin_start(b));
+    if (begin.ms < 0) continue;  // baseline days are not "quiet 48h" bins
+    const net::SimTime end(begin.ms + served.bin_ms());
+    const double qps = served.mean(b);
+    if (attack::kEvent1.begin < end && begin < attack::kEvent1.end) {
+      event1.push_back(qps);
+    } else if (attack::kEvent2.begin < end && begin < attack::kEvent2.end) {
+      event2.push_back(qps);
+    } else {
+      quiet.push_back(qps);
+    }
+  }
+  out.quiet_qps = util::mean(quiet);
+  out.event1_qps = util::mean(event1);
+  out.event2_qps = util::mean(event2);
+  if (out.quiet_qps > 0.0) {
+    out.event1_ratio = out.event1_qps / out.quiet_qps;
+    out.event2_ratio = out.event2_qps / out.quiet_qps;
+  }
+
+  // Unique-source ratios need baseline days in the accumulator.
+  const int li = s;  // letter indices coincide with service indices A..M
+  double base_ips = 0.0;
+  int base_days = 0;
+  for (int d = -7; d <= -1; ++d) {
+    if (!result.rssac.has(li, d)) continue;
+    base_ips += result.rssac.metrics(li, d).unique_sources(result.resolver_pool);
+    ++base_days;
+  }
+  if (base_days > 0 && base_ips > 0.0) {
+    base_ips /= base_days;
+    out.uniques_day0_ratio =
+        result.rssac.metrics(li, 0).unique_sources(result.resolver_pool) /
+        base_ips;
+    out.uniques_day1_ratio =
+        result.rssac.metrics(li, 1).unique_sources(result.resolver_pool) /
+        base_ips;
+  }
+  return out;
+}
+
+}  // namespace rootstress::analysis

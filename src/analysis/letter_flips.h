@@ -1,0 +1,30 @@
+// Letter-flip evidence (§3.2.2): resolvers retrying non-attacked letters.
+//
+// The paper observes that L-Root — not attacked — saw a 1.66x query-rate
+// increase during the second event and a 6-13x jump in unique sources,
+// evidence of recursive resolvers failing over between letters.
+#pragma once
+
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// Evidence row for one letter.
+struct LetterFlipEvidence {
+  char letter = '?';
+  double quiet_qps = 0.0;        ///< served q/s outside event windows
+  double event1_qps = 0.0;       ///< served q/s inside event 1
+  double event2_qps = 0.0;       ///< served q/s inside event 2
+  double event1_ratio = 0.0;     ///< event1 / quiet
+  double event2_ratio = 0.0;     ///< event2 / quiet (the paper's 1.66x)
+  double uniques_day0_ratio = 0.0;  ///< day-0 unique IPs / baseline mean
+  double uniques_day1_ratio = 0.0;
+};
+
+/// Computes the evidence for one letter from the fluid series and RSSAC
+/// accumulator. Requires the scenario to have covered baseline days when
+/// unique-ratio fields are wanted (0 otherwise).
+LetterFlipEvidence letter_flip_evidence(const sim::SimulationResult& result,
+                                        char letter);
+
+}  // namespace rootstress::analysis

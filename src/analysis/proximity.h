@@ -1,0 +1,38 @@
+// Proximity analysis: does anycast route clients to a nearby site?
+//
+// Prior work the paper builds on (Fan et al., Ballani et al.) shows BGP
+// often routes anycast clients past their geographically closest site.
+// This module quantifies it for a simulated run: per successful probe,
+// the propagation-RTT inflation of the *chosen* site over the best
+// *announced* site of that letter — and how the distribution shifts when
+// withdrawals displace catchments during the events.
+#pragma once
+
+#include <vector>
+
+#include "analysis/distributions.h"
+#include "atlas/record.h"
+#include "net/clock.h"
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// Inflation samples for one letter in one time window.
+struct ProximitySample {
+  std::vector<double> inflation_ms;  ///< chosen-site RTT minus best-site RTT
+  double median_ms = 0.0;
+  double p90_ms = 0.0;
+  /// Fraction of probes already at their geographically best site
+  /// (inflation < 1 ms).
+  double optimal_fraction = 0.0;
+};
+
+/// Computes inflation for every successful probe of `letter` inside
+/// [from, to). The "best" site considers all of the letter's sites (the
+/// analysis cannot know announcement state from measurements alone, as
+/// in the real study).
+ProximitySample proximity_inflation(const sim::SimulationResult& result,
+                                    char letter, net::SimTime from,
+                                    net::SimTime to);
+
+}  // namespace rootstress::analysis

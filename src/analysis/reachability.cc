@@ -1,0 +1,57 @@
+#include "analysis/reachability.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rootstress::analysis {
+
+LetterReachability reachability_series(const atlas::LetterBins& bins,
+                                       char letter, double probe_interval_s,
+                                       bool scale_for_cadence) {
+  LetterReachability out;
+  out.letter = letter;
+  const double bin_s = bins.bin_width().seconds();
+  if (scale_for_cadence && probe_interval_s > bin_s) {
+    out.scale = probe_interval_s / bin_s;
+  }
+  out.successful_per_bin.reserve(bins.bin_count());
+  int min_vps = INT32_MAX;
+  for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+    const int raw = bins.successful_vps(b);
+    const int scaled = static_cast<int>(raw * out.scale + 0.5);
+    out.successful_per_bin.push_back(scaled);
+    if (scaled < min_vps) {
+      min_vps = scaled;
+      out.min_bin = b;
+    }
+  }
+  out.min_vps = min_vps == INT32_MAX ? 0 : min_vps;
+  return out;
+}
+
+int observed_site_count(const atlas::RecordSet& records, int service_index) {
+  std::unordered_set<int> sites;
+  for (const auto& record : records) {
+    if (record.letter_index == service_index &&
+        record.outcome == atlas::ProbeOutcome::kSite && record.site_id >= 0) {
+      sites.insert(record.site_id);
+    }
+  }
+  return static_cast<int>(sites.size());
+}
+
+std::pair<int, std::size_t> min_in_range(const std::vector<int>& series,
+                                         std::size_t from_bin,
+                                         std::size_t to_bin) {
+  int best = INT32_MAX;
+  std::size_t arg = from_bin;
+  for (std::size_t b = from_bin; b <= to_bin && b < series.size(); ++b) {
+    if (series[b] < best) {
+      best = series[b];
+      arg = b;
+    }
+  }
+  return {best == INT32_MAX ? 0 : best, arg};
+}
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,39 @@
+#include "analysis/route_changes.h"
+
+namespace rootstress::analysis {
+
+std::vector<std::uint64_t> collector_changes_per_bin(
+    const sim::SimulationResult& result, char letter) {
+  const int s = result.service_index(letter);
+  std::vector<std::uint64_t> out;
+  if (s < 0 || static_cast<std::size_t>(s) >= result.collector_series.size()) {
+    return out;
+  }
+  const auto& series = result.collector_series[static_cast<std::size_t>(s)];
+  out.reserve(series.bin_count());
+  for (std::size_t b = 0; b < series.bin_count(); ++b) {
+    out.push_back(series.count(b));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> route_changes_per_bin(
+    const sim::SimulationResult& result, char letter) {
+  const int s = result.service_index(letter);
+  const std::size_t bins = static_cast<std::size_t>(
+      (result.end - result.start).ms / result.bin_width.ms);
+  std::vector<std::uint64_t> out(bins, 0);
+  if (s < 0) return out;
+  // Prefixes are registered in service order, so prefix id == service
+  // index for this deployment.
+  for (const auto& change : result.route_changes) {
+    if (change.prefix != s) continue;
+    const auto offset = (change.time - result.start).ms;
+    if (offset < 0) continue;
+    const auto bin = static_cast<std::size_t>(offset / result.bin_width.ms);
+    if (bin < bins) ++out[bin];
+  }
+  return out;
+}
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,20 @@
+// BGP route-change counting at the collector (Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// Per-bin route-change observations at the collector for one service.
+std::vector<std::uint64_t> collector_changes_per_bin(
+    const sim::SimulationResult& result, char letter);
+
+/// Per-bin counts straight from the full route-change log (every AS whose
+/// best route moved) — the "ground truth" the collector samples.
+std::vector<std::uint64_t> route_changes_per_bin(
+    const sim::SimulationResult& result, char letter);
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,48 @@
+#include "analysis/rtt.h"
+
+#include "util/stats.h"
+#include "util/time_series.h"
+
+namespace rootstress::analysis {
+
+namespace {
+bool matches(const atlas::ProbeRecord& record, const RttFilter& filter) {
+  if (record.outcome != atlas::ProbeOutcome::kSite) return false;
+  if (filter.service_index >= 0 && record.letter_index != filter.service_index) {
+    return false;
+  }
+  if (filter.site_id >= 0 && record.site_id != filter.site_id) return false;
+  if (filter.server > 0 && record.server != filter.server) return false;
+  return true;
+}
+}  // namespace
+
+std::vector<double> median_rtt_series(const atlas::RecordSet& records,
+                                      const RttFilter& filter,
+                                      net::SimTime start, net::SimTime width,
+                                      std::size_t bins) {
+  util::BinnedSeries series(start.ms, width.ms, bins, /*keep_samples=*/true);
+  for (const auto& record : records) {
+    if (matches(record, filter)) {
+      series.add(record.time().ms, static_cast<double>(record.rtt_ms));
+    }
+  }
+  std::vector<double> medians(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) medians[b] = series.median(b);
+  return medians;
+}
+
+double median_rtt_in(const atlas::RecordSet& records, const RttFilter& filter,
+                     net::SimTime from, net::SimTime to) {
+  std::vector<double> samples;
+  for (const auto& record : records) {
+    if (!matches(record, filter)) continue;
+    const net::SimTime t = record.time();
+    if (from <= t && t < to) {
+      samples.push_back(static_cast<double>(record.rtt_ms));
+    }
+  }
+  return util::median(samples);
+}
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,51 @@
+#include "analysis/servers.h"
+
+#include "util/time_series.h"
+
+namespace rootstress::analysis {
+
+std::vector<ServerSeries> server_breakdown(const atlas::RecordSet& records,
+                                           const sim::SimulationResult& result,
+                                           int site_id, net::SimTime start,
+                                           net::SimTime width,
+                                           std::size_t bins) {
+  const int servers =
+      result.sites[static_cast<std::size_t>(site_id)].servers;
+  std::vector<util::BinnedSeries> rtt;
+  rtt.reserve(static_cast<std::size_t>(servers));
+  std::vector<std::vector<int>> replies(
+      static_cast<std::size_t>(servers), std::vector<int>(bins, 0));
+  for (int s = 0; s < servers; ++s) {
+    rtt.emplace_back(start.ms, width.ms, bins, /*keep_samples=*/true);
+  }
+  for (const auto& record : records) {
+    if (record.outcome != atlas::ProbeOutcome::kSite ||
+        record.site_id != site_id || record.server < 1 ||
+        record.server > servers) {
+      continue;
+    }
+    const auto offset = (record.time() - start).ms;
+    if (offset < 0) continue;
+    const auto bin = static_cast<std::size_t>(offset / width.ms);
+    if (bin >= bins) continue;
+    ++replies[static_cast<std::size_t>(record.server - 1)][bin];
+    rtt[static_cast<std::size_t>(record.server - 1)].add(
+        record.time().ms, static_cast<double>(record.rtt_ms));
+  }
+  std::vector<ServerSeries> out;
+  out.reserve(static_cast<std::size_t>(servers));
+  for (int s = 0; s < servers; ++s) {
+    ServerSeries series;
+    series.server = s + 1;
+    series.replies_per_bin = std::move(replies[static_cast<std::size_t>(s)]);
+    series.median_rtt_per_bin.reserve(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+      series.median_rtt_per_bin.push_back(
+          rtt[static_cast<std::size_t>(s)].median(b));
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace rootstress::analysis

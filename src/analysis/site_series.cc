@@ -1,0 +1,41 @@
+#include "analysis/site_series.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace rootstress::analysis {
+
+std::vector<SiteSeries> site_catchment_series(
+    const atlas::LetterBins& bins, const sim::SimulationResult& result,
+    char letter, double critical_fraction) {
+  std::vector<SiteSeries> out;
+  for (const int site_id : result.sites_of(letter)) {
+    SiteSeries s;
+    s.site_id = site_id;
+    s.label = result.sites[static_cast<std::size_t>(site_id)].label;
+    s.vps_per_bin.reserve(bins.bin_count());
+    std::vector<double> as_double;
+    as_double.reserve(bins.bin_count());
+    for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+      const int n = bins.vps_at_site(b, site_id);
+      s.vps_per_bin.push_back(n);
+      as_double.push_back(static_cast<double>(n));
+    }
+    s.median = util::median(as_double);
+    const double critical = s.median * critical_fraction;
+    for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+      if (static_cast<double>(s.vps_per_bin[b]) < critical) {
+        s.critical_bins.push_back(b);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const SiteSeries& a, const SiteSeries& b) {
+    if (a.median != b.median) return a.median > b.median;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,30 @@
+// Per-site catchment time series (Fig 6, Fig 14 input).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/binning.h"
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// VPs mapped to one site over time.
+struct SiteSeries {
+  int site_id = -1;
+  std::string label;
+  double median = 0.0;
+  std::vector<int> vps_per_bin;
+  /// Bins where reachability dropped below the median (the paper's red
+  /// "critical moments").
+  std::vector<std::size_t> critical_bins;
+};
+
+/// Catchment series for every site of `letter`, sorted by median
+/// descending. `critical_fraction` marks bins below that fraction of the
+/// median as critical (the paper highlights bins below the median).
+std::vector<SiteSeries> site_catchment_series(
+    const atlas::LetterBins& bins, const sim::SimulationResult& result,
+    char letter, double critical_fraction = 1.0);
+
+}  // namespace rootstress::analysis

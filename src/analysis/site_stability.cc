@@ -1,0 +1,48 @@
+#include "analysis/site_stability.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace rootstress::analysis {
+
+double stability_threshold(int vp_count, int paper_vp_count,
+                           double paper_threshold) {
+  return paper_threshold * static_cast<double>(vp_count) /
+         static_cast<double>(paper_vp_count);
+}
+
+std::vector<SiteStability> site_stability(const atlas::LetterBins& bins,
+                                          const sim::SimulationResult& result,
+                                          char letter, double threshold) {
+  std::vector<SiteStability> out;
+  for (const int site_id : result.sites_of(letter)) {
+    std::vector<double> per_bin;
+    per_bin.reserve(bins.bin_count());
+    for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+      per_bin.push_back(static_cast<double>(bins.vps_at_site(b, site_id)));
+    }
+    SiteStability s;
+    s.site_id = site_id;
+    s.label = result.sites[static_cast<std::size_t>(site_id)].label;
+    s.median_vps = util::median(per_bin);
+    s.min_vps = static_cast<int>(util::min_of(per_bin));
+    s.max_vps = static_cast<int>(util::max_of(per_bin));
+    if (s.median_vps > 0.0) {
+      s.min_norm = s.min_vps / s.median_vps;
+      s.max_norm = s.max_vps / s.median_vps;
+    }
+    s.below_threshold = s.median_vps < threshold;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SiteStability& a, const SiteStability& b) {
+              if (a.median_vps != b.median_vps) {
+                return a.median_vps > b.median_vps;
+              }
+              return a.label < b.label;
+            });
+  return out;
+}
+
+}  // namespace rootstress::analysis

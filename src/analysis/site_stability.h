@@ -1,0 +1,38 @@
+// Per-site catchment stability (Fig 5): min and max VPs per bin
+// normalized to the site's median over the observation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/binning.h"
+#include "sim/engine.h"
+
+namespace rootstress::analysis {
+
+/// One site's stability summary.
+struct SiteStability {
+  int site_id = -1;
+  std::string label;
+  double median_vps = 0.0;
+  int min_vps = 0;
+  int max_vps = 0;
+  /// min/median and max/median; 0 when the median is 0.
+  double min_norm = 0.0;
+  double max_norm = 0.0;
+  bool below_threshold = false;  ///< fewer than the stability-threshold VPs
+};
+
+/// The paper's stability threshold: sites whose median catchment holds
+/// fewer VPs are flagged (their normalized swings are unreliable).
+/// Scaled populations scale the threshold proportionally.
+double stability_threshold(int vp_count, int paper_vp_count = 9363,
+                           double paper_threshold = 20.0);
+
+/// Computes stability for every site of `letter`, sorted by median VPs
+/// descending (the paper's ordering in Figs 5/6).
+std::vector<SiteStability> site_stability(const atlas::LetterBins& bins,
+                                          const sim::SimulationResult& result,
+                                          char letter, double threshold);
+
+}  // namespace rootstress::analysis

@@ -1,0 +1,86 @@
+// The full 2015 Root DNS deployment: 13 letters, hundreds of sites, their
+// host ASes in a synthesized topology, shared facilities, and (optionally)
+// the .nl TLD anycast service used in the collateral-damage analysis.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "anycast/facility.h"
+#include "anycast/letter.h"
+#include "anycast/site.h"
+#include "bgp/simulator.h"
+#include "bgp/topology.h"
+
+namespace rootstress::anycast {
+
+/// One anycast service (a root letter, or .nl) mapped onto the shared
+/// substrate.
+struct ServiceInfo {
+  char letter = '?';      ///< 'A'..'M'; 'N' for .nl
+  int letter_index = -1;  ///< index into letters(), -1 for .nl
+  int prefix = -1;        ///< routing prefix id
+  std::vector<int> site_ids;  ///< deployment-global site ids
+};
+
+/// Builds and owns the simulated world: topology, letters, sites,
+/// facilities, and per-service routing.
+class RootDeployment {
+ public:
+  struct Config {
+    std::uint64_t seed = 42;
+    bgp::TopologyConfig topology{};
+    bool include_nl = true;
+    /// Default uplink for facilities referenced by sites but not in the
+    /// default facility table.
+    double default_facility_uplink_gbps = 50.0;
+    /// When set, every site uses this stress policy (what-if studies),
+    /// overriding letter defaults and per-site overrides.
+    std::optional<StressPolicy> force_policy;
+  };
+
+  explicit RootDeployment(const Config& config);
+  RootDeployment(const RootDeployment&) = delete;
+  RootDeployment& operator=(const RootDeployment&) = delete;
+
+  const bgp::AsTopology& topology() const noexcept { return topology_; }
+  bgp::AnycastRouting& routing() noexcept { return *routing_; }
+  const bgp::AnycastRouting& routing() const noexcept { return *routing_; }
+
+  const std::vector<LetterConfig>& letters() const noexcept { return letters_; }
+  const std::vector<ServiceInfo>& services() const noexcept { return services_; }
+  /// Service by letter ('A'..'M', 'N' = .nl); throws std::out_of_range.
+  const ServiceInfo& service(char letter) const;
+
+  FacilityTable& facilities() noexcept { return facilities_; }
+  const FacilityTable& facilities() const noexcept { return facilities_; }
+
+  int site_count() const noexcept { return static_cast<int>(sites_.size()); }
+  AnycastSite& site(int id) { return sites_[static_cast<std::size_t>(id)]; }
+  const AnycastSite& site(int id) const {
+    return sites_[static_cast<std::size_t>(id)];
+  }
+
+  /// Global site id for letter+code; nullopt if absent.
+  std::optional<int> find_site(char letter, std::string_view code) const;
+
+  /// Changes a site's announcement scope, keeping routing in sync.
+  /// Returns the per-AS route changes the transition caused.
+  std::vector<bgp::RouteChange> apply_scope(int site_id, SiteScope scope,
+                                            net::SimTime now);
+
+ private:
+  bgp::AsTopology topology_;
+  std::vector<LetterConfig> letters_;
+  FacilityTable facilities_;
+  std::vector<AnycastSite> sites_;
+  std::vector<ServiceInfo> services_;
+  std::unique_ptr<bgp::AnycastRouting> routing_;
+  /// Origin sets staged during construction, registered once the topology
+  /// is final (cleared afterwards).
+  std::vector<std::vector<bgp::AnycastOrigin>> pending_origins_;
+};
+
+}  // namespace rootstress::anycast

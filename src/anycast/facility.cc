@@ -1,0 +1,43 @@
+#include "anycast/facility.h"
+
+#include "anycast/queue_model.h"
+
+namespace rootstress::anycast {
+
+int FacilityTable::add(const std::string& key, double uplink_gbps) {
+  if (auto existing = find(key)) return *existing;
+  facilities_.push_back(Facility{key, uplink_gbps});
+  step_load_gbps_.push_back(0.0);
+  return static_cast<int>(facilities_.size()) - 1;
+}
+
+std::optional<int> FacilityTable::find(const std::string& key) const {
+  for (std::size_t i = 0; i < facilities_.size(); ++i) {
+    if (facilities_[i].key == key) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+void FacilityTable::begin_step() {
+  for (auto& load : step_load_gbps_) load = 0.0;
+}
+
+void FacilityTable::add_load(int index, double gbps) {
+  step_load_gbps_[static_cast<std::size_t>(index)] += gbps;
+}
+
+double FacilityTable::shared_loss(int index) const {
+  const auto i = static_cast<std::size_t>(index);
+  return uplink_loss(step_load_gbps_[i], facilities_[i].uplink_gbps);
+}
+
+void add_default_facilities(FacilityTable& table) {
+  table.add("FRA-EU-DC", 1.0);
+  table.add("AMS-EU-DC", 0.60);
+  table.add("CDG-EU-DC", 0.40);
+  table.add("SYD-OC-DC", 0.12);
+  table.add("LAX-US-DC", 0.35);
+  table.add("SAN-US-DC", 0.42);
+}
+
+}  // namespace rootstress::anycast

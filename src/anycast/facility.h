@@ -1,0 +1,58 @@
+// Co-location facilities: the shared-risk substrate behind collateral
+// damage (§3.6).
+//
+// Sites that share a facility share its uplink. When event traffic into
+// co-located sites saturates the uplink, *all* tenants lose packets —
+// including services that were never attacked (D-Root sites, the .nl
+// TLD). The paper infers this end-to-end; here it is the actual
+// mechanism.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rootstress::anycast {
+
+/// A shared data-center uplink.
+struct Facility {
+  std::string key;          ///< e.g. "FRA-EU-DC"
+  double uplink_gbps = 10.0;
+};
+
+/// Tracks per-step load on each facility and exposes the shared loss each
+/// tenant experiences.
+class FacilityTable {
+ public:
+  /// Registers a facility; returns its index. Re-registering a key
+  /// returns the existing index (uplink unchanged).
+  int add(const std::string& key, double uplink_gbps);
+
+  /// Index for a key; nullopt if unknown.
+  std::optional<int> find(const std::string& key) const;
+
+  std::size_t size() const noexcept { return facilities_.size(); }
+  const Facility& facility(int index) const {
+    return facilities_[static_cast<std::size_t>(index)];
+  }
+
+  /// Resets per-step accumulated load.
+  void begin_step();
+
+  /// Adds one tenant's traffic for the step (ingress + egress Gb/s).
+  void add_load(int index, double gbps);
+
+  /// Loss fraction tenants of `index` suffer this step (0 within
+  /// capacity).
+  double shared_loss(int index) const;
+
+ private:
+  std::vector<Facility> facilities_;
+  std::vector<double> step_load_gbps_;
+};
+
+/// The default facilities used by the 2015 deployment: Frankfurt (seven
+/// letters co-located per §3.6), Amsterdam, and Sydney.
+void add_default_facilities(FacilityTable& table);
+
+}  // namespace rootstress::anycast

@@ -1,0 +1,88 @@
+// Root letter configuration (Table 2).
+//
+// Thirteen services, one per letter, with the architectures the paper
+// reports: site counts (global/local split), B unicast, H primary/backup,
+// which letters were attacked (D, L, M were not), which provided RSSAC-002
+// data (A, H, J, K, L), and Atlas probing cadence (A was probed every 30
+// minutes at event time, the rest every 4 minutes).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anycast/policy.h"
+#include "net/geo.h"
+
+namespace rootstress::anycast {
+
+/// How a site's servers degrade when the site is stressed (§3.5).
+enum class ServerStressMode {
+  /// The load balancer concentrates surviving service on one server; the
+  /// others vanish from probes (K-FRA behaviour, Fig 12 top).
+  kConcentrate,
+  /// All servers share a congested ingress equally; probes reach all of
+  /// them sporadically and slowly (K-NRT behaviour, Fig 12 bottom).
+  kShareCongestion,
+};
+
+/// Blueprint for one site of a letter.
+struct SiteSpec {
+  std::string code;        ///< airport code, e.g. "AMS"
+  bool global = true;      ///< false = BGP-scoped local site
+  int servers = 3;         ///< physical servers behind the load balancer
+  double capacity_qps = 500e3;
+  double buffer_packets = 600e3;  ///< ingress buffering (bufferbloat depth)
+  std::string facility;    ///< co-location facility key, "" = dedicated
+  /// Stub ASes directly peered with the site's host AS (IXP-style); these
+  /// networks stay routed to the site across partial withdrawals.
+  int peer_stubs = 0;
+  /// Hub sites (IXP-dense metros like AMS) attach to tier-1 transit as
+  /// well, which makes them the gravitational center for displaced
+  /// catchments -- the paper's K-AMS effect (Fig 10).
+  bool hub = false;
+  ServerStressMode stress_mode = ServerStressMode::kShareCongestion;
+  /// Coordinates/region; when unset the deployment resolves them from the
+  /// geo registry by airport code (synthesized pseudo-codes set them).
+  std::optional<net::GeoPoint> location;
+  std::string region;
+  /// Per-site stress policy; unset = the letter's default. K-AMS, for
+  /// example, is a committed absorber inside an otherwise fragile letter.
+  std::optional<StressPolicy> policy_override;
+};
+
+/// How a letter's sites respond to stress (per-letter default; individual
+/// sites may override via SiteSpec in future extensions).
+struct LetterConfig {
+  char letter = '?';
+  std::string operator_name;
+  bool unicast = false;          ///< B-Root at event time
+  bool primary_backup = false;   ///< H-Root: backup announced only on failure
+  int reported_sites = 0;        ///< Table 2 "reported"
+  int reported_global = 0;
+  int reported_local = 0;
+  bool attacked = true;          ///< false for D, L, M
+  bool rssac_reporting = false;  ///< true for A, H, J, K, L
+  /// Fraction of received event traffic the letter's RSSAC metering
+  /// misses when overloaded (the under-reporting the paper corrects for).
+  double rssac_metering_loss = 0.0;
+  /// Capacity of the letter's distinct-source counter (H/K/L saturate
+  /// around 40M in the paper's Table 3).
+  double unique_counter_cap = 1e18;
+  double probe_interval_s = 240.0;  ///< Atlas cadence (A: 1800)
+  StressPolicy default_policy;
+  std::vector<SiteSpec> sites;
+};
+
+/// Reference letter table: the 13 root letters with paper-reported
+/// architecture, event-time behaviour knobs, and site lists. The E-, K-,
+/// and D-Root site lists use the airport codes from the paper's figures;
+/// other letters' sites are synthesized deterministically from `seed`
+/// over the geo registry.
+std::vector<LetterConfig> root_letter_table(std::uint64_t seed);
+
+/// Finds a letter in a table; throws std::out_of_range if absent.
+const LetterConfig& find_letter(const std::vector<LetterConfig>& table,
+                                char letter);
+
+}  // namespace rootstress::anycast

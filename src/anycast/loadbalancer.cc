@@ -1,0 +1,14 @@
+#include "anycast/loadbalancer.h"
+
+#include "util/rng.h"
+
+namespace rootstress::anycast {
+
+int ecmp_pick(net::Ipv4Addr source, int server_count,
+              std::uint64_t salt) noexcept {
+  if (server_count <= 1) return 0;
+  const std::uint64_t h = util::mix64(source.value() ^ (salt << 32));
+  return static_cast<int>(h % static_cast<std::uint64_t>(server_count));
+}
+
+}  // namespace rootstress::anycast

@@ -1,0 +1,21 @@
+// Site load balancer: maps query sources to servers.
+//
+// Normal operation is source-hash ECMP across all servers. Under stress
+// the mapping degrades per the site's ServerStressMode (§3.5): either the
+// balancer concentrates visible service onto one surviving server, or all
+// servers share the congestion.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+
+namespace rootstress::anycast {
+
+/// Stateless ECMP pick: which of `server_count` servers handles `source`.
+/// Returns a 0-based index; `server_count` must be >= 1. `salt`
+/// differentiates sites so the same source spreads differently per site.
+int ecmp_pick(net::Ipv4Addr source, int server_count,
+              std::uint64_t salt) noexcept;
+
+}  // namespace rootstress::anycast

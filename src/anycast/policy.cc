@@ -1,0 +1,64 @@
+#include "anycast/policy.h"
+
+namespace rootstress::anycast {
+
+StressPolicy StressPolicy::absorber() {
+  StressPolicy p;
+  p.withdraw_overload = std::numeric_limits<double>::infinity();
+  p.session_failure_per_minute = 0.0;
+  return p;
+}
+
+StressPolicy StressPolicy::withdrawer() {
+  StressPolicy p;
+  p.withdraw_overload = 2.0;
+  p.session_failure_per_minute = 0.05;
+  p.recover_after = net::SimTime::from_minutes(25);
+  return p;
+}
+
+StressPolicy StressPolicy::fragile() {
+  StressPolicy p;
+  p.withdraw_overload = std::numeric_limits<double>::infinity();
+  p.session_failure_per_minute = 0.08;
+  p.recover_after = net::SimTime::from_minutes(15);
+  return p;
+}
+
+PolicyAction SitePolicyState::step(double utilization, double loss,
+                                   net::SimTime now, net::SimTime step,
+                                   util::Rng& rng) {
+  if (withdrawn_) {
+    // Track calm time; re-announce after the configured cool-down. A
+    // withdrawn site receives no traffic, so calm is judged by wall time
+    // since withdrawal (the operator watches the attack subside globally).
+    if (calm_since_.ms < 0) calm_since_ = now;
+    if (now - calm_since_ >= policy_.recover_after) {
+      withdrawn_ = false;
+      calm_since_ = net::SimTime(-1);
+      return PolicyAction::kReannounce;
+    }
+    return PolicyAction::kNone;
+  }
+
+  if (utilization >= policy_.withdraw_overload) {
+    withdrawn_ = true;
+    calm_since_ = net::SimTime(-1);
+    return PolicyAction::kWithdraw;
+  }
+  if (loss > 0.0 && policy_.session_failure_per_minute > 0.0) {
+    const double minutes = step.seconds() / 60.0;
+    const double p = policy_.session_failure_per_minute * loss * minutes;
+    if (rng.chance(p)) {
+      withdrawn_ = true;
+      calm_since_ = net::SimTime(-1);
+      return PolicyAction::kWithdraw;
+    }
+  }
+  if (utilization < policy_.recover_utilization) {
+    calm_since_ = now;
+  }
+  return PolicyAction::kNone;
+}
+
+}  // namespace rootstress::anycast

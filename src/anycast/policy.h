@@ -1,0 +1,81 @@
+// Withdraw-vs-absorb policy engine (§2.2).
+//
+// A site under stress either *withdraws* routes (shrinking its catchment,
+// shifting traffic elsewhere — the "waterbed") or keeps serving as a
+// *degraded absorber* (the "mattress"). The paper stresses these outcomes
+// are often emergent: explicit operator choices mixed with implementation
+// effects like BGP sessions failing when keepalives are lost on a
+// congested ingress. SitePolicy models both paths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "net/clock.h"
+#include "util/rng.h"
+
+namespace rootstress::anycast {
+
+/// Per-site stress policy parameters.
+struct StressPolicy {
+  /// Overload ratio (offered/capacity) at which the operator explicitly
+  /// withdraws the site. infinity = pure absorber (never withdraws).
+  double withdraw_overload = std::numeric_limits<double>::infinity();
+
+  /// Per-minute probability that the BGP session fails when ingress loss
+  /// is total (scaled by the actual loss fraction): the *emergent*
+  /// withdrawal path. 0 = keepalives always survive.
+  double session_failure_per_minute = 0.0;
+
+  /// After load falls below `recover_utilization`, how long until the
+  /// route is re-announced (operator reaction / BGP backoff).
+  net::SimTime recover_after = net::SimTime::from_minutes(20);
+  double recover_utilization = 0.8;
+
+  /// When true, "withdrawing" drops only the transit announcements and
+  /// keeps the site reachable by its direct peers (BGP-scoped). This is
+  /// what leaves clients "stuck" to an overloaded site (§3.4.2, Fig 11
+  /// group 1) while the bulk of the catchment shifts elsewhere.
+  bool partial_withdraw = false;
+
+  /// Named presets used by the deployment builder.
+  static StressPolicy absorber();        ///< never withdraws (K-style)
+  static StressPolicy withdrawer();      ///< withdraws under overload (E-style)
+  static StressPolicy fragile();         ///< absorber whose sessions fail
+};
+
+/// What the policy decided this step.
+enum class PolicyAction : std::uint8_t {
+  kNone,        ///< keep current state
+  kWithdraw,    ///< take the route down
+  kReannounce,  ///< bring the route back
+};
+
+/// Tracks one site's policy state across simulation steps.
+class SitePolicyState {
+ public:
+  explicit SitePolicyState(StressPolicy policy) : policy_(policy) {}
+
+  /// Advances one step. `utilization` is offered/capacity over the step,
+  /// `loss` the ingress loss fraction, `step` the step length.
+  PolicyAction step(double utilization, double loss, net::SimTime now,
+                    net::SimTime step, util::Rng& rng);
+
+  bool withdrawn() const noexcept { return withdrawn_; }
+  const StressPolicy& policy() const noexcept { return policy_; }
+
+  /// Cancels a withdrawal the engine refuses to apply (e.g. the letter's
+  /// last announced global site must stay up as a degraded absorber —
+  /// the paper's case 5). The site remains logically announced.
+  void veto_withdrawal() noexcept {
+    withdrawn_ = false;
+    calm_since_ = net::SimTime(-1);
+  }
+
+ private:
+  StressPolicy policy_;
+  bool withdrawn_ = false;
+  net::SimTime calm_since_{-1};  ///< when utilization last dropped; -1 unset
+};
+
+}  // namespace rootstress::anycast

@@ -1,0 +1,9 @@
+#include "anycast/server.h"
+
+namespace rootstress::anycast {
+
+SiteServer::SiteServer(char letter, const std::string& site_code, int index,
+                       double load_weight)
+    : dns_(letter, site_code, index), load_weight_(load_weight) {}
+
+}  // namespace rootstress::anycast

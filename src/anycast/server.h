@@ -1,0 +1,34 @@
+// A physical server within an anycast site.
+//
+// Thin wrapper binding a dns::RootServer (protocol behaviour) to the
+// load-share weight the site's balancer gives it. Per-server weights are
+// deliberately uneven: the paper observes that within one site some
+// servers suffer disproportionately under stress (§3.5, K-NRT-S2).
+#pragma once
+
+#include <memory>
+
+#include "dns/server.h"
+
+namespace rootstress::anycast {
+
+/// One server behind a site load balancer.
+class SiteServer {
+ public:
+  /// `load_weight` scales how much of the site's stress this server
+  /// feels (1.0 = its fair share).
+  SiteServer(char letter, const std::string& site_code, int index,
+             double load_weight);
+
+  dns::RootServer& dns() noexcept { return dns_; }
+  const dns::RootServer& dns() const noexcept { return dns_; }
+
+  int index() const noexcept { return dns_.server_index(); }
+  double load_weight() const noexcept { return load_weight_; }
+
+ private:
+  dns::RootServer dns_;
+  double load_weight_;
+};
+
+}  // namespace rootstress::anycast

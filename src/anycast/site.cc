@@ -1,0 +1,104 @@
+#include "anycast/site.h"
+
+#include <algorithm>
+
+#include "dns/wire.h"
+
+namespace rootstress::anycast {
+
+AnycastSite::AnycastSite(int site_id, char letter, SiteSpec spec,
+                         net::GeoPoint location, int host_as, int facility,
+                         const StressPolicy& policy, util::Rng& rng)
+    : site_id_(site_id),
+      letter_(letter),
+      spec_(std::move(spec)),
+      location_(location),
+      host_as_(host_as),
+      facility_(facility),
+      policy_state_(policy),
+      jitter_rng_(rng.fork(static_cast<std::uint64_t>(site_id) + 0x51731)) {
+  servers_.reserve(static_cast<std::size_t>(spec_.servers));
+  for (int i = 1; i <= spec_.servers; ++i) {
+    // Uneven load weights: one server in three ends up noticeably hotter,
+    // matching the per-server asymmetry the paper observes (§3.5).
+    const double weight = (i % 3 == 2) ? 1.4 : jitter_rng_.uniform(0.85, 1.1);
+    servers_.emplace_back(letter_, spec_.code, i, weight);
+  }
+}
+
+std::string AnycastSite::label() const {
+  return std::string(1, letter_) + "-" + spec_.code;
+}
+
+void AnycastSite::begin_step(double attack_qps, double legit_qps,
+                             double shared_loss, net::SimTime now) {
+  (void)now;
+  attack_qps_ = attack_qps;
+  legit_qps_ = legit_qps;
+  QueueConfig qc;
+  qc.capacity_qps = spec_.capacity_qps;
+  qc.buffer_packets = spec_.buffer_packets;
+  outcome_ = evaluate_queue(attack_qps + legit_qps, qc);
+  arrival_loss_ =
+      1.0 - (1.0 - outcome_.loss_fraction) * (1.0 - std::clamp(shared_loss, 0.0, 1.0));
+
+  const bool now_overloaded = outcome_.utilization >= 1.0 || shared_loss > 0.0;
+  if (now_overloaded && !overloaded_) {
+    // Entering overload: in concentrate mode the balancer collapses
+    // visible service onto one surviving server, picked per episode.
+    concentrate_server_ =
+        static_cast<int>(jitter_rng_.below(servers_.size()));
+  }
+  overloaded_ = now_overloaded;
+}
+
+int AnycastSite::pick_server(net::Ipv4Addr source) const noexcept {
+  return ecmp_pick(source, static_cast<int>(servers_.size()),
+                   static_cast<std::uint64_t>(site_id_));
+}
+
+ProbeReply AnycastSite::probe(net::Ipv4Addr source,
+                              const std::vector<std::uint8_t>& query_wire,
+                              net::SimTime now, util::Rng& rng) {
+  ProbeReply reply;
+  if (scope_ == SiteScope::kDown) return reply;
+
+  int server_index = pick_server(source);
+  double loss = arrival_loss_;
+  double delay_ms = outcome_.queue_delay_ms;
+
+  if (overloaded_) {
+    if (spec_.stress_mode == ServerStressMode::kConcentrate) {
+      // Only the surviving server answers; probes hashed elsewhere see
+      // pure loss. The survivor keeps moderate latency: the balancer
+      // steers its queue around the worst congestion.
+      if (server_index != concentrate_server_) {
+        return reply;
+      }
+      delay_ms = std::min(delay_ms, 120.0);
+      loss = std::min(loss, 0.6);
+    } else {
+      // Shared congestion: per-server weights skew loss and delay.
+      const double w =
+          servers_[static_cast<std::size_t>(server_index)].load_weight();
+      loss = std::clamp(loss * w, 0.0, 0.98);
+      delay_ms *= w;
+    }
+  }
+
+  if (rng.chance(loss)) return reply;
+
+  auto query = dns::decode(query_wire);
+  if (!query) return reply;
+  auto response = servers_[static_cast<std::size_t>(server_index)].dns().answer(
+      *query, source, now);
+  if (!response) return reply;
+
+  reply.answered = true;
+  reply.server = server_index + 1;
+  reply.extra_delay_ms = delay_ms * rng.uniform(0.85, 1.1);
+  reply.wire = dns::encode(*response);
+  return reply;
+}
+
+}  // namespace rootstress::anycast

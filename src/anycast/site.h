@@ -1,0 +1,107 @@
+// An anycast site: servers behind a load balancer behind an ingress
+// queue, with a stress policy and (optionally) a shared facility.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anycast/letter.h"
+#include "anycast/loadbalancer.h"
+#include "anycast/policy.h"
+#include "anycast/queue_model.h"
+#include "anycast/server.h"
+#include "net/clock.h"
+#include "net/geo.h"
+#include "util/rng.h"
+
+namespace rootstress::anycast {
+
+/// Routing scope of a site's announcement.
+enum class SiteScope : std::uint8_t {
+  kGlobal,     ///< announced normally
+  kLocalOnly,  ///< transit withdrawn; direct peers still routed (partial)
+  kDown,       ///< fully withdrawn
+};
+
+/// Result of delivering one probe to the site.
+struct ProbeReply {
+  bool answered = false;
+  int server = 0;               ///< 1-based index of the answering server
+  double extra_delay_ms = 0.0;  ///< queueing delay beyond propagation
+  std::vector<std::uint8_t> wire;  ///< encoded DNS response (if answered)
+};
+
+/// One site of one letter.
+class AnycastSite {
+ public:
+  /// `site_id` is the deployment-global id; `host_as` the dense topology
+  /// index of the site's host AS; `facility` an index into the
+  /// deployment's facility table or -1.
+  AnycastSite(int site_id, char letter, SiteSpec spec, net::GeoPoint location,
+              int host_as, int facility, const StressPolicy& policy,
+              util::Rng& rng);
+
+  int site_id() const noexcept { return site_id_; }
+  char letter() const noexcept { return letter_; }
+  const SiteSpec& spec() const noexcept { return spec_; }
+  net::GeoPoint location() const noexcept { return location_; }
+  int host_as() const noexcept { return host_as_; }
+  int facility() const noexcept { return facility_; }
+  const std::string& code() const noexcept { return spec_.code; }
+
+  /// "X-APT" label as used throughout the paper.
+  std::string label() const;
+
+  /// Current announcement scope (engine keeps routing in sync).
+  SiteScope scope() const noexcept { return scope_; }
+  void set_scope(SiteScope scope) noexcept { scope_ = scope; }
+
+  /// Policy state machine (engine drives it each step).
+  SitePolicyState& policy_state() noexcept { return policy_state_; }
+
+  /// Starts a simulation step with the given offered load; `shared_loss`
+  /// is extra loss imposed by the site's facility uplink.
+  void begin_step(double attack_qps, double legit_qps, double shared_loss,
+                  net::SimTime now);
+
+  /// The queue outcome of the current step.
+  const QueueOutcome& outcome() const noexcept { return outcome_; }
+  double offered_attack_qps() const noexcept { return attack_qps_; }
+  double offered_legit_qps() const noexcept { return legit_qps_; }
+  /// Loss a query experiences arriving at this step (queue + facility).
+  double arrival_loss() const noexcept { return arrival_loss_; }
+
+  /// Delivers one probe query (wire bytes) from `source` at `now`.
+  ProbeReply probe(net::Ipv4Addr source,
+                   const std::vector<std::uint8_t>& query_wire,
+                   net::SimTime now, util::Rng& rng);
+
+  int server_count() const noexcept { return static_cast<int>(servers_.size()); }
+  SiteServer& server(int index_0based) { return servers_[static_cast<std::size_t>(index_0based)]; }
+
+ private:
+  int pick_server(net::Ipv4Addr source) const noexcept;
+
+  int site_id_;
+  char letter_;
+  SiteSpec spec_;
+  net::GeoPoint location_;
+  int host_as_;
+  int facility_;
+  SiteScope scope_ = SiteScope::kGlobal;
+  SitePolicyState policy_state_;
+  std::vector<SiteServer> servers_;
+
+  // Per-step state.
+  double attack_qps_ = 0.0;
+  double legit_qps_ = 0.0;
+  double arrival_loss_ = 0.0;
+  QueueOutcome outcome_{};
+  bool overloaded_ = false;
+  int concentrate_server_ = 0;  ///< 0-based survivor when concentrating
+  util::Rng jitter_rng_;
+};
+
+}  // namespace rootstress::anycast

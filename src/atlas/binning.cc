@@ -1,0 +1,67 @@
+#include "atlas/binning.h"
+
+namespace rootstress::atlas {
+
+LetterBins::LetterBins(int vp_count, net::SimTime start,
+                       net::SimTime bin_width, std::size_t bins)
+    : vp_count_(vp_count), start_(start), bin_width_(bin_width), bins_(bins) {
+  cells_.assign(static_cast<std::size_t>(vp_count) * bins, kNoData);
+}
+
+std::size_t LetterBins::bin_of(net::SimTime t) const noexcept {
+  if (t < start_) return static_cast<std::size_t>(-1);
+  const auto bin = static_cast<std::size_t>((t - start_).ms / bin_width_.ms);
+  return bin < bins_ ? bin : static_cast<std::size_t>(-1);
+}
+
+void LetterBins::add(const ProbeRecord& record) {
+  if (record.vp >= static_cast<std::uint32_t>(vp_count_)) return;
+  const std::size_t bin = bin_of(record.time());
+  if (bin == static_cast<std::size_t>(-1)) return;
+  std::int16_t& cell = cells_[index(static_cast<int>(record.vp), bin)];
+  switch (record.outcome) {
+    case ProbeOutcome::kSite:
+      cell = record.site_id;  // sites win; latest site wins among sites
+      break;
+    case ProbeOutcome::kError:
+      if (cell < 0) cell = kError;
+      break;
+    case ProbeOutcome::kTimeout:
+      if (cell == kNoData) cell = kTimeout;
+      break;
+  }
+}
+
+int LetterBins::successful_vps(std::size_t bin) const noexcept {
+  int n = 0;
+  for (int vp = 0; vp < vp_count_; ++vp) {
+    if (cells_[index(vp, bin)] >= 0) ++n;
+  }
+  return n;
+}
+
+int LetterBins::vps_at_site(std::size_t bin, int site_id) const noexcept {
+  int n = 0;
+  for (int vp = 0; vp < vp_count_; ++vp) {
+    if (cells_[index(vp, bin)] == site_id) ++n;
+  }
+  return n;
+}
+
+std::vector<LetterBins> bin_records(const RecordSet& records, int letter_count,
+                                    int vp_count, net::SimTime start,
+                                    net::SimTime bin_width, std::size_t bins) {
+  std::vector<LetterBins> grids;
+  grids.reserve(static_cast<std::size_t>(letter_count));
+  for (int i = 0; i < letter_count; ++i) {
+    grids.emplace_back(vp_count, start, bin_width, bins);
+  }
+  for (const auto& record : records) {
+    if (record.letter_index < letter_count) {
+      grids[record.letter_index].add(record);
+    }
+  }
+  return grids;
+}
+
+}  // namespace rootstress::atlas

@@ -1,0 +1,69 @@
+// Time binning of probe records (§2.4.1).
+//
+// The paper maps all observations into 10-minute bins: per VP per letter,
+// each bin holds the site seen, or an error code, or "no reply" — with
+// sites preferred over errors and errors over missing replies when a bin
+// contains several probes. The binned grid is the input to reachability,
+// catchment, and flip analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atlas/record.h"
+#include "net/clock.h"
+
+namespace rootstress::atlas {
+
+/// The binned observations of one letter: a [vp][bin] grid of cells.
+/// Cell values: >= 0 site id; kError; kTimeout; kNoData.
+class LetterBins {
+ public:
+  static constexpr std::int16_t kNoData = -3;
+  static constexpr std::int16_t kTimeout = -2;
+  static constexpr std::int16_t kError = -1;
+
+  LetterBins(int vp_count, net::SimTime start, net::SimTime bin_width,
+             std::size_t bins);
+
+  /// Folds one record in, applying the site > error > timeout preference.
+  /// Among multiple sites in a bin the latest wins.
+  void add(const ProbeRecord& record);
+
+  std::int16_t cell(int vp, std::size_t bin) const noexcept {
+    return cells_[index(vp, bin)];
+  }
+  int vp_count() const noexcept { return vp_count_; }
+  std::size_t bin_count() const noexcept { return bins_; }
+  net::SimTime start() const noexcept { return start_; }
+  net::SimTime bin_width() const noexcept { return bin_width_; }
+
+  /// Bin index for a time; SIZE_MAX when out of range.
+  std::size_t bin_of(net::SimTime t) const noexcept;
+
+  /// Number of VPs whose cell in `bin` is a site (successful queries,
+  /// the Fig 3 metric).
+  int successful_vps(std::size_t bin) const noexcept;
+
+  /// Number of VPs mapped to `site_id` in `bin` (the catchment series of
+  /// Figs 5/6/14).
+  int vps_at_site(std::size_t bin, int site_id) const noexcept;
+
+ private:
+  std::size_t index(int vp, std::size_t bin) const noexcept {
+    return static_cast<std::size_t>(vp) * bins_ + bin;
+  }
+
+  int vp_count_;
+  net::SimTime start_;
+  net::SimTime bin_width_;
+  std::size_t bins_;
+  std::vector<std::int16_t> cells_;
+};
+
+/// Bins a cleaned record set into one grid per letter.
+std::vector<LetterBins> bin_records(const RecordSet& records, int letter_count,
+                                    int vp_count, net::SimTime start,
+                                    net::SimTime bin_width, std::size_t bins);
+
+}  // namespace rootstress::atlas

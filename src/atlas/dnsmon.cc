@@ -1,0 +1,53 @@
+#include "atlas/dnsmon.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace rootstress::atlas {
+
+DnsmonRow render_dnsmon_row(const LetterBins& bins, char letter,
+                            std::size_t bins_per_char, double scale) {
+  DnsmonRow row;
+  row.letter = letter;
+  if (bins_per_char == 0) bins_per_char = 1;
+
+  std::vector<double> per_bin;
+  per_bin.reserve(bins.bin_count());
+  for (std::size_t b = 0; b < bins.bin_count(); ++b) {
+    per_bin.push_back(static_cast<double>(bins.successful_vps(b)) * scale);
+  }
+  const double typical = std::max(1.0, util::median(per_bin));
+
+  double sum = 0.0;
+  row.worst_bin = per_bin.empty() ? 1.0 : 2.0;
+  for (std::size_t b = 0; b + bins_per_char <= per_bin.size();
+       b += bins_per_char) {
+    double group = 0.0;
+    for (std::size_t i = 0; i < bins_per_char; ++i) group += per_bin[b + i];
+    const double frac = group / (static_cast<double>(bins_per_char) * typical);
+    const int level = std::clamp(static_cast<int>(frac * 8.0 + 0.5), 0, 8);
+    row.strip += kDnsmonShades[level];
+    sum += std::min(1.0, frac);
+    row.worst_bin = std::min(row.worst_bin, frac);
+  }
+  if (!row.strip.empty()) {
+    row.uptime = sum / static_cast<double>(row.strip.size());
+  }
+  if (row.worst_bin > 1.0) row.worst_bin = 1.0;
+  return row;
+}
+
+std::vector<DnsmonRow> render_dnsmon(const std::vector<LetterBins>& grids,
+                                     std::size_t bins_per_char) {
+  std::vector<DnsmonRow> rows;
+  rows.reserve(grids.size());
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    rows.push_back(render_dnsmon_row(grids[i],
+                                     static_cast<char>('A' + i),
+                                     bins_per_char));
+  }
+  return rows;
+}
+
+}  // namespace rootstress::atlas

@@ -1,0 +1,37 @@
+// DNSMON-style rendering: per-letter uptime strips (§2.4.1).
+//
+// RIPE's DNSMON dashboard is the operator's-eye view of the data this
+// library simulates; these helpers render the same board from a binned
+// grid so examples, reports, and tests share one implementation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/binning.h"
+
+namespace rootstress::atlas {
+
+/// One letter's rendered strip plus summary statistics.
+struct DnsmonRow {
+  char letter = '?';
+  std::string strip;        ///< one char per group of bins, dark = bad
+  double uptime = 1.0;      ///< mean fraction of typical VPs answered
+  double worst_bin = 1.0;   ///< min fraction across bins
+};
+
+/// Shade characters from worst (index 0) to best.
+inline constexpr const char* kDnsmonShades = "#%*+=-:. ";
+
+/// Renders one letter's strip: bins are averaged in groups of
+/// `bins_per_char`, normalized to the letter's median successful-VP
+/// count. `scale` corrects for coarse probing cadence (A-Root).
+DnsmonRow render_dnsmon_row(const LetterBins& bins, char letter,
+                            std::size_t bins_per_char = 3,
+                            double scale = 1.0);
+
+/// Renders the whole board (one row per grid, letters 'A' + index).
+std::vector<DnsmonRow> render_dnsmon(const std::vector<LetterBins>& grids,
+                                     std::size_t bins_per_char = 3);
+
+}  // namespace rootstress::atlas

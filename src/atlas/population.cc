@@ -1,0 +1,43 @@
+#include "atlas/population.h"
+
+namespace rootstress::atlas {
+
+std::vector<VantagePoint> make_population(const bgp::AsTopology& topology,
+                                          const PopulationConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<int> eu_stubs, other_stubs;
+  for (int i = 0; i < topology.as_count(); ++i) {
+    if (topology.info(i).tier != bgp::AsTier::kStub) continue;
+    (topology.info(i).region == "EU" ? eu_stubs : other_stubs).push_back(i);
+  }
+
+  std::vector<VantagePoint> vps;
+  vps.reserve(static_cast<std::size_t>(config.vp_count));
+  for (int id = 0; id < config.vp_count; ++id) {
+    const bool eu = rng.chance(config.europe_share);
+    const auto& pool = (eu && !eu_stubs.empty()) || other_stubs.empty()
+                           ? eu_stubs
+                           : other_stubs;
+    if (pool.empty()) break;
+    const int as = pool[rng.below(pool.size())];
+    const auto& info = topology.info(as);
+    VantagePoint vp;
+    vp.id = id;
+    vp.as_index = as;
+    // Probe addresses: unique per probe, outside the spoofed ranges'
+    // heavy hitters (10.x is fine for a simulation).
+    vp.address = net::Ipv4Addr(0x0a000000u + static_cast<std::uint32_t>(id));
+    vp.location = net::GeoPoint{info.location.lat + rng.uniform(-2.0, 2.0),
+                                info.location.lon + rng.uniform(-2.0, 2.0)};
+    vp.region = info.region;
+    vp.firmware = rng.chance(config.old_firmware_share)
+                      ? 4500 + static_cast<int>(rng.below(60))
+                      : kMinFirmware + static_cast<int>(rng.below(300));
+    vp.hijacked = rng.chance(config.hijacked_share);
+    vp.phase_ms = static_cast<std::int64_t>(rng.below(240'000));
+    vps.push_back(vp);
+  }
+  return vps;
+}
+
+}  // namespace rootstress::atlas

@@ -1,0 +1,3 @@
+#include "atlas/probe.h"
+// VantagePoint is a plain aggregate; behaviour lives in population.cc and
+// the simulation engine.

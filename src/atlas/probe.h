@@ -1,0 +1,35 @@
+// RIPE-Atlas-like vantage points (§2.4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/geo.h"
+#include "net/ipv4.h"
+
+namespace rootstress::atlas {
+
+/// The Atlas firmware version data cleaning accepts (released early
+/// 2013); probes on older firmware are discarded.
+inline constexpr int kMinFirmware = 4570;
+
+/// The Atlas DNS query timeout.
+inline constexpr double kTimeoutMs = 5000.0;
+
+/// One vantage point: a measurement device in some edge network.
+struct VantagePoint {
+  int id = -1;
+  int as_index = -1;          ///< dense topology index of its home AS
+  net::Ipv4Addr address{};    ///< probe source address
+  net::GeoPoint location{};
+  std::string region;
+  int firmware = 4740;
+  /// Some probes sit behind middleboxes that intercept root queries and
+  /// answer locally; cleaning detects them by bad CHAOS patterns plus
+  /// implausibly low RTT (§2.4.1 found 74 such VPs).
+  bool hijacked = false;
+  /// Phase offset within the probing interval, milliseconds.
+  std::int64_t phase_ms = 0;
+};
+
+}  // namespace rootstress::atlas

@@ -1,0 +1,2 @@
+#include "atlas/record.h"
+// ProbeRecord is a plain packed aggregate; logic lives in binning.cc.

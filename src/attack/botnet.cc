@@ -1,0 +1,80 @@
+#include "attack/botnet.h"
+
+#include <algorithm>
+#include <string>
+
+namespace rootstress::attack {
+
+Botnet Botnet::build(const bgp::AsTopology& topology,
+                     const BotnetConfig& config) {
+  Botnet net;
+  net.config_ = config;
+  util::Rng rng(config.seed);
+
+  // Partition stubs by region of interest.
+  std::vector<int> eu, na, as_, other;
+  for (int i = 0; i < topology.as_count(); ++i) {
+    if (topology.info(i).tier != bgp::AsTier::kStub) continue;
+    const std::string& region = topology.info(i).region;
+    if (region == "EU") {
+      eu.push_back(i);
+    } else if (region == "NA") {
+      na.push_back(i);
+    } else if (region == "AS") {
+      as_.push_back(i);
+    } else {
+      other.push_back(i);
+    }
+  }
+  const double other_share =
+      std::max(0.0, 1.0 - config.eu_share - config.na_share - config.as_share);
+  const double shares[] = {config.eu_share, config.na_share, config.as_share,
+                           other_share};
+  const std::vector<int>* pools[] = {&eu, &na, &as_, &other};
+
+  // Pareto-skewed group sizes, normalized to 1.
+  std::vector<double> sizes;
+  sizes.reserve(static_cast<std::size_t>(config.group_count));
+  double total = 0.0;
+  for (int g = 0; g < config.group_count; ++g) {
+    const double s = rng.pareto(1.0, config.size_skew);
+    sizes.push_back(s);
+    total += s;
+  }
+  for (int g = 0; g < config.group_count; ++g) {
+    const std::size_t pool_idx = rng.weighted(std::span(shares, 4));
+    const std::vector<int>& pool =
+        pools[pool_idx]->empty() ? eu : *pools[pool_idx];
+    if (pool.empty()) continue;
+    BotGroup group;
+    group.as_index = pool[rng.below(pool.size())];
+    group.share = sizes[static_cast<std::size_t>(g)] / total;
+    net.groups_.push_back(group);
+  }
+  return net;
+}
+
+std::vector<double> Botnet::attack_by_site(
+    const std::vector<bgp::RouteChoice>& routes, double total_qps,
+    int site_count, double* unrouted_qps) const {
+  std::vector<double> per_site(static_cast<std::size_t>(site_count), 0.0);
+  double unrouted = 0.0;
+  for (const auto& group : groups_) {
+    const double qps = group.share * total_qps;
+    if (group.as_index < 0 ||
+        group.as_index >= static_cast<int>(routes.size())) {
+      unrouted += qps;
+      continue;
+    }
+    const int site = routes[static_cast<std::size_t>(group.as_index)].site_id;
+    if (site >= 0 && site < site_count) {
+      per_site[static_cast<std::size_t>(site)] += qps;
+    } else {
+      unrouted += qps;
+    }
+  }
+  if (unrouted_qps != nullptr) *unrouted_qps = unrouted;
+  return per_site;
+}
+
+}  // namespace rootstress::attack

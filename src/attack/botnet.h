@@ -1,0 +1,66 @@
+// Botnet model: where attack traffic enters the topology and what its
+// source addresses look like.
+//
+// The 2015 events used fixed query names with randomized (spoofed) source
+// addresses; Verisign reported 895M distinct sources at A+J yet the top
+// 200 sources carried 68% of queries (§2.3). We model the botnet as a set
+// of bot groups homed in stub ASes (region-biased toward the catchments
+// that got hurt), each emitting a share of the total rate; a configurable
+// fraction of queries carries uniformly spoofed sources, the rest comes
+// from a small heavy-hitter set.
+#pragma once
+
+#include <vector>
+
+#include "bgp/route.h"
+#include "bgp/topology.h"
+#include "util/rng.h"
+
+namespace rootstress::attack {
+
+/// A cluster of bots inside one AS.
+struct BotGroup {
+  int as_index = -1;
+  double share = 0.0;  ///< fraction of the total attack rate
+};
+
+/// Botnet synthesis parameters.
+struct BotnetConfig {
+  int group_count = 300;
+  /// Regional mix of bot homes. EU-heavy: the paper's case-study sites
+  /// (K-LHR, K-FRA, K-AMS, the E-Root hubs) are European.
+  double eu_share = 0.45;
+  double na_share = 0.20;
+  double as_share = 0.25;
+  /// Pareto shape for group sizes (smaller = more skewed).
+  double size_skew = 1.3;
+  /// Fraction of queries with uniformly spoofed 32-bit sources; the rest
+  /// come from `heavy_hitters` fixed addresses.
+  double spoof_uniform_fraction = 0.32;
+  int heavy_hitters = 200;
+  std::uint64_t seed = 99;
+};
+
+/// An instantiated botnet.
+class Botnet {
+ public:
+  static Botnet build(const bgp::AsTopology& topology,
+                      const BotnetConfig& config);
+
+  const std::vector<BotGroup>& groups() const noexcept { return groups_; }
+  const BotnetConfig& config() const noexcept { return config_; }
+
+  /// Splits `total_qps` across sites according to where each bot group's
+  /// AS currently routes. Returns per-site q/s (index = site id);
+  /// `unrouted_qps` collects traffic from groups with no route (dropped
+  /// in the network).
+  std::vector<double> attack_by_site(const std::vector<bgp::RouteChoice>& routes,
+                                     double total_qps, int site_count,
+                                     double* unrouted_qps = nullptr) const;
+
+ private:
+  BotnetConfig config_;
+  std::vector<BotGroup> groups_;
+};
+
+}  // namespace rootstress::attack

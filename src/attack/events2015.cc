@@ -1,0 +1,43 @@
+#include "attack/events2015.h"
+
+#include "dns/message.h"
+#include "dns/wire.h"
+
+namespace rootstress::attack {
+
+AttackSchedule events_of_november_2015(double per_letter_qps) {
+  AttackSchedule schedule;
+  {
+    AttackEvent e;
+    e.when = kEvent1;
+    e.per_letter_qps = per_letter_qps;
+    e.qname = "www.336901.com";
+    e.query_payload_bytes =
+        static_cast<double>(attack_query_payload_bytes(e.qname));
+    e.response_payload_bytes = 490.0;
+    e.duplicate_fraction = 0.60;
+    schedule.add(std::move(e));
+  }
+  {
+    AttackEvent e;
+    e.when = kEvent2;
+    e.per_letter_qps = per_letter_qps;
+    e.qname = "www.916yy.com";
+    e.query_payload_bytes =
+        static_cast<double>(attack_query_payload_bytes(e.qname));
+    e.response_payload_bytes = 490.0;
+    e.duplicate_fraction = 0.60;
+    schedule.add(std::move(e));
+  }
+  return schedule;
+}
+
+std::size_t attack_query_payload_bytes(const std::string& qname) {
+  const auto name = dns::Name::parse(qname);
+  if (!name) return 0;
+  const dns::Message query =
+      dns::Message::query(0x1234, *name, dns::RrType::kA, dns::RrClass::kIn);
+  return dns::encode(query).size();
+}
+
+}  // namespace rootstress::attack

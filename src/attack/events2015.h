@@ -1,0 +1,31 @@
+// The concrete parameters of the Nov 30 / Dec 1, 2015 events (§2.3).
+//
+// Simulation time 0 is 2015-11-30T00:00:00 UTC (the x-axis origin of the
+// paper's figures). The first event runs 06:50-09:30 (160 min) with qname
+// www.336901.com; the second 05:10-06:10 the next day (60 min) with qname
+// www.916yy.com. Rates peaked around 5 Mq/s per attacked letter.
+#pragma once
+
+#include "attack/schedule.h"
+
+namespace rootstress::attack {
+
+/// Simulation-epoch times of the two events.
+inline constexpr net::SimInterval kEvent1{
+    net::SimTime((6 * 3600 + 50 * 60) * 1000LL),
+    net::SimTime((9 * 3600 + 30 * 60) * 1000LL)};
+inline constexpr net::SimInterval kEvent2{
+    net::SimTime((24 * 3600 + 5 * 3600 + 10 * 60) * 1000LL),
+    net::SimTime((24 * 3600 + 6 * 3600 + 10 * 60) * 1000LL)};
+
+/// The two-event schedule. DNS payload sizes are derived from the actual
+/// attack names: a query for www.336901.com is 32 bytes of DNS payload
+/// (the paper's 32-47B RSSAC bin), www.916yy.com is 31 bytes (16-31B
+/// bin); responses are ~490 bytes (the 480-495B bins).
+AttackSchedule events_of_november_2015(double per_letter_qps = 5e6);
+
+/// Verifies the event payload sizes against the real wire codec: encodes
+/// an A-class query for `qname` and returns its DNS payload size.
+std::size_t attack_query_payload_bytes(const std::string& qname);
+
+}  // namespace rootstress::attack

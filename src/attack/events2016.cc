@@ -1,0 +1,23 @@
+#include "attack/events2016.h"
+
+#include "attack/events2015.h"
+
+namespace rootstress::attack {
+
+AttackSchedule events_of_june_2016(double per_letter_qps) {
+  AttackSchedule schedule;
+  AttackEvent e;
+  e.when = kEvent2016;
+  e.per_letter_qps = per_letter_qps;
+  e.qname = "www.example-2016.com";  // placeholder: the name was not published
+  e.query_payload_bytes =
+      static_cast<double>(attack_query_payload_bytes(e.qname));
+  e.response_payload_bytes = 490.0;
+  // A broader qname mix: fewer exact duplicates, weaker RRL suppression.
+  e.duplicate_fraction = 0.35;
+  e.spillover_fraction = 0.004;
+  schedule.add(std::move(e));
+  return schedule;
+}
+
+}  // namespace rootstress::attack

@@ -1,0 +1,27 @@
+// The June 25, 2016 follow-up event (§2.3 "Generalizing", reference
+// [50] of the paper).
+//
+// The root operators reported another sustained high-rate event on
+// 2016-06-25, lasting several hours at rates comparable to the 2015
+// events but with a different traffic mix. The paper notes such events
+// "differ in the details ... but pose the same operational choices".
+// Parameters here are approximate (the public report is high-level);
+// the scenario exists to exercise the same pipeline on a second,
+// differently shaped event: one long pulse, larger queries, a less
+// duplicate-heavy stream (weaker RRL leverage).
+#pragma once
+
+#include "attack/schedule.h"
+
+namespace rootstress::attack {
+
+/// Simulation-epoch interval for the 2016-06-25 event when replayed on a
+/// two-day scenario clock (time 0 = first event day 00:00 UTC).
+inline constexpr net::SimInterval kEvent2016{
+    net::SimTime((10 * 3600) * 1000LL),
+    net::SimTime((13 * 3600) * 1000LL)};  // ~3 hours
+
+/// The June 2016 schedule: one ~3-hour pulse.
+AttackSchedule events_of_june_2016(double per_letter_qps = 6e6);
+
+}  // namespace rootstress::attack

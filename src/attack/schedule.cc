@@ -1,0 +1,20 @@
+#include "attack/schedule.h"
+
+namespace rootstress::attack {
+
+const AttackEvent* AttackSchedule::active(net::SimTime t) const noexcept {
+  for (const auto& event : events_) {
+    if (event.when.contains(t)) return &event;
+  }
+  return nullptr;
+}
+
+bool AttackSchedule::any_overlap(net::SimTime begin,
+                                 net::SimTime end) const noexcept {
+  for (const auto& event : events_) {
+    if (event.when.begin < end && begin < event.when.end) return true;
+  }
+  return false;
+}
+
+}  // namespace rootstress::attack

@@ -1,0 +1,46 @@
+#include "attack/traffic.h"
+
+#include "util/rng.h"
+
+namespace rootstress::attack {
+
+LegitTraffic LegitTraffic::build(const bgp::AsTopology& topology,
+                                 const LegitConfig& config) {
+  LegitTraffic lt;
+  lt.config_ = config;
+  lt.weights_.assign(static_cast<std::size_t>(topology.as_count()), 0.0);
+  util::Rng rng(config.seed);
+  double total = 0.0;
+  for (int i = 0; i < topology.as_count(); ++i) {
+    if (topology.info(i).tier != bgp::AsTier::kStub) continue;
+    // Resolver density is heavy-tailed across networks.
+    const double w = rng.pareto(1.0, 1.6);
+    lt.weights_[static_cast<std::size_t>(i)] = w;
+    total += w;
+  }
+  if (total > 0.0) {
+    for (auto& w : lt.weights_) w /= total;
+  }
+  return lt;
+}
+
+std::vector<double> LegitTraffic::legit_by_site(
+    const std::vector<bgp::RouteChoice>& routes, double letter_qps,
+    int site_count, double* unrouted_qps) const {
+  std::vector<double> per_site(static_cast<std::size_t>(site_count), 0.0);
+  double unrouted = 0.0;
+  for (std::size_t as = 0; as < routes.size() && as < weights_.size(); ++as) {
+    const double qps = weights_[as] * letter_qps;
+    if (qps <= 0.0) continue;
+    const int site = routes[as].site_id;
+    if (site >= 0 && site < site_count) {
+      per_site[static_cast<std::size_t>(site)] += qps;
+    } else {
+      unrouted += qps;
+    }
+  }
+  if (unrouted_qps != nullptr) *unrouted_qps = unrouted;
+  return per_site;
+}
+
+}  // namespace rootstress::attack

@@ -1,0 +1,54 @@
+// Legitimate (resolver) traffic model.
+//
+// Baseline root traffic is tiny next to the attack (~0.04 Mq/s per letter,
+// Table 3 baseline) but matters for three analyses: the RSSAC baseline
+// week, the letter-flip evidence (L-Root's query rate rose 1.66x during
+// event 2 as resolvers retried non-attacked letters, §3.2.2), and the .nl
+// query-rate series (Fig 15). Resolvers are homed in stub ASes; failed
+// queries retry against another letter after a timeout.
+#pragma once
+
+#include <vector>
+
+#include "bgp/route.h"
+#include "bgp/topology.h"
+
+namespace rootstress::attack {
+
+/// Legit traffic parameters.
+struct LegitConfig {
+  double per_letter_qps = 40e3;  ///< baseline offered per letter
+  /// Fraction of failed queries retried at a different letter within the
+  /// same step (resolver failover, RFC 2182 behaviour).
+  double retry_fraction = 0.5;
+  /// Distinct resolver source addresses active per day (drives baseline
+  /// unique-IP counts of a few million).
+  double resolver_pool = 4e6;
+  /// Mean DNS payload sizes of the legit mix.
+  double query_payload_bytes = 40.0;
+  double response_payload_bytes = 350.0;
+  std::uint64_t seed = 1234;
+};
+
+/// Resolver population: per-AS query weight (normalized to 1 across the
+/// topology).
+class LegitTraffic {
+ public:
+  static LegitTraffic build(const bgp::AsTopology& topology,
+                            const LegitConfig& config);
+
+  const LegitConfig& config() const noexcept { return config_; }
+  const std::vector<double>& as_weights() const noexcept { return weights_; }
+
+  /// Offered legit q/s per site for one letter, given its route table.
+  /// `unrouted_qps` collects weight with no route.
+  std::vector<double> legit_by_site(const std::vector<bgp::RouteChoice>& routes,
+                                    double letter_qps, int site_count,
+                                    double* unrouted_qps = nullptr) const;
+
+ private:
+  LegitConfig config_;
+  std::vector<double> weights_;
+};
+
+}  // namespace rootstress::attack

@@ -1,0 +1,46 @@
+// Catchment accounting: which ASes (and how many) each site serves.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.h"
+#include "bgp/topology.h"
+
+namespace rootstress::bgp {
+
+/// Number of ASes routed to each site id. Index = site id; ASes with no
+/// route are counted in `unreachable`.
+struct CatchmentSizes {
+  std::vector<int> per_site;
+  int unreachable = 0;
+};
+
+/// Computes per-site AS counts from a route table. `site_count` sizes the
+/// output vector (site ids must be < site_count).
+CatchmentSizes catchment_sizes(const std::vector<RouteChoice>& routes,
+                               int site_count);
+
+/// Groups dense AS indices by the site they route to (-1 key holds
+/// unreachable ASes).
+std::unordered_map<int, std::vector<int>> ases_by_site(
+    const std::vector<RouteChoice>& routes);
+
+/// Weighted catchment: sums `weight[as]` per site (e.g. VPs or query load
+/// per AS). `weights` must have one entry per AS.
+std::vector<double> weighted_catchment(const std::vector<RouteChoice>& routes,
+                                       const std::vector<double>& weights,
+                                       int site_count);
+
+/// Reconstructs the AS-level path from `from_as` (dense index) to the
+/// anycast origin its route leads to, by following each hop's `via`
+/// pointer — the simulator's analogue of a traceroute, usable to
+/// cross-validate CHAOS catchment mapping the way the paper's cited
+/// methodology does. Returns dense AS indices, `from_as` first, origin
+/// last; empty when `from_as` has no route (or on an inconsistent
+/// table).
+std::vector<int> reconstruct_path(const AsTopology& topo,
+                                  const std::vector<RouteChoice>& routes,
+                                  int from_as);
+
+}  // namespace rootstress::bgp

@@ -1,0 +1,64 @@
+#include "bgp/collector.h"
+
+#include <algorithm>
+
+namespace rootstress::bgp {
+
+RouteCollector::RouteCollector(const AsTopology& topo,
+                               const CollectorConfig& config, int prefix_count,
+                               net::SimTime start, net::SimTime bin_width,
+                               std::size_t bins)
+    : ambient_visibility_(config.ambient_visibility), rng_(config.seed) {
+  std::vector<int> na_stubs, other_stubs;
+  for (int i = 0; i < topo.as_count(); ++i) {
+    if (topo.info(i).tier != AsTier::kStub) continue;
+    (topo.info(i).region == "NA" ? na_stubs : other_stubs).push_back(i);
+  }
+  is_peer_.assign(static_cast<std::size_t>(topo.as_count()), 0);
+  for (int p = 0; p < config.peer_count; ++p) {
+    const bool na = rng_.chance(config.na_bias);
+    const auto& pool = (na && !na_stubs.empty()) || other_stubs.empty()
+                           ? na_stubs
+                           : other_stubs;
+    if (pool.empty()) break;
+    const int as = pool[rng_.below(pool.size())];
+    if (!is_peer_[static_cast<std::size_t>(as)]) {
+      is_peer_[static_cast<std::size_t>(as)] = 1;
+      peers_.push_back(as);
+    }
+  }
+  series_.reserve(static_cast<std::size_t>(prefix_count));
+  for (int i = 0; i < prefix_count; ++i) {
+    series_.emplace_back(start.ms, bin_width.ms, bins);
+  }
+}
+
+void RouteCollector::observe(int prefix,
+                             const std::vector<RouteChange>& changes) {
+  if (prefix < 0 || prefix >= static_cast<int>(series_.size()) ||
+      changes.empty()) {
+    return;
+  }
+  auto& series = series_[static_cast<std::size_t>(prefix)];
+  const net::SimTime t = changes.front().time;
+  // Peers whose own best path moved log an update each.
+  std::uint64_t observations = 0;
+  for (const auto& change : changes) {
+    if (change.as_index >= 0 &&
+        change.as_index < static_cast<int>(is_peer_.size()) &&
+        is_peer_[static_cast<std::size_t>(change.as_index)]) {
+      ++observations;
+    }
+  }
+  // Full-feed churn: each peer independently logs a sample of the other
+  // changes (path attribute updates that do not move its own best site).
+  // Normalized by 100 changed-ASes so a full-table event registers each
+  // peer a handful of times rather than once per changed AS.
+  const double ambient_mean = ambient_visibility_ *
+                              static_cast<double>(changes.size()) *
+                              static_cast<double>(peers_.size()) / 100.0;
+  observations += rng_.poisson(ambient_mean);
+  for (std::uint64_t i = 0; i < observations; ++i) series.count_event(t.ms);
+}
+
+}  // namespace rootstress::bgp

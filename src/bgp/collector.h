@@ -1,0 +1,62 @@
+// BGPmon-style route-update collector.
+//
+// The paper counts route changes per letter in 10-minute bins from 152
+// BGPmon peers (Fig 9). Our collector peers at a configurable set of ASes
+// (US-biased by default, as the paper notes for BGPmon) and counts, per
+// prefix and bin, the update observations those peers would log: its own
+// best-path changes plus a sampled share of the churn elsewhere in the
+// table (full-feed peers see AS-path attribute updates for changes that do
+// not move their own best site).
+#pragma once
+
+#include <vector>
+
+#include "bgp/simulator.h"
+#include "bgp/topology.h"
+#include "util/rng.h"
+#include "util/time_series.h"
+
+namespace rootstress::bgp {
+
+/// Collector configuration.
+struct CollectorConfig {
+  int peer_count = 152;
+  /// Probability a peer logs an update for a route change that does not
+  /// affect the peer's own best path (full-feed attribute churn).
+  double ambient_visibility = 0.02;
+  /// Fraction of peers placed in NA stubs (the paper suspects its BGPmon
+  /// peers are mostly U.S.-based).
+  double na_bias = 0.7;
+  std::uint64_t seed = 7;
+};
+
+/// Counts route-change observations per prefix in time bins.
+class RouteCollector {
+ public:
+  /// Chooses peer ASes from `topo` stubs and prepares one series per
+  /// prefix. `prefix_count` series of `bins` x `bin_ms` starting at
+  /// `start`.
+  RouteCollector(const AsTopology& topo, const CollectorConfig& config,
+                 int prefix_count, net::SimTime start, net::SimTime bin_width,
+                 std::size_t bins);
+
+  /// Feeds one recomputation's changes (call from AnycastRouting's
+  /// observer).
+  void observe(int prefix, const std::vector<RouteChange>& changes);
+
+  /// Per-bin observation counts for `prefix`.
+  const util::BinnedSeries& series(int prefix) const {
+    return series_[static_cast<std::size_t>(prefix)];
+  }
+
+  const std::vector<int>& peer_ases() const noexcept { return peers_; }
+
+ private:
+  std::vector<int> peers_;
+  std::vector<char> is_peer_;  ///< dense AS index -> peer?
+  std::vector<util::BinnedSeries> series_;
+  double ambient_visibility_;
+  util::Rng rng_;
+};
+
+}  // namespace rootstress::bgp

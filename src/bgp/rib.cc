@@ -1,0 +1,143 @@
+#include "bgp/rib.h"
+
+#include <deque>
+#include <queue>
+
+namespace rootstress::bgp {
+
+namespace {
+
+/// True when `candidate` is strictly preferred over `incumbent`.
+bool better(const RouteChoice& candidate, const RouteChoice& incumbent) {
+  return candidate < incumbent;
+}
+
+}  // namespace
+
+std::vector<RouteChoice> compute_routes(
+    const AsTopology& topo, std::span<const AnycastOrigin> origins) {
+  const int n = topo.as_count();
+  std::vector<RouteChoice> best(n);
+
+  // --- Stage 1: customer routes, BFS up transit edges from global origins.
+  // `frontier` holds ASes whose customer-class route may still export
+  // upward. Origins of local-only sites are handled separately below.
+  std::deque<int> frontier;
+  for (const auto& origin : origins) {
+    if (!origin.announced || origin.local_only) continue;
+    const auto idx = topo.index_of(origin.host_as);
+    if (!idx) continue;
+    RouteChoice self{RouteClass::kOrigin, origin.site_id, 0,
+                     topo.info(*idx).asn};
+    if (better(self, best[*idx])) {
+      best[*idx] = self;
+      frontier.push_back(*idx);
+    }
+  }
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    const RouteChoice ru = best[u];
+    if (ru.cls != RouteClass::kOrigin && ru.cls != RouteClass::kCustomer) {
+      continue;  // superseded since enqueue
+    }
+    for (const Link& link : topo.links(u)) {
+      if (link.rel != Rel::kProvider) continue;  // export up only
+      RouteChoice cand{RouteClass::kCustomer, ru.site_id,
+                       static_cast<std::uint16_t>(ru.path_len + 1),
+                       topo.info(u).asn};
+      if (better(cand, best[link.neighbor])) {
+        best[link.neighbor] = cand;
+        frontier.push_back(link.neighbor);
+      }
+    }
+  }
+
+  // --- Stage 2: peer routes, one peering hop from any customer/origin
+  // route. Peer routes are not re-exported to peers or providers, so a
+  // single pass suffices.
+  std::vector<RouteChoice> peer_candidates(n);
+  for (int u = 0; u < n; ++u) {
+    const RouteChoice& ru = best[u];
+    if (ru.cls != RouteClass::kOrigin && ru.cls != RouteClass::kCustomer) {
+      continue;
+    }
+    for (const Link& link : topo.links(u)) {
+      if (link.rel != Rel::kPeer) continue;
+      RouteChoice cand{RouteClass::kPeer, ru.site_id,
+                       static_cast<std::uint16_t>(ru.path_len + 1),
+                       topo.info(u).asn};
+      if (better(cand, peer_candidates[link.neighbor])) {
+        peer_candidates[link.neighbor] = cand;
+      }
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    if (peer_candidates[u].reachable() && better(peer_candidates[u], best[u])) {
+      best[u] = peer_candidates[u];
+    }
+  }
+
+  // --- Stage 2b: local-only origins. The host AS originates; direct
+  // neighbors receive the route (classed by their relationship to the
+  // host) but never re-export it. `scoped` marks ASes whose current best
+  // route is scope-limited so stage 3 will not propagate it onward.
+  std::vector<char> scoped(n, 0);
+  for (const auto& origin : origins) {
+    if (!origin.announced || !origin.local_only) continue;
+    const auto idx = topo.index_of(origin.host_as);
+    if (!idx) continue;
+    RouteChoice self{RouteClass::kOrigin, origin.site_id, 0,
+                     topo.info(*idx).asn};
+    if (better(self, best[*idx])) {
+      best[*idx] = self;
+      scoped[*idx] = 1;
+    }
+    for (const Link& link : topo.links(*idx)) {
+      // Local-site announcements go to IXP peers and customers only —
+      // not to transit providers. (Handing a NO_EXPORT route to a transit
+      // provider would make that provider's best path unexportable and
+      // hide the service from its whole customer cone.)
+      if (link.rel == Rel::kProvider) continue;
+      const RouteClass cls = link.rel == Rel::kCustomer ? RouteClass::kProvider
+                                                        : RouteClass::kPeer;
+      RouteChoice cand{cls, origin.site_id, 1, topo.info(*idx).asn};
+      if (better(cand, best[link.neighbor])) {
+        best[link.neighbor] = cand;
+        scoped[link.neighbor] = 1;
+      }
+    }
+  }
+
+  // --- Stage 3: provider routes, shortest-first down transit edges from
+  // every routed AS. Dijkstra-style so parents settle before children.
+  using Item = std::pair<std::uint16_t, int>;  // (candidate child len, parent)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  for (int u = 0; u < n; ++u) {
+    if (best[u].reachable() && !scoped[u]) {
+      queue.emplace(static_cast<std::uint16_t>(best[u].path_len + 1), u);
+    }
+  }
+  while (!queue.empty()) {
+    const auto [child_len, u] = queue.top();
+    queue.pop();
+    const RouteChoice ru = best[u];
+    if (!ru.reachable() || ru.path_len + 1 != child_len || scoped[u]) {
+      continue;  // stale entry, or a scope-limited route
+    }
+    for (const Link& link : topo.links(u)) {
+      if (link.rel != Rel::kCustomer) continue;  // export down only
+      RouteChoice cand{RouteClass::kProvider, ru.site_id, child_len,
+                       topo.info(u).asn};
+      if (better(cand, best[link.neighbor])) {
+        best[link.neighbor] = cand;
+        scoped[link.neighbor] = 0;  // now holds a globally exportable route
+        queue.emplace(static_cast<std::uint16_t>(child_len + 1),
+                      link.neighbor);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rootstress::bgp

@@ -1,0 +1,26 @@
+// Policy routing computation: which anycast site each AS routes to.
+//
+// Implements the standard three-stage Gao-Rexford model used by AS-level
+// simulators: (1) customer routes propagate up transit edges from the
+// origins, (2) peer routes cross a single peering edge, (3) provider
+// routes propagate down transit edges. Preference at every AS is
+// customer > peer > provider, then shortest AS path, then deterministic
+// tiebreaks. Local-only origins (NO_EXPORT/NOPEER sites, §2.1) reach only
+// the host AS's direct neighbors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgp/route.h"
+#include "bgp/topology.h"
+
+namespace rootstress::bgp {
+
+/// Computes, for every AS in `topo`, its chosen route toward the anycast
+/// prefix announced by `origins`. Withdrawn origins (announced == false)
+/// contribute nothing. Returns one RouteChoice per dense AS index.
+std::vector<RouteChoice> compute_routes(const AsTopology& topo,
+                                        std::span<const AnycastOrigin> origins);
+
+}  // namespace rootstress::bgp

@@ -1,0 +1,25 @@
+#include "bgp/route.h"
+
+namespace rootstress::bgp {
+
+std::string to_string(Rel rel) {
+  switch (rel) {
+    case Rel::kProvider: return "provider";
+    case Rel::kPeer: return "peer";
+    case Rel::kCustomer: return "customer";
+  }
+  return "?";
+}
+
+std::string to_string(RouteClass cls) {
+  switch (cls) {
+    case RouteClass::kOrigin: return "origin";
+    case RouteClass::kCustomer: return "customer";
+    case RouteClass::kPeer: return "peer";
+    case RouteClass::kProvider: return "provider";
+    case RouteClass::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace rootstress::bgp

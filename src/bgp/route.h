@@ -1,0 +1,67 @@
+// BGP route vocabulary for the AS-level simulator.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "net/asn.h"
+#include "net/ipv4.h"
+
+namespace rootstress::bgp {
+
+/// Business relationship of a neighbor from the local AS's perspective.
+enum class Rel : std::uint8_t {
+  kProvider,  ///< neighbor is my transit provider
+  kPeer,      ///< settlement-free peer
+  kCustomer,  ///< neighbor buys transit from me
+};
+
+/// Where the best route was learned from, in Gao-Rexford preference order.
+/// Lower enumerator = more preferred.
+enum class RouteClass : std::uint8_t {
+  kOrigin = 0,    ///< this AS originates the prefix (hosts a site)
+  kCustomer = 1,  ///< learned from a customer
+  kPeer = 2,      ///< learned from a peer
+  kProvider = 3,  ///< learned from a provider
+  kNone = 4,      ///< no route
+};
+
+std::string to_string(Rel rel);
+std::string to_string(RouteClass cls);
+
+/// The route one AS holds toward an anycast prefix. `site_id` identifies
+/// which anycast site the route leads to — the quantity that defines the
+/// site's catchment.
+struct RouteChoice {
+  RouteClass cls = RouteClass::kNone;
+  int site_id = -1;              ///< winning origin site, -1 if unreachable
+  std::uint16_t path_len = 0;    ///< AS-path length from this AS to origin
+  net::Asn via{};                ///< neighbor the route was learned from
+
+  bool reachable() const noexcept { return cls != RouteClass::kNone; }
+
+  /// Total preference order: class, then path length, then deterministic
+  /// tiebreaks (lower via-ASN, then lower site id).
+  friend constexpr auto operator<=>(const RouteChoice& a,
+                                    const RouteChoice& b) noexcept {
+    if (auto c = a.cls <=> b.cls; c != 0) return c;
+    if (auto c = a.path_len <=> b.path_len; c != 0) return c;
+    if (auto c = a.via.value <=> b.via.value; c != 0) return c;
+    return a.site_id <=> b.site_id;
+  }
+  friend constexpr bool operator==(const RouteChoice&,
+                                   const RouteChoice&) noexcept = default;
+};
+
+/// An anycast origin: one site announcing the shared prefix from its host
+/// AS. `local_only` models BGP-scoped sites (NO_EXPORT/NOPEER): the route
+/// reaches only the host AS's direct neighbors and is not re-exported.
+struct AnycastOrigin {
+  int site_id = -1;
+  net::Asn host_as{};
+  bool announced = true;
+  bool local_only = false;
+};
+
+}  // namespace rootstress::bgp

@@ -1,0 +1,87 @@
+#include "bgp/simulator.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace rootstress::bgp {
+
+AnycastRouting::AnycastRouting(const AsTopology& topology)
+    : topology_(topology) {}
+
+int AnycastRouting::register_prefix(std::string label,
+                                    std::vector<AnycastOrigin> origins) {
+  Table table;
+  table.label = std::move(label);
+  table.origins = std::move(origins);
+  table.routes = compute_routes(topology_, table.origins);
+  tables_.push_back(std::move(table));
+  return static_cast<int>(tables_.size()) - 1;
+}
+
+std::vector<RouteChange> AnycastRouting::set_announced(int prefix, int site_id,
+                                                       bool announced,
+                                                       net::SimTime now) {
+  Table& table = tables_.at(prefix);
+  bool toggled = false;
+  for (auto& origin : table.origins) {
+    if (origin.site_id == site_id && origin.announced != announced) {
+      origin.announced = announced;
+      toggled = true;
+    }
+  }
+  if (!toggled) return {};
+  RS_LOG_INFO << table.label << " site " << site_id
+              << (announced ? " announced" : " withdrawn") << " at "
+              << now.to_string();
+  return recompute(prefix, now);
+}
+
+std::vector<RouteChange> AnycastRouting::set_origin_state(int prefix,
+                                                          int site_id,
+                                                          bool announced,
+                                                          bool local_only,
+                                                          net::SimTime now) {
+  Table& table = tables_.at(prefix);
+  bool toggled = false;
+  for (auto& origin : table.origins) {
+    if (origin.site_id != site_id) continue;
+    if (origin.announced != announced || origin.local_only != local_only) {
+      origin.announced = announced;
+      origin.local_only = local_only;
+      toggled = true;
+    }
+  }
+  if (!toggled) return {};
+  RS_LOG_INFO << table.label << " site " << site_id << " -> "
+              << (announced ? (local_only ? "local-only" : "announced")
+                            : "withdrawn")
+              << " at " << now.to_string();
+  return recompute(prefix, now);
+}
+
+bool AnycastRouting::announced(int prefix, int site_id) const {
+  for (const auto& origin : tables_.at(prefix).origins) {
+    if (origin.site_id == site_id) return origin.announced;
+  }
+  return false;
+}
+
+std::vector<RouteChange> AnycastRouting::recompute(int prefix,
+                                                   net::SimTime now) {
+  Table& table = tables_[prefix];
+  std::vector<RouteChoice> fresh = compute_routes(topology_, table.origins);
+  std::vector<RouteChange> changes;
+  for (int as = 0; as < static_cast<int>(fresh.size()); ++as) {
+    if (fresh[as].site_id != table.routes[as].site_id) {
+      changes.push_back(RouteChange{now, prefix, as,
+                                    table.routes[as].site_id,
+                                    fresh[as].site_id});
+    }
+  }
+  table.routes = std::move(fresh);
+  if (observer_ && !changes.empty()) observer_(prefix, changes);
+  return changes;
+}
+
+}  // namespace rootstress::bgp

@@ -1,0 +1,90 @@
+// Dynamic anycast routing: announce/withdraw events and their effects.
+//
+// AnycastRouting owns one route table per registered prefix (one per root
+// letter plus .nl) over a shared topology. Site announcements toggle over
+// time — explicit withdrawals, BGP session failures under load, and
+// recoveries — and every recomputation yields the list of per-AS route
+// changes, which feed both the measurement layer (site flips, §3.4) and
+// the route collector (Fig 9).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "bgp/route.h"
+#include "bgp/topology.h"
+#include "net/clock.h"
+
+namespace rootstress::bgp {
+
+/// One AS's route to one prefix changed.
+struct RouteChange {
+  net::SimTime time{};
+  int prefix = -1;     ///< prefix id from register_prefix
+  int as_index = -1;
+  int old_site = -1;   ///< -1 = unreachable
+  int new_site = -1;
+};
+
+/// Multi-prefix dynamic routing over a shared topology.
+class AnycastRouting {
+ public:
+  /// The topology must outlive the router.
+  explicit AnycastRouting(const AsTopology& topology);
+
+  /// Registers an anycast prefix (e.g. one root letter) with its origin
+  /// set; returns the prefix id. Routes are computed immediately.
+  int register_prefix(std::string label, std::vector<AnycastOrigin> origins);
+
+  int prefix_count() const noexcept { return static_cast<int>(tables_.size()); }
+  const std::string& label(int prefix) const { return tables_[prefix].label; }
+
+  /// Current route of every AS (dense index) for `prefix`.
+  const std::vector<RouteChoice>& routes(int prefix) const {
+    return tables_[prefix].routes;
+  }
+
+  /// The origins of `prefix` (site announce state included).
+  const std::vector<AnycastOrigin>& origins(int prefix) const {
+    return tables_[prefix].origins;
+  }
+
+  /// Sets whether `site_id` of `prefix` is announced. When the state
+  /// changes, routes are recomputed and the resulting per-AS changes are
+  /// returned (and also delivered to the observer, if any).
+  std::vector<RouteChange> set_announced(int prefix, int site_id,
+                                         bool announced, net::SimTime now);
+
+  /// Sets the full origin state of a site: announced and whether the
+  /// announcement is BGP-scoped to direct neighbors (partial withdrawal).
+  /// Recomputes and returns changes when anything toggled.
+  std::vector<RouteChange> set_origin_state(int prefix, int site_id,
+                                            bool announced, bool local_only,
+                                            net::SimTime now);
+
+  /// Observer for route changes (the collector). Called once per
+  /// recomputation with all changes of that recomputation.
+  using Observer = std::function<void(int prefix,
+                                      const std::vector<RouteChange>&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// True if the site currently announces.
+  bool announced(int prefix, int site_id) const;
+
+ private:
+  struct Table {
+    std::string label;
+    std::vector<AnycastOrigin> origins;
+    std::vector<RouteChoice> routes;
+  };
+
+  std::vector<RouteChange> recompute(int prefix, net::SimTime now);
+
+  const AsTopology& topology_;
+  std::vector<Table> tables_;
+  Observer observer_;
+};
+
+}  // namespace rootstress::bgp

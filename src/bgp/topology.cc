@@ -1,0 +1,189 @@
+#include "bgp/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rootstress::bgp {
+
+namespace {
+// Region weights for stub placement: roughly where the Internet's edge
+// networks (and RIPE Atlas probes) are. Europe is deliberately heavy;
+// the Atlas population layer adds further bias on top.
+struct RegionWeight {
+  const char* region;
+  double weight;
+};
+constexpr RegionWeight kRegionWeights[] = {
+    {"EU", 0.40}, {"NA", 0.25}, {"AS", 0.15}, {"SA", 0.07},
+    {"OC", 0.05}, {"ME", 0.04}, {"AF", 0.04},
+};
+
+const net::Location& random_location_in(std::string_view region,
+                                        util::Rng& rng) {
+  const auto all = net::all_locations();
+  // Reservoir-sample a location from the region.
+  const net::Location* chosen = &all[0];
+  std::size_t seen = 0;
+  for (const auto& loc : all) {
+    if (loc.region != region) continue;
+    ++seen;
+    if (rng.below(seen) == 0) chosen = &loc;
+  }
+  return *chosen;
+}
+}  // namespace
+
+int AsTopology::add_as(AsInfo info) {
+  infos_.push_back(std::move(info));
+  links_.emplace_back();
+  return static_cast<int>(infos_.size()) - 1;
+}
+
+void AsTopology::add_transit(int provider, int customer) {
+  links_[provider].push_back(Link{customer, Rel::kCustomer});
+  links_[customer].push_back(Link{provider, Rel::kProvider});
+}
+
+void AsTopology::add_peering(int a, int b) {
+  links_[a].push_back(Link{b, Rel::kPeer});
+  links_[b].push_back(Link{a, Rel::kPeer});
+}
+
+std::optional<int> AsTopology::index_of(net::Asn asn) const {
+  for (int i = 0; i < as_count(); ++i) {
+    if (infos_[i].asn == asn) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t AsTopology::link_entry_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& l : links_) n += l.size();
+  return n;
+}
+
+std::vector<int> AsTopology::stub_indices() const {
+  std::vector<int> out;
+  for (int i = 0; i < as_count(); ++i) {
+    if (infos_[i].tier == AsTier::kStub) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> AsTopology::tier1_indices() const {
+  std::vector<int> out;
+  for (int i = 0; i < as_count(); ++i) {
+    if (infos_[i].tier == AsTier::kTier1) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> AsTopology::tier2_in_region(std::string_view region) const {
+  std::vector<int> out;
+  for (int i = 0; i < as_count(); ++i) {
+    if (infos_[i].tier == AsTier::kTier2 && infos_[i].region == region) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+AsTopology AsTopology::synthesize(const TopologyConfig& config) {
+  AsTopology topo;
+  util::Rng rng(config.seed);
+  std::uint32_t next_asn = 100;
+
+  // Tier-1 clique, spread across major regions.
+  std::vector<int> tier1;
+  for (int i = 0; i < config.tier1_count; ++i) {
+    const auto& rw = kRegionWeights[i % 3];  // EU/NA/AS backbone spread
+    const auto& loc = random_location_in(rw.region, rng);
+    tier1.push_back(topo.add_as(AsInfo{net::Asn(next_asn++), AsTier::kTier1,
+                                       loc.point, rw.region}));
+  }
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      topo.add_peering(tier1[i], tier1[j]);
+    }
+  }
+
+  // Regional tier-2 transit providers.
+  std::unordered_map<std::string, std::vector<int>> tier2_by_region;
+  for (const auto& rw : kRegionWeights) {
+    for (int i = 0; i < config.tier2_per_region; ++i) {
+      const auto& loc = random_location_in(rw.region, rng);
+      const int idx = topo.add_as(AsInfo{net::Asn(next_asn++), AsTier::kTier2,
+                                         loc.point, rw.region});
+      tier2_by_region[rw.region].push_back(idx);
+      // Uplinks to distinct tier-1s.
+      std::unordered_set<int> chosen;
+      while (static_cast<int>(chosen.size()) <
+             std::min<int>(config.providers_per_tier2,
+                           static_cast<int>(tier1.size()))) {
+        chosen.insert(tier1[rng.below(tier1.size())]);
+      }
+      for (int provider : chosen) topo.add_transit(provider, idx);
+    }
+    // Same-region tier-2 peering mesh (sparse).
+    auto& regional = tier2_by_region[rw.region];
+    for (std::size_t i = 0; i < regional.size(); ++i) {
+      for (int p = 0; p < config.peers_per_tier2; ++p) {
+        const std::size_t j = rng.below(regional.size());
+        if (j != i && j > i) topo.add_peering(regional[i], regional[j]);
+      }
+    }
+  }
+
+  // Stub (eyeball) ASes.
+  std::vector<double> weights;
+  for (const auto& rw : kRegionWeights) weights.push_back(rw.weight);
+  for (int s = 0; s < config.stub_count; ++s) {
+    const auto& rw = kRegionWeights[rng.weighted(weights)];
+    const auto& loc = random_location_in(rw.region, rng);
+    const int idx = topo.add_as(AsInfo{net::Asn(next_asn++), AsTier::kStub,
+                                       loc.point, rw.region});
+    std::unordered_set<int> chosen;
+    for (int u = 0; u < config.providers_per_stub; ++u) {
+      const bool regional = rng.chance(config.regional_attachment);
+      const std::vector<int>* pool = &tier2_by_region[rw.region];
+      if (!regional || pool->empty()) {
+        const auto& other = kRegionWeights[rng.weighted(weights)];
+        if (!tier2_by_region[other.region].empty()) {
+          pool = &tier2_by_region[other.region];
+        }
+      }
+      if (pool->empty()) continue;
+      chosen.insert((*pool)[rng.below(pool->size())]);
+    }
+    for (int provider : chosen) topo.add_transit(provider, idx);
+  }
+  return topo;
+}
+
+int AsTopology::add_edge_as(net::Asn asn, const std::string& region,
+                            net::GeoPoint location, int upstreams,
+                            util::Rng& rng) {
+  if (index_of(asn).has_value()) {
+    throw std::invalid_argument("duplicate ASN in add_edge_as");
+  }
+  const int idx = add_as(AsInfo{asn, AsTier::kStub, location, region});
+  auto pool = tier2_in_region(region);
+  if (pool.empty()) {
+    // Fall back to any tier-2 (tiny custom topologies).
+    for (int i = 0; i < as_count(); ++i) {
+      if (infos_[i].tier == AsTier::kTier2) pool.push_back(i);
+    }
+  }
+  if (pool.empty()) return idx;
+  std::unordered_set<int> chosen;
+  const int want = std::min<int>(upstreams, static_cast<int>(pool.size()));
+  while (static_cast<int>(chosen.size()) < want) {
+    chosen.insert(pool[rng.below(pool.size())]);
+  }
+  for (int provider : chosen) add_transit(provider, idx);
+  return idx;
+}
+
+}  // namespace rootstress::bgp

@@ -1,0 +1,102 @@
+// AS-level Internet topology with business relationships.
+//
+// The simulator routes over a synthesized provider/peer/customer graph:
+// a tier-1 clique, regional tier-2 transit ASes, and stub ASes (eyeball
+// networks hosting vantage points, plus dedicated host ASes for anycast
+// sites). Region-aware attachment makes catchments geographically
+// coherent, which the paper's RTT analyses depend on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/route.h"
+#include "net/asn.h"
+#include "net/geo.h"
+#include "util/rng.h"
+
+namespace rootstress::bgp {
+
+/// Role of an AS in the synthesized hierarchy.
+enum class AsTier : std::uint8_t { kTier1, kTier2, kStub };
+
+/// One adjacency from the owning AS.
+struct Link {
+  int neighbor = -1;  ///< dense index of the neighbor AS
+  Rel rel = Rel::kPeer;  ///< what the neighbor is *to me*
+};
+
+/// Static AS attributes.
+struct AsInfo {
+  net::Asn asn{};
+  AsTier tier = AsTier::kStub;
+  net::GeoPoint location{};
+  std::string region;  ///< "EU", "NA", ...
+};
+
+/// Parameters for topology synthesis.
+struct TopologyConfig {
+  int tier1_count = 10;
+  int tier2_per_region = 12;
+  int stub_count = 1200;
+  int providers_per_tier2 = 3;   ///< tier-1 uplinks per tier-2
+  int peers_per_tier2 = 4;       ///< same-region tier-2 peerings
+  int providers_per_stub = 2;    ///< tier-2 uplinks per stub
+  /// Fraction of a stub's uplinks forced into the stub's own region.
+  double regional_attachment = 0.85;
+  std::uint64_t seed = 1;
+};
+
+/// The AS graph. ASes are addressed by dense index internally; the
+/// Asn <-> index mapping is exposed for interfaces that speak ASNs.
+class AsTopology {
+ public:
+  AsTopology() = default;
+
+  /// Adds an AS; returns its dense index. ASNs must be unique.
+  int add_as(AsInfo info);
+
+  /// Adds a provider->customer transit edge (by dense index).
+  void add_transit(int provider, int customer);
+
+  /// Adds a settlement-free peering (by dense index).
+  void add_peering(int a, int b);
+
+  int as_count() const noexcept { return static_cast<int>(infos_.size()); }
+  const AsInfo& info(int index) const noexcept { return infos_[index]; }
+  std::span<const Link> links(int index) const noexcept { return links_[index]; }
+
+  /// Dense index for an ASN; nullopt if unknown.
+  std::optional<int> index_of(net::Asn asn) const;
+
+  /// Total directed link entries (2x the undirected edge count).
+  std::size_t link_entry_count() const noexcept;
+
+  /// All stub-tier AS indices (candidate VP homes).
+  std::vector<int> stub_indices() const;
+
+  /// All tier-1 AS indices.
+  std::vector<int> tier1_indices() const;
+
+  /// Tier-2 AS indices in `region` (candidate site upstreams).
+  std::vector<int> tier2_in_region(std::string_view region) const;
+
+  /// Synthesizes a hierarchical, region-structured topology.
+  static AsTopology synthesize(const TopologyConfig& config);
+
+  /// Adds a multihomed edge AS in `region` near `location` (used for
+  /// anycast site host ASes); returns its dense index. The AS is attached
+  /// to `upstreams` same-region tier-2 providers (fewer if the region is
+  /// small).
+  int add_edge_as(net::Asn asn, const std::string& region,
+                  net::GeoPoint location, int upstreams, util::Rng& rng);
+
+ private:
+  std::vector<AsInfo> infos_;
+  std::vector<std::vector<Link>> links_;
+};
+
+}  // namespace rootstress::bgp

@@ -1,0 +1,17 @@
+// Defense advisor (forwarding header).
+//
+// The advisor implementation lives in anycast/defense.h so the simulation
+// engine (which sits below core) can drive it for adaptive-defense runs;
+// it remains part of the contribution-layer API under rootstress::core.
+#pragma once
+
+#include "anycast/defense.h"
+
+namespace rootstress::core {
+
+using AdvisedAction = anycast::AdvisedAction;
+using SiteAdvice = anycast::SiteAdvice;
+using anycast::advise;
+using anycast::to_string;
+
+}  // namespace rootstress::core

@@ -1,0 +1,66 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+
+#include "analysis/flips.h"
+#include "analysis/rtt.h"
+#include "attack/events2015.h"
+#include "util/stats.h"
+
+namespace rootstress::core {
+
+EvaluationReport evaluate_scenario(sim::ScenarioConfig config) {
+  sim::SimulationEngine engine(config);
+  EvaluationReport report;
+  report.result = engine.run();
+  const sim::SimulationResult& result = report.result;
+
+  // Bin over the probing window (baseline days carry no probes).
+  const std::size_t bins = static_cast<std::size_t>(
+      (result.probe_window.end - result.probe_window.begin).ms /
+      result.bin_width.ms);
+  report.grids = atlas::bin_records(
+      result.records, static_cast<int>(result.letter_chars.size()),
+      static_cast<int>(result.vps.size()), result.probe_window.begin,
+      result.bin_width, bins);
+
+  const auto& letters = engine.deployment().letters();
+  for (std::size_t li = 0; li < letters.size(); ++li) {
+    const auto& cfg = letters[li];
+    const int s = result.service_index(cfg.letter);
+    if (s < 0) continue;
+    const auto& grid = report.grids[static_cast<std::size_t>(s)];
+
+    LetterSummary summary;
+    summary.letter = cfg.letter;
+    summary.reported_sites = cfg.reported_sites;
+    summary.observed_sites =
+        analysis::observed_site_count(result.records, s);
+
+    const auto reach = analysis::reachability_series(
+        grid, cfg.letter, cfg.probe_interval_s, /*scale_for_cadence=*/true);
+    std::vector<double> series;
+    series.reserve(reach.successful_per_bin.size());
+    for (int v : reach.successful_per_bin) {
+      series.push_back(static_cast<double>(v));
+    }
+    summary.baseline_vps = static_cast<int>(util::median(series));
+    summary.min_vps = reach.min_vps;
+    if (summary.baseline_vps > 0) {
+      summary.worst_loss =
+          1.0 - static_cast<double>(summary.min_vps) / summary.baseline_vps;
+    }
+
+    analysis::RttFilter filter;
+    filter.service_index = s;
+    summary.median_rtt_quiet_ms = analysis::median_rtt_in(
+        result.records, filter, net::SimTime(0), attack::kEvent1.begin);
+    summary.median_rtt_event_ms = analysis::median_rtt_in(
+        result.records, filter, attack::kEvent1.begin, attack::kEvent1.end);
+    summary.site_flips = analysis::total_site_flips(grid);
+    report.letters.push_back(summary);
+  }
+  return report;
+}
+
+}  // namespace rootstress::core

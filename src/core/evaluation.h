@@ -1,0 +1,40 @@
+// One-call evaluation API.
+//
+// evaluate_scenario() runs a scenario and returns both the raw
+// SimulationResult and the per-letter headline summary (the outer loop of
+// the paper's §3): observed sites, worst reachability, RTT shift, flips.
+#pragma once
+
+#include <vector>
+
+#include "analysis/reachability.h"
+#include "atlas/binning.h"
+#include "sim/engine.h"
+
+namespace rootstress::core {
+
+/// Headline numbers for one letter across the run.
+struct LetterSummary {
+  char letter = '?';
+  int reported_sites = 0;
+  int observed_sites = 0;
+  int baseline_vps = 0;   ///< typical successful VPs per bin (median)
+  int min_vps = 0;        ///< worst bin
+  double worst_loss = 0.0;  ///< 1 - min/baseline
+  double median_rtt_quiet_ms = 0.0;
+  double median_rtt_event_ms = 0.0;
+  int site_flips = 0;
+};
+
+/// The full evaluation product.
+struct EvaluationReport {
+  sim::SimulationResult result;
+  std::vector<atlas::LetterBins> grids;  ///< one per service
+  std::vector<LetterSummary> letters;
+};
+
+/// Runs the scenario, bins the cleaned records, and summarizes each root
+/// letter.
+EvaluationReport evaluate_scenario(sim::ScenarioConfig config);
+
+}  // namespace rootstress::core

@@ -1,0 +1,90 @@
+#include "core/policy_model.h"
+
+namespace rootstress::core {
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNoChange: return "no-change (absorb)";
+    case Strategy::kWithdrawIsp1: return "withdraw ISP1 -> s2";
+    case Strategy::kWithdrawS1: return "withdraw s1 -> s2";
+    case Strategy::kWithdrawS1AndS2: return "withdraw s1+s2 -> S3";
+    case Strategy::kRerouteIsp1ToS3: return "reroute ISP1 -> S3";
+  }
+  return "?";
+}
+
+std::array<Strategy, 5> all_strategies() {
+  return {Strategy::kNoChange, Strategy::kWithdrawIsp1, Strategy::kWithdrawS1,
+          Strategy::kWithdrawS1AndS2, Strategy::kRerouteIsp1ToS3};
+}
+
+PolicyOutcome evaluate(const PolicyScenario& sc, Strategy strategy) {
+  // Client -> site and attack -> site assignments per strategy.
+  // Sites: 0 = s1, 1 = s2, 2 = S3. Clients: c0 (ISP0), c1 (ISP1), c2, c3.
+  std::array<int, 4> client_site{0, 0, 1, 2};
+  std::array<double, 3> load{};
+  auto send = [&load](int site, double volume) { load[static_cast<std::size_t>(site)] += volume; };
+
+  switch (strategy) {
+    case Strategy::kNoChange:
+      send(0, sc.A0 + sc.A1);
+      break;
+    case Strategy::kWithdrawIsp1:
+      send(0, sc.A0);
+      send(1, sc.A1);
+      client_site[1] = 1;  // c1 follows ISP1 to s2
+      break;
+    case Strategy::kWithdrawS1:
+      send(1, sc.A0 + sc.A1);
+      client_site[0] = 1;
+      client_site[1] = 1;
+      break;
+    case Strategy::kWithdrawS1AndS2:
+      send(2, sc.A0 + sc.A1);
+      client_site[0] = 2;
+      client_site[1] = 2;
+      client_site[2] = 2;
+      break;
+    case Strategy::kRerouteIsp1ToS3:
+      send(0, sc.A0);
+      send(2, sc.A1);
+      client_site[1] = 2;
+      break;
+  }
+
+  const std::array<double, 3> capacity{sc.s1, sc.s2, sc.S3};
+  PolicyOutcome out;
+  out.site_load = load;
+  for (int c = 0; c < 4; ++c) {
+    const int site = client_site[static_cast<std::size_t>(c)];
+    out.client_served[static_cast<std::size_t>(c)] =
+        load[static_cast<std::size_t>(site)] <=
+        capacity[static_cast<std::size_t>(site)];
+    if (out.client_served[static_cast<std::size_t>(c)]) ++out.happiness;
+  }
+  return out;
+}
+
+Strategy best_strategy(const PolicyScenario& scenario) {
+  Strategy best = Strategy::kNoChange;
+  int best_h = -1;
+  for (const Strategy strategy : all_strategies()) {
+    const int h = evaluate(scenario, strategy).happiness;
+    if (h > best_h) {
+      best_h = h;
+      best = strategy;
+    }
+  }
+  return best;
+}
+
+int classify_case(const PolicyScenario& sc) {
+  if (sc.A0 + sc.A1 <= sc.s1) return 1;
+  if (sc.A0 <= sc.s1 && sc.A1 <= sc.s2) return 2;
+  if (sc.A0 > sc.S3) return 5;
+  if (sc.A0 + sc.A1 <= sc.S3) return 3;
+  if (sc.A1 <= sc.S3) return 4;
+  return 5;
+}
+
+}  // namespace rootstress::core

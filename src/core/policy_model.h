@@ -1,0 +1,66 @@
+// The §2.2 withdraw-vs-absorb policy model ("Policies in Action").
+//
+// The paper grounds its empirical observations in a thought experiment:
+// three anycast sites (s1, s2 small; S3 = 10x s1), four clients (c0, c1
+// in s1's catchment via ISP0/ISP1, c2 at s2, c3 at S3), and two attack
+// flows A0 (ISP0 -> s1) and A1 (ISP1 -> s1). The defender can withdraw
+// routes to shift ISPs between sites; "happiness" H counts served
+// clients. This module implements that model exactly, enumerates the
+// strategies, and classifies the paper's five regimes.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace rootstress::core {
+
+/// Capacities and attack volumes (arbitrary common units; legitimate
+/// traffic is negligible, as the paper assumes).
+struct PolicyScenario {
+  double s1 = 1.0;
+  double s2 = 1.0;
+  double S3 = 10.0;
+  double A0 = 0.0;  ///< attack arriving via ISP0 (c0's ISP)
+  double A1 = 0.0;  ///< attack arriving via ISP1 (c1's ISP)
+};
+
+/// The defender's options in the model.
+enum class Strategy {
+  kNoChange,          ///< everyone stays put (absorb)
+  kWithdrawIsp1,      ///< s1 withdraws toward ISP1; A1 + c1 move to s2
+  kWithdrawS1,        ///< s1 withdraws fully; A0, A1, c0, c1 move to s2
+  kWithdrawS1AndS2,   ///< s1 and s2 withdraw; everything moves to S3
+  kRerouteIsp1ToS3,   ///< ISP1 (A1 + c1) is steered to S3
+};
+
+std::string to_string(Strategy strategy);
+
+/// All strategies, in the order the paper discusses them.
+std::array<Strategy, 5> all_strategies();
+
+/// Result of applying one strategy.
+struct PolicyOutcome {
+  int happiness = 0;                     ///< served clients, 0..4
+  std::array<bool, 4> client_served{};   ///< c0..c3
+  std::array<double, 3> site_load{};     ///< attack load at s1, s2, S3
+};
+
+/// Evaluates one strategy. A site serves its clients iff its total
+/// arriving attack volume does not exceed its capacity.
+PolicyOutcome evaluate(const PolicyScenario& scenario, Strategy strategy);
+
+/// The best strategy (max happiness; ties broken toward less routing
+/// disruption, i.e. the earlier enumerator).
+Strategy best_strategy(const PolicyScenario& scenario);
+
+/// Which of the paper's five cases the scenario falls into (1-5), for
+/// the canonical A0 == A1 sweep:
+///   1: A0+A1 <= s1                      (attack absorbed, H=4)
+///   2: A0+A1 > s1, A0 <= s1, A1 <= s2   (shed ISP1 to s2, H=4)
+///   3: A0 > s1, A0+A1 <= S3             (everyone to S3, H=4)
+///   4: A0 > s1, A0+A1 > S3, A1 <= S3    (reroute ISP1 to S3, H=3)
+///   5: A0 > S3                          (degraded absorber, H=2)
+int classify_case(const PolicyScenario& scenario);
+
+}  // namespace rootstress::core

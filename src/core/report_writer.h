@@ -1,0 +1,32 @@
+// Incident-report writer: renders an EvaluationReport as Markdown.
+//
+// Turns one evaluated scenario into the kind of post-incident writeup
+// the root operators published after the events ([49] in the paper):
+// summary, per-letter damage table, case-study callouts, collateral
+// findings.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/evaluation.h"
+
+namespace rootstress::core {
+
+/// Options for the writer.
+struct ReportOptions {
+  std::string title = "Root DNS event replay";
+  bool include_dnsmon_board = true;
+  bool include_collateral = true;
+  bool include_letter_flips = true;
+};
+
+/// Writes the Markdown report to `os`.
+void write_markdown_report(const EvaluationReport& report,
+                           const ReportOptions& options, std::ostream& os);
+
+/// Convenience: returns the report as a string.
+std::string markdown_report(const EvaluationReport& report,
+                            const ReportOptions& options = {});
+
+}  // namespace rootstress::core

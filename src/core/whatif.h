@@ -1,0 +1,53 @@
+// What-if policy experiments (§5 / §2.2 future work).
+//
+// The paper closes by calling for "alternative policies that may improve
+// resilience". This module re-runs a scenario under forced site policies
+// and compares outcomes, quantifying the withdraw-vs-absorb trade-off on
+// the full deployment instead of the 3-site thought experiment:
+//   - kAsDeployed: the letters' historical policy mix
+//   - kAllAbsorb:  every site is a committed absorber (never withdraws)
+//   - kAllWithdraw: every overloaded site withdraws aggressively
+//   - kOracle:     per-step omniscient advice from core::advise
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace rootstress::core {
+
+/// The policy regimes a what-if run can force.
+enum class PolicyRegime {
+  kAsDeployed,
+  kAllAbsorb,
+  kAllWithdraw,
+  kOracle,  ///< live core::advise controller (adaptive defense)
+};
+
+std::string to_string(PolicyRegime regime);
+
+/// Outcome of one regime on one letter.
+struct RegimeLetterOutcome {
+  char letter = '?';
+  double served_fraction_event1 = 0.0;  ///< served/offered legit, event 1
+  double served_fraction_event2 = 0.0;
+  int route_changes = 0;                ///< routing churn cost
+};
+
+/// Outcome of one regime over the whole deployment.
+struct RegimeOutcome {
+  PolicyRegime regime = PolicyRegime::kAsDeployed;
+  std::vector<RegimeLetterOutcome> letters;
+  double mean_served_event1 = 0.0;  ///< mean over attacked letters
+  double mean_served_event2 = 0.0;
+  std::size_t total_route_changes = 0;
+};
+
+/// Runs `config` once per regime (probing disabled — this is a fluid
+/// study) and reports per-letter legitimate-traffic survival. The
+/// scenario's schedule must be the 2015 two-event timeline.
+std::vector<RegimeOutcome> compare_policy_regimes(
+    const sim::ScenarioConfig& config);
+
+}  // namespace rootstress::core

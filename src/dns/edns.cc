@@ -1,0 +1,41 @@
+#include "dns/edns.h"
+
+namespace rootstress::dns {
+
+ResourceRecord make_opt_record(std::uint16_t udp_payload_size,
+                               bool dnssec_ok) {
+  ResourceRecord rr;
+  rr.name = Name::root();
+  rr.type = static_cast<RrType>(kOptType);
+  // CLASS field carries the requestor's UDP payload size.
+  rr.klass = static_cast<RrClass>(udp_payload_size);
+  // TTL: ext-rcode(8) | version(8) | DO(1) | zeros(15).
+  rr.ttl = dnssec_ok ? 0x8000u : 0u;
+  return rr;
+}
+
+std::optional<EdnsInfo> edns_info(const Message& message) {
+  for (const auto& rr : message.additional) {
+    if (static_cast<std::uint16_t>(rr.type) != kOptType) continue;
+    EdnsInfo info;
+    info.udp_payload_size = static_cast<std::uint16_t>(rr.klass);
+    info.dnssec_ok = (rr.ttl & 0x8000u) != 0;
+    info.version = static_cast<std::uint8_t>((rr.ttl >> 16) & 0xff);
+    return info;
+  }
+  return std::nullopt;
+}
+
+void add_edns(Message& query, std::uint16_t udp_payload_size,
+              bool dnssec_ok) {
+  query.additional.push_back(make_opt_record(udp_payload_size, dnssec_ok));
+}
+
+std::size_t max_udp_response_size(const Message& query) {
+  const auto info = edns_info(query);
+  if (!info) return 512;
+  // RFC 6891: values below 512 are treated as 512.
+  return info->udp_payload_size < 512 ? 512 : info->udp_payload_size;
+}
+
+}  // namespace rootstress::dns

@@ -1,0 +1,43 @@
+// EDNS(0) support (RFC 6891).
+//
+// Real root queries carry an OPT pseudo-record advertising the client's
+// UDP buffer size (and the DO bit for DNSSEC); response sizes in the
+// 480-495B range (§3.1) are only deliverable because of it. The OPT
+// record abuses the RR fields: CLASS carries the buffer size and the
+// high TTL byte the extended-RCODE/flags.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dns/message.h"
+
+namespace rootstress::dns {
+
+/// OPT pseudo-RR type code.
+inline constexpr std::uint16_t kOptType = 41;
+
+/// Parsed EDNS parameters.
+struct EdnsInfo {
+  std::uint16_t udp_payload_size = 512;
+  bool dnssec_ok = false;   ///< the DO bit
+  std::uint8_t version = 0;
+};
+
+/// Builds the OPT record for the additional section.
+ResourceRecord make_opt_record(std::uint16_t udp_payload_size,
+                               bool dnssec_ok = false);
+
+/// Extracts EDNS parameters from a message's additional section; nullopt
+/// when no OPT record is present (classic 512-byte DNS).
+std::optional<EdnsInfo> edns_info(const Message& message);
+
+/// Adds EDNS to a query in place (appends the OPT record).
+void add_edns(Message& query, std::uint16_t udp_payload_size,
+              bool dnssec_ok = false);
+
+/// The effective maximum UDP response size for a query: its advertised
+/// EDNS buffer, or 512 without EDNS.
+std::size_t max_udp_response_size(const Message& query);
+
+}  // namespace rootstress::dns

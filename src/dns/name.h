@@ -1,0 +1,54 @@
+// DNS domain names.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rootstress::dns {
+
+/// A DNS domain name: an ordered list of labels, most-specific first.
+/// The root name has zero labels. Comparison is case-insensitive, as DNS
+/// requires; labels are stored as given.
+class Name {
+ public:
+  Name() = default;
+
+  /// Parses presentation format ("www.example.com", optional trailing
+  /// dot; "." is the root). Rejects empty labels, labels over 63 octets,
+  /// and names whose wire form exceeds 255 octets.
+  static std::optional<Name> parse(std::string_view text);
+
+  /// The root name (zero labels).
+  static Name root() { return Name(); }
+
+  /// Builds from labels without re-validating content; length limits are
+  /// still enforced (nullopt on violation).
+  static std::optional<Name> from_labels(std::vector<std::string> labels);
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+
+  /// Wire-format length in octets (sum of 1+len per label, +1 root byte).
+  std::size_t wire_length() const noexcept;
+
+  /// Presentation format with trailing dot ("." for the root).
+  std::string to_string() const;
+
+  /// Case-insensitive equality.
+  bool operator==(const Name& other) const noexcept;
+
+  /// Stable case-insensitive hash (for RRL keys and compression maps).
+  std::uint64_t hash() const noexcept;
+
+  /// The name with its first label removed (the parent domain); root stays
+  /// root.
+  Name parent() const;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+}  // namespace rootstress::dns

@@ -1,0 +1,56 @@
+// root.hints: the bootstrap file naming the 13 root letters (Figure 1).
+//
+// Resolvers learn the root servers' addresses from a hints file shipped
+// with the software and refresh it with a priming query. This module
+// models the file: generation for a simulated deployment, parsing, and
+// validation — the top of the paper's mechanism stack.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rootstress::dns {
+
+/// One hints entry: a letter's service name and IPv4 address.
+struct RootHintEntry {
+  char letter = '?';
+  std::string server_name;  ///< "k.root-servers.net."
+  net::Ipv4Addr address{};
+};
+
+/// The parsed hints file.
+class RootHints {
+ public:
+  /// The canonical 13-letter hints for the simulated deployment:
+  /// X.root-servers.net with the well-known-style addresses used by the
+  /// simulator (198.41.X.4 pattern).
+  static RootHints canonical();
+
+  /// Parses zone-file-style text: lines of
+  ///   `.  3600000  NS  X.ROOT-SERVERS.NET.`
+  ///   `X.ROOT-SERVERS.NET.  3600000  A  a.b.c.d`
+  /// Comment lines (';') and blank lines are ignored. Returns nullopt on
+  /// malformed input or when NS/A records are inconsistent.
+  static std::optional<RootHints> parse(const std::string& text);
+
+  /// Serializes back to the zone-file format.
+  std::string serialize() const;
+
+  const std::vector<RootHintEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Entry for a letter; nullptr if absent.
+  const RootHintEntry* find(char letter) const noexcept;
+
+  /// True when all 13 letters A-M are present with distinct addresses.
+  bool complete() const noexcept;
+
+ private:
+  std::vector<RootHintEntry> entries_;
+};
+
+}  // namespace rootstress::dns

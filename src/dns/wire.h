@@ -1,0 +1,28 @@
+// DNS wire-format codec (RFC 1035 §4) with name compression.
+//
+// Every simulated Atlas probe round-trips a real CHAOS query through this
+// codec, so the measurement path exercises genuine protocol encode/decode
+// rather than an abstract "probe succeeded" flag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace rootstress::dns {
+
+/// Encodes a message to wire format. Owner names of records and questions
+/// are compressed against earlier occurrences; rdata is emitted verbatim.
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Decodes a wire-format message. Returns nullopt on malformed input
+/// (truncation, bad compression pointers, label overruns); when `error`
+/// is non-null a short description is stored there.
+std::optional<Message> decode(std::span<const std::uint8_t> wire,
+                              std::string* error = nullptr);
+
+}  // namespace rootstress::dns

@@ -1,0 +1,28 @@
+// Autonomous-system numbers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace rootstress::net {
+
+/// A BGP autonomous-system number (strong typedef to avoid mixing with
+/// other integer ids).
+struct Asn {
+  std::uint32_t value = 0;
+
+  constexpr Asn() noexcept = default;
+  constexpr explicit Asn(std::uint32_t v) noexcept : value(v) {}
+
+  friend constexpr auto operator<=>(Asn, Asn) noexcept = default;
+};
+
+}  // namespace rootstress::net
+
+template <>
+struct std::hash<rootstress::net::Asn> {
+  std::size_t operator()(rootstress::net::Asn a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

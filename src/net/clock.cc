@@ -1,0 +1,23 @@
+#include "net/clock.h"
+
+#include <cstdio>
+
+namespace rootstress::net {
+
+std::string SimTime::to_string() const {
+  std::int64_t total_s = ms / 1000;
+  const bool negative = total_s < 0;
+  if (negative) total_s = -total_s;
+  const std::int64_t days = total_s / 86400;
+  const std::int64_t hours = (total_s % 86400) / 3600;
+  const std::int64_t minutes = (total_s % 3600) / 60;
+  const std::int64_t seconds = total_s % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%lldd%02lld:%02lld:%02lld",
+                negative ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(hours), static_cast<long long>(minutes),
+                static_cast<long long>(seconds));
+  return buf;
+}
+
+}  // namespace rootstress::net

@@ -1,0 +1,58 @@
+// Simulated time.
+//
+// All simulation time is integer milliseconds since the scenario epoch
+// (2015-11-30T00:00:00 UTC for the event scenarios). Using a dedicated
+// vocabulary type keeps wall-clock time out of the simulator entirely.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rootstress::net {
+
+/// Milliseconds since the scenario epoch.
+struct SimTime {
+  std::int64_t ms = 0;
+
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t milliseconds) noexcept : ms(milliseconds) {}
+
+  static constexpr SimTime from_seconds(double s) noexcept {
+    return SimTime(static_cast<std::int64_t>(s * 1000.0));
+  }
+  static constexpr SimTime from_minutes(double m) noexcept {
+    return from_seconds(m * 60.0);
+  }
+  static constexpr SimTime from_hours(double h) noexcept {
+    return from_seconds(h * 3600.0);
+  }
+
+  constexpr double seconds() const noexcept { return static_cast<double>(ms) / 1000.0; }
+  constexpr double minutes() const noexcept { return seconds() / 60.0; }
+  constexpr double hours() const noexcept { return seconds() / 3600.0; }
+
+  /// "DdHH:MM:SS" rendering for logs (relative to scenario epoch).
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime(a.ms + b.ms);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime(a.ms - b.ms);
+  }
+};
+
+/// An interval [begin, end).
+struct SimInterval {
+  SimTime begin;
+  SimTime end;
+
+  constexpr bool contains(SimTime t) const noexcept {
+    return begin <= t && t < end;
+  }
+  constexpr SimTime duration() const noexcept { return end - begin; }
+};
+
+}  // namespace rootstress::net

@@ -1,0 +1,58 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+
+namespace rootstress::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc() || v > 255 || next == p) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal in classic tools).
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | v;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xff);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  int len = -1;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc() || next != len_text.data() + len_text.size()) {
+    return std::nullopt;
+  }
+  if (len < 0 || len > 32) return std::nullopt;
+  return Prefix(*addr, len);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace rootstress::net

@@ -1,0 +1,73 @@
+// IPv4 addresses and CIDR prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rootstress::net {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Parses dotted-quad notation ("192.0.2.1"); nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text) noexcept;
+
+  /// Dotted-quad string.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (address + length).
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+  /// Canonicalizes: host bits below the prefix length are zeroed.
+  constexpr Prefix(Ipv4Addr addr, int length) noexcept
+      : length_(length < 0 ? 0 : (length > 32 ? 32 : length)),
+        addr_(Ipv4Addr(addr.value() & mask_for(length_))) {}
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  constexpr Ipv4Addr address() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// True if `addr` falls inside this prefix.
+  constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & mask_for(length_)) == addr_.value();
+  }
+
+  /// True if `other` is fully covered by this prefix.
+  constexpr bool covers(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) noexcept {
+    return length == 0 ? 0u : (~0u << (32 - length));
+  }
+  int length_ = 0;
+  Ipv4Addr addr_{};
+};
+
+}  // namespace rootstress::net

@@ -1,0 +1,41 @@
+#include "resolver/cache.h"
+
+#include <algorithm>
+
+namespace rootstress::resolver {
+
+TtlCache::TtlCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool TtlCache::hit(std::uint64_t key, net::SimTime now) const {
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && now < it->second) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void TtlCache::put(std::uint64_t key, net::SimTime now, net::SimTime ttl) {
+  if (entries_.size() >= capacity_ && !entries_.contains(key)) {
+    // Evict the entry closest to expiry.
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second < victim->second) victim = it;
+    }
+    entries_.erase(victim);
+  }
+  entries_[key] = now + ttl;
+}
+
+void TtlCache::sweep(net::SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second <= now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rootstress::resolver

@@ -1,0 +1,44 @@
+// Resolver-side DNS cache.
+//
+// The paper attributes the absence of end-user-visible failures to
+// caching and retry (§2.3, §6): top-level referrals carry multi-day TTLs,
+// so resolvers rarely need the root at all. This is the cache that makes
+// that argument quantitative.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/clock.h"
+
+namespace rootstress::resolver {
+
+/// A TTL cache keyed by name hash (the value is implicit: we only track
+/// whether the referral is still valid).
+class TtlCache {
+ public:
+  /// `capacity` bounds memory; inserting beyond it evicts the entry
+  /// closest to expiry.
+  explicit TtlCache(std::size_t capacity = 10000);
+
+  /// True if `key` is cached and fresh at `now`.
+  bool hit(std::uint64_t key, net::SimTime now) const;
+
+  /// Inserts/refreshes `key` until now + ttl.
+  void put(std::uint64_t key, net::SimTime now, net::SimTime ttl);
+
+  /// Drops expired entries (called opportunistically).
+  void sweep(net::SimTime now);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, net::SimTime> entries_;  ///< expiry
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace rootstress::resolver

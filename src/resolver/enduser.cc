@@ -1,0 +1,176 @@
+#include "resolver/enduser.h"
+
+#include <algorithm>
+
+#include "resolver/cache.h"
+#include "util/time_series.h"
+
+namespace rootstress::resolver {
+
+RootServiceView::RootServiceView(const sim::SimulationResult& result,
+                                 double default_rtt_ms) {
+  start_ = result.start;
+  bin_width_ = result.bin_width;
+  end_ = result.end;
+  bins_ = static_cast<std::size_t>((end_ - start_).ms / bin_width_.ms);
+  success_.assign(kLetterCount, std::vector<double>(bins_, 1.0));
+  rtt_.assign(kLetterCount, std::vector<double>(bins_, default_rtt_ms));
+
+  // Success probability from the fluid legit series.
+  for (int letter = 0; letter < kLetterCount; ++letter) {
+    const char c = static_cast<char>('A' + letter);
+    const int s = result.service_index(c);
+    if (s < 0) continue;
+    const auto& served =
+        result.service_served_legit_qps[static_cast<std::size_t>(s)];
+    const auto& failed =
+        result.service_failed_legit_qps[static_cast<std::size_t>(s)];
+    for (std::size_t b = 0; b < bins_ && b < served.bin_count(); ++b) {
+      const double sv = served.mean(b);
+      const double fl = failed.mean(b);
+      if (sv + fl > 0.0) {
+        success_[static_cast<std::size_t>(letter)][b] = sv / (sv + fl);
+      }
+    }
+  }
+
+  // RTT medians from probe records where available.
+  std::vector<std::vector<util::BinnedSeries>> samples;
+  samples.reserve(kLetterCount);
+  for (int letter = 0; letter < kLetterCount; ++letter) {
+    samples.emplace_back();
+    samples.back().emplace_back(start_.ms, bin_width_.ms, bins_,
+                                /*keep_samples=*/true);
+  }
+  for (const auto& record : result.records) {
+    if (record.outcome != atlas::ProbeOutcome::kSite) continue;
+    if (record.letter_index >= kLetterCount) continue;
+    samples[record.letter_index][0].add(record.time().ms,
+                                        static_cast<double>(record.rtt_ms));
+  }
+  for (int letter = 0; letter < kLetterCount; ++letter) {
+    for (std::size_t b = 0; b < bins_; ++b) {
+      const double median = samples[static_cast<std::size_t>(letter)][0].median(b);
+      if (median > 0.0) rtt_[static_cast<std::size_t>(letter)][b] = median;
+    }
+  }
+}
+
+std::size_t RootServiceView::bin_of(net::SimTime t) const {
+  if (t < start_) return 0;
+  const auto bin = static_cast<std::size_t>((t - start_).ms / bin_width_.ms);
+  return std::min(bin, bins_ - 1);
+}
+
+double RootServiceView::success_probability(int letter, net::SimTime t) const {
+  if (letter < 0 || letter >= kLetterCount || bins_ == 0) return 1.0;
+  return success_[static_cast<std::size_t>(letter)][bin_of(t)];
+}
+
+double RootServiceView::rtt_ms(int letter, net::SimTime t) const {
+  if (letter < 0 || letter >= kLetterCount || bins_ == 0) return 60.0;
+  return rtt_[static_cast<std::size_t>(letter)][bin_of(t)];
+}
+
+EndUserSeries simulate_end_users(const sim::SimulationResult& result,
+                                 const EndUserConfig& config) {
+  const RootServiceView view(result);
+  util::Rng rng(config.seed);
+
+  const std::size_t bins = view.bins();
+  EndUserSeries series;
+  series.strategy = config.strategy;
+  series.failure_rate.assign(bins, 0.0);
+  series.mean_latency_ms.assign(bins, 0.0);
+  series.root_query_rate.assign(bins, 0.0);
+
+  std::vector<std::uint64_t> queries_per_bin(bins, 0);
+  std::vector<std::uint64_t> failures_per_bin(bins, 0);
+  std::vector<std::uint64_t> root_queries_per_bin(bins, 0);
+  std::vector<double> latency_sum(bins, 0.0);
+  std::vector<std::uint64_t> latency_count(bins, 0);
+
+  std::uint64_t total_queries = 0, total_failures = 0, cache_hits = 0;
+
+  const double span_hours = (view.end() - view.start()).seconds() / 3600.0;
+  for (int r = 0; r < config.resolvers; ++r) {
+    LetterSelector selector(config.strategy, r);
+    TtlCache cache(static_cast<std::size_t>(config.name_space) * 2);
+    util::Rng local = rng.fork(static_cast<std::uint64_t>(r));
+
+    // Poisson arrivals across the span.
+    const double expected =
+        config.root_lookups_per_hour * span_hours;
+    const auto n_queries = local.poisson(expected);
+    for (std::uint64_t q = 0; q < n_queries; ++q) {
+      const net::SimTime when(
+          view.start().ms +
+          static_cast<std::int64_t>(local.uniform() *
+                                    static_cast<double>(
+                                        (view.end() - view.start()).ms)));
+      const auto bin = static_cast<std::size_t>(
+          (when - view.start()).ms / result.bin_width.ms);
+      if (bin >= bins) continue;
+      ++queries_per_bin[bin];
+      ++total_queries;
+
+      const std::uint64_t name =
+          local.below(static_cast<std::uint64_t>(config.name_space));
+      if (config.enable_cache && cache.hit(name, when)) {
+        ++cache_hits;
+        latency_sum[bin] += 1.0;  // answered locally, ~negligible
+        ++latency_count[bin];
+        continue;
+      }
+
+      bool resolved = false;
+      double latency = 0.0;
+      for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
+        const int letter = selector.pick(attempt, local);
+        const double p = view.success_probability(letter, when);
+        const double rtt = view.rtt_ms(letter, when);
+        ++root_queries_per_bin[bin];
+        if (local.chance(p) && rtt < config.per_try_timeout_ms) {
+          latency += rtt;
+          selector.report(letter, true, rtt);
+          resolved = true;
+          break;
+        }
+        latency += config.per_try_timeout_ms;  // waited out the timeout
+        selector.report(letter, false, 0.0);
+      }
+      if (resolved) {
+        if (config.enable_cache) {
+          cache.put(name, when, config.referral_ttl);
+        }
+        latency_sum[bin] += latency;
+        ++latency_count[bin];
+      } else {
+        ++failures_per_bin[bin];
+        ++total_failures;
+      }
+    }
+  }
+
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (queries_per_bin[b] > 0) {
+      series.failure_rate[b] =
+          static_cast<double>(failures_per_bin[b]) / queries_per_bin[b];
+      series.root_query_rate[b] =
+          static_cast<double>(root_queries_per_bin[b]) / queries_per_bin[b];
+    }
+    if (latency_count[b] > 0) {
+      series.mean_latency_ms[b] = latency_sum[b] / latency_count[b];
+    }
+  }
+  series.overall_failure_rate =
+      total_queries > 0
+          ? static_cast<double>(total_failures) / total_queries
+          : 0.0;
+  series.cache_hit_rate =
+      total_queries > 0 ? static_cast<double>(cache_hits) / total_queries
+                        : 0.0;
+  return series;
+}
+
+}  // namespace rootstress::resolver

@@ -1,0 +1,79 @@
+// End-user impact experiment (§5 future work made concrete).
+//
+// "A full evaluation of Root DNS performance needs to consider the
+// effects of caching and how recursive resolvers select and failover
+// across different anycast services" — this module does exactly that:
+// it replays client workloads through recursive resolvers (cache +
+// selection strategy + retry) against the per-letter service quality a
+// SimulationResult recorded, and reports what end users would have seen
+// during the events.
+#pragma once
+
+#include <vector>
+
+#include "resolver/selection.h"
+#include "sim/engine.h"
+
+namespace rootstress::resolver {
+
+/// Per-(letter, bin) service quality extracted from a simulation: the
+/// probability a root query is answered and the median RTT when it is.
+class RootServiceView {
+ public:
+  /// Builds the view from a result's fluid series (success probability)
+  /// and probe records (RTT; falls back to `default_rtt_ms` for bins
+  /// without samples).
+  explicit RootServiceView(const sim::SimulationResult& result,
+                           double default_rtt_ms = 60.0);
+
+  double success_probability(int letter, net::SimTime t) const;
+  double rtt_ms(int letter, net::SimTime t) const;
+
+  net::SimTime start() const noexcept { return start_; }
+  net::SimTime end() const noexcept { return end_; }
+  std::size_t bins() const noexcept { return bins_; }
+
+ private:
+  std::size_t bin_of(net::SimTime t) const;
+
+  net::SimTime start_{};
+  net::SimTime bin_width_{};
+  net::SimTime end_{};
+  std::size_t bins_ = 0;
+  // [letter][bin]
+  std::vector<std::vector<double>> success_;
+  std::vector<std::vector<double>> rtt_;
+};
+
+/// Experiment parameters.
+struct EndUserConfig {
+  Strategy strategy = Strategy::kSrtt;
+  int resolvers = 300;
+  /// Client queries per resolver per hour that *would* need the root if
+  /// uncached (cold-cache rate).
+  double root_lookups_per_hour = 60.0;
+  /// Referral TTL (real root NS TTLs are 6 days; resolvers often clamp).
+  net::SimTime referral_ttl = net::SimTime::from_hours(24);
+  /// Distinct query names per resolver (controls cache hit rate).
+  int name_space = 500;
+  int max_attempts = 3;
+  double per_try_timeout_ms = 1500.0;
+  bool enable_cache = true;
+  std::uint64_t seed = 31;
+};
+
+/// Per-bin outcome across all simulated resolvers.
+struct EndUserSeries {
+  Strategy strategy;
+  std::vector<double> failure_rate;     ///< queries failing all retries
+  std::vector<double> mean_latency_ms;  ///< successful root lookups
+  std::vector<double> root_query_rate;  ///< root queries per client query
+  double overall_failure_rate = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+/// Runs the experiment against a recorded simulation.
+EndUserSeries simulate_end_users(const sim::SimulationResult& result,
+                                 const EndUserConfig& config);
+
+}  // namespace rootstress::resolver

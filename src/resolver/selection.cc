@@ -1,0 +1,79 @@
+#include "resolver/selection.h"
+
+#include <algorithm>
+
+namespace rootstress::resolver {
+
+namespace {
+constexpr double kInitialSrttMs = 80.0;
+constexpr double kFailurePenaltyMs = 2000.0;
+constexpr double kSmoothing = 0.3;       // new sample weight
+constexpr double kDecayOthers = 0.98;    // unqueried letters slowly recover
+constexpr double kExploreChance = 0.05;  // BIND-like occasional probing
+}  // namespace
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kUniform: return "uniform";
+    case Strategy::kFixed: return "fixed";
+    case Strategy::kSrtt: return "srtt";
+  }
+  return "?";
+}
+
+LetterSelector::LetterSelector(Strategy strategy, int fixed_preference)
+    : strategy_(strategy),
+      fixed_preference_(fixed_preference % kLetterCount) {
+  srtt_ms_.fill(kInitialSrttMs);
+}
+
+int LetterSelector::pick(int attempt, util::Rng& rng) {
+  int choice = 0;
+  switch (strategy_) {
+    case Strategy::kUniform:
+      choice = static_cast<int>(rng.below(kLetterCount));
+      break;
+    case Strategy::kFixed:
+      choice = attempt == 0
+                   ? fixed_preference_
+                   : static_cast<int>(rng.below(kLetterCount));
+      break;
+    case Strategy::kSrtt: {
+      if (rng.chance(kExploreChance)) {
+        choice = static_cast<int>(rng.below(kLetterCount));
+        break;
+      }
+      choice = 0;
+      for (int letter = 1; letter < kLetterCount; ++letter) {
+        if (srtt_ms_[static_cast<std::size_t>(letter)] <
+            srtt_ms_[static_cast<std::size_t>(choice)]) {
+          choice = letter;
+        }
+      }
+      break;
+    }
+  }
+  if (attempt > 0 && choice == last_pick_) {
+    choice = (choice + 1 + static_cast<int>(rng.below(kLetterCount - 1))) %
+             kLetterCount;
+  }
+  last_pick_ = choice;
+  return choice;
+}
+
+void LetterSelector::report(int letter, bool success, double rtt_ms) {
+  if (letter < 0 || letter >= kLetterCount) return;
+  auto& srtt = srtt_ms_[static_cast<std::size_t>(letter)];
+  const double sample = success ? rtt_ms : kFailurePenaltyMs;
+  srtt = (1.0 - kSmoothing) * srtt + kSmoothing * sample;
+  // Letters we are not using decay toward being retried eventually.
+  for (int other = 0; other < kLetterCount; ++other) {
+    if (other != letter) {
+      srtt_ms_[static_cast<std::size_t>(other)] *= kDecayOthers;
+      srtt_ms_[static_cast<std::size_t>(other)] =
+          std::max(5.0, srtt_ms_[static_cast<std::size_t>(other)]);
+    }
+  }
+}
+
+}  // namespace rootstress::resolver

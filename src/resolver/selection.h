@@ -1,0 +1,57 @@
+// Authority-server (root letter) selection strategies.
+//
+// Recursive resolvers choose which letter to query and fail over between
+// them; the paper cites Yu et al.'s finding that implementations prefer
+// low-RTT servers with occasional exploration (§3.2.2 [63]) and leaves
+// the interaction with failures as future work. Three strategies span
+// the design space:
+//   kUniform  - pick uniformly at random each query (worst-case spread)
+//   kFixed    - always the same letter until it fails (sticky)
+//   kSrtt     - BIND-style smoothed-RTT preference with decay/exploration
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace rootstress::resolver {
+
+inline constexpr int kLetterCount = 13;
+
+enum class Strategy {
+  kUniform,
+  kFixed,
+  kSrtt,
+};
+
+std::string to_string(Strategy strategy);
+
+/// Per-resolver selection state.
+class LetterSelector {
+ public:
+  /// `fixed_preference` seeds kFixed's (and kSrtt's initial) choice.
+  LetterSelector(Strategy strategy, int fixed_preference);
+
+  /// Picks the letter for the next attempt; `attempt` counts retries
+  /// within one query (0 = first try). Retries never repeat the previous
+  /// failed letter.
+  int pick(int attempt, util::Rng& rng);
+
+  /// Feedback after an attempt: observed RTT for successes; failures
+  /// penalize the letter so it is avoided for a while.
+  void report(int letter, bool success, double rtt_ms);
+
+  Strategy strategy() const noexcept { return strategy_; }
+  /// The smoothed RTT table (kSrtt), exposed for tests.
+  double srtt(int letter) const { return srtt_ms_[static_cast<std::size_t>(letter)]; }
+
+ private:
+  Strategy strategy_;
+  int fixed_preference_;
+  int last_pick_ = -1;
+  std::array<double, kLetterCount> srtt_ms_{};
+};
+
+}  // namespace rootstress::resolver

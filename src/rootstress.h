@@ -1,0 +1,67 @@
+// Umbrella header: the RootStress public API in one include.
+//
+//   #include "rootstress.h"
+//   auto report = rootstress::core::evaluate_scenario(
+//       rootstress::sim::november_2015_scenario(800));
+//
+// Fine-grained consumers should include the specific module headers; this
+// exists for examples, notebooks, and quick experiments.
+#pragma once
+
+// Foundations.
+#include "util/hll.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/time_series.h"
+
+// Network vocabulary and protocol substrates.
+#include "dns/chaos.h"
+#include "dns/edns.h"
+#include "dns/root_hints.h"
+#include "dns/rrl.h"
+#include "dns/server.h"
+#include "dns/wire.h"
+#include "net/clock.h"
+#include "net/geo.h"
+#include "net/ipv4.h"
+
+// Routing and deployment.
+#include "anycast/deployment.h"
+#include "bgp/catchment.h"
+#include "bgp/collector.h"
+#include "bgp/simulator.h"
+
+// Workloads and measurement.
+#include "atlas/binning.h"
+#include "atlas/cleaning.h"
+#include "atlas/dnsmon.h"
+#include "attack/events2015.h"
+#include "attack/events2016.h"
+#include "rssac/report.h"
+
+// Simulation and analyses.
+#include "analysis/behavior.h"
+#include "analysis/collateral.h"
+#include "analysis/correlation.h"
+#include "analysis/distributions.h"
+#include "analysis/event_size.h"
+#include "analysis/flips.h"
+#include "analysis/letter_flips.h"
+#include "analysis/reachability.h"
+#include "analysis/route_changes.h"
+#include "analysis/rtt.h"
+#include "analysis/servers.h"
+#include "analysis/site_series.h"
+#include "analysis/site_stability.h"
+#include "resolver/enduser.h"
+#include "sim/engine.h"
+#include "sim/scenario.h"
+#include "sim/scenario_2016.h"
+
+// The contribution layer.
+#include "core/defense.h"
+#include "core/evaluation.h"
+#include "core/policy_model.h"
+#include "core/report_writer.h"
+#include "core/whatif.h"

@@ -1,0 +1,66 @@
+#include "rssac/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rootstress::rssac {
+
+double LetterDayMetrics::unique_sources(double resolver_pool) const noexcept {
+  // Spoofed sources draw from the routable fraction of the IPv4 space,
+  // not all 2^32 addresses.
+  constexpr double kSpoofableSpace = 2.0e9;
+  const double random_uniques =
+      kSpoofableSpace *
+      (1.0 - std::exp(-random_source_queries / kSpoofableSpace));
+  const double resolver_uniques =
+      resolver_pool > 0.0
+          ? resolver_pool * (1.0 - std::exp(-resolver_queries / resolver_pool))
+          : 0.0;
+  const double total = random_uniques + resolver_uniques +
+                       static_cast<double>(heavy_hitter_sources);
+  return std::min(total, unique_counter_cap);
+}
+
+DailyAccumulator::DailyAccumulator(int letter_count)
+    : letter_count_(letter_count) {}
+
+int DailyAccumulator::day_of(net::SimTime t) noexcept {
+  const double days = t.seconds() / 86400.0;
+  return static_cast<int>(std::floor(days));
+}
+
+void DailyAccumulator::add_step(int letter_index, net::SimTime t,
+                                const StepTraffic& traffic) {
+  auto& m = days_[{letter_index, day_of(t)}];
+  const double f = traffic.metering_factor;
+  m.queries += traffic.queries_received * f;
+  m.responses += traffic.responses_sent * f;
+  m.random_source_queries += traffic.random_source_queries * f;
+  m.resolver_queries += traffic.resolver_queries * f;
+  if (traffic.queries_received * f >= 0.5) {
+    m.query_sizes.add(traffic.query_payload_bytes,
+                      static_cast<std::uint64_t>(traffic.queries_received * f));
+  }
+  if (traffic.responses_sent * f >= 0.5) {
+    m.response_sizes.add(
+        traffic.response_payload_bytes,
+        static_cast<std::uint64_t>(traffic.responses_sent * f));
+  }
+  if (traffic.heavy_hitter_sources > m.heavy_hitter_sources) {
+    m.heavy_hitter_sources = traffic.heavy_hitter_sources;
+  }
+  m.unique_counter_cap =
+      std::min(m.unique_counter_cap, traffic.unique_counter_cap);
+}
+
+const LetterDayMetrics& DailyAccumulator::metrics(int letter_index,
+                                                  int day) const {
+  const auto it = days_.find({letter_index, day});
+  return it == days_.end() ? empty_ : it->second;
+}
+
+bool DailyAccumulator::has(int letter_index, int day) const {
+  return days_.contains({letter_index, day});
+}
+
+}  // namespace rootstress::rssac

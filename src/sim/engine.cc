@@ -1,0 +1,649 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dns/chaos.h"
+#include "dns/rrl.h"
+#include "dns/wire.h"
+#include "anycast/defense.h"
+#include "util/logging.h"
+
+namespace rootstress::sim {
+
+namespace {
+
+constexpr int kHeavyHitters = 200;
+
+std::string identity_key(char letter, std::string_view code) {
+  std::string key(1, letter);
+  key += '-';
+  key += code;
+  return key;
+}
+
+std::size_t bins_for(net::SimTime start, net::SimTime end,
+                     net::SimTime width) {
+  const auto span = (end - start).ms;
+  return static_cast<std::size_t>((span + width.ms - 1) / width.ms);
+}
+
+}  // namespace
+
+int SimulationResult::service_index(char letter) const noexcept {
+  for (std::size_t i = 0; i < letter_chars.size(); ++i) {
+    if (letter_chars[i] == letter) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const SiteMeta* SimulationResult::find_site(
+    char letter, std::string_view code) const noexcept {
+  for (const auto& site : sites) {
+    if (site.letter == letter && site.code == code) return &site;
+  }
+  return nullptr;
+}
+
+std::vector<int> SimulationResult::sites_of(char letter) const {
+  std::vector<int> out;
+  for (const auto& site : sites) {
+    if (site.letter == letter) out.push_back(site.site_id);
+  }
+  return out;
+}
+
+SimulationEngine::SimulationEngine(ScenarioConfig config)
+    : config_(std::move(config)), rng_(config_.seed ^ 0xe6917e) {
+  if (const std::string problem = validate(config_); !problem.empty()) {
+    throw std::invalid_argument("invalid scenario: " + problem);
+  }
+  anycast::RootDeployment::Config dep = config_.deployment;
+  dep.seed = config_.seed;
+  deployment_ = std::make_unique<anycast::RootDeployment>(dep);
+
+  attack::BotnetConfig bot = config_.botnet;
+  bot.seed = config_.seed ^ 0xb07;
+  botnet_ = attack::Botnet::build(deployment_->topology(), bot);
+
+  attack::LegitConfig leg = config_.legit;
+  leg.seed = config_.seed ^ 0x1e617;
+  legit_ = attack::LegitTraffic::build(deployment_->topology(), leg);
+
+  atlas::PopulationConfig pop = config_.population;
+  pop.seed = config_.seed ^ 0xa71a5;
+  vps_ = atlas::make_population(deployment_->topology(), pop);
+
+  // Which services do Atlas VPs probe?
+  const auto& services = deployment_->services();
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const char letter = services[s].letter;
+    if (letter == 'N') continue;  // .nl is not probed by the root mesh
+    if (!config_.probe_letters.empty() &&
+        std::find(config_.probe_letters.begin(), config_.probe_letters.end(),
+                  letter) == config_.probe_letters.end()) {
+      continue;
+    }
+    probed_services_.push_back(static_cast<int>(s));
+  }
+  probe_interval_ms_.assign(services.size(), 240'000);
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    if (services[s].letter_index >= 0) {
+      const auto& cfg = deployment_->letters()[static_cast<std::size_t>(
+          services[s].letter_index)];
+      probe_interval_ms_[s] =
+          static_cast<std::int64_t>(cfg.probe_interval_s * 1000.0);
+    }
+  }
+
+  for (int id = 0; id < deployment_->site_count(); ++id) {
+    const auto& site = deployment_->site(id);
+    site_by_identity_[identity_key(site.letter(), site.code())] = id;
+  }
+
+  if (config_.enable_collector) {
+    bgp::CollectorConfig cc = config_.collector;
+    cc.seed = config_.seed ^ 0xc011ec;
+    collector_.emplace(deployment_->topology(), cc,
+                       static_cast<int>(services.size()), config_.start,
+                       config_.bin_width,
+                       bins_for(config_.start, config_.end, config_.bin_width));
+  }
+  prev_failed_legit_.assign(services.size(), 0.0);
+}
+
+SimulationResult SimulationEngine::run() {
+  SimulationResult result;
+  result.start = config_.start;
+  result.end = config_.end;
+  result.bin_width = config_.bin_width;
+  result.probe_window = config_.probe_window;
+  result.resolver_pool = config_.legit.resolver_pool;
+
+  const auto& services = deployment_->services();
+  const std::size_t bins = bins_for(config_.start, config_.end,
+                                    config_.bin_width);
+  for (const auto& svc : services) {
+    result.letter_chars.push_back(svc.letter);
+    result.service_offered_qps.emplace_back(config_.start.ms,
+                                            config_.bin_width.ms, bins);
+    result.service_served_qps.emplace_back(config_.start.ms,
+                                           config_.bin_width.ms, bins);
+    result.service_served_legit_qps.emplace_back(config_.start.ms,
+                                                 config_.bin_width.ms, bins);
+    result.service_failed_legit_qps.emplace_back(config_.start.ms,
+                                                 config_.bin_width.ms, bins);
+  }
+  for (int id = 0; id < deployment_->site_count(); ++id) {
+    const auto& site = deployment_->site(id);
+    SiteMeta meta;
+    meta.site_id = id;
+    meta.letter = site.letter();
+    meta.code = site.code();
+    meta.label = site.label();
+    meta.facility = site.facility();
+    meta.capacity_qps = site.spec().capacity_qps;
+    meta.global = site.spec().global;
+    meta.location = site.location();
+    meta.servers = site.server_count();
+    result.sites.push_back(std::move(meta));
+    result.site_served_qps.emplace_back(config_.start.ms,
+                                        config_.bin_width.ms, bins);
+    result.site_offered_attack_qps.emplace_back(config_.start.ms,
+                                                config_.bin_width.ms, bins);
+    result.site_loss_fraction.emplace_back(config_.start.ms,
+                                           config_.bin_width.ms, bins);
+  }
+  result.vps = vps_;
+  for (const auto& cfg : deployment_->letters()) {
+    if (cfg.rssac_reporting) {
+      result.rssac_publishers.push_back(rssac::Publisher{
+          cfg.letter, result.service_index(cfg.letter)});
+    }
+  }
+
+  deployment_->routing().set_observer(
+      [this, &result](int prefix, const std::vector<bgp::RouteChange>& changes) {
+        result.route_changes.insert(result.route_changes.end(),
+                                    changes.begin(), changes.end());
+        if (collector_) collector_->observe(prefix, changes);
+      });
+
+  atlas::RecordSet raw;
+  if (config_.collect_records) {
+    // Rough pre-size: probes per (VP, letter) across the probe window.
+    const double window_s = (config_.probe_window.end -
+                             config_.probe_window.begin).seconds();
+    std::size_t expected = 0;
+    for (int s : probed_services_) {
+      expected += vps_.size() *
+                  static_cast<std::size_t>(std::max(
+                      1.0, window_s / (static_cast<double>(
+                                          probe_interval_ms_[s]) /
+                                      1000.0)));
+    }
+    raw.reserve(expected + expected / 8);
+  }
+
+  const net::SimTime step = config_.step;
+  for (net::SimTime t = config_.start; t < config_.end; t = t + step) {
+    // Maintenance flaps come back up first.
+    for (std::size_t i = 0; i < pending_reannounce_.size();) {
+      if (pending_reannounce_[i].when <= t) {
+        const int id = pending_reannounce_[i].site_id;
+        auto& site = deployment_->site(id);
+        if (!site.policy_state().withdrawn()) {
+          deployment_->apply_scope(id,
+                                   site.spec().global
+                                       ? anycast::SiteScope::kGlobal
+                                       : anycast::SiteScope::kLocalOnly,
+                                   t);
+        }
+        pending_reannounce_.erase(pending_reannounce_.begin() +
+                                  static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    active_event_ = config_.schedule.active(t);
+    deployment_->facilities().begin_step();
+
+    // Pass 1: where does traffic land, and what does it put on shared
+    // uplinks?
+    current_loads_.clear();
+    current_loads_.reserve(services.size());
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      const auto& svc = services[s];
+      const bool attacked =
+          active_event_ != nullptr && svc.letter_index >= 0 &&
+          deployment_->letters()[static_cast<std::size_t>(svc.letter_index)]
+              .attacked;
+      double attack_qps = attacked ? active_event_->per_letter_qps : 0.0;
+      if (!attacked && active_event_ != nullptr && svc.letter_index >= 0) {
+        // Spillover: spared letters still see a sliver of the (spoofed)
+        // attack stream.
+        attack_qps = active_event_->per_letter_qps *
+                     active_event_->spillover_fraction;
+      }
+      // Retries from other letters' failures last step (resolver
+      // failover; .nl neither receives nor generates root retries).
+      double retry_in = 0.0;
+      if (svc.letter != 'N') {
+        for (std::size_t o = 0; o < services.size(); ++o) {
+          if (o == s || services[o].letter == 'N') continue;
+          retry_in += prev_failed_legit_[o] * config_.legit.retry_fraction /
+                      12.0;
+        }
+      }
+      const double legit_qps = config_.legit.per_letter_qps + retry_in;
+      current_loads_.push_back(compute_service_load(
+          *deployment_, svc, botnet_, legit_, attack_qps, legit_qps));
+
+      const double q_payload = active_event_ != nullptr && attacked
+                                   ? active_event_->query_payload_bytes
+                                   : config_.legit.query_payload_bytes;
+      const double r_payload = active_event_ != nullptr && attacked
+                                   ? active_event_->response_payload_bytes
+                                   : config_.legit.response_payload_bytes;
+      const double suppression =
+          attacked ? dns::expected_suppression(
+                         active_event_->duplicate_fraction)
+                   : 0.0;
+      for (int id : svc.site_ids) {
+        const auto& load = current_loads_.back();
+        const double offered =
+            load.attack_qps[static_cast<std::size_t>(id)] +
+            load.legit_qps[static_cast<std::size_t>(id)];
+        const auto& site = deployment_->site(id);
+        if (offered > 0.0 && site.facility() >= 0) {
+          deployment_->facilities().add_load(
+              site.facility(), site_uplink_gbps(site, offered, q_payload,
+                                                r_payload, suppression));
+        }
+      }
+    }
+
+    // Pass 2: evaluate every site's queue with its facility's shared
+    // loss, and record the fluid series.
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      const auto& svc = services[s];
+      const auto& load = current_loads_[s];
+      double offered_total = load.unrouted_attack + load.unrouted_legit;
+      double served_total = 0.0;
+      double served_legit = 0.0;
+      double failed_legit = load.unrouted_legit;
+      for (int id : svc.site_ids) {
+        auto& site = deployment_->site(id);
+        const double attack = load.attack_qps[static_cast<std::size_t>(id)];
+        const double lq = load.legit_qps[static_cast<std::size_t>(id)];
+        const double shared = site.facility() >= 0
+                                  ? deployment_->facilities().shared_loss(
+                                        site.facility())
+                                  : 0.0;
+        site.begin_step(attack, lq, shared, t);
+        const double offered = attack + lq;
+        const double served = offered * (1.0 - site.arrival_loss());
+        offered_total += offered;
+        served_total += served;
+        served_legit += lq * (1.0 - site.arrival_loss());
+        failed_legit += lq * site.arrival_loss();
+        result.site_served_qps[static_cast<std::size_t>(id)].add(t.ms, served);
+        result.site_offered_attack_qps[static_cast<std::size_t>(id)].add(
+            t.ms, attack);
+        result.site_loss_fraction[static_cast<std::size_t>(id)].add(
+            t.ms, site.arrival_loss());
+      }
+      result.service_offered_qps[s].add(t.ms, offered_total);
+      result.service_served_qps[s].add(t.ms, served_total);
+      result.service_served_legit_qps[s].add(t.ms, served_legit);
+      result.service_failed_legit_qps[s].add(t.ms, failed_legit);
+      prev_failed_legit_[s] = failed_legit;
+    }
+
+    if (config_.collect_rssac) record_rssac(t, result);
+
+    if (config_.collect_records &&
+        config_.probe_window.begin < t + step &&
+        t < config_.probe_window.end) {
+      run_probes(t, raw);
+    }
+
+    if (config_.adaptive_defense) {
+      apply_adaptive_defense(t);
+    } else {
+      apply_policy_step(t, result);
+    }
+    update_h_root_backup(t);
+
+    // Background maintenance churn.
+    if (rng_.chance(config_.maintenance_flap_per_step)) {
+      const int id =
+          static_cast<int>(rng_.below(
+              static_cast<std::uint64_t>(deployment_->site_count())));
+      auto& site = deployment_->site(id);
+      const auto normal = site.spec().global ? anycast::SiteScope::kGlobal
+                                             : anycast::SiteScope::kLocalOnly;
+      if (site.scope() == normal && !site.policy_state().withdrawn()) {
+        deployment_->apply_scope(id, anycast::SiteScope::kDown, t);
+        pending_reannounce_.push_back(
+            PendingReannounce{id, t + net::SimTime::from_minutes(10)});
+      }
+    }
+  }
+
+  // Data cleaning (§2.4.1): firmware + hijack rules.
+  const auto keep = atlas::select_vps(vps_, raw, &result.cleaning);
+  result.records = atlas::filter_records(raw, keep, &result.cleaning);
+
+  if (collector_) {
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      result.collector_series.push_back(
+          collector_->series(services[s].prefix));
+    }
+  }
+  return result;
+}
+
+void SimulationEngine::record_rssac(net::SimTime now,
+                                    SimulationResult& result) {
+  const auto& services = deployment_->services();
+  const double step_s = config_.step.seconds();
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto& svc = services[s];
+    if (svc.letter_index < 0) continue;  // .nl does not publish RSSAC
+    const auto& cfg =
+        deployment_->letters()[static_cast<std::size_t>(svc.letter_index)];
+    const auto& load = current_loads_[s];
+
+    double attack_recv = 0.0, legit_recv = 0.0;
+    for (int id : svc.site_ids) {
+      const auto& site = deployment_->site(id);
+      const double pass = 1.0 - site.arrival_loss();
+      attack_recv += load.attack_qps[static_cast<std::size_t>(id)] * pass;
+      legit_recv += load.legit_qps[static_cast<std::size_t>(id)] * pass;
+    }
+
+    const bool under_attack = active_event_ != nullptr && cfg.attacked;
+    const double metering =
+        under_attack ? 1.0 - cfg.rssac_metering_loss : 1.0;
+
+    if (attack_recv > 0.0 && active_event_ != nullptr) {
+      rssac::StepTraffic traffic;
+      traffic.queries_received = attack_recv * step_s;
+      traffic.responses_sent =
+          attack_recv *
+          (1.0 - dns::expected_suppression(active_event_->duplicate_fraction)) *
+          step_s;
+      traffic.random_source_queries =
+          attack_recv * botnet_.config().spoof_uniform_fraction * step_s;
+      traffic.query_payload_bytes = active_event_->query_payload_bytes;
+      traffic.response_payload_bytes = active_event_->response_payload_bytes;
+      traffic.metering_factor = metering;
+      traffic.heavy_hitter_sources = kHeavyHitters;
+      traffic.unique_counter_cap = cfg.unique_counter_cap;
+      result.rssac.add_step(svc.letter_index, now, traffic);
+    }
+    {
+      rssac::StepTraffic traffic;
+      traffic.queries_received = legit_recv * step_s;
+      traffic.responses_sent = legit_recv * step_s;
+      traffic.resolver_queries = legit_recv * step_s;
+      traffic.query_payload_bytes = config_.legit.query_payload_bytes;
+      traffic.response_payload_bytes = config_.legit.response_payload_bytes;
+      traffic.metering_factor = metering;
+      traffic.unique_counter_cap = cfg.unique_counter_cap;
+      result.rssac.add_step(svc.letter_index, now, traffic);
+    }
+  }
+}
+
+void SimulationEngine::run_probes(net::SimTime step_begin,
+                                  atlas::RecordSet& raw) {
+  const net::SimTime step_end = step_begin + config_.step;
+  for (int s : probed_services_) {
+    const auto& svc = deployment_->services()[static_cast<std::size_t>(s)];
+    const auto& routes = deployment_->routing().routes(svc.prefix);
+    const std::int64_t interval = probe_interval_ms_[static_cast<std::size_t>(s)];
+    for (const auto& vp : vps_) {
+      // Per-(VP, letter) phase spread across the whole probing interval,
+      // so infrequently probed letters (A at 30 min) still cover every
+      // analysis bin with a subset of VPs.
+      const std::int64_t phase = static_cast<std::int64_t>(
+          util::mix64(static_cast<std::uint64_t>(vp.phase_ms) * 131 +
+                      static_cast<std::uint64_t>(s)) %
+          static_cast<std::uint64_t>(interval));
+      // First probe time >= step_begin on this VP's schedule.
+      std::int64_t offset = (step_begin.ms - phase) % interval;
+      if (offset < 0) offset += interval;
+      std::int64_t tp = step_begin.ms + ((interval - offset) % interval);
+      for (; tp < step_end.ms; tp += interval) {
+        const net::SimTime when(tp);
+        if (!config_.probe_window.contains(when)) continue;
+        probe_once(vp, s, routes, when, raw);
+      }
+    }
+  }
+}
+
+void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
+                                  int service_index,
+                                  const std::vector<bgp::RouteChoice>& routes,
+                                  net::SimTime when, atlas::RecordSet& raw) {
+  const auto& svc =
+      deployment_->services()[static_cast<std::size_t>(service_index)];
+  atlas::ProbeRecord rec;
+  rec.vp = static_cast<std::uint32_t>(vp.id);
+  rec.t_s = static_cast<std::uint32_t>(when.ms / 1000);
+  rec.letter_index = static_cast<std::uint8_t>(service_index);
+  rec.outcome = atlas::ProbeOutcome::kTimeout;
+  rec.site_id = -1;
+
+  if (vp.hijacked) {
+    // A middlebox answers locally: wrong pattern, implausibly fast.
+    rec.outcome = atlas::ProbeOutcome::kError;
+    rec.rtt_ms = static_cast<std::uint16_t>(2 + rng_.below(4));
+    raw.push_back(rec);
+    return;
+  }
+
+  const auto& route = routes[static_cast<std::size_t>(vp.as_index)];
+  if (!route.reachable()) {
+    raw.push_back(rec);  // no route: query never arrives
+    return;
+  }
+  auto& site = deployment_->site(route.site_id);
+
+  const std::uint16_t id = static_cast<std::uint16_t>(
+      (static_cast<std::uint64_t>(vp.id) * 31 + rec.t_s) & 0xffff);
+  const auto query_wire = dns::encode(dns::make_chaos_query(id));
+  const auto reply = site.probe(vp.address, query_wire, when, rng_);
+  if (!reply.answered) {
+    raw.push_back(rec);
+    return;
+  }
+  const double base =
+      net::base_rtt_ms(vp.location, site.location()) * rng_.uniform(0.95, 1.1);
+  const double rtt = base + reply.extra_delay_ms;
+  if (rtt >= atlas::kTimeoutMs) {
+    raw.push_back(rec);  // reply arrived after the Atlas timeout
+    return;
+  }
+  rec.rtt_ms = static_cast<std::uint16_t>(
+      std::min(rtt, 65535.0));
+
+  const auto response = dns::decode(reply.wire);
+  if (!response || response->answers.empty()) {
+    rec.outcome = atlas::ProbeOutcome::kError;
+    raw.push_back(rec);
+    return;
+  }
+  rec.rcode = static_cast<std::uint8_t>(response->header.rcode);
+  const auto txt = response->answers.front().txt_value();
+  const auto identity =
+      txt ? dns::parse_identity(svc.letter, *txt) : std::nullopt;
+  if (!identity) {
+    rec.outcome = atlas::ProbeOutcome::kError;
+    raw.push_back(rec);
+    return;
+  }
+  const auto it =
+      site_by_identity_.find(identity_key(identity->letter, identity->site));
+  if (it == site_by_identity_.end()) {
+    rec.outcome = atlas::ProbeOutcome::kError;
+    raw.push_back(rec);
+    return;
+  }
+  rec.outcome = atlas::ProbeOutcome::kSite;
+  rec.site_id = static_cast<std::int16_t>(it->second);
+  rec.server = static_cast<std::uint8_t>(identity->server);
+  raw.push_back(rec);
+}
+
+void SimulationEngine::apply_adaptive_defense(net::SimTime now) {
+  // The §2.2 reasoning applied live, per letter: withdraw an overloaded
+  // site only while the letter's remaining sites have headroom for its
+  // catchment; otherwise keep it up as a degraded absorber. Withdrawn
+  // sites see no traffic, so their would-be load is remembered from the
+  // moment of withdrawal and slowly decayed — the hysteresis that keeps
+  // the controller from flapping (the paper's warning that "the effects
+  // of route changes are difficult to predict" is real: without this the
+  // controller oscillates every step).
+  constexpr double kDecayPerStep = 0.995;
+  constexpr net::SimTime kCoolDown = net::SimTime::from_minutes(20);
+  if (adaptive_last_offered_.empty()) {
+    adaptive_last_offered_.assign(
+        static_cast<std::size_t>(deployment_->site_count()), 0.0);
+    adaptive_last_change_.assign(
+        static_cast<std::size_t>(deployment_->site_count()),
+        net::SimTime(-3600'000));
+  }
+  const auto& services = deployment_->services();
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto& svc = services[s];
+    if (svc.letter_index < 0) continue;  // .nl keeps its own policy
+    const auto& load = current_loads_[s];
+    std::vector<double> capacity, offered;
+    capacity.reserve(svc.site_ids.size());
+    offered.reserve(svc.site_ids.size());
+    for (const int id : svc.site_ids) {
+      const auto& site = deployment_->site(id);
+      capacity.push_back(site.spec().capacity_qps);
+      const double observed =
+          load.attack_qps[static_cast<std::size_t>(id)] +
+          load.legit_qps[static_cast<std::size_t>(id)];
+      auto& remembered = adaptive_last_offered_[static_cast<std::size_t>(id)];
+      if (site.scope() == anycast::SiteScope::kDown || observed < remembered) {
+        remembered *= kDecayPerStep;  // withdrawn (or shrinking): decay
+      }
+      remembered = std::max(remembered, observed);
+      offered.push_back(remembered);
+    }
+    const auto advice = anycast::advise(capacity, offered);
+    for (const auto& a : advice) {
+      const int id = svc.site_ids[static_cast<std::size_t>(a.site_index)];
+      auto& site = deployment_->site(id);
+      if (now - adaptive_last_change_[static_cast<std::size_t>(id)] <
+          kCoolDown) {
+        continue;  // operators do not re-decide every minute
+      }
+      const auto normal = site.spec().global ? anycast::SiteScope::kGlobal
+                                             : anycast::SiteScope::kLocalOnly;
+      const auto before = site.scope();
+      switch (a.action) {
+        case anycast::AdvisedAction::kWithdraw:
+          deployment_->apply_scope(id, anycast::SiteScope::kDown, now);
+          break;
+        case anycast::AdvisedAction::kPartialWithdraw:
+          deployment_->apply_scope(
+              id,
+              site.spec().global ? anycast::SiteScope::kLocalOnly
+                                 : anycast::SiteScope::kDown,
+              now);
+          break;
+        case anycast::AdvisedAction::kAbsorb:
+        case anycast::AdvisedAction::kNoAction:
+          deployment_->apply_scope(id, normal, now);
+          break;
+      }
+      if (site.scope() != before) {
+        adaptive_last_change_[static_cast<std::size_t>(id)] = now;
+      }
+    }
+  }
+}
+
+void SimulationEngine::apply_policy_step(net::SimTime now,
+                                         SimulationResult& result) {
+  (void)result;
+  for (int id = 0; id < deployment_->site_count(); ++id) {
+    auto& site = deployment_->site(id);
+    const auto action = site.policy_state().step(
+        site.outcome().utilization, site.arrival_loss(), now, config_.step,
+        rng_);
+    switch (action) {
+      case anycast::PolicyAction::kNone:
+        break;
+      case anycast::PolicyAction::kWithdraw: {
+        // A letter's last globally announced site never withdraws: the
+        // operator keeps it up as a degraded absorber (case 5 of §2.2)
+        // rather than blackhole the whole service. Primary/backup letters
+        // are exempt: their fallback is administratively down by design.
+        const auto& svc_of_site = deployment_->service(site.letter());
+        const bool has_backup =
+            svc_of_site.letter_index >= 0 &&
+            deployment_->letters()[static_cast<std::size_t>(
+                svc_of_site.letter_index)].primary_backup;
+        if (site.scope() == anycast::SiteScope::kGlobal && !has_backup) {
+          int global_sites = 0;
+          for (int other : deployment_->service(site.letter()).site_ids) {
+            if (deployment_->site(other).scope() ==
+                anycast::SiteScope::kGlobal) {
+              ++global_sites;
+            }
+          }
+          if (global_sites <= 1) {
+            site.policy_state().veto_withdrawal();
+            break;
+          }
+        }
+        const bool partial =
+            site.policy_state().policy().partial_withdraw && site.spec().global;
+        deployment_->apply_scope(id,
+                                 partial ? anycast::SiteScope::kLocalOnly
+                                         : anycast::SiteScope::kDown,
+                                 now);
+        break;
+      }
+      case anycast::PolicyAction::kReannounce:
+        deployment_->apply_scope(id,
+                                 site.spec().global
+                                     ? anycast::SiteScope::kGlobal
+                                     : anycast::SiteScope::kLocalOnly,
+                                 now);
+        break;
+    }
+  }
+}
+
+void SimulationEngine::update_h_root_backup(net::SimTime now) {
+  const auto& services = deployment_->services();
+  for (const auto& svc : services) {
+    if (svc.letter_index < 0) continue;
+    const auto& cfg =
+        deployment_->letters()[static_cast<std::size_t>(svc.letter_index)];
+    if (!cfg.primary_backup || svc.site_ids.size() < 2) continue;
+    auto& primary = deployment_->site(svc.site_ids[0]);
+    auto& backup = deployment_->site(svc.site_ids[1]);
+    const bool primary_up = primary.scope() == anycast::SiteScope::kGlobal;
+    if (!primary_up && backup.scope() == anycast::SiteScope::kDown) {
+      deployment_->apply_scope(backup.site_id(), anycast::SiteScope::kGlobal,
+                               now);
+    } else if (primary_up && backup.scope() != anycast::SiteScope::kDown) {
+      deployment_->apply_scope(backup.site_id(), anycast::SiteScope::kDown,
+                               now);
+    }
+  }
+}
+
+}  // namespace rootstress::sim

@@ -1,0 +1,140 @@
+// The simulation engine: couples attack traffic, BGP routing, anycast
+// sites, Atlas probing, the route collector, and RSSAC accounting into
+// one deterministic run, and returns everything the paper's analyses
+// consume.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anycast/deployment.h"
+#include "atlas/cleaning.h"
+#include "atlas/population.h"
+#include "atlas/record.h"
+#include "attack/botnet.h"
+#include "attack/traffic.h"
+#include "bgp/collector.h"
+#include "net/geo.h"
+#include "rssac/metrics.h"
+#include "rssac/report.h"
+#include "sim/fluid.h"
+#include "sim/scenario.h"
+#include "util/time_series.h"
+
+namespace rootstress::sim {
+
+/// Immutable description of one site, copied out of the deployment so
+/// analyses do not need the live engine.
+struct SiteMeta {
+  int site_id = -1;
+  char letter = '?';
+  std::string code;
+  std::string label;  ///< "K-AMS"
+  int facility = -1;
+  double capacity_qps = 0.0;
+  bool global = true;
+  net::GeoPoint location{};
+  int servers = 0;
+};
+
+/// Everything a run produces.
+struct SimulationResult {
+  net::SimTime start{};
+  net::SimTime end{};
+  net::SimTime bin_width{};
+  net::SimInterval probe_window{};
+
+  /// Letter characters by service index ('A'..'M', then 'N' for .nl).
+  std::vector<char> letter_chars;
+  std::vector<SiteMeta> sites;
+  std::vector<atlas::VantagePoint> vps;
+
+  /// Cleaned measurement records (cleaning stats alongside).
+  atlas::RecordSet records;
+  atlas::CleaningStats cleaning{};
+
+  /// Per-service fluid series over the whole span (value = q/s means).
+  std::vector<util::BinnedSeries> service_offered_qps;
+  std::vector<util::BinnedSeries> service_served_qps;
+  std::vector<util::BinnedSeries> service_served_legit_qps;
+  std::vector<util::BinnedSeries> service_failed_legit_qps;
+
+  /// Per-site fluid series (q/s means) over the whole span.
+  std::vector<util::BinnedSeries> site_served_qps;
+  std::vector<util::BinnedSeries> site_offered_attack_qps;
+  std::vector<util::BinnedSeries> site_loss_fraction;
+
+  /// Full route-change log plus the collector's per-service series.
+  std::vector<bgp::RouteChange> route_changes;
+  std::vector<util::BinnedSeries> collector_series;
+
+  /// RSSAC accounting (letters only; .nl is not a root letter).
+  rssac::DailyAccumulator rssac{13};
+  std::vector<rssac::Publisher> rssac_publishers;
+  double resolver_pool = 0.0;
+
+  /// Service index for a letter char; -1 if absent.
+  int service_index(char letter) const noexcept;
+  /// Site metadata by (letter, code); nullptr if absent.
+  const SiteMeta* find_site(char letter, std::string_view code) const noexcept;
+  /// All site ids of one letter.
+  std::vector<int> sites_of(char letter) const;
+};
+
+/// Runs one scenario.
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(ScenarioConfig config);
+
+  /// Executes the run; call once per engine.
+  SimulationResult run();
+
+  const anycast::RootDeployment& deployment() const noexcept {
+    return *deployment_;
+  }
+
+ private:
+  struct PendingReannounce {
+    int site_id = -1;
+    net::SimTime when{};
+  };
+
+  void apply_policy_step(net::SimTime now, SimulationResult& result);
+  void apply_adaptive_defense(net::SimTime now);
+  void update_h_root_backup(net::SimTime now);
+  void run_probes(net::SimTime step_begin, atlas::RecordSet& raw);
+  void record_rssac(net::SimTime now, SimulationResult& result);
+  void probe_once(const atlas::VantagePoint& vp, int service_index,
+                  const std::vector<bgp::RouteChoice>& routes,
+                  net::SimTime when, atlas::RecordSet& raw);
+
+  ScenarioConfig config_;
+  std::unique_ptr<anycast::RootDeployment> deployment_;
+  attack::Botnet botnet_;
+  attack::LegitTraffic legit_;
+  std::vector<atlas::VantagePoint> vps_;
+  std::optional<bgp::RouteCollector> collector_;
+  util::Rng rng_;
+
+  // Per-letter legit failures from the previous step (drives retries /
+  // letter flips).
+  std::vector<double> prev_failed_legit_;
+  std::vector<PendingReannounce> pending_reannounce_;
+  std::vector<int> probed_services_;           ///< service indices probed
+  std::vector<std::int64_t> probe_interval_ms_;  ///< per service
+  std::vector<ServiceLoad> current_loads_;
+  const attack::AttackEvent* active_event_ = nullptr;
+  /// (letter, code) -> site id for CHAOS reply mapping.
+  std::unordered_map<std::string, int> site_by_identity_;
+  /// Adaptive defense: last meaningful offered load per site, used as the
+  /// would-be load of withdrawn sites (slowly decayed) so the controller
+  /// does not flap between withdraw and re-announce.
+  std::vector<double> adaptive_last_offered_;
+  /// Per-site time of the controller's last scope change (20-min
+  /// cool-down between decisions).
+  std::vector<net::SimTime> adaptive_last_change_;
+};
+
+}  // namespace rootstress::sim

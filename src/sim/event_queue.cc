@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+namespace rootstress::sim {
+
+void EventQueue::schedule_at(net::SimTime when, Handler handler) {
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_in(net::SimTime delay, Handler handler) {
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::size_t EventQueue::run_until(net::SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && !(until < queue_.top().when)) {
+    // Copy out before pop; the handler may schedule more events.
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.handler();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.handler();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace rootstress::sim

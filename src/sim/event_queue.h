@@ -1,0 +1,58 @@
+// A small discrete-event queue.
+//
+// The main engine advances in fixed fluid steps, but tests, examples, and
+// extensions need classic DES scheduling (timers, one-shot events); this
+// provides it with deterministic FIFO ordering among simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/clock.h"
+
+namespace rootstress::sim {
+
+/// Deterministic discrete-event queue.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `when` (>= now, else clamped to
+  /// now).
+  void schedule_at(net::SimTime when, Handler handler);
+
+  /// Schedules after a delay from the current time.
+  void schedule_in(net::SimTime delay, Handler handler);
+
+  /// Runs events in time order until the queue empties or `until` is
+  /// passed (events at exactly `until` run). Returns events executed.
+  std::size_t run_until(net::SimTime until);
+
+  /// Runs everything.
+  std::size_t run_all();
+
+  net::SimTime now() const noexcept { return now_; }
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Entry {
+    net::SimTime when;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return b.when < a.when;
+      return b.seq < a.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  net::SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace rootstress::sim

@@ -1,0 +1,47 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+
+#include "net/packet.h"
+
+namespace rootstress::sim {
+
+ServiceLoad compute_service_load(const anycast::RootDeployment& deployment,
+                                 const anycast::ServiceInfo& service,
+                                 const attack::Botnet& botnet,
+                                 const attack::LegitTraffic& legit,
+                                 double attack_total_qps,
+                                 double legit_total_qps) {
+  ServiceLoad load;
+  const auto& routes = deployment.routing().routes(service.prefix);
+  const int site_count = deployment.site_count();
+  if (attack_total_qps > 0.0) {
+    load.attack_qps = botnet.attack_by_site(routes, attack_total_qps,
+                                            site_count, &load.unrouted_attack);
+  } else {
+    load.attack_qps.assign(static_cast<std::size_t>(site_count), 0.0);
+  }
+  load.legit_qps = legit.legit_by_site(routes, legit_total_qps, site_count,
+                                       &load.unrouted_legit);
+  return load;
+}
+
+double site_uplink_gbps(const anycast::AnycastSite& site, double offered_qps,
+                        double query_payload_bytes,
+                        double response_payload_bytes,
+                        double response_suppression) {
+  const double ingress_bps =
+      offered_qps *
+      static_cast<double>(net::wire_bytes(
+          static_cast<std::size_t>(query_payload_bytes))) *
+      8.0;
+  const double served = std::min(offered_qps, site.spec().capacity_qps);
+  const double egress_bps =
+      served * (1.0 - std::clamp(response_suppression, 0.0, 1.0)) *
+      static_cast<double>(net::wire_bytes(
+          static_cast<std::size_t>(response_payload_bytes))) *
+      8.0;
+  return (ingress_bps + egress_bps) / 1e9;
+}
+
+}  // namespace rootstress::sim

@@ -1,0 +1,60 @@
+#include "sim/scenario.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "attack/events2015.h"
+
+namespace rootstress::sim {
+
+ScenarioConfig november_2015_scenario(int vp_count, double attack_qps,
+                                      bool include_baseline_week) {
+  ScenarioConfig config;
+  config.population.vp_count = vp_count;
+  config.schedule = attack::events_of_november_2015(attack_qps);
+  config.start = include_baseline_week ? net::SimTime::from_hours(-7 * 24)
+                                       : net::SimTime(0);
+  config.end = net::SimTime::from_hours(48);
+  config.probe_window =
+      net::SimInterval{net::SimTime(0), net::SimTime::from_hours(48)};
+  return config;
+}
+
+ScenarioConfig quiet_days_scenario(int vp_count) {
+  ScenarioConfig config;
+  config.population.vp_count = vp_count;
+  // No schedule: quiet days. Same deployment/measurement as the event
+  // scenario so per-site medians are comparable.
+  return config;
+}
+
+std::string validate(const ScenarioConfig& config) {
+  if (!(config.start < config.end)) {
+    return "scenario span is empty (start >= end)";
+  }
+  if (config.step.ms <= 0) return "step must be positive";
+  if (config.bin_width.ms <= 0) return "bin width must be positive";
+  if (config.step.ms > config.bin_width.ms) {
+    return "step must not exceed the analysis bin width";
+  }
+  if (config.population.vp_count < 0) return "negative VP count";
+  if (config.probe_window.end < config.probe_window.begin) {
+    return "probe window ends before it begins";
+  }
+  for (const auto& event : config.schedule.events()) {
+    if (!(event.when.begin < event.when.end)) {
+      return "attack event has a non-positive duration";
+    }
+    if (event.per_letter_qps < 0.0) return "negative attack rate";
+  }
+  return {};
+}
+
+int vp_count_from_env(int fallback) {
+  const char* env = std::getenv("ROOTSTRESS_VPS");
+  if (env == nullptr) return fallback;
+  const int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
+
+}  // namespace rootstress::sim

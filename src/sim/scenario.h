@@ -1,0 +1,80 @@
+// Scenario configuration: what to simulate and what to measure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/deployment.h"
+#include "atlas/population.h"
+#include "attack/botnet.h"
+#include "attack/schedule.h"
+#include "attack/traffic.h"
+#include "bgp/collector.h"
+#include "net/clock.h"
+
+namespace rootstress::sim {
+
+/// Everything a simulation run needs.
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+
+  anycast::RootDeployment::Config deployment{};
+  attack::BotnetConfig botnet{};
+  attack::LegitConfig legit{};
+  attack::AttackSchedule schedule{};  ///< empty = quiet days
+
+  /// Simulated span. Negative start covers baseline days before the
+  /// event (RSSAC baselines); time 0 is 2015-11-30T00:00Z.
+  net::SimTime start{0};
+  net::SimTime end = net::SimTime::from_hours(48);
+  net::SimTime step = net::SimTime::from_seconds(60);
+
+  /// Measurement: Atlas population and which letters its VPs probe
+  /// (empty = all thirteen). Probing runs only inside `probe_window`.
+  atlas::PopulationConfig population{};
+  std::vector<char> probe_letters{};
+  net::SimInterval probe_window{net::SimTime(0),
+                                net::SimTime::from_hours(48)};
+  bool collect_records = true;
+
+  /// Analysis bin width (the paper's 10 minutes).
+  net::SimTime bin_width = net::SimTime::from_minutes(10);
+
+  bool collect_rssac = true;
+  bool enable_collector = true;
+  bgp::CollectorConfig collector{};
+
+  /// Background route churn: per-step probability that some random site
+  /// undergoes a short maintenance flap (Fig 9's quiet-period noise).
+  double maintenance_flap_per_step = 0.002;
+
+  /// Adaptive defense (the paper's future-work direction, §2.2/§5): when
+  /// set, an omniscient per-letter controller overrides the sites' own
+  /// stress policies each step, withdrawing exactly the overloaded sites
+  /// whose catchments the rest of the letter can absorb (core::advise).
+  bool adaptive_defense = false;
+};
+
+/// The paper's two-day event scenario: events of Nov 30 and Dec 1 at
+/// `attack_qps` per attacked letter, with `vp_count` vantage points.
+/// `include_baseline_week` extends the span to cover the seven RSSAC
+/// baseline days before the event (probing still covers only the two
+/// event days).
+ScenarioConfig november_2015_scenario(int vp_count = 1200,
+                                      double attack_qps = 5e6,
+                                      bool include_baseline_week = false);
+
+/// Two quiet days with the same deployment and measurement — the paper's
+/// "normal week" control for catchment stability (§3.3.1).
+ScenarioConfig quiet_days_scenario(int vp_count = 1200);
+
+/// Reads ROOTSTRESS_VPS from the environment, else returns `fallback`
+/// (benches use this so users can re-run at full Atlas scale).
+int vp_count_from_env(int fallback);
+
+/// Validates a configuration; returns an empty string when it is usable,
+/// else a description of the first problem. SimulationEngine rejects
+/// invalid configs with std::invalid_argument carrying this message.
+std::string validate(const ScenarioConfig& config);
+
+}  // namespace rootstress::sim

@@ -1,0 +1,17 @@
+#include "sim/scenario_2016.h"
+
+#include "attack/events2016.h"
+
+namespace rootstress::sim {
+
+ScenarioConfig june_2016_scenario(int vp_count, double attack_qps) {
+  ScenarioConfig config;
+  config.population.vp_count = vp_count;
+  config.schedule = attack::events_of_june_2016(attack_qps);
+  config.end = net::SimTime::from_hours(48);
+  config.probe_window =
+      net::SimInterval{net::SimTime(0), net::SimTime::from_hours(48)};
+  return config;
+}
+
+}  // namespace rootstress::sim

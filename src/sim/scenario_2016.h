@@ -1,0 +1,14 @@
+// Scenario factory for the June 25, 2016 follow-up event (§2.3
+// "Generalizing"): the same deployment and pipeline, a differently
+// shaped attack.
+#pragma once
+
+#include "sim/scenario.h"
+
+namespace rootstress::sim {
+
+/// A two-day scenario carrying the single ~3-hour June 2016 pulse.
+ScenarioConfig june_2016_scenario(int vp_count = 1200,
+                                  double attack_qps = 6e6);
+
+}  // namespace rootstress::sim

@@ -1,0 +1,71 @@
+#include "util/hll.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rootstress::util {
+
+namespace {
+double alpha_for(std::size_t m) noexcept {
+  // Bias-correction constants from the HLL paper.
+  if (m == 16) return 0.673;
+  if (m == 32) return 0.697;
+  if (m == 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision < 4 || precision > 18) {
+    throw std::invalid_argument("HyperLogLog precision must be in [4, 18]");
+  }
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add_hashed(std::uint64_t hash) noexcept {
+  const std::uint64_t index = hash >> (64 - precision_);
+  const std::uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits, 1-based.
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
+  auto& reg = registers_[index];
+  reg = std::max<std::uint8_t>(reg, static_cast<std::uint8_t>(rank));
+}
+
+void HyperLogLog::add(std::uint64_t value) noexcept {
+  add_hashed(mix64(value));
+}
+
+double HyperLogLog::estimate() const noexcept {
+  const auto m = static_cast<double>(registers_.size());
+  double inverse_sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha_for(registers_.size()) * m * m / inverse_sum;
+  if (estimate <= 2.5 * m && zeros != 0) {
+    // Small-range correction: linear counting.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+bool HyperLogLog::merge(const HyperLogLog& other) noexcept {
+  if (other.precision_ != precision_) return false;
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return true;
+}
+
+void HyperLogLog::clear() noexcept {
+  std::fill(registers_.begin(), registers_.end(), 0);
+}
+
+}  // namespace rootstress::util

@@ -1,0 +1,47 @@
+// HyperLogLog cardinality estimator.
+//
+// RSSAC-002 reports count unique source IPv4 addresses per day; during the
+// 2015 events letters saw hundreds of millions of (spoofed) sources, far
+// too many to store exactly. RootStress uses HyperLogLog, the same class of
+// sketch production collectors use, so the measurement path exercises a
+// realistic counting mechanism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rootstress::util {
+
+/// HyperLogLog with 2^precision registers (Flajolet et al. 2007, with the
+/// small-range linear-counting correction).
+class HyperLogLog {
+ public:
+  /// precision in [4, 18]; the default (14) gives ~0.8% standard error
+  /// at 16 KiB of state.
+  explicit HyperLogLog(int precision = 14);
+
+  /// Adds a pre-hashed 64-bit item. Items must be hashed (e.g. with
+  /// mix64); inserting raw sequential integers biases the estimate.
+  void add_hashed(std::uint64_t hash) noexcept;
+
+  /// Hashes `value` with mix64 and adds it.
+  void add(std::uint64_t value) noexcept;
+
+  /// Estimated number of distinct items added.
+  double estimate() const noexcept;
+
+  /// Merges another sketch of the same precision (union semantics).
+  /// Returns false (and leaves *this unchanged) on precision mismatch.
+  bool merge(const HyperLogLog& other) noexcept;
+
+  /// Resets to the empty state.
+  void clear() noexcept;
+
+  int precision() const noexcept { return precision_; }
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace rootstress::util

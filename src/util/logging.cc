@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace rootstress::util {
+
+namespace {
+LogLevel initial_level() noexcept {
+  const char* env = std::getenv("ROOTSTRESS_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel>& level_storage() noexcept {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return level_storage().load(); }
+
+void set_log_level(LogLevel level) noexcept { level_storage().store(level); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace rootstress::util

@@ -1,0 +1,46 @@
+// Minimal leveled logging.
+//
+// The simulator is quiet by default; set ROOTSTRESS_LOG=debug|info|warn to
+// trace scenario progress (site withdrawals, BGP session failures, ...).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rootstress::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+/// Current threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+
+/// Overrides the threshold (initially taken from ROOTSTRESS_LOG).
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define RS_LOG_DEBUG ::rootstress::util::detail::LogStream(::rootstress::util::LogLevel::kDebug)
+#define RS_LOG_INFO ::rootstress::util::detail::LogStream(::rootstress::util::LogLevel::kInfo)
+#define RS_LOG_WARN ::rootstress::util::detail::LogStream(::rootstress::util::LogLevel::kWarn)
+
+}  // namespace rootstress::util

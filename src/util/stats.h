@@ -1,0 +1,42 @@
+// Small statistics helpers used throughout the analysis pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rootstress::util {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Median (average of the two central elements for even sizes); 0 if empty.
+/// The input is copied; the caller's data is not reordered.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 if empty.
+double percentile(std::span<const double> xs, double p);
+
+/// Minimum / maximum; 0 for an empty input.
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Pearson correlation coefficient of two equally sized series.
+/// Returns 0 when either series has zero variance or sizes mismatch.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination of the fit
+};
+
+/// Fits a line through (xs[i], ys[i]). Returns a default fit if sizes
+/// mismatch or there are fewer than two points.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace rootstress::util

@@ -1,0 +1,102 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rootstress::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+}
+
+void TextTable::cell(std::string value) {
+  if (rows_.empty()) begin_row();
+  rows_.back().push_back(std::move(value));
+}
+
+void TextTable::cell(const char* value) { cell(std::string(value)); }
+
+void TextTable::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  cell(os.str());
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << v;
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) write_row(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool csv_requested(int argc, char** argv) noexcept {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  const char* env = std::getenv("ROOTSTRESS_CSV");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+void emit(const TextTable& table, const std::string& title, bool csv,
+          std::ostream& os) {
+  if (csv) {
+    table.print_csv(os);
+    return;
+  }
+  os << "== " << title << " ==\n";
+  table.print(os);
+  os << '\n';
+}
+
+}  // namespace rootstress::util

@@ -1,0 +1,59 @@
+// Aligned text tables and CSV emission for the experiment harness.
+//
+// Every bench binary prints its table/figure as an aligned text table (for
+// eyeballing against the paper) and optionally as CSV (for plotting).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace rootstress::util {
+
+/// A simple column-aligned text table. Cells are strings; numeric
+/// convenience overloads format with fixed precision.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent `cell` calls fill it left to right.
+  void begin_row();
+  void cell(std::string value);
+  void cell(const char* value);
+  void cell(double value, int precision = 2);
+
+  /// Any integral value.
+  template <typename T>
+    requires std::is_integral_v<T>
+  void cell(T value) {
+    cell(std::to_string(value));
+  }
+
+  /// Number of data rows so far.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Writes the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (RFC-4180 quoting for cells containing
+  /// commas, quotes, or newlines).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// True when the environment asks benches to emit CSV instead of aligned
+/// text (ROOTSTRESS_CSV=1), or when argv contains "--csv".
+bool csv_requested(int argc, char** argv) noexcept;
+
+/// Prints `table` in the format selected by csv_requested, preceded by a
+/// "== title ==" banner in text mode.
+void emit(const TextTable& table, const std::string& title, bool csv,
+          std::ostream& os);
+
+}  // namespace rootstress::util

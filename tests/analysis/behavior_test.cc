@@ -1,0 +1,107 @@
+#include "analysis/behavior.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::analysis {
+namespace {
+
+// A synthetic world: site 0 withdraws during events, site 1 absorbs
+// (reachable, RTT 20 -> 900 ms), site 2 receives the displaced VPs,
+// site 3 unaffected, site 4 invisible (1 VP).
+struct Fixture {
+  sim::SimulationResult result;
+  atlas::LetterBins bins{40, net::SimTime(0), net::SimTime::from_minutes(10),
+                         24};
+  atlas::RecordSet records;
+  std::vector<std::size_t> event_bins{8, 9, 10, 11};
+
+  Fixture() {
+    const char* codes[] = {"AAA", "BBB", "CCC", "DDD", "EEE"};
+    for (int i = 0; i < 5; ++i) {
+      sim::SiteMeta meta;
+      meta.site_id = i;
+      meta.letter = 'K';
+      meta.code = codes[i];
+      meta.label = std::string("K-") + codes[i];
+      result.sites.push_back(meta);
+    }
+    result.letter_chars = {'A', 'B', 'C', 'D', 'E', 'F', 'G',
+                           'H', 'I', 'J', 'K', 'L', 'M'};
+
+    for (std::size_t b = 0; b < 24; ++b) {
+      const bool event = b >= 8 && b < 12;
+      // Site 0: 10 VPs quiet, 0 during events (withdrawal).
+      for (int vp = 0; vp < (event ? 0 : 10); ++vp) put(vp, b, 0, 30);
+      // Site 1: 10 VPs always, slow during events (absorber).
+      for (int vp = 10; vp < 20; ++vp) put(vp, b, 1, event ? 900 : 20);
+      // Site 2: 10 VPs, +8 more during events (receiver).
+      for (int vp = 20; vp < (event ? 38 : 30); ++vp) put(vp % 40, b, 2, 25);
+      // Site 3: 1 VP only (low visibility) — vp 39.
+      put(39, b, event ? 3 : 3, 15);
+    }
+  }
+
+  void put(int vp, std::size_t bin, int site, double rtt) {
+    atlas::ProbeRecord r;
+    r.vp = static_cast<std::uint32_t>(vp);
+    r.letter_index = 10;  // 'K'
+    r.t_s = static_cast<std::uint32_t>(bin * 600 + 1);
+    r.outcome = atlas::ProbeOutcome::kSite;
+    r.site_id = static_cast<std::int16_t>(site);
+    r.rtt_ms = static_cast<std::uint16_t>(rtt);
+    bins.add(r);
+    records.push_back(r);
+  }
+};
+
+TEST(Behavior, ClassifiesTheFourArchetypes) {
+  Fixture fx;
+  BehaviorThresholds thresholds;
+  thresholds.min_median_vps = 3.0;
+  const auto reports = classify_sites(fx.bins, fx.records, fx.result, 'K',
+                                      fx.event_bins, thresholds);
+  ASSERT_EQ(reports.size(), 5u);
+  EXPECT_EQ(reports[0].behavior, SiteBehavior::kWithdrew) << "K-AAA";
+  EXPECT_EQ(reports[1].behavior, SiteBehavior::kDegradedAbsorber) << "K-BBB";
+  EXPECT_EQ(reports[2].behavior, SiteBehavior::kReceiver) << "K-CCC";
+  EXPECT_EQ(reports[3].behavior, SiteBehavior::kLowVisibility) << "K-DDD";
+  EXPECT_EQ(reports[4].behavior, SiteBehavior::kLowVisibility) << "K-EEE";
+}
+
+TEST(Behavior, EvidenceFieldsPopulated) {
+  Fixture fx;
+  BehaviorThresholds thresholds;
+  thresholds.min_median_vps = 3.0;
+  const auto reports = classify_sites(fx.bins, fx.records, fx.result, 'K',
+                                      fx.event_bins, thresholds);
+  EXPECT_NEAR(reports[0].event_min_fraction, 0.0, 1e-9);
+  EXPECT_NEAR(reports[1].rtt_quiet_ms, 20.0, 1.0);
+  EXPECT_NEAR(reports[1].rtt_event_ms, 900.0, 1.0);
+  EXPECT_GT(reports[2].event_max_fraction, 1.3);
+}
+
+TEST(Behavior, InventoryCounts) {
+  Fixture fx;
+  BehaviorThresholds thresholds;
+  thresholds.min_median_vps = 3.0;
+  const auto reports = classify_sites(fx.bins, fx.records, fx.result, 'K',
+                                      fx.event_bins, thresholds);
+  const auto inv = inventory(reports, 'K');
+  EXPECT_EQ(inv.letter, 'K');
+  EXPECT_EQ(inv.withdrew, 1);
+  EXPECT_EQ(inv.absorbers, 1);
+  EXPECT_EQ(inv.receivers, 1);
+  EXPECT_EQ(inv.low_visibility, 2);
+  EXPECT_EQ(inv.unaffected, 0);
+}
+
+TEST(Behavior, Names) {
+  EXPECT_EQ(to_string(SiteBehavior::kWithdrew), "withdrew");
+  EXPECT_EQ(to_string(SiteBehavior::kDegradedAbsorber), "degraded-absorber");
+  EXPECT_EQ(to_string(SiteBehavior::kReceiver), "receiver");
+  EXPECT_EQ(to_string(SiteBehavior::kUnaffected), "unaffected");
+  EXPECT_EQ(to_string(SiteBehavior::kLowVisibility), "low-visibility");
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

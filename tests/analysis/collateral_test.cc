@@ -1,0 +1,109 @@
+#include "analysis/collateral.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/events2015.h"
+
+namespace rootstress::analysis {
+namespace {
+
+sim::SimulationResult result_with_d_sites() {
+  sim::SimulationResult result;
+  result.start = net::SimTime(0);
+  result.end = net::SimTime::from_hours(48);
+  result.bin_width = net::SimTime::from_minutes(10);
+  auto add = [&result](int id, char letter, const char* code) {
+    sim::SiteMeta meta;
+    meta.site_id = id;
+    meta.letter = letter;
+    meta.code = code;
+    meta.label = std::string(1, letter) + "-" + code;
+    result.sites.push_back(meta);
+  };
+  add(0, 'D', "FRA");
+  add(1, 'D', "ORD");
+  add(2, 'D', "RNO");
+  return result;
+}
+
+TEST(Collateral, EventBinsCoverBothEvents) {
+  const auto result = result_with_d_sites();
+  const auto bins = event_bins_2015(result);
+  ASSERT_FALSE(bins.empty());
+  // Event 1: 06:50-09:30 -> bins 41..56; event 2: 29:10-30:10 -> 175..180.
+  EXPECT_EQ(bins.front(), 41u);
+  EXPECT_TRUE(std::find(bins.begin(), bins.end(), 175u) != bins.end());
+  for (const auto b : bins) {
+    EXPECT_TRUE((b >= 41 && b <= 57) || (b >= 175 && b <= 181)) << b;
+  }
+}
+
+TEST(Collateral, SelectsDippedSitesOnly) {
+  const auto result = result_with_d_sites();
+  const std::size_t total_bins = 48 * 6;
+  atlas::LetterBins grid(100, net::SimTime(0), net::SimTime::from_minutes(10),
+                         total_bins);
+  auto put = [&grid](int vp, std::size_t bin, int site) {
+    atlas::ProbeRecord r;
+    r.vp = static_cast<std::uint32_t>(vp);
+    r.letter_index = 0;
+    r.t_s = static_cast<std::uint32_t>(bin * 600 + 1);
+    r.outcome = atlas::ProbeOutcome::kSite;
+    r.site_id = static_cast<std::int16_t>(site);
+    grid.add(r);
+  };
+  const auto event_bins = event_bins_2015(result);
+  for (std::size_t bin = 0; bin < total_bins; ++bin) {
+    const bool in_event =
+        std::find(event_bins.begin(), event_bins.end(), bin) !=
+        event_bins.end();
+    // Site 0 (D-FRA): 40 VPs normally, 20 during events (50% dip).
+    for (int vp = 0; vp < (in_event ? 20 : 40); ++vp) put(vp, bin, 0);
+    // Site 1 (D-ORD): steady 30 VPs.
+    for (int vp = 40; vp < 70; ++vp) put(vp, bin, 1);
+    // Site 2 (D-RNO): tiny (3 VPs), dips but below the VP floor.
+    for (int vp = 70; vp < (in_event ? 71 : 73); ++vp) put(vp, bin, 2);
+  }
+  const auto affected =
+      collateral_sites(grid, result, 'D', event_bins, 0.10, 20.0);
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0].label, "D-FRA");
+  EXPECT_NEAR(affected[0].worst_fraction, 0.5, 0.05);
+  EXPECT_NEAR(affected[0].median_vps, 40.0, 1.0);
+}
+
+TEST(Collateral, NlSeriesNormalizedAndAnonymized) {
+  sim::SimulationResult result;
+  result.start = net::SimTime(0);
+  result.end = net::SimTime::from_hours(2);
+  result.bin_width = net::SimTime::from_minutes(10);
+  auto add_nl = [&result](int id, const char* code, int facility) {
+    sim::SiteMeta meta;
+    meta.site_id = id;
+    meta.letter = 'N';
+    meta.code = code;
+    meta.label = std::string("N-") + code;
+    meta.facility = facility;
+    result.sites.push_back(meta);
+    result.site_served_qps.emplace_back(0, 600000, 12);
+  };
+  add_nl(0, "LAX", 0);   // co-located
+  add_nl(1, "IAD", -1);  // standalone: excluded from Fig 15
+  for (std::size_t bin = 0; bin < 12; ++bin) {
+    // 1000 q/s normally, 100 q/s in bins 4-6.
+    const double qps = (bin >= 4 && bin <= 6) ? 100.0 : 1000.0;
+    result.site_served_qps[0].add(static_cast<std::int64_t>(bin) * 600000,
+                                  qps);
+    result.site_served_qps[1].add(static_cast<std::int64_t>(bin) * 600000,
+                                  1000.0);
+  }
+  const auto series = nl_query_rates(result);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].anonymized_label, "anycast site 1");
+  EXPECT_NEAR(series[0].median_qps, 1000.0, 1.0);
+  EXPECT_NEAR(series[0].normalized_qps[5], 0.1, 0.01);
+  EXPECT_NEAR(series[0].normalized_qps[0], 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

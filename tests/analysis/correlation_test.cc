@@ -1,0 +1,43 @@
+#include "analysis/correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::analysis {
+namespace {
+
+TEST(Correlation, PerfectLineGivesRSquaredOne) {
+  std::vector<LetterPoint> points{
+      {'B', 1, 10}, {'C', 8, 80}, {'K', 33, 330}, {'L', 144, 1440}};
+  const auto result = sites_vs_min_reachability(std::move(points));
+  EXPECT_NEAR(result.fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(result.fit.slope, 10.0, 1e-9);
+  EXPECT_EQ(result.points.size(), 4u);
+}
+
+TEST(Correlation, PaperLikeDataIsStronglyCorrelated) {
+  // More sites -> higher worst-case reachability, with noise (the paper
+  // reports R^2 = 0.87 on its ten attacked letters).
+  std::vector<LetterPoint> points{
+      {'B', 1, 400},  {'C', 8, 3000},  {'E', 12, 1000}, {'F', 59, 5500},
+      {'G', 6, 1800}, {'H', 2, 600},   {'I', 49, 7800}, {'J', 98, 8200},
+      {'K', 33, 6500}};
+  const auto result = sites_vs_min_reachability(std::move(points));
+  EXPECT_GT(result.fit.r_squared, 0.6);
+  EXPECT_GT(result.fit.slope, 0.0);
+}
+
+TEST(Correlation, UncorrelatedDataScoresLow) {
+  std::vector<LetterPoint> points{
+      {'A', 10, 500}, {'B', 20, 500}, {'C', 30, 500}, {'D', 40, 500}};
+  const auto result = sites_vs_min_reachability(std::move(points));
+  EXPECT_NEAR(result.fit.r_squared, 0.0, 1e-9);
+}
+
+TEST(Correlation, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(sites_vs_min_reachability({}).fit.r_squared, 0.0);
+  EXPECT_DOUBLE_EQ(
+      sites_vs_min_reachability({{'A', 5, 100}}).fit.r_squared, 0.0);
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

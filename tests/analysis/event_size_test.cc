@@ -1,0 +1,111 @@
+#include "analysis/event_size.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::analysis {
+namespace {
+
+/// A synthetic result: letters A and K report; A meters fully, K at 25%;
+/// L reports but is not attacked.
+sim::SimulationResult synthetic_result() {
+  sim::SimulationResult result;
+  result.resolver_pool = 4e6;
+  result.letter_chars = {'A', 'K', 'L'};
+  result.rssac_publishers = {{'A', 0}, {'K', 1}, {'L', 2}};
+  result.rssac = rssac::DailyAccumulator(3);
+
+  auto feed = [&result](int letter, int day, double queries, double metering,
+                        double qsize, bool attack_traffic) {
+    rssac::StepTraffic traffic;
+    traffic.queries_received = queries;
+    traffic.responses_sent = queries * (attack_traffic ? 0.4 : 1.0);
+    traffic.random_source_queries = attack_traffic ? queries * 0.32 : 0.0;
+    traffic.resolver_queries = attack_traffic ? 0.0 : queries;
+    traffic.query_payload_bytes = qsize;
+    traffic.response_payload_bytes = attack_traffic ? 490.0 : 350.0;
+    traffic.metering_factor = metering;
+    traffic.heavy_hitter_sources = attack_traffic ? 200 : 0;
+    result.rssac.add_step(letter, net::SimTime::from_hours(24.0 * day + 1),
+                          traffic);
+  };
+
+  for (int day = -7; day <= 1; ++day) {
+    const bool event_day = day >= 0;
+    // Baseline legit on every letter, every day.
+    for (int letter = 0; letter < 3; ++letter) {
+      feed(letter, day, 3.5e9, 1.0, 40.0, false);  // ~0.04 Mq/s
+    }
+    if (event_day) {
+      // Event traffic: A sees it fully; K under-meters to 65%.
+      const double event_queries =
+          day == 0 ? 5e6 * 9600.0 : 5e6 * 3600.0;  // rate x duration
+      feed(0, day, event_queries, 1.0, day == 0 ? 32.0 : 24.0, true);
+      feed(1, day, event_queries * 0.6, 0.65, day == 0 ? 32.0 : 24.0, true);
+    }
+  }
+  return result;
+}
+
+TEST(EventSize, ReferenceLetterRecoversTrueRate) {
+  const auto estimate = estimate_event_size(synthetic_result());
+  ASSERT_EQ(estimate.rows.size(), 3u);
+  const auto& a = estimate.rows[0];
+  EXPECT_EQ(a.letter, 'A');
+  EXPECT_TRUE(a.attacked);
+  // A metered everything: delta over the 160-min window = 5 Mq/s.
+  EXPECT_NEAR(a.day0.dq_mqs, 5.0, 0.05);
+  EXPECT_NEAR(a.day1.dq_mqs, 5.0, 0.05);
+  EXPECT_NEAR(a.baseline_mqs, 0.0405, 0.001);
+}
+
+TEST(EventSize, UnderMeteringShowsUpAsLowerDelta) {
+  const auto estimate = estimate_event_size(synthetic_result());
+  const auto& k = estimate.rows[1];
+  EXPECT_EQ(k.letter, 'K');
+  EXPECT_TRUE(k.attacked);
+  EXPECT_LT(k.day0.dq_mqs, 2.5);  // 0.6 x 0.65 x 5 ~ 1.95
+  EXPECT_GT(k.day0.dq_mqs, 1.0);
+}
+
+TEST(EventSize, NotAttackedReporterExcludedFromBounds) {
+  const auto estimate = estimate_event_size(synthetic_result());
+  const auto& l = estimate.rows[2];
+  EXPECT_EQ(l.letter, 'L');
+  EXPECT_FALSE(l.attacked);
+  // Bounds: lower = A + K only.
+  EXPECT_NEAR(estimate.lower_day0.dq_mqs,
+              estimate.rows[0].day0.dq_mqs + estimate.rows[1].day0.dq_mqs,
+              1e-9);
+}
+
+TEST(EventSize, BoundOrderingHolds) {
+  const auto estimate = estimate_event_size(synthetic_result());
+  EXPECT_LT(estimate.lower_day0.dq_mqs, estimate.scaled_day0.dq_mqs);
+  // Upper assumes all 10 attacked letters saw A's (fully metered) rate.
+  EXPECT_NEAR(estimate.upper_day0.dq_mqs, 10 * estimate.rows[0].day0.dq_mqs,
+              1e-9);
+  EXPECT_GT(estimate.upper_day0.dq_mqs, estimate.scaled_day0.dq_mqs);
+  // Scaled = lower x 10/2 (two attacked reporters).
+  EXPECT_NEAR(estimate.scaled_day0.dq_mqs, estimate.lower_day0.dq_mqs * 5.0,
+              1e-9);
+}
+
+TEST(EventSize, PayloadInferenceFollowsSizeBins) {
+  const auto estimate = estimate_event_size(synthetic_result());
+  // Day 0 attack queries were 32B -> bin 32-47 (center 40); day 1 24B ->
+  // bin 16-31 (center 24).
+  EXPECT_NEAR(estimate.query_payload_day0, 40.0, 1e-9);
+  EXPECT_NEAR(estimate.query_payload_day1, 24.0, 1e-9);
+  EXPECT_NEAR(estimate.response_payload, 488.0, 1e-9);  // bin 480-495
+}
+
+TEST(EventSize, UniqueSourceRatiosExplodeUnderSpoofing) {
+  const auto estimate = estimate_event_size(synthetic_result());
+  const auto& a = estimate.rows[0];
+  EXPECT_GT(a.day0.ips_ratio, 100.0);  // billions of random sources
+  const auto& l = estimate.rows[2];
+  EXPECT_NEAR(l.day0.ips_ratio, 1.0, 0.05);  // resolver pool only
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

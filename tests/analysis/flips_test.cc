@@ -1,0 +1,115 @@
+#include "analysis/flips.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::analysis {
+namespace {
+
+atlas::LetterBins grid(int vps, std::size_t bins) {
+  return atlas::LetterBins(vps, net::SimTime(0),
+                           net::SimTime::from_minutes(10), bins);
+}
+
+void put(atlas::LetterBins& bins, int vp, std::size_t bin, int site) {
+  atlas::ProbeRecord r;
+  r.vp = static_cast<std::uint32_t>(vp);
+  r.letter_index = 0;
+  r.t_s = static_cast<std::uint32_t>(bin * 600 + 5);
+  r.outcome = site >= 0 ? atlas::ProbeOutcome::kSite
+                        : atlas::ProbeOutcome::kTimeout;
+  r.site_id = static_cast<std::int16_t>(site);
+  bins.add(r);
+}
+
+TEST(Flips, CountsTransitions) {
+  auto bins = grid(2, 5);
+  // VP 0: A A B B A -> flips at bins 2 and 4.
+  put(bins, 0, 0, 1);
+  put(bins, 0, 1, 1);
+  put(bins, 0, 2, 2);
+  put(bins, 0, 3, 2);
+  put(bins, 0, 4, 1);
+  // VP 1: stays at A.
+  for (std::size_t b = 0; b < 5; ++b) put(bins, 1, b, 1);
+  const auto flips = site_flips_per_bin(bins);
+  EXPECT_EQ(flips, (std::vector<int>{0, 0, 1, 0, 1}));
+  EXPECT_EQ(total_site_flips(bins), 2);
+}
+
+TEST(Flips, GapsAndFailuresDoNotEndTenure) {
+  auto bins = grid(1, 5);
+  // A, timeout, nodata, A -> no flip; then B -> one flip.
+  put(bins, 0, 0, 1);
+  put(bins, 0, 1, -1);  // timeout
+  put(bins, 0, 3, 1);
+  put(bins, 0, 4, 2);
+  const auto flips = site_flips_per_bin(bins);
+  EXPECT_EQ(total_site_flips(bins), 1);
+  EXPECT_EQ(flips[4], 1);
+}
+
+TEST(Flips, DestinationsFromOrigin) {
+  auto bins = grid(4, 4);
+  // All four start at site 1 in bin 0.
+  for (int vp = 0; vp < 4; ++vp) put(bins, vp, 0, 1);
+  // vp0 -> site 2; vp1 -> site 3 (later); vp2 stays; vp3 dark.
+  put(bins, 0, 1, 2);
+  put(bins, 1, 2, 3);
+  put(bins, 2, 1, 1);
+  put(bins, 2, 2, 1);
+  put(bins, 3, 1, -1);
+  put(bins, 3, 2, -1);
+  const auto dest = flip_destinations(bins, 1, 0, 3);
+  EXPECT_EQ(dest.at(2), 1);
+  EXPECT_EQ(dest.at(3), 1);
+  EXPECT_EQ(dest.at(-1), 2);  // the stayer and the dark VP never land elsewhere
+}
+
+TEST(Flips, OriginsIntoDestination) {
+  auto bins = grid(3, 3);
+  // vp0 at site 1, vp1 at site 2, vp2 already at site 9.
+  put(bins, 0, 0, 1);
+  put(bins, 1, 0, 2);
+  put(bins, 2, 0, 9);
+  // vp0 and vp1 arrive at 9 during the window.
+  put(bins, 0, 1, 9);
+  put(bins, 1, 2, 9);
+  const auto origins = flip_origins(bins, 9, 0, 2);
+  EXPECT_EQ(origins.at(1), 1);
+  EXPECT_EQ(origins.at(2), 1);
+  EXPECT_EQ(origins.size(), 2u);  // vp2 was already there: not "new"
+}
+
+TEST(Flips, StripsRenderStates) {
+  auto bins = grid(3, 4);
+  // vp0 starts at LHR(1): L L A x
+  put(bins, 0, 0, 1);
+  put(bins, 0, 1, 1);
+  put(bins, 0, 2, 2);
+  put(bins, 0, 3, -1);
+  // vp1 starts at FRA(3): F . (other site 7) then nodata.
+  put(bins, 1, 0, 3);
+  put(bins, 1, 1, 7);
+  // vp2 starts elsewhere -> not sampled.
+  put(bins, 2, 0, 7);
+
+  util::Rng rng(1);
+  const std::map<int, char> chars{{1, 'L'}, {3, 'F'}, {2, 'A'}};
+  const auto strips = vp_strips(bins, {1, 3}, chars, 10, rng);
+  ASSERT_EQ(strips.size(), 2u);
+  EXPECT_EQ(strips[0].vp, 0);
+  EXPECT_EQ(strips[0].states, "LLAx");
+  EXPECT_EQ(strips[1].vp, 1);
+  EXPECT_EQ(strips[1].states, "F.  ");
+}
+
+TEST(Flips, StripSamplingIsBounded) {
+  auto bins = grid(50, 2);
+  for (int vp = 0; vp < 50; ++vp) put(bins, vp, 0, 1);
+  util::Rng rng(2);
+  const auto strips = vp_strips(bins, {1}, {{1, 'L'}}, 10, rng);
+  EXPECT_EQ(strips.size(), 10u);
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

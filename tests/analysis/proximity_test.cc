@@ -1,0 +1,77 @@
+#include "analysis/proximity.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::analysis {
+namespace {
+
+/// One VP in Amsterdam; K has sites in Amsterdam and Tokyo. Probes land
+/// on AMS before t=1h and on NRT after (displacement).
+sim::SimulationResult synthetic() {
+  sim::SimulationResult result;
+  result.start = net::SimTime(0);
+  result.end = net::SimTime::from_hours(2);
+  result.bin_width = net::SimTime::from_minutes(10);
+  result.letter_chars = {'A', 'B', 'C', 'D', 'E', 'F', 'G',
+                         'H', 'I', 'J', 'K', 'L', 'M'};
+
+  sim::SiteMeta ams;
+  ams.site_id = 0;
+  ams.letter = 'K';
+  ams.code = "AMS";
+  ams.label = "K-AMS";
+  ams.location = {52.31, 4.76};
+  result.sites.push_back(ams);
+  sim::SiteMeta nrt = ams;
+  nrt.site_id = 1;
+  nrt.code = "NRT";
+  nrt.label = "K-NRT";
+  nrt.location = {35.76, 140.39};
+  result.sites.push_back(nrt);
+
+  atlas::VantagePoint vp;
+  vp.id = 0;
+  vp.location = {52.0, 4.9};  // near Amsterdam
+  result.vps.push_back(vp);
+
+  for (int minute = 0; minute < 120; minute += 4) {
+    atlas::ProbeRecord r;
+    r.vp = 0;
+    r.t_s = static_cast<std::uint32_t>(minute * 60);
+    r.letter_index = 10;  // K
+    r.outcome = atlas::ProbeOutcome::kSite;
+    r.site_id = minute < 60 ? 0 : 1;
+    result.records.push_back(r);
+  }
+  return result;
+}
+
+TEST(Proximity, OptimalWhenAtClosestSite) {
+  const auto result = synthetic();
+  const auto quiet = proximity_inflation(result, 'K', net::SimTime(0),
+                                         net::SimTime::from_hours(1));
+  ASSERT_FALSE(quiet.inflation_ms.empty());
+  EXPECT_NEAR(quiet.median_ms, 0.0, 1e-9);
+  EXPECT_NEAR(quiet.optimal_fraction, 1.0, 1e-9);
+}
+
+TEST(Proximity, DisplacementShowsAsInflation) {
+  const auto result = synthetic();
+  const auto displaced = proximity_inflation(
+      result, 'K', net::SimTime::from_hours(1), net::SimTime::from_hours(2));
+  ASSERT_FALSE(displaced.inflation_ms.empty());
+  // Amsterdam -> Tokyo detour: well over 100 ms of extra propagation.
+  EXPECT_GT(displaced.median_ms, 100.0);
+  EXPECT_NEAR(displaced.optimal_fraction, 0.0, 1e-9);
+  EXPECT_GE(displaced.p90_ms, displaced.median_ms);
+}
+
+TEST(Proximity, UnknownLetterEmpty) {
+  const auto result = synthetic();
+  const auto sample = proximity_inflation(result, 'Q', net::SimTime(0),
+                                          net::SimTime::from_hours(2));
+  EXPECT_TRUE(sample.inflation_ms.empty());
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

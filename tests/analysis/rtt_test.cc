@@ -1,0 +1,86 @@
+#include "analysis/rtt.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::analysis {
+namespace {
+
+atlas::ProbeRecord rec(int letter, std::uint32_t t_s, double rtt,
+                       int site = 1, int server = 1,
+                       atlas::ProbeOutcome outcome = atlas::ProbeOutcome::kSite) {
+  atlas::ProbeRecord r;
+  r.vp = 0;
+  r.letter_index = static_cast<std::uint8_t>(letter);
+  r.t_s = t_s;
+  r.rtt_ms = static_cast<std::uint16_t>(rtt);
+  r.site_id = static_cast<std::int16_t>(site);
+  r.server = static_cast<std::uint8_t>(server);
+  r.outcome = outcome;
+  return r;
+}
+
+TEST(Rtt, MedianPerBin) {
+  atlas::RecordSet records;
+  records.push_back(rec(0, 10, 30));
+  records.push_back(rec(0, 20, 40));
+  records.push_back(rec(0, 30, 1000));
+  records.push_back(rec(0, 700, 90));
+  RttFilter filter;
+  filter.service_index = 0;
+  const auto medians = median_rtt_series(records, filter, net::SimTime(0),
+                                         net::SimTime::from_minutes(10), 2);
+  ASSERT_EQ(medians.size(), 2u);
+  EXPECT_DOUBLE_EQ(medians[0], 40.0);
+  EXPECT_DOUBLE_EQ(medians[1], 90.0);
+}
+
+TEST(Rtt, FiltersExcludeFailuresAndOtherTargets) {
+  atlas::RecordSet records;
+  records.push_back(rec(0, 10, 30, /*site=*/1, /*server=*/1));
+  records.push_back(rec(0, 20, 50, /*site=*/1, /*server=*/2));
+  records.push_back(rec(0, 30, 70, /*site=*/2, /*server=*/1));
+  records.push_back(rec(1, 40, 90));  // other letter
+  records.push_back(
+      rec(0, 50, 5, 1, 1, atlas::ProbeOutcome::kTimeout));  // not a success
+
+  RttFilter site1;
+  site1.service_index = 0;
+  site1.site_id = 1;
+  EXPECT_DOUBLE_EQ(median_rtt_in(records, site1, net::SimTime(0),
+                                 net::SimTime::from_minutes(10)),
+                   40.0);  // median of {30, 50}
+
+  RttFilter server2 = site1;
+  server2.server = 2;
+  EXPECT_DOUBLE_EQ(median_rtt_in(records, server2, net::SimTime(0),
+                                 net::SimTime::from_minutes(10)),
+                   50.0);
+
+  RttFilter everything;  // no filter: all successes
+  EXPECT_DOUBLE_EQ(median_rtt_in(records, everything, net::SimTime(0),
+                                 net::SimTime::from_minutes(10)),
+                   60.0);  // median of {30, 50, 70, 90}
+}
+
+TEST(Rtt, WindowBoundsAreHalfOpen) {
+  atlas::RecordSet records;
+  records.push_back(rec(0, 100, 10));
+  records.push_back(rec(0, 200, 20));
+  RttFilter filter;
+  filter.service_index = 0;
+  EXPECT_DOUBLE_EQ(median_rtt_in(records, filter, net::SimTime(100000),
+                                 net::SimTime(200000)),
+                   10.0);
+}
+
+TEST(Rtt, EmptyGivesZero) {
+  RttFilter filter;
+  EXPECT_DOUBLE_EQ(
+      median_rtt_in({}, filter, net::SimTime(0), net::SimTime(1000)), 0.0);
+  const auto medians = median_rtt_series({}, filter, net::SimTime(0),
+                                         net::SimTime::from_minutes(10), 3);
+  for (const double m : medians) EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

@@ -1,0 +1,98 @@
+#include "analysis/site_stability.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/site_series.h"
+
+namespace rootstress::analysis {
+namespace {
+
+/// A hand-built result with three K sites and one E site.
+sim::SimulationResult fake_result() {
+  sim::SimulationResult result;
+  auto add = [&result](int id, char letter, const char* code) {
+    sim::SiteMeta meta;
+    meta.site_id = id;
+    meta.letter = letter;
+    meta.code = code;
+    meta.label = std::string(1, letter) + "-" + code;
+    result.sites.push_back(meta);
+  };
+  add(0, 'K', "AMS");
+  add(1, 'K', "LHR");
+  add(2, 'K', "RNO");
+  add(3, 'E', "FRA");
+  return result;
+}
+
+atlas::LetterBins grid_with_catchments() {
+  // 10 VPs, 4 bins. AMS holds 6 VPs normally, LHR 3, RNO 1.
+  // In bin 2, LHR's VPs shift to AMS (site flip during stress).
+  atlas::LetterBins bins(10, net::SimTime(0), net::SimTime::from_minutes(10),
+                         4);
+  auto put = [&bins](int vp, std::size_t bin, int site) {
+    atlas::ProbeRecord r;
+    r.vp = static_cast<std::uint32_t>(vp);
+    r.letter_index = 0;
+    r.t_s = static_cast<std::uint32_t>(bin * 600 + 5);
+    r.outcome = atlas::ProbeOutcome::kSite;
+    r.site_id = static_cast<std::int16_t>(site);
+    bins.add(r);
+  };
+  for (std::size_t bin = 0; bin < 4; ++bin) {
+    for (int vp = 0; vp < 6; ++vp) put(vp, bin, 0);
+    for (int vp = 6; vp < 9; ++vp) put(vp, bin, bin == 2 ? 0 : 1);
+    put(9, bin, 2);
+  }
+  return bins;
+}
+
+TEST(Stability, ThresholdScalesWithPopulation) {
+  EXPECT_NEAR(stability_threshold(9363), 20.0, 1e-9);
+  EXPECT_NEAR(stability_threshold(936), 2.0, 0.01);
+}
+
+TEST(Stability, MinMaxMedianPerSite) {
+  const auto result = fake_result();
+  const auto bins = grid_with_catchments();
+  const auto stability = site_stability(bins, result, 'K', 2.0);
+  ASSERT_EQ(stability.size(), 3u);
+  // Sorted by median descending: AMS (6-9), LHR (3), RNO (1).
+  EXPECT_EQ(stability[0].label, "K-AMS");
+  EXPECT_DOUBLE_EQ(stability[0].median_vps, 6.0);
+  EXPECT_EQ(stability[0].max_vps, 9);   // gained LHR's VPs in bin 2
+  EXPECT_NEAR(stability[0].max_norm, 1.5, 1e-9);
+  EXPECT_EQ(stability[1].label, "K-LHR");
+  EXPECT_EQ(stability[1].min_vps, 0);   // lost everything in bin 2
+  EXPECT_DOUBLE_EQ(stability[1].min_norm, 0.0);
+  EXPECT_FALSE(stability[1].below_threshold);
+  EXPECT_EQ(stability[2].label, "K-RNO");
+  EXPECT_TRUE(stability[2].below_threshold);  // median 1 < threshold 2
+}
+
+TEST(Stability, OnlyRequestedLetter) {
+  const auto result = fake_result();
+  const auto bins = grid_with_catchments();
+  const auto stability = site_stability(bins, result, 'E', 2.0);
+  ASSERT_EQ(stability.size(), 1u);
+  EXPECT_EQ(stability[0].label, "E-FRA");
+  EXPECT_DOUBLE_EQ(stability[0].median_vps, 0.0);
+}
+
+TEST(SiteSeries, SeriesAndCriticalBins) {
+  const auto result = fake_result();
+  const auto bins = grid_with_catchments();
+  const auto series = site_catchment_series(bins, result, 'K');
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].label, "K-AMS");
+  EXPECT_EQ(series[0].vps_per_bin, (std::vector<int>{6, 6, 9, 6}));
+  EXPECT_TRUE(series[0].critical_bins.empty());
+  EXPECT_EQ(series[1].label, "K-LHR");
+  EXPECT_EQ(series[1].vps_per_bin, (std::vector<int>{3, 3, 0, 3}));
+  // One critical moment: the bin where it dropped below its median.
+  ASSERT_EQ(series[1].critical_bins.size(), 1u);
+  EXPECT_EQ(series[1].critical_bins[0], 2u);
+}
+
+}  // namespace
+}  // namespace rootstress::analysis

@@ -1,0 +1,60 @@
+#include "anycast/facility.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::anycast {
+namespace {
+
+TEST(Facility, AddAndFind) {
+  FacilityTable table;
+  const int a = table.add("FRA-DC", 2.0);
+  const int b = table.add("AMS-DC", 3.0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.find("FRA-DC"), a);
+  EXPECT_EQ(table.find("AMS-DC"), b);
+  EXPECT_FALSE(table.find("nowhere").has_value());
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(Facility, ReAddReturnsExistingUnchanged) {
+  FacilityTable table;
+  const int a = table.add("FRA-DC", 2.0);
+  const int again = table.add("FRA-DC", 99.0);
+  EXPECT_EQ(a, again);
+  EXPECT_DOUBLE_EQ(table.facility(a).uplink_gbps, 2.0);
+}
+
+TEST(Facility, SharedLossOnlyAboveUplink) {
+  FacilityTable table;
+  const int f = table.add("DC", 1.0);
+  table.begin_step();
+  table.add_load(f, 0.4);
+  table.add_load(f, 0.4);
+  EXPECT_DOUBLE_EQ(table.shared_loss(f), 0.0);
+  table.add_load(f, 1.2);  // total 2.0 over a 1.0 uplink
+  EXPECT_NEAR(table.shared_loss(f), 0.5, 1e-12);
+}
+
+TEST(Facility, BeginStepResets) {
+  FacilityTable table;
+  const int f = table.add("DC", 1.0);
+  table.begin_step();
+  table.add_load(f, 5.0);
+  ASSERT_GT(table.shared_loss(f), 0.0);
+  table.begin_step();
+  EXPECT_DOUBLE_EQ(table.shared_loss(f), 0.0);
+}
+
+TEST(Facility, DefaultsIncludeCollateralSites) {
+  FacilityTable table;
+  add_default_facilities(table);
+  // Frankfurt (seven letters co-located, §3.6), Sydney, and the two
+  // .nl co-location hosts.
+  EXPECT_TRUE(table.find("FRA-EU-DC").has_value());
+  EXPECT_TRUE(table.find("SYD-OC-DC").has_value());
+  EXPECT_TRUE(table.find("LAX-US-DC").has_value());
+  EXPECT_TRUE(table.find("SAN-US-DC").has_value());
+}
+
+}  // namespace
+}  // namespace rootstress::anycast

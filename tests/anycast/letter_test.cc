@@ -1,0 +1,150 @@
+#include "anycast/letter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+namespace rootstress::anycast {
+namespace {
+
+class LetterTable : public ::testing::Test {
+ protected:
+  std::vector<LetterConfig> table = root_letter_table(42);
+};
+
+TEST_F(LetterTable, ThirteenLettersAthroughM) {
+  ASSERT_EQ(table.size(), 13u);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table[i].letter, static_cast<char>('A' + i));
+  }
+}
+
+TEST_F(LetterTable, ArchitecturesMatchTable2) {
+  EXPECT_TRUE(find_letter(table, 'B').unicast);
+  EXPECT_EQ(find_letter(table, 'B').sites.size(), 1u);
+  EXPECT_TRUE(find_letter(table, 'H').primary_backup);
+  EXPECT_EQ(find_letter(table, 'H').sites.size(), 2u);
+  EXPECT_EQ(find_letter(table, 'A').reported_sites, 5);
+  EXPECT_EQ(find_letter(table, 'C').reported_sites, 8);
+  EXPECT_EQ(find_letter(table, 'K').reported_sites, 33);
+  EXPECT_EQ(find_letter(table, 'L').reported_sites, 144);
+}
+
+TEST_F(LetterTable, AttackedFlagsMatchVerisignReport) {
+  // D, L, and M were not attacked (§2.3).
+  for (const auto& cfg : table) {
+    const bool spared =
+        cfg.letter == 'D' || cfg.letter == 'L' || cfg.letter == 'M';
+    EXPECT_EQ(cfg.attacked, !spared) << cfg.letter;
+  }
+}
+
+TEST_F(LetterTable, RssacPublishersAreAHJKL) {
+  const std::set<char> expected{'A', 'H', 'J', 'K', 'L'};
+  for (const auto& cfg : table) {
+    EXPECT_EQ(cfg.rssac_reporting, expected.contains(cfg.letter))
+        << cfg.letter;
+  }
+}
+
+TEST_F(LetterTable, AtlasProbedACoarsely) {
+  EXPECT_DOUBLE_EQ(find_letter(table, 'A').probe_interval_s, 1800.0);
+  for (const auto& cfg : table) {
+    if (cfg.letter != 'A') {
+      EXPECT_DOUBLE_EQ(cfg.probe_interval_s, 240.0) << cfg.letter;
+    }
+  }
+}
+
+TEST_F(LetterTable, SiteCodesUniquePerLetter) {
+  for (const auto& cfg : table) {
+    std::set<std::string> codes;
+    for (const auto& site : cfg.sites) {
+      EXPECT_TRUE(codes.insert(site.code).second)
+          << cfg.letter << " duplicate " << site.code;
+    }
+  }
+}
+
+TEST_F(LetterTable, SitesHavePositiveResources) {
+  for (const auto& cfg : table) {
+    EXPECT_FALSE(cfg.sites.empty()) << cfg.letter;
+    for (const auto& site : cfg.sites) {
+      EXPECT_GT(site.capacity_qps, 0.0) << cfg.letter << "-" << site.code;
+      EXPECT_GT(site.buffer_packets, 0.0);
+      EXPECT_GE(site.servers, 1);
+      EXPECT_EQ(site.code.size(), 3u);
+    }
+  }
+}
+
+TEST_F(LetterTable, PaperCaseStudySitesPresent) {
+  const auto& k = find_letter(table, 'K');
+  std::set<std::string> k_codes;
+  for (const auto& site : k.sites) k_codes.insert(site.code);
+  for (const char* code : {"AMS", "LHR", "FRA", "NRT", "MIA", "LED", "RNO"}) {
+    EXPECT_TRUE(k_codes.contains(code)) << "K-" << code;
+  }
+  const auto& e = find_letter(table, 'E');
+  std::set<std::string> e_codes;
+  for (const auto& site : e.sites) e_codes.insert(site.code);
+  for (const char* code : {"AMS", "FRA", "LHR", "ARC", "SYD", "NLV", "LAD"}) {
+    EXPECT_TRUE(e_codes.contains(code)) << "E-" << code;
+  }
+  const auto& d = find_letter(table, 'D');
+  bool fra = false, syd = false;
+  for (const auto& site : d.sites) {
+    fra |= site.code == "FRA" && !site.facility.empty();
+    syd |= site.code == "SYD" && !site.facility.empty();
+  }
+  EXPECT_TRUE(fra) << "D-FRA must be in a shared facility";
+  EXPECT_TRUE(syd) << "D-SYD must be in a shared facility";
+}
+
+TEST_F(LetterTable, PolicyArchetypes) {
+  // E withdraws, K partially withdraws with stuck peers, A/B absorb.
+  EXPECT_LT(find_letter(table, 'E').default_policy.withdraw_overload, 100.0);
+  EXPECT_TRUE(find_letter(table, 'K').default_policy.partial_withdraw);
+  EXPECT_TRUE(
+      std::isinf(find_letter(table, 'A').default_policy.withdraw_overload));
+  EXPECT_EQ(find_letter(table, 'B').default_policy.session_failure_per_minute,
+            0.0);
+}
+
+TEST_F(LetterTable, KRootServersMatchPaper) {
+  // The §3.5 case studies need 3 servers at K-FRA and K-NRT.
+  const auto& k = find_letter(table, 'K');
+  for (const auto& site : k.sites) {
+    if (site.code == "FRA" || site.code == "NRT") {
+      EXPECT_EQ(site.servers, 3) << site.code;
+    }
+    if (site.code == "FRA") {
+      EXPECT_EQ(site.stress_mode, ServerStressMode::kConcentrate);
+    }
+    if (site.code == "NRT") {
+      EXPECT_EQ(site.stress_mode, ServerStressMode::kShareCongestion);
+    }
+  }
+}
+
+TEST_F(LetterTable, DeterministicForSeed) {
+  const auto again = root_letter_table(42);
+  ASSERT_EQ(again.size(), table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    ASSERT_EQ(again[i].sites.size(), table[i].sites.size());
+    for (std::size_t s = 0; s < table[i].sites.size(); ++s) {
+      EXPECT_EQ(again[i].sites[s].code, table[i].sites[s].code);
+      EXPECT_EQ(again[i].sites[s].capacity_qps,
+                table[i].sites[s].capacity_qps);
+    }
+  }
+}
+
+TEST_F(LetterTable, FindLetterThrowsOnUnknown) {
+  EXPECT_THROW(find_letter(table, 'Z'), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rootstress::anycast

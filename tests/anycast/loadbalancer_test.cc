@@ -1,0 +1,60 @@
+#include "anycast/loadbalancer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rootstress::anycast {
+namespace {
+
+TEST(Ecmp, SingleServerAlwaysZero) {
+  for (std::uint32_t src = 0; src < 100; ++src) {
+    EXPECT_EQ(ecmp_pick(net::Ipv4Addr(src), 1, 7), 0);
+  }
+}
+
+TEST(Ecmp, StableForSameSource) {
+  const net::Ipv4Addr src(0x0a00002a);
+  const int first = ecmp_pick(src, 4, 99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ecmp_pick(src, 4, 99), first);
+  }
+}
+
+class EcmpSpread : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcmpSpread, RoughlyUniform) {
+  const int servers = GetParam();
+  std::vector<int> counts(static_cast<std::size_t>(servers), 0);
+  constexpr int kSources = 30000;
+  for (int i = 0; i < kSources; ++i) {
+    const int pick =
+        ecmp_pick(net::Ipv4Addr(static_cast<std::uint32_t>(i * 2654435761u)),
+                  servers, 3);
+    ASSERT_GE(pick, 0);
+    ASSERT_LT(pick, servers);
+    ++counts[static_cast<std::size_t>(pick)];
+  }
+  const double expected = static_cast<double>(kSources) / servers;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, EcmpSpread,
+                         ::testing::Values(2, 3, 4, 6, 12));
+
+TEST(Ecmp, SaltDecorrelatesSites) {
+  // The same source must not systematically land on the same index at
+  // different sites (different salts).
+  int same = 0;
+  constexpr int kSources = 2000;
+  for (int i = 0; i < kSources; ++i) {
+    const net::Ipv4Addr src(static_cast<std::uint32_t>(i * 7919));
+    if (ecmp_pick(src, 3, 1) == ecmp_pick(src, 3, 2)) ++same;
+  }
+  EXPECT_NEAR(same, kSources / 3, kSources / 10);
+}
+
+}  // namespace
+}  // namespace rootstress::anycast

@@ -1,0 +1,104 @@
+#include "anycast/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rootstress::anycast {
+namespace {
+
+const net::SimTime kStep = net::SimTime::from_seconds(60);
+
+TEST(Policy, AbsorberNeverWithdraws) {
+  SitePolicyState state(StressPolicy::absorber());
+  util::Rng rng(1);
+  for (int minute = 0; minute < 600; ++minute) {
+    const auto action = state.step(25.0, 0.96, net::SimTime::from_minutes(minute),
+                                   kStep, rng);
+    ASSERT_EQ(action, PolicyAction::kNone);
+  }
+  EXPECT_FALSE(state.withdrawn());
+}
+
+TEST(Policy, WithdrawerTriggersAtThreshold) {
+  StressPolicy policy = StressPolicy::withdrawer();  // overload 2.0
+  policy.session_failure_per_minute = 0.0;           // isolate the threshold
+  SitePolicyState state(policy);
+  util::Rng rng(2);
+  EXPECT_EQ(state.step(1.9, 0.4, net::SimTime(0), kStep, rng),
+            PolicyAction::kNone);
+  EXPECT_EQ(state.step(2.1, 0.5, net::SimTime(60000), kStep, rng),
+            PolicyAction::kWithdraw);
+  EXPECT_TRUE(state.withdrawn());
+}
+
+TEST(Policy, RecoveryAfterCoolDown) {
+  StressPolicy policy = StressPolicy::withdrawer();
+  policy.session_failure_per_minute = 0.0;
+  policy.recover_after = net::SimTime::from_minutes(10);
+  SitePolicyState state(policy);
+  util::Rng rng(3);
+  state.step(5.0, 0.8, net::SimTime(0), kStep, rng);
+  ASSERT_TRUE(state.withdrawn());
+  // Not yet...
+  for (int minute = 1; minute < 10; ++minute) {
+    EXPECT_EQ(state.step(0.0, 0.0, net::SimTime::from_minutes(minute), kStep,
+                         rng),
+              PolicyAction::kNone)
+        << minute;
+  }
+  // ...now.
+  EXPECT_EQ(state.step(0.0, 0.0, net::SimTime::from_minutes(11), kStep, rng),
+            PolicyAction::kReannounce);
+  EXPECT_FALSE(state.withdrawn());
+}
+
+TEST(Policy, SessionFailureIsStatistical) {
+  StressPolicy policy = StressPolicy::fragile();  // 0.08/min at full loss
+  int failures = 0;
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SitePolicyState state(policy);
+    util::Rng rng(static_cast<std::uint64_t>(trial));
+    if (state.step(1.5, 1.0, net::SimTime(0), kStep, rng) ==
+        PolicyAction::kWithdraw) {
+      ++failures;
+    }
+  }
+  EXPECT_NEAR(failures / static_cast<double>(kTrials), 0.08, 0.02);
+}
+
+TEST(Policy, NoSessionFailureWithoutLoss) {
+  SitePolicyState state(StressPolicy::fragile());
+  util::Rng rng(4);
+  for (int minute = 0; minute < 1000; ++minute) {
+    ASSERT_EQ(state.step(0.5, 0.0, net::SimTime::from_minutes(minute), kStep,
+                         rng),
+              PolicyAction::kNone);
+  }
+}
+
+TEST(Policy, VetoRestoresAnnouncedState) {
+  StressPolicy policy = StressPolicy::withdrawer();
+  policy.session_failure_per_minute = 0.0;
+  SitePolicyState state(policy);
+  util::Rng rng(5);
+  ASSERT_EQ(state.step(3.0, 0.6, net::SimTime(0), kStep, rng),
+            PolicyAction::kWithdraw);
+  state.veto_withdrawal();
+  EXPECT_FALSE(state.withdrawn());
+  // The next overloaded step asks again (and can be vetoed again).
+  EXPECT_EQ(state.step(3.0, 0.6, net::SimTime(60000), kStep, rng),
+            PolicyAction::kWithdraw);
+}
+
+TEST(Policy, PresetsHaveDocumentedShapes) {
+  EXPECT_TRUE(std::isinf(StressPolicy::absorber().withdraw_overload));
+  EXPECT_EQ(StressPolicy::absorber().session_failure_per_minute, 0.0);
+  EXPECT_LT(StressPolicy::withdrawer().withdraw_overload, 10.0);
+  EXPECT_GT(StressPolicy::fragile().session_failure_per_minute, 0.0);
+  EXPECT_FALSE(StressPolicy::absorber().partial_withdraw);
+}
+
+}  // namespace
+}  // namespace rootstress::anycast

@@ -1,0 +1,84 @@
+#include "anycast/queue_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::anycast {
+namespace {
+
+QueueConfig standard() {
+  QueueConfig config;
+  config.capacity_qps = 1e6;
+  config.buffer_packets = 2e6;  // 2 seconds of bufferbloat
+  return config;
+}
+
+TEST(Queue, IdleAndZeroOffered) {
+  const auto out = evaluate_queue(0.0, standard());
+  EXPECT_DOUBLE_EQ(out.loss_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(out.served_qps, 0.0);
+}
+
+TEST(Queue, LightLoadLossFreeAndFast) {
+  const auto out = evaluate_queue(0.5e6, standard());
+  EXPECT_DOUBLE_EQ(out.loss_fraction, 0.0);
+  EXPECT_LT(out.queue_delay_ms, 5.1);
+  EXPECT_DOUBLE_EQ(out.served_qps, 0.5e6);
+  EXPECT_DOUBLE_EQ(out.utilization, 0.5);
+}
+
+TEST(Queue, SaturationLossMatchesFormula) {
+  // offered = 5x capacity -> loss = 1 - 1/5 = 0.8.
+  const auto out = evaluate_queue(5e6, standard());
+  EXPECT_NEAR(out.loss_fraction, 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(out.served_qps, 1e6);
+}
+
+TEST(Queue, BufferbloatDelayAtSaturation) {
+  // 2e6 packets / 1e6 qps = 2 s standing queue (the paper's K-AMS RTTs).
+  const auto out = evaluate_queue(2e6, standard());
+  EXPECT_NEAR(out.queue_delay_ms, 2000.0, 1e-9);
+}
+
+class QueueMonotoneDelay : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueueMonotoneDelay, DelayAndLossNonDecreasingInLoad) {
+  const QueueConfig config = standard();
+  const double rho = GetParam();
+  const auto lo = evaluate_queue(rho * 1e6, config);
+  const auto hi = evaluate_queue((rho + 0.05) * 1e6, config);
+  EXPECT_GE(hi.queue_delay_ms, lo.queue_delay_ms - 1e-9);
+  EXPECT_GE(hi.loss_fraction, lo.loss_fraction - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, QueueMonotoneDelay,
+                         ::testing::Values(0.1, 0.5, 0.85, 0.9, 0.93, 0.97,
+                                           1.0, 1.5, 3.0, 10.0));
+
+TEST(Queue, KneeRampContinuity) {
+  const QueueConfig config = standard();
+  // Just below the knee vs. just above: no big jump.
+  const auto below = evaluate_queue(0.899e6, config);
+  const auto above = evaluate_queue(0.901e6, config);
+  EXPECT_LT(above.queue_delay_ms - below.queue_delay_ms, 50.0);
+  // At utilization 1.0 the ramp must meet the full bufferbloat value.
+  const auto at_one = evaluate_queue(0.9999e6, config);
+  EXPECT_NEAR(at_one.queue_delay_ms, 2000.0, 25.0);
+}
+
+TEST(Queue, ZeroCapacityDropsEverything) {
+  QueueConfig config;
+  config.capacity_qps = 0.0;
+  const auto out = evaluate_queue(1000.0, config);
+  EXPECT_DOUBLE_EQ(out.loss_fraction, 1.0);
+}
+
+TEST(UplinkLoss, WithinAndBeyondCapacity) {
+  EXPECT_DOUBLE_EQ(uplink_loss(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(uplink_loss(1.0, 1.0), 0.0);
+  EXPECT_NEAR(uplink_loss(4.0, 1.0), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(uplink_loss(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(uplink_loss(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rootstress::anycast

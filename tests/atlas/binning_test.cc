@@ -1,0 +1,93 @@
+#include "atlas/binning.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::atlas {
+namespace {
+
+ProbeRecord rec(int vp, int letter, std::uint32_t t_s, ProbeOutcome outcome,
+                int site = -1, int server = 0) {
+  ProbeRecord r;
+  r.vp = static_cast<std::uint32_t>(vp);
+  r.letter_index = static_cast<std::uint8_t>(letter);
+  r.t_s = t_s;
+  r.outcome = outcome;
+  r.site_id = static_cast<std::int16_t>(site);
+  r.server = static_cast<std::uint8_t>(server);
+  return r;
+}
+
+const net::SimTime kTen = net::SimTime::from_minutes(10);
+
+TEST(Binning, SitePreferredOverErrorOverTimeout) {
+  LetterBins bins(1, net::SimTime(0), kTen, 4);
+  // Same bin: timeout, then error, then site.
+  bins.add(rec(0, 0, 10, ProbeOutcome::kTimeout));
+  EXPECT_EQ(bins.cell(0, 0), LetterBins::kTimeout);
+  bins.add(rec(0, 0, 20, ProbeOutcome::kError));
+  EXPECT_EQ(bins.cell(0, 0), LetterBins::kError);
+  bins.add(rec(0, 0, 30, ProbeOutcome::kSite, 7));
+  EXPECT_EQ(bins.cell(0, 0), 7);
+  // Error/timeout arriving after a site never downgrade it.
+  bins.add(rec(0, 0, 40, ProbeOutcome::kError));
+  bins.add(rec(0, 0, 50, ProbeOutcome::kTimeout));
+  EXPECT_EQ(bins.cell(0, 0), 7);
+}
+
+TEST(Binning, LatestSiteWinsWithinBin) {
+  LetterBins bins(1, net::SimTime(0), kTen, 1);
+  bins.add(rec(0, 0, 10, ProbeOutcome::kSite, 3));
+  bins.add(rec(0, 0, 400, ProbeOutcome::kSite, 9));
+  EXPECT_EQ(bins.cell(0, 0), 9);
+}
+
+TEST(Binning, NoDataDefault) {
+  LetterBins bins(2, net::SimTime(0), kTen, 3);
+  EXPECT_EQ(bins.cell(0, 0), LetterBins::kNoData);
+  EXPECT_EQ(bins.cell(1, 2), LetterBins::kNoData);
+}
+
+TEST(Binning, BinOfRanges) {
+  LetterBins bins(1, net::SimTime::from_minutes(10), kTen, 2);
+  EXPECT_EQ(bins.bin_of(net::SimTime::from_minutes(9)),
+            static_cast<std::size_t>(-1));
+  EXPECT_EQ(bins.bin_of(net::SimTime::from_minutes(10)), 0u);
+  EXPECT_EQ(bins.bin_of(net::SimTime::from_minutes(25)), 1u);
+  EXPECT_EQ(bins.bin_of(net::SimTime::from_minutes(30)),
+            static_cast<std::size_t>(-1));
+}
+
+TEST(Binning, SuccessfulVpsAndCatchmentCounts) {
+  LetterBins bins(4, net::SimTime(0), kTen, 2);
+  bins.add(rec(0, 0, 10, ProbeOutcome::kSite, 5));
+  bins.add(rec(1, 0, 20, ProbeOutcome::kSite, 5));
+  bins.add(rec(2, 0, 30, ProbeOutcome::kSite, 6));
+  bins.add(rec(3, 0, 40, ProbeOutcome::kTimeout));
+  EXPECT_EQ(bins.successful_vps(0), 3);
+  EXPECT_EQ(bins.vps_at_site(0, 5), 2);
+  EXPECT_EQ(bins.vps_at_site(0, 6), 1);
+  EXPECT_EQ(bins.successful_vps(1), 0);
+}
+
+TEST(Binning, RecordsSplitByLetter) {
+  RecordSet records;
+  records.push_back(rec(0, 0, 10, ProbeOutcome::kSite, 1));
+  records.push_back(rec(0, 1, 10, ProbeOutcome::kSite, 2));
+  records.push_back(rec(0, 5, 10, ProbeOutcome::kSite, 3));  // out of range
+  const auto grids =
+      bin_records(records, /*letter_count=*/2, /*vp_count=*/1,
+                  net::SimTime(0), kTen, 2);
+  ASSERT_EQ(grids.size(), 2u);
+  EXPECT_EQ(grids[0].cell(0, 0), 1);
+  EXPECT_EQ(grids[1].cell(0, 0), 2);
+}
+
+TEST(Binning, IgnoresOutOfRangeVpAndTime) {
+  LetterBins bins(1, net::SimTime(0), kTen, 1);
+  bins.add(rec(5, 0, 10, ProbeOutcome::kSite, 1));    // vp out of range
+  bins.add(rec(0, 0, 6000, ProbeOutcome::kSite, 1));  // t beyond grid
+  EXPECT_EQ(bins.cell(0, 0), LetterBins::kNoData);
+}
+
+}  // namespace
+}  // namespace rootstress::atlas

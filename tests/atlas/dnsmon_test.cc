@@ -1,0 +1,83 @@
+#include "atlas/dnsmon.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::atlas {
+namespace {
+
+LetterBins grid_with_dip() {
+  // 10 VPs, 12 bins; bins 4-7 lose 80% of VPs.
+  LetterBins bins(10, net::SimTime(0), net::SimTime::from_minutes(10), 12);
+  for (std::size_t b = 0; b < 12; ++b) {
+    const int vps = (b >= 4 && b < 8) ? 2 : 10;
+    for (int vp = 0; vp < vps; ++vp) {
+      ProbeRecord r;
+      r.vp = static_cast<std::uint32_t>(vp);
+      r.letter_index = 0;
+      r.t_s = static_cast<std::uint32_t>(b * 600 + 1);
+      r.outcome = ProbeOutcome::kSite;
+      r.site_id = 1;
+      bins.add(r);
+    }
+  }
+  return bins;
+}
+
+TEST(Dnsmon, StripShowsTheDip) {
+  const auto bins = grid_with_dip();
+  const auto row = render_dnsmon_row(bins, 'K', /*bins_per_char=*/1);
+  ASSERT_EQ(row.strip.size(), 12u);
+  // Healthy bins render as the best shade (space), dipped bins darker.
+  EXPECT_EQ(row.strip[0], ' ');
+  EXPECT_NE(row.strip[5], ' ');
+  EXPECT_LT(row.worst_bin, 0.3);
+  EXPECT_GT(row.uptime, 0.5);
+  EXPECT_LT(row.uptime, 1.0);
+  EXPECT_EQ(row.letter, 'K');
+}
+
+TEST(Dnsmon, GroupingShrinksStrip) {
+  const auto bins = grid_with_dip();
+  const auto row = render_dnsmon_row(bins, 'K', /*bins_per_char=*/3);
+  EXPECT_EQ(row.strip.size(), 4u);
+}
+
+TEST(Dnsmon, ScaleCorrectsCoarseCadence) {
+  // Only 1/3 of VPs respond per bin (A-Root cadence): with scale 3 the
+  // board shows full health.
+  LetterBins bins(9, net::SimTime(0), net::SimTime::from_minutes(10), 6);
+  for (std::size_t b = 0; b < 6; ++b) {
+    for (int vp = 0; vp < 3; ++vp) {
+      ProbeRecord r;
+      r.vp = static_cast<std::uint32_t>((b * 3 + vp) % 9);
+      r.letter_index = 0;
+      r.t_s = static_cast<std::uint32_t>(b * 600 + 1);
+      r.outcome = ProbeOutcome::kSite;
+      r.site_id = 1;
+      bins.add(r);
+    }
+  }
+  const auto row = render_dnsmon_row(bins, 'A', 1, /*scale=*/3.0);
+  for (const char c : row.strip) EXPECT_EQ(c, ' ');
+}
+
+TEST(Dnsmon, BoardRendersOneRowPerGrid) {
+  std::vector<LetterBins> grids;
+  grids.emplace_back(2, net::SimTime(0), net::SimTime::from_minutes(10), 6);
+  grids.emplace_back(2, net::SimTime(0), net::SimTime::from_minutes(10), 6);
+  const auto rows = render_dnsmon(grids, 2);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].letter, 'A');
+  EXPECT_EQ(rows[1].letter, 'B');
+}
+
+TEST(Dnsmon, EmptyGridIsSafe) {
+  LetterBins bins(1, net::SimTime(0), net::SimTime::from_minutes(10), 3);
+  const auto row = render_dnsmon_row(bins, 'Z', 1);
+  EXPECT_EQ(row.strip.size(), 3u);
+  // No data at all renders as total darkness, not a crash.
+  for (const char c : row.strip) EXPECT_EQ(c, kDnsmonShades[0]);
+}
+
+}  // namespace
+}  // namespace rootstress::atlas

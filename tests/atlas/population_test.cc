@@ -1,0 +1,85 @@
+#include "atlas/population.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::atlas {
+namespace {
+
+bgp::AsTopology topo() {
+  bgp::TopologyConfig config;
+  config.stub_count = 400;
+  return bgp::AsTopology::synthesize(config);
+}
+
+TEST(Population, RequestedCount) {
+  const auto t = topo();
+  PopulationConfig config;
+  config.vp_count = 500;
+  const auto vps = make_population(t, config);
+  ASSERT_EQ(vps.size(), 500u);
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    EXPECT_EQ(vps[i].id, static_cast<int>(i));
+    EXPECT_EQ(t.info(vps[i].as_index).tier, bgp::AsTier::kStub);
+  }
+}
+
+TEST(Population, EuropeBias) {
+  const auto t = topo();
+  PopulationConfig config;
+  config.vp_count = 3000;
+  config.europe_share = 0.55;
+  const auto vps = make_population(t, config);
+  int eu = 0;
+  for (const auto& vp : vps) {
+    if (vp.region == "EU") ++eu;
+  }
+  const double share = eu / static_cast<double>(vps.size());
+  EXPECT_GT(share, 0.50);
+  EXPECT_LT(share, 0.70);
+}
+
+TEST(Population, DirtRatesMatchConfig) {
+  const auto t = topo();
+  PopulationConfig config;
+  config.vp_count = 5000;
+  config.old_firmware_share = 0.03;
+  config.hijacked_share = 0.008;
+  const auto vps = make_population(t, config);
+  int old_fw = 0, hijacked = 0;
+  for (const auto& vp : vps) {
+    if (vp.firmware < kMinFirmware) ++old_fw;
+    if (vp.hijacked) ++hijacked;
+  }
+  EXPECT_NEAR(old_fw / 5000.0, 0.03, 0.01);
+  EXPECT_NEAR(hijacked / 5000.0, 0.008, 0.006);
+}
+
+TEST(Population, UniqueAddressesAndPhases) {
+  const auto t = topo();
+  PopulationConfig config;
+  config.vp_count = 1000;
+  const auto vps = make_population(t, config);
+  std::set<std::uint32_t> addrs;
+  for (const auto& vp : vps) {
+    EXPECT_TRUE(addrs.insert(vp.address.value()).second);
+    EXPECT_GE(vp.phase_ms, 0);
+    EXPECT_LT(vp.phase_ms, 240000);
+  }
+}
+
+TEST(Population, DeterministicForSeed) {
+  const auto t = topo();
+  PopulationConfig config;
+  config.vp_count = 200;
+  config.seed = 9;
+  const auto a = make_population(t, config);
+  const auto b = make_population(t, config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].as_index, b[i].as_index);
+    EXPECT_EQ(a[i].firmware, b[i].firmware);
+    EXPECT_EQ(a[i].hijacked, b[i].hijacked);
+  }
+}
+
+}  // namespace
+}  // namespace rootstress::atlas

@@ -1,0 +1,126 @@
+#include "atlas/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rootstress::atlas {
+namespace {
+
+RecordSet sample_records() {
+  RecordSet records;
+  ProbeRecord a;
+  a.vp = 3;
+  a.t_s = 12345;
+  a.letter_index = 10;
+  a.outcome = ProbeOutcome::kSite;
+  a.site_id = 42;
+  a.server = 2;
+  a.rtt_ms = 1337;
+  a.rcode = 0;
+  records.push_back(a);
+  ProbeRecord b;
+  b.vp = 9;
+  b.t_s = 99;
+  b.letter_index = 1;
+  b.outcome = ProbeOutcome::kTimeout;
+  b.site_id = -1;
+  records.push_back(b);
+  ProbeRecord c;
+  c.vp = 0;
+  c.outcome = ProbeOutcome::kError;
+  c.rtt_ms = 3;
+  c.site_id = -1;
+  records.push_back(c);
+  return records;
+}
+
+TEST(TraceIo, RecordsRoundTrip) {
+  const auto records = sample_records();
+  std::stringstream buffer;
+  write_records_csv(records, buffer);
+  const auto parsed = read_records_csv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].vp, records[i].vp);
+    EXPECT_EQ((*parsed)[i].t_s, records[i].t_s);
+    EXPECT_EQ((*parsed)[i].letter_index, records[i].letter_index);
+    EXPECT_EQ((*parsed)[i].outcome, records[i].outcome);
+    EXPECT_EQ((*parsed)[i].site_id, records[i].site_id);
+    EXPECT_EQ((*parsed)[i].server, records[i].server);
+    EXPECT_EQ((*parsed)[i].rtt_ms, records[i].rtt_ms);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedRecords) {
+  auto check_bad = [](const std::string& text, std::size_t expect_row) {
+    std::istringstream is(text);
+    std::size_t bad_row = 9999;
+    EXPECT_FALSE(read_records_csv(is, &bad_row).has_value()) << text;
+    EXPECT_EQ(bad_row, expect_row);
+  };
+  check_bad("not,a,header\n", 0);
+  check_bad("vp,t_s,letter,outcome,site,server,rtt_ms,rcode\n1,2,3\n", 1);
+  check_bad(
+      "vp,t_s,letter,outcome,site,server,rtt_ms,rcode\n"
+      "1,2,3,banana,5,6,7,8\n",
+      1);
+  check_bad(
+      "vp,t_s,letter,outcome,site,server,rtt_ms,rcode\n"
+      "1,2,3,site,5,6,7,8\n"
+      "x,2,3,site,5,6,7,8\n",
+      2);
+}
+
+TEST(TraceIo, EmptyRecordSet) {
+  std::stringstream buffer;
+  write_records_csv({}, buffer);
+  const auto parsed = read_records_csv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceIo, VpsRoundTrip) {
+  std::vector<VantagePoint> vps(2);
+  vps[0].id = 0;
+  vps[0].as_index = 17;
+  vps[0].address = net::Ipv4Addr(10, 0, 0, 1);
+  vps[0].location = {52.3, 4.7};
+  vps[0].region = "EU";
+  vps[0].firmware = 4700;
+  vps[0].hijacked = false;
+  vps[0].phase_ms = 1234;
+  vps[1].id = 1;
+  vps[1].as_index = 99;
+  vps[1].address = net::Ipv4Addr(10, 0, 0, 2);
+  vps[1].location = {-33.9, 151.2};
+  vps[1].region = "OC";
+  vps[1].firmware = 4500;
+  vps[1].hijacked = true;
+  vps[1].phase_ms = 0;
+
+  std::stringstream buffer;
+  write_vps_csv(vps, buffer);
+  const auto parsed = read_vps_csv(buffer);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].as_index, 17);
+  EXPECT_EQ((*parsed)[0].address, net::Ipv4Addr(10, 0, 0, 1));
+  EXPECT_NEAR((*parsed)[1].location.lat, -33.9, 1e-9);
+  EXPECT_EQ((*parsed)[1].region, "OC");
+  EXPECT_TRUE((*parsed)[1].hijacked);
+  EXPECT_FALSE((*parsed)[0].hijacked);
+}
+
+TEST(TraceIo, RejectsMalformedVps) {
+  std::istringstream is(
+      "id,as_index,address,lat,lon,region,firmware,hijacked,phase_ms\n"
+      "0,17,999.999.1.1,52.3,4.7,EU,4700,0,10\n");
+  std::size_t bad_row = 0;
+  EXPECT_FALSE(read_vps_csv(is, &bad_row).has_value());
+  EXPECT_EQ(bad_row, 1u);
+}
+
+}  // namespace
+}  // namespace rootstress::atlas

@@ -1,0 +1,106 @@
+#include "attack/botnet.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/rib.h"
+
+namespace rootstress::attack {
+namespace {
+
+bgp::AsTopology topo() {
+  bgp::TopologyConfig config;
+  config.stub_count = 400;
+  return bgp::AsTopology::synthesize(config);
+}
+
+TEST(Botnet, SharesSumToOne) {
+  const auto t = topo();
+  const auto net = Botnet::build(t, {});
+  double total = 0.0;
+  for (const auto& group : net.groups()) {
+    EXPECT_GT(group.share, 0.0);
+    EXPECT_GE(group.as_index, 0);
+    total += group.share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Botnet, GroupsLiveInStubs) {
+  const auto t = topo();
+  const auto net = Botnet::build(t, {});
+  for (const auto& group : net.groups()) {
+    EXPECT_EQ(t.info(group.as_index).tier, bgp::AsTier::kStub);
+  }
+}
+
+TEST(Botnet, RegionBias) {
+  const auto t = topo();
+  BotnetConfig config;
+  config.eu_share = 0.8;
+  config.na_share = 0.1;
+  config.as_share = 0.1;
+  const auto net = Botnet::build(t, config);
+  double eu_weight = 0.0;
+  for (const auto& group : net.groups()) {
+    if (t.info(group.as_index).region == "EU") eu_weight += group.share;
+  }
+  EXPECT_GT(eu_weight, 0.5);
+}
+
+TEST(Botnet, AttackBySiteConservesTraffic) {
+  auto t = topo();
+  util::Rng rng(3);
+  std::vector<bgp::AnycastOrigin> origins;
+  for (int i = 0; i < 5; ++i) {
+    const net::Asn asn(80000 + static_cast<std::uint32_t>(i));
+    t.add_edge_as(asn, "EU", net::GeoPoint{50, 8}, 2, rng);
+    origins.push_back(bgp::AnycastOrigin{i, asn, true, false});
+  }
+  const auto net = Botnet::build(t, {});
+  const auto routes = bgp::compute_routes(t, origins);
+  double unrouted = 0.0;
+  const auto per_site = net.attack_by_site(routes, 5e6, 5, &unrouted);
+  double total = unrouted;
+  for (double qps : per_site) total += qps;
+  EXPECT_NEAR(total, 5e6, 1.0);
+  // With global origins everywhere, nearly everything lands.
+  EXPECT_LT(unrouted, 5e4);
+}
+
+TEST(Botnet, NoRoutesMeansAllUnrouted) {
+  const auto t = topo();
+  const auto net = Botnet::build(t, {});
+  const std::vector<bgp::RouteChoice> routes(
+      static_cast<std::size_t>(t.as_count()));
+  double unrouted = 0.0;
+  const auto per_site = net.attack_by_site(routes, 1e6, 3, &unrouted);
+  EXPECT_NEAR(unrouted, 1e6, 1.0);
+  for (double qps : per_site) EXPECT_DOUBLE_EQ(qps, 0.0);
+}
+
+TEST(Botnet, DeterministicForSeed) {
+  const auto t = topo();
+  BotnetConfig config;
+  config.seed = 55;
+  const auto a = Botnet::build(t, config);
+  const auto b = Botnet::build(t, config);
+  ASSERT_EQ(a.groups().size(), b.groups().size());
+  for (std::size_t i = 0; i < a.groups().size(); ++i) {
+    EXPECT_EQ(a.groups()[i].as_index, b.groups()[i].as_index);
+    EXPECT_DOUBLE_EQ(a.groups()[i].share, b.groups()[i].share);
+  }
+}
+
+TEST(Botnet, SkewProducesHeavyGroups) {
+  const auto t = topo();
+  const auto net = Botnet::build(t, {});
+  double max_share = 0.0;
+  for (const auto& group : net.groups()) {
+    max_share = std::max(max_share, group.share);
+  }
+  // Pareto-skewed: the largest group dwarfs the mean (1/300).
+  EXPECT_GT(max_share, 3.0 / 300.0);
+}
+
+}  // namespace
+}  // namespace rootstress::attack

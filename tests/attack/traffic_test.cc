@@ -1,0 +1,63 @@
+#include "attack/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/rib.h"
+#include "util/rng.h"
+
+namespace rootstress::attack {
+namespace {
+
+TEST(LegitTraffic, WeightsNormalizedOverStubs) {
+  bgp::TopologyConfig config;
+  config.stub_count = 200;
+  const auto topo = bgp::AsTopology::synthesize(config);
+  const auto legit = LegitTraffic::build(topo, {});
+  double total = 0.0;
+  for (int i = 0; i < topo.as_count(); ++i) {
+    const double w = legit.as_weights()[static_cast<std::size_t>(i)];
+    if (topo.info(i).tier != bgp::AsTier::kStub) {
+      EXPECT_DOUBLE_EQ(w, 0.0);
+    }
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LegitTraffic, LegitBySiteConserves) {
+  bgp::TopologyConfig config;
+  config.stub_count = 200;
+  auto topo = bgp::AsTopology::synthesize(config);
+  util::Rng rng(1);
+  std::vector<bgp::AnycastOrigin> origins;
+  for (int i = 0; i < 3; ++i) {
+    const net::Asn asn(81000 + static_cast<std::uint32_t>(i));
+    topo.add_edge_as(asn, "EU", net::GeoPoint{50, 8}, 2, rng);
+    origins.push_back(bgp::AnycastOrigin{i, asn, true, false});
+  }
+  const auto legit = LegitTraffic::build(topo, {});
+  const auto routes = bgp::compute_routes(topo, origins);
+  double unrouted = 0.0;
+  const auto per_site = legit.legit_by_site(routes, 40e3, 3, &unrouted);
+  double total = unrouted;
+  for (double qps : per_site) total += qps;
+  EXPECT_NEAR(total, 40e3, 1.0);
+}
+
+TEST(LegitTraffic, HeavyTailedButEveryStubCounts) {
+  bgp::TopologyConfig config;
+  config.stub_count = 300;
+  const auto topo = bgp::AsTopology::synthesize(config);
+  const auto legit = LegitTraffic::build(topo, {});
+  double max_w = 0.0;
+  int nonzero = 0;
+  for (const double w : legit.as_weights()) {
+    max_w = std::max(max_w, w);
+    if (w > 0.0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 300);
+  EXPECT_GT(max_w, 2.0 / 300.0);  // heavy tail
+}
+
+}  // namespace
+}  // namespace rootstress::attack

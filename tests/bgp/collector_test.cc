@@ -1,0 +1,88 @@
+#include "bgp/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::bgp {
+namespace {
+
+AsTopology small_topo() {
+  TopologyConfig config;
+  config.stub_count = 300;
+  return AsTopology::synthesize(config);
+}
+
+TEST(Collector, SelectsRequestedPeerCount) {
+  const auto topo = small_topo();
+  CollectorConfig config;
+  config.peer_count = 50;
+  RouteCollector collector(topo, config, 1, net::SimTime(0),
+                           net::SimTime::from_minutes(10), 144);
+  // Random choice may collide on a small stub pool; allow slack.
+  EXPECT_GE(collector.peer_ases().size(), 40u);
+  EXPECT_LE(collector.peer_ases().size(), 50u);
+}
+
+TEST(Collector, PeersAreNaBiasedStubs) {
+  const auto topo = small_topo();
+  CollectorConfig config;
+  config.peer_count = 100;
+  config.na_bias = 0.9;
+  RouteCollector collector(topo, config, 1, net::SimTime(0),
+                           net::SimTime::from_minutes(10), 144);
+  int na = 0;
+  for (const int as : collector.peer_ases()) {
+    EXPECT_EQ(topo.info(as).tier, AsTier::kStub);
+    if (topo.info(as).region == "NA") ++na;
+  }
+  EXPECT_GT(na, static_cast<int>(collector.peer_ases().size()) / 2);
+}
+
+TEST(Collector, ObservationsLandInBins) {
+  const auto topo = small_topo();
+  CollectorConfig config;
+  config.peer_count = 100;
+  RouteCollector collector(topo, config, 2, net::SimTime(0),
+                           net::SimTime::from_minutes(10), 144);
+  // A big routing event touching every peer AS.
+  std::vector<RouteChange> changes;
+  for (const int as : collector.peer_ases()) {
+    changes.push_back(RouteChange{net::SimTime::from_minutes(25), 0, as, 0, 1});
+  }
+  collector.observe(0, changes);
+  EXPECT_GE(collector.series(0).count(2),
+            collector.peer_ases().size());  // bin 2 = minutes 20-30
+  EXPECT_EQ(collector.series(1).count(2), 0u);  // other prefix untouched
+}
+
+TEST(Collector, EmptyAndOutOfRangeIgnored) {
+  const auto topo = small_topo();
+  RouteCollector collector(topo, {}, 1, net::SimTime(0),
+                           net::SimTime::from_minutes(10), 144);
+  collector.observe(0, {});
+  collector.observe(5, {RouteChange{net::SimTime(0), 5, 0, 0, 1}});
+  for (std::size_t b = 0; b < 144; ++b) {
+    EXPECT_EQ(collector.series(0).count(b), 0u);
+  }
+}
+
+TEST(Collector, AmbientChurnScalesWithChangeCount) {
+  const auto topo = small_topo();
+  CollectorConfig config;
+  config.peer_count = 100;
+  config.ambient_visibility = 0.05;
+  RouteCollector collector(topo, config, 1, net::SimTime(0),
+                           net::SimTime::from_minutes(10), 144);
+  // Changes at non-peer ASes only: the collector still logs a sampled
+  // share of full-feed churn.
+  std::vector<RouteChange> changes;
+  for (int as = 0; as < topo.as_count(); ++as) {
+    if (topo.info(as).tier == AsTier::kTier2) {
+      changes.push_back(RouteChange{net::SimTime(0), 0, as, 0, 1});
+    }
+  }
+  collector.observe(0, changes);
+  EXPECT_GT(collector.series(0).count(0), 0u);
+}
+
+}  // namespace
+}  // namespace rootstress::bgp

@@ -1,0 +1,150 @@
+#include "bgp/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+namespace rootstress::bgp {
+namespace {
+
+TEST(Topology, ManualConstruction) {
+  AsTopology topo;
+  const int a = topo.add_as({net::Asn(1), AsTier::kTier1, {0, 0}, "EU"});
+  const int b = topo.add_as({net::Asn(2), AsTier::kStub, {1, 1}, "EU"});
+  topo.add_transit(a, b);
+  EXPECT_EQ(topo.as_count(), 2);
+  ASSERT_EQ(topo.links(a).size(), 1u);
+  EXPECT_EQ(topo.links(a)[0].neighbor, b);
+  EXPECT_EQ(topo.links(a)[0].rel, Rel::kCustomer);
+  EXPECT_EQ(topo.links(b)[0].rel, Rel::kProvider);
+}
+
+TEST(Topology, PeeringIsSymmetric) {
+  AsTopology topo;
+  const int a = topo.add_as({net::Asn(1), AsTier::kTier2, {0, 0}, "EU"});
+  const int b = topo.add_as({net::Asn(2), AsTier::kTier2, {1, 1}, "EU"});
+  topo.add_peering(a, b);
+  EXPECT_EQ(topo.links(a)[0].rel, Rel::kPeer);
+  EXPECT_EQ(topo.links(b)[0].rel, Rel::kPeer);
+}
+
+TEST(Topology, IndexOf) {
+  AsTopology topo;
+  topo.add_as({net::Asn(77), AsTier::kStub, {0, 0}, "NA"});
+  EXPECT_EQ(topo.index_of(net::Asn(77)), 0);
+  EXPECT_FALSE(topo.index_of(net::Asn(78)).has_value());
+}
+
+class SynthesizedTopology : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  TopologyConfig config() const {
+    TopologyConfig c;
+    c.stub_count = 400;
+    c.seed = GetParam();
+    return c;
+  }
+};
+
+TEST_P(SynthesizedTopology, HasExpectedShape) {
+  const auto topo = AsTopology::synthesize(config());
+  int tier1 = 0, tier2 = 0, stubs = 0;
+  for (int i = 0; i < topo.as_count(); ++i) {
+    switch (topo.info(i).tier) {
+      case AsTier::kTier1: ++tier1; break;
+      case AsTier::kTier2: ++tier2; break;
+      case AsTier::kStub: ++stubs; break;
+    }
+  }
+  EXPECT_EQ(tier1, 10);
+  EXPECT_EQ(tier2, 7 * 12);  // 7 regions x 12
+  EXPECT_EQ(stubs, 400);
+}
+
+TEST_P(SynthesizedTopology, EveryStubHasAProvider) {
+  const auto topo = AsTopology::synthesize(config());
+  for (int i = 0; i < topo.as_count(); ++i) {
+    if (topo.info(i).tier != AsTier::kStub) continue;
+    bool has_provider = false;
+    for (const Link& link : topo.links(i)) {
+      has_provider |= link.rel == Rel::kProvider;
+    }
+    EXPECT_TRUE(has_provider) << "stub " << i;
+  }
+}
+
+TEST_P(SynthesizedTopology, FullyConnectedUndirected) {
+  const auto topo = AsTopology::synthesize(config());
+  std::vector<bool> seen(static_cast<std::size_t>(topo.as_count()), false);
+  std::queue<int> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int reached = 0;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    ++reached;
+    for (const Link& link : topo.links(u)) {
+      if (!seen[static_cast<std::size_t>(link.neighbor)]) {
+        seen[static_cast<std::size_t>(link.neighbor)] = true;
+        frontier.push(link.neighbor);
+      }
+    }
+  }
+  EXPECT_EQ(reached, topo.as_count());
+}
+
+TEST_P(SynthesizedTopology, DeterministicForSeed) {
+  const auto a = AsTopology::synthesize(config());
+  const auto b = AsTopology::synthesize(config());
+  ASSERT_EQ(a.as_count(), b.as_count());
+  EXPECT_EQ(a.link_entry_count(), b.link_entry_count());
+  for (int i = 0; i < a.as_count(); ++i) {
+    EXPECT_EQ(a.info(i).asn, b.info(i).asn);
+    EXPECT_EQ(a.info(i).region, b.info(i).region);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizedTopology,
+                         ::testing::Values(1, 42, 2015));
+
+TEST(Topology, AddEdgeAsAttachesRegionally) {
+  TopologyConfig c;
+  c.stub_count = 100;
+  auto topo = AsTopology::synthesize(c);
+  util::Rng rng(5);
+  const int idx =
+      topo.add_edge_as(net::Asn(64001), "EU", net::GeoPoint{52, 5}, 3, rng);
+  EXPECT_EQ(topo.info(idx).region, "EU");
+  int providers = 0;
+  for (const Link& link : topo.links(idx)) {
+    if (link.rel == Rel::kProvider) {
+      ++providers;
+      EXPECT_EQ(topo.info(link.neighbor).region, "EU");
+      EXPECT_EQ(topo.info(link.neighbor).tier, AsTier::kTier2);
+    }
+  }
+  EXPECT_EQ(providers, 3);
+}
+
+TEST(Topology, AddEdgeAsRejectsDuplicateAsn) {
+  TopologyConfig c;
+  c.stub_count = 10;
+  auto topo = AsTopology::synthesize(c);
+  util::Rng rng(5);
+  topo.add_edge_as(net::Asn(64001), "EU", net::GeoPoint{52, 5}, 1, rng);
+  EXPECT_THROW(
+      topo.add_edge_as(net::Asn(64001), "EU", net::GeoPoint{52, 5}, 1, rng),
+      std::invalid_argument);
+}
+
+TEST(Topology, StubAndTier2Queries) {
+  TopologyConfig c;
+  c.stub_count = 50;
+  const auto topo = AsTopology::synthesize(c);
+  EXPECT_EQ(topo.stub_indices().size(), 50u);
+  EXPECT_EQ(topo.tier2_in_region("EU").size(), 12u);
+  EXPECT_TRUE(topo.tier2_in_region("XX").empty());
+}
+
+}  // namespace
+}  // namespace rootstress::bgp

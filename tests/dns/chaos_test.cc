@@ -1,0 +1,89 @@
+#include "dns/chaos.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::dns {
+namespace {
+
+// Identity strings must round-trip for every letter, arbitrary sites and
+// server indices — the measurement pipeline depends on this total.
+class ChaosRoundTrip : public ::testing::TestWithParam<char> {};
+
+TEST_P(ChaosRoundTrip, AllSitesAndServers) {
+  const char letter = GetParam();
+  for (const char* site : {"AMS", "lhr", "Fra", "NRT", "QAA"}) {
+    for (int server : {1, 2, 9, 12}) {
+      const std::string id = server_identity(letter, site, server);
+      const auto parsed = parse_identity(letter, id);
+      ASSERT_TRUE(parsed.has_value())
+          << letter << " " << site << " " << server << " -> " << id;
+      EXPECT_EQ(parsed->letter, letter);
+      EXPECT_EQ(parsed->server, server);
+      // Site comes back upper-cased.
+      std::string expected_site(site);
+      for (auto& c : expected_site) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      EXPECT_EQ(parsed->site, expected_site);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Letters, ChaosRoundTrip,
+                         ::testing::Values('A', 'B', 'C', 'D', 'E', 'F', 'G',
+                                           'H', 'I', 'J', 'K', 'L', 'M'));
+
+TEST(Chaos, FormatsAreLetterSpecific) {
+  // Identity of one letter must not parse as another (this is what makes
+  // hijack detection work).
+  const std::string k_id = server_identity('K', "AMS", 1);
+  for (char other = 'A'; other <= 'M'; ++other) {
+    if (other == 'K') continue;
+    EXPECT_FALSE(parse_identity(other, k_id).has_value())
+        << k_id << " parsed as " << other;
+  }
+}
+
+class ChaosRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ChaosRejects, BogusIdentity) {
+  for (char letter = 'A'; letter <= 'M'; ++letter) {
+    EXPECT_FALSE(parse_identity(letter, GetParam()).has_value())
+        << GetParam() << " accepted by " << letter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ChaosRejects,
+    ::testing::Values("", "hijacked-by-middlebox", "dns.google",
+                      "k0.ams.k.ripe.net",      // zero server index
+                      "k1.amst.k.ripe.net",     // 4-letter site
+                      "k1.am.k.ripe.net",       // 2-letter site
+                      "k-1.ams.k.ripe.net",     // negative index
+                      "kX.ams.k.ripe.net"));    // non-numeric index
+
+TEST(Chaos, HostnameBind) {
+  EXPECT_EQ(hostname_bind().to_string(), "hostname.bind.");
+}
+
+TEST(Chaos, QueryPredicate) {
+  EXPECT_TRUE(is_chaos_query(make_chaos_query(1)));
+  // IN TXT hostname.bind is not a CHAOS query.
+  const Message in_query = Message::query(1, hostname_bind(), RrType::kTxt,
+                                          RrClass::kIn);
+  EXPECT_FALSE(is_chaos_query(in_query));
+  // CH A is not.
+  const Message ch_a =
+      Message::query(1, hostname_bind(), RrType::kA, RrClass::kCh);
+  EXPECT_FALSE(is_chaos_query(ch_a));
+  // Responses are not queries.
+  Message resp = Message::response_to(make_chaos_query(1), Rcode::kNoError);
+  EXPECT_FALSE(is_chaos_query(resp));
+}
+
+TEST(Chaos, CaseNormalization) {
+  EXPECT_EQ(server_identity('K', "AmS", 2), server_identity('K', "ams", 2));
+}
+
+}  // namespace
+}  // namespace rootstress::dns

@@ -1,0 +1,93 @@
+#include "dns/edns.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/server.h"
+#include "dns/wire.h"
+
+namespace rootstress::dns {
+namespace {
+
+TEST(Edns, OptRecordRoundTrip) {
+  Message query = Message::query(1, *Name::parse("example.com"), RrType::kA,
+                                 RrClass::kIn);
+  EXPECT_FALSE(edns_info(query).has_value());
+  add_edns(query, 4096, /*dnssec_ok=*/true);
+  const auto info = edns_info(query);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->udp_payload_size, 4096);
+  EXPECT_TRUE(info->dnssec_ok);
+  EXPECT_EQ(info->version, 0);
+}
+
+TEST(Edns, SurvivesWireEncoding) {
+  Message query = Message::query(1, *Name::parse("example.com"), RrType::kA,
+                                 RrClass::kIn);
+  add_edns(query, 1232);
+  const auto decoded = decode(encode(query));
+  ASSERT_TRUE(decoded.has_value());
+  const auto info = edns_info(*decoded);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->udp_payload_size, 1232);
+  EXPECT_FALSE(info->dnssec_ok);
+}
+
+TEST(Edns, MaxResponseSizeRules) {
+  Message query = Message::query(1, *Name::parse("a.com"), RrType::kA,
+                                 RrClass::kIn);
+  EXPECT_EQ(max_udp_response_size(query), 512u);  // no EDNS
+  add_edns(query, 200);                           // below-floor value
+  EXPECT_EQ(max_udp_response_size(query), 512u);
+  query.additional.clear();
+  add_edns(query, 4096);
+  EXPECT_EQ(max_udp_response_size(query), 4096u);
+}
+
+TEST(Edns, ServerEchoesOptAndFitsBuffer) {
+  RootServer server('A', "IAD", 1);
+  Message query = Message::query(1, *Name::parse("www.336901.com"),
+                                 RrType::kA, RrClass::kIn);
+  add_edns(query, 4096);
+  const auto response =
+      server.answer(query, net::Ipv4Addr(1), net::SimTime(0));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(edns_info(*response).has_value());
+  EXPECT_LE(encode(*response).size(), 4096u);
+  EXPECT_FALSE(response->header.tc);
+}
+
+TEST(Edns, NonEdnsResponseFits512) {
+  RootServer server('A', "IAD", 1);
+  const Message query = Message::query(1, *Name::parse("www.336901.com"),
+                                       RrType::kA, RrClass::kIn);
+  const auto response =
+      server.answer(query, net::Ipv4Addr(1), net::SimTime(0));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_LE(encode(*response).size(), 512u);
+  EXPECT_FALSE(edns_info(*response).has_value());
+}
+
+TEST(Edns, TinyBufferTriggersTruncation) {
+  RootServer server('A', "IAD", 1);
+  // A client advertising 512 via EDNS still gets a fitting (possibly
+  // glue-shorn) response; force truncation with a long qname and the
+  // floor-size buffer.
+  Message query = Message::query(
+      1,
+      *Name::parse("very-long-label-to-inflate-the-question-section-"
+                   "alpha.example-subdomain.com"),
+      RrType::kA, RrClass::kIn);
+  add_edns(query, 512);
+  const auto response =
+      server.answer(query, net::Ipv4Addr(1), net::SimTime(0));
+  ASSERT_TRUE(response.has_value());
+  const std::size_t size = encode(*response).size();
+  EXPECT_LE(size, 512u);
+  // Either it fits by shedding glue or it is truncated; both are valid.
+  if (response->header.tc) {
+    EXPECT_TRUE(response->authority.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rootstress::dns

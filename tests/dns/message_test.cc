@@ -1,0 +1,68 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::dns {
+namespace {
+
+TEST(Message, QueryBuilder) {
+  const Message q = Message::query(0xabcd, *Name::parse("example.com"),
+                                   RrType::kA, RrClass::kIn, true);
+  EXPECT_EQ(q.header.id, 0xabcd);
+  EXPECT_FALSE(q.header.qr);
+  EXPECT_TRUE(q.header.rd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].qtype, RrType::kA);
+}
+
+TEST(Message, ResponseEchoesQuestion) {
+  const Message q = Message::query(7, *Name::parse("x.y"), RrType::kTxt,
+                                   RrClass::kCh);
+  const Message r = Message::response_to(q, Rcode::kNxDomain);
+  EXPECT_EQ(r.header.id, 7);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(r.header.rcode, Rcode::kNxDomain);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0], q.questions[0]);
+}
+
+TEST(Record, TxtRoundTrip) {
+  const auto rr = ResourceRecord::txt(*Name::parse("hostname.bind"),
+                                      RrClass::kCh, 0, "k1.ams.k.ripe.net");
+  EXPECT_EQ(rr.type, RrType::kTxt);
+  ASSERT_TRUE(rr.txt_value().has_value());
+  EXPECT_EQ(*rr.txt_value(), "k1.ams.k.ripe.net");
+}
+
+TEST(Record, TxtTruncatesAt255) {
+  const std::string big(300, 'x');
+  const auto rr =
+      ResourceRecord::txt(*Name::parse("a"), RrClass::kIn, 0, big);
+  EXPECT_EQ(rr.txt_value()->size(), 255u);
+}
+
+TEST(Record, TxtValueOnNonTxtIsNull) {
+  const auto rr = ResourceRecord::a(*Name::parse("a"), 60, 0x01020304);
+  EXPECT_FALSE(rr.txt_value().has_value());
+}
+
+TEST(Record, ARecordBytes) {
+  const auto rr = ResourceRecord::a(*Name::parse("a"), 60, 0xc0000201);
+  EXPECT_EQ(rr.rdata, (std::vector<std::uint8_t>{192, 0, 2, 1}));
+}
+
+TEST(Record, NsRecordEncodesName) {
+  const auto rr =
+      ResourceRecord::ns(*Name::parse("com"), 172800, *Name::parse("a.b"));
+  EXPECT_EQ(rr.rdata, (std::vector<std::uint8_t>{1, 'a', 1, 'b', 0}));
+}
+
+TEST(Enums, ToString) {
+  EXPECT_EQ(to_string(Rcode::kNoError), "NOERROR");
+  EXPECT_EQ(to_string(Rcode::kServFail), "SERVFAIL");
+  EXPECT_EQ(to_string(RrType::kTxt), "TXT");
+  EXPECT_EQ(to_string(RrClass::kCh), "CH");
+}
+
+}  // namespace
+}  // namespace rootstress::dns

@@ -1,0 +1,89 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::dns {
+namespace {
+
+TEST(Name, ParseBasics) {
+  const auto n = Name::parse("www.example.com");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->label_count(), 3u);
+  EXPECT_EQ(n->labels()[0], "www");
+  EXPECT_EQ(n->to_string(), "www.example.com.");
+}
+
+TEST(Name, TrailingDotEquivalent) {
+  EXPECT_EQ(*Name::parse("a.b."), *Name::parse("a.b"));
+}
+
+TEST(Name, RootForms) {
+  EXPECT_TRUE(Name::parse(".")->is_root());
+  EXPECT_TRUE(Name::parse("")->is_root());
+  EXPECT_EQ(Name::root().to_string(), ".");
+  EXPECT_EQ(Name::root().wire_length(), 1u);
+}
+
+class NameParseInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NameParseInvalid, Rejects) {
+  EXPECT_FALSE(Name::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NameParseInvalid,
+    ::testing::Values("a..b", ".leading", "a..",
+                      // 64-char label
+                      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+                      "aaaaaaaaaaa.com"));
+
+TEST(Name, LabelLimit63Accepted) {
+  const std::string label(63, 'a');
+  EXPECT_TRUE(Name::parse(label + ".com").has_value());
+}
+
+TEST(Name, TotalWireLimit255) {
+  // Four 63-byte labels = 4*64 + 1 = 257 > 255 -> reject.
+  const std::string label(63, 'a');
+  const std::string too_long = label + "." + label + "." + label + "." + label;
+  EXPECT_FALSE(Name::parse(too_long).has_value());
+  // Three 63 + one 59 = 3*64 + 60 + 1 = 253 -> accept.
+  const std::string ok = label + "." + label + "." + label + "." +
+                         std::string(59, 'b');
+  EXPECT_TRUE(Name::parse(ok).has_value());
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(*Name::parse("WWW.Example.COM"), *Name::parse("www.example.com"));
+  EXPECT_FALSE(*Name::parse("a.com") == *Name::parse("b.com"));
+  EXPECT_FALSE(*Name::parse("a.com") == *Name::parse("a.com.x"));
+}
+
+TEST(Name, HashCaseInsensitiveAndDiscriminating) {
+  EXPECT_EQ(Name::parse("A.B")->hash(), Name::parse("a.b")->hash());
+  EXPECT_NE(Name::parse("a.b")->hash(), Name::parse("a.c")->hash());
+  // "ab.c" vs "a.bc" must hash differently (separator is mixed in).
+  EXPECT_NE(Name::parse("ab.c")->hash(), Name::parse("a.bc")->hash());
+}
+
+TEST(Name, WireLength) {
+  // www(4) + example(8) + com(4) + root(1) = 17.
+  EXPECT_EQ(Name::parse("www.example.com")->wire_length(), 17u);
+}
+
+TEST(Name, Parent) {
+  const Name n = *Name::parse("www.example.com");
+  EXPECT_EQ(n.parent(), *Name::parse("example.com"));
+  EXPECT_EQ(n.parent().parent(), *Name::parse("com"));
+  EXPECT_TRUE(n.parent().parent().parent().is_root());
+  EXPECT_TRUE(Name::root().parent().is_root());
+}
+
+TEST(Name, FromLabelsValidation) {
+  EXPECT_TRUE(Name::from_labels({"a", "b"}).has_value());
+  EXPECT_FALSE(Name::from_labels({""}).has_value());
+  EXPECT_FALSE(Name::from_labels({std::string(64, 'x')}).has_value());
+}
+
+}  // namespace
+}  // namespace rootstress::dns

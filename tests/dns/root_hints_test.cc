@@ -1,0 +1,92 @@
+#include "dns/root_hints.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::dns {
+namespace {
+
+TEST(RootHints, CanonicalIsComplete) {
+  const auto hints = RootHints::canonical();
+  EXPECT_TRUE(hints.complete());
+  EXPECT_EQ(hints.entries().size(), 13u);
+  const auto* k = hints.find('K');
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->server_name, "k.root-servers.net.");
+  EXPECT_EQ(k->address, net::Ipv4Addr(198, 41, 10, 4));
+  EXPECT_EQ(hints.find('Z'), nullptr);
+}
+
+TEST(RootHints, SerializeParseRoundTrip) {
+  const auto hints = RootHints::canonical();
+  const auto parsed = RootHints::parse(hints.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->complete());
+  for (char letter = 'A'; letter <= 'M'; ++letter) {
+    EXPECT_EQ(parsed->find(letter)->address, hints.find(letter)->address);
+  }
+}
+
+TEST(RootHints, ParsesCommentsAndBlankLines) {
+  const std::string text =
+      "; This file holds the root hints\n"
+      "\n"
+      ".            3600000  NS  A.ROOT-SERVERS.NET.\n"
+      "A.ROOT-SERVERS.NET.  3600000  A  198.41.0.4   ; verisign\n";
+  const auto parsed = RootHints::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->entries().size(), 1u);
+  EXPECT_EQ(parsed->find('A')->address, net::Ipv4Addr(198, 41, 0, 4));
+  EXPECT_FALSE(parsed->complete());
+}
+
+TEST(RootHints, IgnoresAaaa) {
+  const std::string text =
+      ".  3600000  NS  B.ROOT-SERVERS.NET.\n"
+      "B.ROOT-SERVERS.NET.  3600000  AAAA  2001:500:200::b\n"
+      "B.ROOT-SERVERS.NET.  3600000  A  192.228.79.201\n";
+  const auto parsed = RootHints::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->entries().size(), 1u);
+}
+
+class RootHintsBad : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RootHintsBad, Rejected) {
+  EXPECT_FALSE(RootHints::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RootHintsBad,
+    ::testing::Values(
+        // NS without glue.
+        ".  3600000  NS  A.ROOT-SERVERS.NET.\n",
+        // Glue without NS.
+        "A.ROOT-SERVERS.NET.  3600000  A  198.41.0.4\n",
+        // Bad owner for NS.
+        "com.  3600000  NS  A.ROOT-SERVERS.NET.\n"
+        "A.ROOT-SERVERS.NET.  3600000  A  198.41.0.4\n",
+        // Not a root-server name.
+        ".  3600000  NS  NS1.EXAMPLE.COM.\n"
+        "NS1.EXAMPLE.COM.  3600000  A  198.41.0.4\n",
+        // Letter out of range.
+        ".  3600000  NS  Q.ROOT-SERVERS.NET.\n"
+        "Q.ROOT-SERVERS.NET.  3600000  A  198.41.0.4\n",
+        // Bad address.
+        ".  3600000  NS  A.ROOT-SERVERS.NET.\n"
+        "A.ROOT-SERVERS.NET.  3600000  A  999.1.2.3\n",
+        // Unknown record type.
+        ".  3600000  MX  A.ROOT-SERVERS.NET.\n"));
+
+TEST(RootHints, DuplicateAddressesNotComplete) {
+  auto text = RootHints::canonical().serialize();
+  // Point B at A's address.
+  const std::string from = "B.ROOT-SERVERS.NET.\t3600000\tA\t198.41.1.4";
+  const std::string to = "B.ROOT-SERVERS.NET.\t3600000\tA\t198.41.0.4";
+  text.replace(text.find(from), from.size(), to);
+  const auto parsed = RootHints::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->complete());
+}
+
+}  // namespace
+}  // namespace rootstress::dns

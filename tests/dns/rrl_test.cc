@@ -1,0 +1,116 @@
+#include "dns/rrl.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::dns {
+namespace {
+
+net::Ipv4Addr src(std::uint32_t v) { return net::Ipv4Addr(v); }
+
+TEST(Rrl, DisabledAlwaysResponds) {
+  RrlConfig config;
+  config.enabled = false;
+  ResponseRateLimiter rrl(config);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rrl.decide(src(1), 42, net::SimTime(0)), RrlAction::kRespond);
+  }
+  EXPECT_DOUBLE_EQ(rrl.suppression_rate(), 0.0);
+}
+
+TEST(Rrl, BurstThenSuppression) {
+  RrlConfig config;
+  config.responses_per_second = 5.0;
+  config.burst = 10.0;
+  config.slip = 0;  // no slip: clean drop behaviour
+  ResponseRateLimiter rrl(config);
+  int responded = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rrl.decide(src(1), 42, net::SimTime(0)) == RrlAction::kRespond) {
+      ++responded;
+    }
+  }
+  EXPECT_EQ(responded, 10);  // exactly the burst
+  EXPECT_GT(rrl.suppression_rate(), 0.8);
+}
+
+TEST(Rrl, TokensRefillOverTime) {
+  RrlConfig config;
+  config.responses_per_second = 5.0;
+  config.burst = 10.0;
+  config.slip = 0;
+  ResponseRateLimiter rrl(config);
+  for (int i = 0; i < 20; ++i) {
+    rrl.decide(src(1), 42, net::SimTime(0));
+  }
+  // After 2 seconds, ~10 tokens refill.
+  int responded = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (rrl.decide(src(1), 42, net::SimTime(2000)) == RrlAction::kRespond) {
+      ++responded;
+    }
+  }
+  EXPECT_EQ(responded, 10);
+}
+
+TEST(Rrl, SlipCadence) {
+  RrlConfig config;
+  config.responses_per_second = 0.0;
+  config.burst = 0.0;
+  config.slip = 2;  // every 2nd suppressed answer slips
+  ResponseRateLimiter rrl(config);
+  int slips = 0, drops = 0;
+  for (int i = 0; i < 100; ++i) {
+    switch (rrl.decide(src(1), 42, net::SimTime(0))) {
+      case RrlAction::kSlip: ++slips; break;
+      case RrlAction::kDrop: ++drops; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(slips, 50);
+  EXPECT_EQ(drops, 50);
+}
+
+TEST(Rrl, DistinctBucketsAreIndependent) {
+  RrlConfig config;
+  config.responses_per_second = 1.0;
+  config.burst = 1.0;
+  ResponseRateLimiter rrl(config);
+  // Different /24 blocks each get their own bucket.
+  for (std::uint32_t block = 0; block < 100; ++block) {
+    EXPECT_EQ(rrl.decide(src(block << 8), 42, net::SimTime(0)),
+              RrlAction::kRespond);
+  }
+  // Same /24, different host: same bucket, now empty.
+  EXPECT_NE(rrl.decide(src((50u << 8) | 7), 42, net::SimTime(0)),
+            RrlAction::kRespond);
+}
+
+TEST(Rrl, DifferentQnamesDifferentBuckets) {
+  RrlConfig config;
+  config.responses_per_second = 0.0;
+  config.burst = 1.0;
+  ResponseRateLimiter rrl(config);
+  EXPECT_EQ(rrl.decide(src(1), 1, net::SimTime(0)), RrlAction::kRespond);
+  EXPECT_EQ(rrl.decide(src(1), 2, net::SimTime(0)), RrlAction::kRespond);
+  EXPECT_NE(rrl.decide(src(1), 1, net::SimTime(0)), RrlAction::kRespond);
+}
+
+TEST(Rrl, ExpireIdleDropsState) {
+  ResponseRateLimiter rrl;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    rrl.decide(src(i << 8), 42, net::SimTime(0));
+  }
+  rrl.expire_idle(net::SimTime::from_minutes(10), net::SimTime::from_minutes(5));
+  // After expiry, buckets restart with a full burst.
+  EXPECT_EQ(rrl.decide(src(1u << 8), 42, net::SimTime::from_minutes(10)),
+            RrlAction::kRespond);
+}
+
+TEST(Rrl, ExpectedSuppressionClamped) {
+  EXPECT_DOUBLE_EQ(expected_suppression(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(expected_suppression(0.6), 0.6);
+  EXPECT_DOUBLE_EQ(expected_suppression(1.5), 1.0);
+}
+
+}  // namespace
+}  // namespace rootstress::dns

@@ -1,0 +1,219 @@
+#include "dns/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dns/chaos.h"
+#include "util/rng.h"
+
+namespace rootstress::dns {
+namespace {
+
+Message sample_response() {
+  Message q = Message::query(0x1234, *Name::parse("www.336901.com"),
+                             RrType::kA, RrClass::kIn);
+  Message m = Message::response_to(q, Rcode::kNoError);
+  m.header.aa = true;
+  m.header.ra = true;
+  const Name com = *Name::parse("com");
+  for (char c = 'a'; c <= 'e'; ++c) {
+    const Name ns = *Name::parse(std::string(1, c) + ".gtld-servers.net");
+    m.authority.push_back(ResourceRecord::ns(com, 172800, ns));
+    m.additional.push_back(ResourceRecord::a(ns, 172800, 0xc02a0000u + c));
+  }
+  return m;
+}
+
+TEST(Wire, QueryRoundTrip) {
+  const Message q = Message::query(0xbeef, *Name::parse("example.com"),
+                                   RrType::kTxt, RrClass::kCh, true);
+  const auto wire = encode(q);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.id, 0xbeef);
+  EXPECT_FALSE(decoded->header.qr);
+  EXPECT_TRUE(decoded->header.rd);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].qname, *Name::parse("example.com"));
+  EXPECT_EQ(decoded->questions[0].qtype, RrType::kTxt);
+  EXPECT_EQ(decoded->questions[0].qclass, RrClass::kCh);
+}
+
+TEST(Wire, FullResponseRoundTrip) {
+  const Message m = sample_response();
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.aa, true);
+  EXPECT_EQ(decoded->header.ra, true);
+  EXPECT_EQ(decoded->authority.size(), 5u);
+  EXPECT_EQ(decoded->additional.size(), 5u);
+  EXPECT_EQ(decoded->authority[0].name, *Name::parse("com"));
+  EXPECT_EQ(decoded->additional[2].type, RrType::kA);
+}
+
+TEST(Wire, AttackQueryPayloadSizesMatchPaperBins) {
+  // The paper identifies the events by RSSAC size bins: the Nov 30 name
+  // lands in the 32-47B bin, the Dec 1 name in the 16-31B bin (§3.1).
+  const auto q1 = Message::query(1, *Name::parse("www.336901.com"),
+                                 RrType::kA, RrClass::kIn);
+  const auto q2 = Message::query(1, *Name::parse("www.916yy.com"),
+                                 RrType::kA, RrClass::kIn);
+  const std::size_t s1 = encode(q1).size();
+  const std::size_t s2 = encode(q2).size();
+  EXPECT_GE(s1, 32u);
+  EXPECT_LT(s1, 48u);
+  EXPECT_GE(s2, 16u);
+  EXPECT_LT(s2, 32u);
+}
+
+TEST(Wire, CompressionShrinksRepeatedNames) {
+  Message m = sample_response();
+  const auto wire = encode(m);
+  // Uncompressed size: sum of full owner names; compression must beat a
+  // generous bound. "com" repeats 5x, "gtld-servers.net" suffix 10x.
+  std::size_t uncompressed = 12;
+  for (const auto& q : m.questions) {
+    uncompressed += q.qname.wire_length() + 4;
+  }
+  auto record_size = [](const ResourceRecord& rr) {
+    return rr.name.wire_length() + 10 + rr.rdata.size();
+  };
+  for (const auto& rr : m.authority) uncompressed += record_size(rr);
+  for (const auto& rr : m.additional) uncompressed += record_size(rr);
+  EXPECT_LT(wire.size(), uncompressed - 40);
+}
+
+TEST(Wire, DecodesCompressedPointers) {
+  // Hand-built message with a compression pointer: question for "a.b",
+  // answer owner pointing at offset 12.
+  const std::vector<std::uint8_t> wire{
+      0x00, 0x01, 0x80, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+      // question: a.b A IN at offset 12
+      1, 'a', 1, 'b', 0, 0x00, 0x01, 0x00, 0x01,
+      // answer: pointer to offset 12, A IN ttl=1 rdlen=4
+      0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x04,
+      1, 2, 3, 4};
+  const auto m = decode(wire);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->answers.size(), 1u);
+  EXPECT_EQ(m->answers[0].name, *Name::parse("a.b"));
+}
+
+TEST(Wire, RejectsPointerLoop) {
+  std::vector<std::uint8_t> wire{0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+                                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                                 // qname = pointer to itself
+                                 0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01};
+  std::string error;
+  EXPECT_FALSE(decode(wire, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Wire, RejectsShortHeader) {
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{1, 2, 3}).has_value());
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Wire, TruncationAtEveryByteNeverCrashes) {
+  // Property: decode() must reject (not crash on) every prefix of a
+  // valid message.
+  const auto wire = encode(sample_response());
+  const auto full = decode(wire);
+  ASSERT_TRUE(full.has_value());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto m = decode(std::span(wire.data(), len));
+    // Prefixes shorter than the full message must fail (section counts
+    // promise more data than present).
+    EXPECT_FALSE(m.has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, RandomBytesNeverCrash) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(160));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    decode(junk);  // must not crash; result irrelevant
+  }
+  SUCCEED();
+}
+
+TEST(Wire, MutatedValidMessageNeverCrashes) {
+  const auto wire = encode(sample_response());
+  util::Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto copy = wire;
+    const std::size_t pos = rng.below(copy.size());
+    copy[pos] = static_cast<std::uint8_t>(rng.below(256));
+    decode(copy);  // must not crash
+  }
+  SUCCEED();
+}
+
+// Property: randomly structured (valid) messages survive an
+// encode/decode round trip semantically.
+TEST(Wire, RandomMessagesRoundTrip) {
+  util::Rng rng(2025);
+  const char* label_pool[] = {"a", "zz", "example", "root-servers",
+                              "net", "com", "k", "long-label-here"};
+  auto random_name = [&]() {
+    std::vector<std::string> labels;
+    const std::size_t n = 1 + rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      labels.emplace_back(label_pool[rng.below(8)]);
+    }
+    return *Name::from_labels(std::move(labels));
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    Message m;
+    m.header.id = static_cast<std::uint16_t>(rng.below(65536));
+    m.header.qr = rng.chance(0.5);
+    m.header.aa = rng.chance(0.5);
+    m.header.rd = rng.chance(0.5);
+    m.header.rcode = static_cast<Rcode>(rng.below(6));
+    const std::size_t questions = rng.below(3);
+    for (std::size_t i = 0; i < questions; ++i) {
+      m.questions.push_back(
+          Question{random_name(), RrType::kA, RrClass::kIn});
+    }
+    const std::size_t answers = rng.below(5);
+    for (std::size_t i = 0; i < answers; ++i) {
+      if (rng.chance(0.5)) {
+        m.answers.push_back(ResourceRecord::a(
+            random_name(), static_cast<std::uint32_t>(rng.below(1u << 20)),
+            static_cast<std::uint32_t>(rng.next())));
+      } else {
+        m.answers.push_back(ResourceRecord::txt(
+            random_name(), RrClass::kIn, 60, "some text payload"));
+      }
+    }
+    const auto decoded = decode(encode(m));
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    ASSERT_EQ(decoded->questions.size(), m.questions.size());
+    ASSERT_EQ(decoded->answers.size(), m.answers.size());
+    EXPECT_EQ(decoded->header.id, m.header.id);
+    EXPECT_EQ(decoded->header.qr, m.header.qr);
+    EXPECT_EQ(decoded->header.rcode, m.header.rcode);
+    for (std::size_t i = 0; i < m.questions.size(); ++i) {
+      EXPECT_EQ(decoded->questions[i].qname, m.questions[i].qname);
+    }
+    for (std::size_t i = 0; i < m.answers.size(); ++i) {
+      EXPECT_EQ(decoded->answers[i].name, m.answers[i].name);
+      EXPECT_EQ(decoded->answers[i].type, m.answers[i].type);
+      EXPECT_EQ(decoded->answers[i].ttl, m.answers[i].ttl);
+      EXPECT_EQ(decoded->answers[i].rdata, m.answers[i].rdata);
+    }
+  }
+}
+
+TEST(Wire, ChaosQueryRoundTrip) {
+  const auto wire = encode(make_chaos_query(0x77));
+  const auto m = decode(wire);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(is_chaos_query(*m));
+}
+
+}  // namespace
+}  // namespace rootstress::dns

@@ -1,0 +1,54 @@
+#include "resolver/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::resolver {
+namespace {
+
+TEST(Cache, MissThenHitThenExpire) {
+  TtlCache cache;
+  EXPECT_FALSE(cache.hit(1, net::SimTime(0)));
+  cache.put(1, net::SimTime(0), net::SimTime::from_hours(1));
+  EXPECT_TRUE(cache.hit(1, net::SimTime(10)));
+  EXPECT_TRUE(cache.hit(1, net::SimTime::from_minutes(59)));
+  EXPECT_FALSE(cache.hit(1, net::SimTime::from_hours(1)));
+  EXPECT_FALSE(cache.hit(1, net::SimTime::from_hours(2)));
+}
+
+TEST(Cache, CountsHitsAndMisses) {
+  TtlCache cache;
+  cache.put(1, net::SimTime(0), net::SimTime::from_hours(1));
+  cache.hit(1, net::SimTime(1));
+  cache.hit(2, net::SimTime(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, RefreshExtends) {
+  TtlCache cache;
+  cache.put(1, net::SimTime(0), net::SimTime::from_minutes(10));
+  cache.put(1, net::SimTime::from_minutes(5), net::SimTime::from_minutes(10));
+  EXPECT_TRUE(cache.hit(1, net::SimTime::from_minutes(12)));
+}
+
+TEST(Cache, CapacityEvictsClosestToExpiry) {
+  TtlCache cache(2);
+  cache.put(1, net::SimTime(0), net::SimTime::from_minutes(5));   // soonest
+  cache.put(2, net::SimTime(0), net::SimTime::from_minutes(50));
+  cache.put(3, net::SimTime(0), net::SimTime::from_minutes(50));  // evicts 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.hit(1, net::SimTime(1)));
+  EXPECT_TRUE(cache.hit(2, net::SimTime(1)));
+  EXPECT_TRUE(cache.hit(3, net::SimTime(1)));
+}
+
+TEST(Cache, SweepDropsExpired) {
+  TtlCache cache;
+  cache.put(1, net::SimTime(0), net::SimTime::from_minutes(1));
+  cache.put(2, net::SimTime(0), net::SimTime::from_minutes(100));
+  cache.sweep(net::SimTime::from_minutes(10));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rootstress::resolver

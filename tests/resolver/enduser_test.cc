@@ -1,0 +1,105 @@
+#include "resolver/enduser.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::resolver {
+namespace {
+
+/// A synthetic two-letter-world result: letter 'A' (index 0) perfect,
+/// letter 'B' (index 1) fails completely in the middle third of the run.
+sim::SimulationResult synthetic_result() {
+  sim::SimulationResult result;
+  result.start = net::SimTime(0);
+  result.end = net::SimTime::from_hours(3);
+  result.bin_width = net::SimTime::from_minutes(10);
+  const std::size_t bins = 18;
+  result.letter_chars = {'A', 'B', 'C', 'D', 'E', 'F', 'G',
+                         'H', 'I', 'J', 'K', 'L', 'M'};
+  for (int letter = 0; letter < 13; ++letter) {
+    result.service_served_legit_qps.emplace_back(0, 600000, bins);
+    result.service_failed_legit_qps.emplace_back(0, 600000, bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+      const std::int64_t t = static_cast<std::int64_t>(b) * 600000;
+      const bool letter_b_down = letter == 1 && b >= 6 && b < 12;
+      result.service_served_legit_qps.back().add(t,
+                                                 letter_b_down ? 0.0 : 100.0);
+      result.service_failed_legit_qps.back().add(t,
+                                                 letter_b_down ? 100.0 : 0.0);
+    }
+  }
+  return result;
+}
+
+TEST(RootServiceView, ReflectsFluidSeries) {
+  const auto result = synthetic_result();
+  const RootServiceView view(result);
+  EXPECT_DOUBLE_EQ(view.success_probability(0, net::SimTime::from_hours(1.5)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(view.success_probability(1, net::SimTime::from_hours(1.5)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(view.success_probability(1, net::SimTime::from_hours(0.5)),
+                   1.0);
+  // No probe records: default RTT.
+  EXPECT_DOUBLE_EQ(view.rtt_ms(0, net::SimTime(0)), 60.0);
+}
+
+TEST(EndUser, RetriesHideSingleLetterFailure) {
+  const auto result = synthetic_result();
+  EndUserConfig config;
+  config.strategy = Strategy::kUniform;
+  config.resolvers = 100;
+  config.root_lookups_per_hour = 200.0;
+  config.enable_cache = false;  // force every query to the root
+  config.max_attempts = 3;
+  const auto series = simulate_end_users(result, config);
+  // One of thirteen letters dead + up to 3 attempts: failures need all
+  // three picks to land on B; essentially zero.
+  EXPECT_LT(series.overall_failure_rate, 0.002);
+}
+
+TEST(EndUser, SingleAttemptExposesTheFailure) {
+  const auto result = synthetic_result();
+  EndUserConfig config;
+  config.strategy = Strategy::kUniform;
+  config.resolvers = 100;
+  config.root_lookups_per_hour = 200.0;
+  config.enable_cache = false;
+  config.max_attempts = 1;
+  const auto series = simulate_end_users(result, config);
+  // ~1/13 of queries land on B; during its dead window they fail.
+  double worst = 0.0;
+  for (const double f : series.failure_rate) worst = std::max(worst, f);
+  EXPECT_GT(worst, 0.02);
+  EXPECT_LT(worst, 0.25);
+}
+
+TEST(EndUser, CacheCutsRootTraffic) {
+  const auto result = synthetic_result();
+  EndUserConfig with_cache;
+  with_cache.resolvers = 100;
+  with_cache.root_lookups_per_hour = 300.0;
+  with_cache.name_space = 50;  // hot names -> high hit rate
+  EndUserConfig without = with_cache;
+  without.enable_cache = false;
+  const auto cached = simulate_end_users(result, with_cache);
+  const auto uncached = simulate_end_users(result, without);
+  EXPECT_GT(cached.cache_hit_rate, 0.5);
+  EXPECT_DOUBLE_EQ(uncached.cache_hit_rate, 0.0);
+  double cached_rq = 0.0, uncached_rq = 0.0;
+  for (const double r : cached.root_query_rate) cached_rq += r;
+  for (const double r : uncached.root_query_rate) uncached_rq += r;
+  EXPECT_LT(cached_rq, uncached_rq * 0.6);
+}
+
+TEST(EndUser, DeterministicForSeed) {
+  const auto result = synthetic_result();
+  EndUserConfig config;
+  config.resolvers = 50;
+  const auto a = simulate_end_users(result, config);
+  const auto b = simulate_end_users(result, config);
+  EXPECT_EQ(a.overall_failure_rate, b.overall_failure_rate);
+  EXPECT_EQ(a.failure_rate, b.failure_rate);
+}
+
+}  // namespace
+}  // namespace rootstress::resolver

@@ -1,0 +1,93 @@
+#include "resolver/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rootstress::resolver {
+namespace {
+
+TEST(Selection, UniformCoversAllLetters) {
+  LetterSelector selector(Strategy::kUniform, 0);
+  util::Rng rng(1);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int letter = selector.pick(0, rng);
+    ASSERT_GE(letter, 0);
+    ASSERT_LT(letter, kLetterCount);
+    seen.insert(letter);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kLetterCount));
+}
+
+TEST(Selection, FixedSticksOnFirstAttempt) {
+  LetterSelector selector(Strategy::kFixed, 7);
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(selector.pick(0, rng), 7);
+  }
+}
+
+TEST(Selection, RetriesAvoidThePreviousPick) {
+  for (const Strategy strategy :
+       {Strategy::kUniform, Strategy::kFixed, Strategy::kSrtt}) {
+    LetterSelector selector(strategy, 3);
+    util::Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+      const int first = selector.pick(0, rng);
+      const int retry = selector.pick(1, rng);
+      ASSERT_NE(first, retry) << to_string(strategy);
+    }
+  }
+}
+
+TEST(Selection, SrttPrefersTheFastLetter) {
+  LetterSelector selector(Strategy::kSrtt, 0);
+  util::Rng rng(4);
+  // Teach it: letter 10 is fast, everything else slow.
+  for (int round = 0; round < 30; ++round) {
+    for (int letter = 0; letter < kLetterCount; ++letter) {
+      selector.report(letter, true, letter == 10 ? 10.0 : 150.0);
+    }
+  }
+  int picks_of_10 = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (selector.pick(0, rng) == 10) ++picks_of_10;
+  }
+  // Exploration is ~5%; the favourite dominates.
+  EXPECT_GT(picks_of_10, 160);
+}
+
+TEST(Selection, FailuresPenalizeAndDivert) {
+  LetterSelector selector(Strategy::kSrtt, 0);
+  util::Rng rng(5);
+  // Make letter 2 the favourite...
+  for (int i = 0; i < 20; ++i) selector.report(2, true, 5.0);
+  EXPECT_LT(selector.srtt(2), 20.0);
+  // ...then fail it hard.
+  for (int i = 0; i < 5; ++i) selector.report(2, false, 0.0);
+  EXPECT_GT(selector.srtt(2), 500.0);
+  int picks_of_2 = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (selector.pick(0, rng) == 2) ++picks_of_2;
+  }
+  EXPECT_LT(picks_of_2, 15);
+}
+
+TEST(Selection, UnusedLettersDecayTowardRetry) {
+  LetterSelector selector(Strategy::kSrtt, 0);
+  // Fail letter 5, then use letter 0 for a long time: 5's penalty decays.
+  for (int i = 0; i < 3; ++i) selector.report(5, false, 0.0);
+  const double penalized = selector.srtt(5);
+  for (int i = 0; i < 200; ++i) selector.report(0, true, 30.0);
+  EXPECT_LT(selector.srtt(5), penalized * 0.2);
+}
+
+TEST(Selection, StrategyNames) {
+  EXPECT_EQ(to_string(Strategy::kUniform), "uniform");
+  EXPECT_EQ(to_string(Strategy::kFixed), "fixed");
+  EXPECT_EQ(to_string(Strategy::kSrtt), "srtt");
+}
+
+}  // namespace
+}  // namespace rootstress::resolver

@@ -1,0 +1,59 @@
+#include "rssac/report.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::rssac {
+namespace {
+
+DailyAccumulator filled_accumulator() {
+  DailyAccumulator acc(13);
+  for (int day = -7; day <= 1; ++day) {
+    StepTraffic traffic;
+    traffic.queries_received = day >= 0 ? 10000.0 : 1000.0;
+    traffic.responses_sent = traffic.queries_received * 0.9;
+    traffic.random_source_queries = day >= 0 ? 8000.0 : 0.0;
+    traffic.query_payload_bytes = day >= 0 ? 32.0 : 40.0;
+    traffic.response_payload_bytes = 490.0;
+    acc.add_step(0, net::SimTime::from_hours(24.0 * day + 1), traffic);
+    acc.add_step(10, net::SimTime::from_hours(24.0 * day + 1), traffic);
+  }
+  return acc;
+}
+
+TEST(Report, PublishesOnlyRequestedLetters) {
+  const auto acc = filled_accumulator();
+  const std::vector<Publisher> pubs{{'A', 0}, {'K', 10}};
+  const auto reports = publish(acc, pubs, -7, 1, 4e6);
+  EXPECT_EQ(reports.size(), 18u);  // 2 letters x 9 days
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.letter == 'A' || r.letter == 'K');
+    EXPECT_GT(r.queries, 0.0);
+  }
+}
+
+TEST(Report, SkipsMissingDays) {
+  DailyAccumulator acc(13);
+  StepTraffic traffic;
+  traffic.queries_received = 5.0;
+  acc.add_step(0, net::SimTime(0), traffic);
+  const auto reports = publish(acc, {{'A', 0}}, -7, 1, 4e6);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].day, 0);
+}
+
+TEST(Report, ModeBinsExposed) {
+  const auto acc = filled_accumulator();
+  const auto reports = publish(acc, {{'A', 0}}, 0, 0, 4e6);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].query_mode_bin, 2u);     // 32-47B
+  EXPECT_EQ(reports[0].response_mode_bin, 30u);  // 480-495B
+}
+
+TEST(Report, BaselineIsMeanOverPresentDays) {
+  const auto acc = filled_accumulator();
+  EXPECT_NEAR(baseline_queries(acc, 0, -7, -1), 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(baseline_queries(acc, 5, -7, -1), 0.0);  // absent letter
+}
+
+}  // namespace
+}  // namespace rootstress::rssac

@@ -1,0 +1,230 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "attack/events2015.h"
+
+namespace rootstress::sim {
+namespace {
+
+/// A fast scenario: 9 hours covering event 1, two probed letters, a small
+/// population and topology.
+ScenarioConfig fast_scenario() {
+  ScenarioConfig config = november_2015_scenario(/*vp_count=*/150);
+  config.deployment.topology.stub_count = 250;
+  config.end = net::SimTime::from_hours(10);
+  config.probe_window.end = config.end;
+  config.probe_letters = {'B', 'K'};
+  return config;
+}
+
+TEST(Engine, ProducesRecordsAndMetadata) {
+  SimulationEngine engine(fast_scenario());
+  const auto result = engine.run();
+  EXPECT_FALSE(result.records.empty());
+  EXPECT_EQ(result.letter_chars.size(), 14u);  // A..M + .nl
+  EXPECT_GT(result.sites.size(), 300u);
+  EXPECT_EQ(result.vps.size(), 150u);
+  EXPECT_EQ(result.service_index('K'), 10);
+  EXPECT_EQ(result.service_index('N'), 13);
+  EXPECT_EQ(result.service_index('?'), -1);
+  ASSERT_NE(result.find_site('K', "AMS"), nullptr);
+  EXPECT_EQ(result.find_site('K', "AMS")->label, "K-AMS");
+  EXPECT_FALSE(result.sites_of('E').empty());
+}
+
+TEST(Engine, OnlyRequestedLettersProbed) {
+  SimulationEngine engine(fast_scenario());
+  const auto result = engine.run();
+  for (const auto& record : result.records) {
+    const char letter = result.letter_chars[record.letter_index];
+    EXPECT_TRUE(letter == 'B' || letter == 'K');
+  }
+}
+
+TEST(Engine, CleaningAppliedToRecords) {
+  SimulationEngine engine(fast_scenario());
+  const auto result = engine.run();
+  EXPECT_EQ(result.cleaning.total_vps, 150);
+  EXPECT_GT(result.cleaning.kept_vps, 130);
+  EXPECT_EQ(result.cleaning.kept_vps + result.cleaning.dropped_old_firmware +
+                result.cleaning.dropped_hijacked,
+            150);
+  EXPECT_EQ(result.records.size(), result.cleaning.kept_records);
+}
+
+TEST(Engine, DeterministicForSeed) {
+  SimulationEngine a(fast_scenario());
+  SimulationEngine b(fast_scenario());
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_EQ(ra.records.size(), rb.records.size());
+  for (std::size_t i = 0; i < ra.records.size(); i += 997) {
+    EXPECT_EQ(ra.records[i].vp, rb.records[i].vp);
+    EXPECT_EQ(ra.records[i].site_id, rb.records[i].site_id);
+    EXPECT_EQ(ra.records[i].rtt_ms, rb.records[i].rtt_ms);
+  }
+  EXPECT_EQ(ra.route_changes.size(), rb.route_changes.size());
+}
+
+TEST(Engine, AttackDegradesBAndSparesD) {
+  auto config = fast_scenario();
+  config.probe_letters = {'B', 'D'};
+  SimulationEngine engine(std::move(config));
+  const auto result = engine.run();
+
+  // Compare per-service loss via the fluid series: B's served fraction
+  // collapses during the event; D's does not.
+  auto loss_during_event = [&result](char letter) {
+    const int s = result.service_index(letter);
+    const auto& offered = result.service_offered_qps[static_cast<std::size_t>(s)];
+    const auto& served = result.service_served_qps[static_cast<std::size_t>(s)];
+    double worst = 0.0;
+    for (std::size_t b = 0; b < offered.bin_count(); ++b) {
+      const net::SimTime t(offered.bin_start(b));
+      if (!attack::kEvent1.contains(t)) continue;
+      if (offered.mean(b) <= 0) continue;
+      worst = std::max(worst, 1.0 - served.mean(b) / offered.mean(b));
+    }
+    return worst;
+  };
+  EXPECT_GT(loss_during_event('B'), 0.8);
+  EXPECT_LT(loss_during_event('D'), 0.3);
+}
+
+TEST(Engine, HBackupActivatesWhenPrimaryFails) {
+  auto config = fast_scenario();
+  config.probe_letters = {'H'};
+  SimulationEngine engine(std::move(config));
+  const auto result = engine.run();
+  // During event 1 some probes must be answered by H-SAN (the backup),
+  // which is administratively down in quiet times.
+  const auto* san = result.find_site('H', "SAN");
+  ASSERT_NE(san, nullptr);
+  int san_replies_quiet = 0, san_replies_event = 0;
+  for (const auto& record : result.records) {
+    if (record.outcome != atlas::ProbeOutcome::kSite ||
+        record.site_id != san->site_id) {
+      continue;
+    }
+    if (attack::kEvent1.contains(record.time())) {
+      ++san_replies_event;
+    } else if (record.time() < attack::kEvent1.begin) {
+      ++san_replies_quiet;
+    }
+  }
+  EXPECT_EQ(san_replies_quiet, 0);
+  EXPECT_GT(san_replies_event, 0);
+}
+
+TEST(Engine, RssacCoversSimulatedDays) {
+  auto config = fast_scenario();
+  config.start = net::SimTime::from_hours(-24);  // one baseline day
+  SimulationEngine engine(std::move(config));
+  const auto result = engine.run();
+  for (const auto& pub : result.rssac_publishers) {
+    EXPECT_TRUE(result.rssac.has(pub.letter_index, -1)) << pub.letter;
+    EXPECT_TRUE(result.rssac.has(pub.letter_index, 0)) << pub.letter;
+  }
+  // Publishers are exactly A, H, J, K, L.
+  ASSERT_EQ(result.rssac_publishers.size(), 5u);
+}
+
+TEST(Engine, RouteChangesBurstDuringEvent) {
+  auto config = fast_scenario();
+  config.probe_letters = {};
+  config.collect_records = false;  // routing dynamics only
+  SimulationEngine engine(std::move(config));
+  const auto result = engine.run();
+  std::size_t quiet = 0, event = 0;
+  for (const auto& change : result.route_changes) {
+    if (attack::kEvent1.contains(change.time)) {
+      ++event;
+    } else {
+      ++quiet;
+    }
+  }
+  EXPECT_GT(event, quiet);
+  EXPECT_GT(event, 100u);
+}
+
+TEST(Engine, ProbeRecordsHaveConsistentFields) {
+  SimulationEngine engine(fast_scenario());
+  const auto result = engine.run();
+  for (const auto& record : result.records) {
+    if (record.outcome == atlas::ProbeOutcome::kSite) {
+      ASSERT_GE(record.site_id, 0);
+      const auto& site = result.sites[static_cast<std::size_t>(record.site_id)];
+      EXPECT_EQ(site.letter, result.letter_chars[record.letter_index]);
+      EXPECT_GE(record.server, 1);
+      EXPECT_LE(record.server, site.servers);
+      EXPECT_LT(record.rtt_ms, 5000);
+    }
+  }
+}
+
+TEST(Engine, ProbeCadenceMatchesLetterConfig) {
+  auto config = fast_scenario();
+  config.probe_letters = {'A', 'K'};
+  config.schedule = attack::AttackSchedule{};  // quiet: every probe answers
+  SimulationEngine engine(std::move(config));
+  const auto result = engine.run();
+
+  // Expected probes per VP over 10 h: K every 240 s -> 150; A every
+  // 1800 s -> 20.
+  std::vector<int> k_counts(result.vps.size(), 0);
+  std::vector<int> a_counts(result.vps.size(), 0);
+  for (const auto& record : result.records) {
+    if (result.letter_chars[record.letter_index] == 'K') {
+      ++k_counts[record.vp];
+    } else if (result.letter_chars[record.letter_index] == 'A') {
+      ++a_counts[record.vp];
+    }
+  }
+  for (std::size_t vp = 0; vp < result.vps.size(); ++vp) {
+    if (k_counts[vp] == 0 && a_counts[vp] == 0) continue;  // cleaned away
+    EXPECT_NEAR(k_counts[vp], 150, 1) << "vp " << vp;
+    EXPECT_NEAR(a_counts[vp], 20, 1) << "vp " << vp;
+  }
+}
+
+TEST(Engine, SpilloverRaisesUniqueSourcesAtSparedLetters) {
+  auto config = fast_scenario();
+  config.probe_letters = {};
+  config.collect_records = false;
+  SimulationEngine engine(std::move(config));
+  const auto result = engine.run();
+  // L (spared) must show spoofed-source volume on the event day — the
+  // spillover that produces the paper's 6-13x unique jumps.
+  const int l = result.service_index('L');
+  const auto& m = result.rssac.metrics(l, 0);
+  EXPECT_GT(m.random_source_queries, 1e6);
+}
+
+TEST(Engine, MaintenanceFlapsRecover) {
+  auto config = fast_scenario();
+  config.schedule = attack::AttackSchedule{};  // quiet days
+  config.maintenance_flap_per_step = 0.05;     // force plenty of flaps
+  config.probe_letters = {};
+  config.collect_records = false;
+  SimulationEngine engine(std::move(config));
+  const auto result = engine.run();
+  ASSERT_FALSE(result.route_changes.empty());
+  // Every withdrawal is followed by a matching re-announcement: the set
+  // of (as, site) pairs that lost a site eventually regains it, so the
+  // last change for any AS must restore a route (new_site >= 0).
+  std::map<int, int> final_site;
+  for (const auto& change : result.route_changes) {
+    final_site[change.as_index * 64 + change.prefix] = change.new_site;
+  }
+  int unrestored = 0;
+  for (const auto& [key, site] : final_site) {
+    if (site < 0) ++unrestored;
+  }
+  EXPECT_EQ(unrestored, 0);
+}
+
+}  // namespace
+}  // namespace rootstress::sim

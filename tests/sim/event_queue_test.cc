@@ -1,0 +1,72 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(net::SimTime(300), [&] { order.push_back(3); });
+  queue.schedule_at(net::SimTime(100), [&] { order.push_back(1); });
+  queue.schedule_at(net::SimTime(200), [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(net::SimTime(100), [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(net::SimTime(100), [&] { ++fired; });
+  queue.schedule_at(net::SimTime(200), [&] { ++fired; });
+  queue.schedule_at(net::SimTime(300), [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(net::SimTime(200)), 2u);  // inclusive
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), net::SimTime(200));
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    if (fired < 5) queue.schedule_in(net::SimTime(10), tick);
+  };
+  queue.schedule_at(net::SimTime(0), tick);
+  queue.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(queue.now(), net::SimTime(40));
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue queue;
+  queue.schedule_at(net::SimTime(100), [] {});
+  queue.run_all();
+  net::SimTime fired_at;
+  queue.schedule_at(net::SimTime(50), [&] { fired_at = queue.now(); });
+  queue.run_all();
+  EXPECT_EQ(fired_at, net::SimTime(100));
+}
+
+TEST(EventQueue, EmptyRunIsNoOp) {
+  EventQueue queue;
+  EXPECT_EQ(queue.run_all(), 0u);
+  EXPECT_EQ(queue.run_until(net::SimTime(1000)), 0u);
+  EXPECT_EQ(queue.now(), net::SimTime(1000));
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace rootstress::sim

@@ -1,0 +1,75 @@
+#include "util/hll.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rootstress::util {
+namespace {
+
+TEST(Hll, EmptyEstimatesZero) {
+  HyperLogLog hll;
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(Hll, RejectsBadPrecision) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+  EXPECT_NO_THROW(HyperLogLog(4));
+  EXPECT_NO_THROW(HyperLogLog(18));
+}
+
+class HllAccuracyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllAccuracyTest, WithinExpectedError) {
+  const std::uint64_t n = GetParam();
+  HyperLogLog hll(14);
+  for (std::uint64_t i = 0; i < n; ++i) hll.add(i);
+  // Standard error ~1.04/sqrt(2^14) ~ 0.8%; allow 4 sigma.
+  const double tolerance = std::max(2.0, 0.033 * static_cast<double>(n));
+  EXPECT_NEAR(hll.estimate(), static_cast<double>(n), tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracyTest,
+                         ::testing::Values(1, 10, 100, 1000, 10000, 100000,
+                                           1000000));
+
+TEST(Hll, DuplicatesDoNotInflate) {
+  HyperLogLog hll(14);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 1000; ++i) hll.add(i);
+  }
+  EXPECT_NEAR(hll.estimate(), 1000.0, 40.0);
+}
+
+TEST(Hll, MergeIsUnion) {
+  HyperLogLog a(12), b(12);
+  for (std::uint64_t i = 0; i < 5000; ++i) a.add(i);
+  for (std::uint64_t i = 2500; i < 7500; ++i) b.add(i);
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_NEAR(a.estimate(), 7500.0, 7500.0 * 0.1);
+}
+
+TEST(Hll, MergePrecisionMismatchRejected) {
+  HyperLogLog a(12), b(14);
+  b.add(1);
+  const double before = a.estimate();
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_DOUBLE_EQ(a.estimate(), before);
+}
+
+TEST(Hll, ClearResets) {
+  HyperLogLog hll;
+  for (std::uint64_t i = 0; i < 1000; ++i) hll.add(i);
+  hll.clear();
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(Hll, LowerPrecisionStillReasonable) {
+  HyperLogLog hll(8);
+  for (std::uint64_t i = 0; i < 100000; ++i) hll.add(i);
+  EXPECT_NEAR(hll.estimate(), 100000.0, 100000.0 * 0.25);
+}
+
+}  // namespace
+}  // namespace rootstress::util

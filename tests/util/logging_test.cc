@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace rootstress::util {
+namespace {
+
+/// Captures std::cerr for the duration of a test scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LoggingTest, ThresholdFilters) {
+  set_log_level(LogLevel::kWarn);
+  CerrCapture capture;
+  log_line(LogLevel::kDebug, "quiet");
+  log_line(LogLevel::kInfo, "quiet too");
+  log_line(LogLevel::kWarn, "loud");
+  EXPECT_EQ(capture.text(), "[WARN] loud\n");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  CerrCapture capture;
+  log_line(LogLevel::kWarn, "nope");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LoggingTest, StreamMacroFormats) {
+  set_log_level(LogLevel::kDebug);
+  CerrCapture capture;
+  RS_LOG_INFO << "value=" << 42 << " site=" << "K-AMS";
+  EXPECT_EQ(capture.text(), "[INFO] value=42 site=K-AMS\n");
+}
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace rootstress::util

@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rootstress::util {
+namespace {
+
+TEST(Stats, MeanBasicAndEmpty) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MedianDoesNotReorderInput) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  median(v);
+  EXPECT_EQ(v, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+class PercentileTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PercentileTest, LinearInterpolation) {
+  // 0..10 inclusive: percentile p maps to p/10.
+  std::vector<double> v;
+  for (int i = 0; i <= 10; ++i) v.push_back(i);
+  const auto [p, expected] = GetParam();
+  EXPECT_NEAR(percentile(v, p), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PercentileTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{25.0, 2.5},
+                      std::pair{50.0, 5.0}, std::pair{90.0, 9.0},
+                      std::pair{100.0, 10.0}, std::pair{150.0, 10.0},
+                      std::pair{-5.0, 0.0}));
+
+TEST(Stats, StddevKnown) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+  EXPECT_NEAR(stddev(std::vector<double>{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              2.0, 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+  EXPECT_DOUBLE_EQ(min_of(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yneg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yneg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> flat{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(x, std::vector<double>{1, 2}), 0.0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};  // y = 2x + 1
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisy) {
+  const std::vector<double> x{0, 1, 2, 3, 4, 5};
+  const std::vector<double> y{0.1, 0.9, 2.2, 2.8, 4.1, 5.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Stats, LinearFitDegenerate) {
+  const LinearFit fit =
+      linear_fit(std::vector<double>{1.0}, std::vector<double>{2.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+}  // namespace
+}  // namespace rootstress::util

@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rootstress::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.begin_row();
+  t.cell("x");
+  t.cell(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a  long-header"), std::string::npos);
+  EXPECT_NE(out.find("x  42"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumericFormatting) {
+  TextTable t({"v"});
+  t.begin_row();
+  t.cell(3.14159, 3);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "note"});
+  t.begin_row();
+  t.cell("plain");
+  t.cell("has,comma and \"quote\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,note\nplain,\"has,comma and \"\"quote\"\"\"\n");
+}
+
+TEST(TextTable, RowsCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.begin_row();
+  t.cell(1);
+  t.begin_row();
+  t.cell(2);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CellWithoutRowStartsOne) {
+  TextTable t({"a"});
+  t.cell("auto");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(CsvRequested, FlagDetection) {
+  const char* argv1[] = {"prog", "--csv"};
+  EXPECT_TRUE(csv_requested(2, const_cast<char**>(argv1)));
+  const char* argv2[] = {"prog", "--other"};
+  EXPECT_FALSE(csv_requested(2, const_cast<char**>(argv2)));
+}
+
+TEST(Emit, TextModeIncludesBanner) {
+  TextTable t({"a"});
+  t.begin_row();
+  t.cell(1);
+  std::ostringstream os;
+  emit(t, "My Title", /*csv=*/false, os);
+  EXPECT_NE(os.str().find("== My Title =="), std::string::npos);
+  std::ostringstream csv;
+  emit(t, "My Title", /*csv=*/true, csv);
+  EXPECT_EQ(csv.str().find("=="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rootstress::util

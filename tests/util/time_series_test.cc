@@ -1,0 +1,82 @@
+#include "util/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::util {
+namespace {
+
+TEST(BinnedSeries, RejectsBadGeometry) {
+  EXPECT_THROW(BinnedSeries(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(BinnedSeries(0, 100, 0), std::invalid_argument);
+}
+
+TEST(BinnedSeries, BinsObservations) {
+  BinnedSeries s(1000, 100, 5);
+  s.add(1000, 1.0);
+  s.add(1099, 3.0);
+  s.add(1100, 5.0);
+  EXPECT_EQ(s.count(0), 2u);
+  EXPECT_DOUBLE_EQ(s.sum(0), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(0), 2.0);
+  EXPECT_EQ(s.count(1), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(1), 5.0);
+}
+
+TEST(BinnedSeries, IgnoresOutOfRange) {
+  BinnedSeries s(1000, 100, 2);
+  s.add(999, 1.0);
+  s.add(1200, 1.0);
+  EXPECT_EQ(s.count(0), 0u);
+  EXPECT_EQ(s.count(1), 0u);
+}
+
+TEST(BinnedSeries, BinOf) {
+  BinnedSeries s(0, 600000, 288);
+  EXPECT_EQ(s.bin_of(0), 0u);
+  EXPECT_EQ(s.bin_of(599999), 0u);
+  EXPECT_EQ(s.bin_of(600000), 1u);
+  EXPECT_EQ(s.bin_of(-1), BinnedSeries::npos);
+  EXPECT_EQ(s.bin_of(600000LL * 288), BinnedSeries::npos);
+}
+
+TEST(BinnedSeries, BinStart) {
+  BinnedSeries s(500, 100, 3);
+  EXPECT_EQ(s.bin_start(0), 500);
+  EXPECT_EQ(s.bin_start(2), 700);
+}
+
+TEST(BinnedSeries, MedianRequiresKeptSamples) {
+  BinnedSeries no_samples(0, 100, 1);
+  no_samples.add(0, 5.0);
+  EXPECT_DOUBLE_EQ(no_samples.median(0), 0.0);
+
+  BinnedSeries s(0, 100, 1, /*keep_samples=*/true);
+  s.add(0, 1.0);
+  s.add(1, 9.0);
+  s.add(2, 5.0);
+  EXPECT_DOUBLE_EQ(s.median(0), 5.0);
+  EXPECT_EQ(s.samples(0).size(), 3u);
+}
+
+TEST(BinnedSeries, CountEvent) {
+  BinnedSeries s(0, 100, 2);
+  s.count_event(50);
+  s.count_event(150);
+  s.count_event(199);
+  EXPECT_EQ(s.count(0), 1u);
+  EXPECT_EQ(s.count(1), 2u);
+}
+
+TEST(BinnedSeries, CountsAsDoubles) {
+  BinnedSeries s(0, 100, 3);
+  s.count_event(0);
+  s.count_event(250);
+  const auto v = s.counts_as_doubles();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+}  // namespace
+}  // namespace rootstress::util
