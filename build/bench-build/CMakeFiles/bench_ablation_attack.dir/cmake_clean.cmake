@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_attack"
+  "../bench/bench_ablation_attack.pdb"
+  "CMakeFiles/bench_ablation_attack.dir/bench_ablation_attack.cc.o"
+  "CMakeFiles/bench_ablation_attack.dir/bench_ablation_attack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

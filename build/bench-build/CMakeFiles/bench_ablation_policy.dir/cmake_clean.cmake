@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_policy"
+  "../bench/bench_ablation_policy.pdb"
+  "CMakeFiles/bench_ablation_policy.dir/bench_ablation_policy.cc.o"
+  "CMakeFiles/bench_ablation_policy.dir/bench_ablation_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

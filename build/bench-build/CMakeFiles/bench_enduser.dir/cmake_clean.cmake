@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_enduser"
+  "../bench/bench_enduser.pdb"
+  "CMakeFiles/bench_enduser.dir/bench_enduser.cc.o"
+  "CMakeFiles/bench_enduser.dir/bench_enduser.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enduser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_event_2016"
+  "../bench/bench_event_2016.pdb"
+  "CMakeFiles/bench_event_2016.dir/bench_event_2016.cc.o"
+  "CMakeFiles/bench_event_2016.dir/bench_event_2016.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_2016.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

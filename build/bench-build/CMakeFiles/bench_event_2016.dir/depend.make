@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_event_2016.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3"
+  "../bench/bench_fig3.pdb"
+  "CMakeFiles/bench_fig3.dir/bench_fig3.cc.o"
+  "CMakeFiles/bench_fig3.dir/bench_fig3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

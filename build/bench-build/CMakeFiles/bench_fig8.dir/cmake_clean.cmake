@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8"
+  "../bench/bench_fig8.pdb"
+  "CMakeFiles/bench_fig8.dir/bench_fig8.cc.o"
+  "CMakeFiles/bench_fig8.dir/bench_fig8.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_letter_flips"
+  "../bench/bench_letter_flips.pdb"
+  "CMakeFiles/bench_letter_flips.dir/bench_letter_flips.cc.o"
+  "CMakeFiles/bench_letter_flips.dir/bench_letter_flips.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_letter_flips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_normal_days"
+  "../bench/bench_normal_days.pdb"
+  "CMakeFiles/bench_normal_days.dir/bench_normal_days.cc.o"
+  "CMakeFiles/bench_normal_days.dir/bench_normal_days.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normal_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

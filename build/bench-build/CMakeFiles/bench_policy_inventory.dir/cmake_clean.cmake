@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_policy_inventory"
+  "../bench/bench_policy_inventory.pdb"
+  "CMakeFiles/bench_policy_inventory.dir/bench_policy_inventory.cc.o"
+  "CMakeFiles/bench_policy_inventory.dir/bench_policy_inventory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_policy_model"
+  "../bench/bench_policy_model.pdb"
+  "CMakeFiles/bench_policy_model.dir/bench_policy_model.cc.o"
+  "CMakeFiles/bench_policy_model.dir/bench_policy_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_proximity"
+  "../bench/bench_proximity.pdb"
+  "CMakeFiles/bench_proximity.dir/bench_proximity.cc.o"
+  "CMakeFiles/bench_proximity.dir/bench_proximity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

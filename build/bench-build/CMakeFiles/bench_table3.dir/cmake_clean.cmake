@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3"
+  "../bench/bench_table3.pdb"
+  "CMakeFiles/bench_table3.dir/bench_table3.cc.o"
+  "CMakeFiles/bench_table3.dir/bench_table3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catchment_mapper.dir/catchment_mapper.cpp.o"
+  "CMakeFiles/catchment_mapper.dir/catchment_mapper.cpp.o.d"
+  "catchment_mapper"
+  "catchment_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catchment_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsmon.dir/dnsmon.cpp.o"
+  "CMakeFiles/dnsmon.dir/dnsmon.cpp.o.d"
+  "dnsmon"
+  "dnsmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_ddos_replay.dir/root_ddos_replay.cpp.o"
+  "CMakeFiles/root_ddos_replay.dir/root_ddos_replay.cpp.o.d"
+  "root_ddos_replay"
+  "root_ddos_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_ddos_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for root_ddos_replay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/behavior.cc" "src/CMakeFiles/rs_analysis.dir/analysis/behavior.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/behavior.cc.o.d"
+  "/root/repo/src/analysis/collateral.cc" "src/CMakeFiles/rs_analysis.dir/analysis/collateral.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/collateral.cc.o.d"
+  "/root/repo/src/analysis/correlation.cc" "src/CMakeFiles/rs_analysis.dir/analysis/correlation.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/correlation.cc.o.d"
+  "/root/repo/src/analysis/distributions.cc" "src/CMakeFiles/rs_analysis.dir/analysis/distributions.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/distributions.cc.o.d"
+  "/root/repo/src/analysis/event_size.cc" "src/CMakeFiles/rs_analysis.dir/analysis/event_size.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/event_size.cc.o.d"
+  "/root/repo/src/analysis/flips.cc" "src/CMakeFiles/rs_analysis.dir/analysis/flips.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/flips.cc.o.d"
+  "/root/repo/src/analysis/letter_flips.cc" "src/CMakeFiles/rs_analysis.dir/analysis/letter_flips.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/letter_flips.cc.o.d"
+  "/root/repo/src/analysis/proximity.cc" "src/CMakeFiles/rs_analysis.dir/analysis/proximity.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/proximity.cc.o.d"
+  "/root/repo/src/analysis/reachability.cc" "src/CMakeFiles/rs_analysis.dir/analysis/reachability.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/reachability.cc.o.d"
+  "/root/repo/src/analysis/route_changes.cc" "src/CMakeFiles/rs_analysis.dir/analysis/route_changes.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/route_changes.cc.o.d"
+  "/root/repo/src/analysis/rtt.cc" "src/CMakeFiles/rs_analysis.dir/analysis/rtt.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/rtt.cc.o.d"
+  "/root/repo/src/analysis/servers.cc" "src/CMakeFiles/rs_analysis.dir/analysis/servers.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/servers.cc.o.d"
+  "/root/repo/src/analysis/site_series.cc" "src/CMakeFiles/rs_analysis.dir/analysis/site_series.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/site_series.cc.o.d"
+  "/root/repo/src/analysis/site_stability.cc" "src/CMakeFiles/rs_analysis.dir/analysis/site_stability.cc.o" "gcc" "src/CMakeFiles/rs_analysis.dir/analysis/site_stability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_rssac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_analysis.dir/analysis/behavior.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/behavior.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/collateral.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/collateral.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/correlation.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/correlation.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/distributions.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/distributions.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/event_size.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/event_size.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/flips.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/flips.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/letter_flips.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/letter_flips.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/proximity.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/proximity.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/reachability.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/reachability.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/route_changes.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/route_changes.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/rtt.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/rtt.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/servers.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/servers.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/site_series.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/site_series.cc.o.d"
+  "CMakeFiles/rs_analysis.dir/analysis/site_stability.cc.o"
+  "CMakeFiles/rs_analysis.dir/analysis/site_stability.cc.o.d"
+  "librs_analysis.a"
+  "librs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anycast/defense.cc" "src/CMakeFiles/rs_anycast.dir/anycast/defense.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/defense.cc.o.d"
+  "/root/repo/src/anycast/deployment.cc" "src/CMakeFiles/rs_anycast.dir/anycast/deployment.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/deployment.cc.o.d"
+  "/root/repo/src/anycast/facility.cc" "src/CMakeFiles/rs_anycast.dir/anycast/facility.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/facility.cc.o.d"
+  "/root/repo/src/anycast/letter.cc" "src/CMakeFiles/rs_anycast.dir/anycast/letter.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/letter.cc.o.d"
+  "/root/repo/src/anycast/loadbalancer.cc" "src/CMakeFiles/rs_anycast.dir/anycast/loadbalancer.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/loadbalancer.cc.o.d"
+  "/root/repo/src/anycast/policy.cc" "src/CMakeFiles/rs_anycast.dir/anycast/policy.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/policy.cc.o.d"
+  "/root/repo/src/anycast/queue_model.cc" "src/CMakeFiles/rs_anycast.dir/anycast/queue_model.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/queue_model.cc.o.d"
+  "/root/repo/src/anycast/server.cc" "src/CMakeFiles/rs_anycast.dir/anycast/server.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/server.cc.o.d"
+  "/root/repo/src/anycast/site.cc" "src/CMakeFiles/rs_anycast.dir/anycast/site.cc.o" "gcc" "src/CMakeFiles/rs_anycast.dir/anycast/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

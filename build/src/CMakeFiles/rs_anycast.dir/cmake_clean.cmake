@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_anycast.dir/anycast/defense.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/defense.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/deployment.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/deployment.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/facility.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/facility.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/letter.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/letter.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/loadbalancer.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/loadbalancer.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/policy.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/policy.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/queue_model.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/queue_model.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/server.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/server.cc.o.d"
+  "CMakeFiles/rs_anycast.dir/anycast/site.cc.o"
+  "CMakeFiles/rs_anycast.dir/anycast/site.cc.o.d"
+  "librs_anycast.a"
+  "librs_anycast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

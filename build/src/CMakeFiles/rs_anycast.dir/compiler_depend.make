@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rs_anycast.
+# This may be replaced when dependencies are built.

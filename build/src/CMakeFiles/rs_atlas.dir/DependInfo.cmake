@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/binning.cc" "src/CMakeFiles/rs_atlas.dir/atlas/binning.cc.o" "gcc" "src/CMakeFiles/rs_atlas.dir/atlas/binning.cc.o.d"
+  "/root/repo/src/atlas/cleaning.cc" "src/CMakeFiles/rs_atlas.dir/atlas/cleaning.cc.o" "gcc" "src/CMakeFiles/rs_atlas.dir/atlas/cleaning.cc.o.d"
+  "/root/repo/src/atlas/dnsmon.cc" "src/CMakeFiles/rs_atlas.dir/atlas/dnsmon.cc.o" "gcc" "src/CMakeFiles/rs_atlas.dir/atlas/dnsmon.cc.o.d"
+  "/root/repo/src/atlas/population.cc" "src/CMakeFiles/rs_atlas.dir/atlas/population.cc.o" "gcc" "src/CMakeFiles/rs_atlas.dir/atlas/population.cc.o.d"
+  "/root/repo/src/atlas/probe.cc" "src/CMakeFiles/rs_atlas.dir/atlas/probe.cc.o" "gcc" "src/CMakeFiles/rs_atlas.dir/atlas/probe.cc.o.d"
+  "/root/repo/src/atlas/record.cc" "src/CMakeFiles/rs_atlas.dir/atlas/record.cc.o" "gcc" "src/CMakeFiles/rs_atlas.dir/atlas/record.cc.o.d"
+  "/root/repo/src/atlas/trace_io.cc" "src/CMakeFiles/rs_atlas.dir/atlas/trace_io.cc.o" "gcc" "src/CMakeFiles/rs_atlas.dir/atlas/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_atlas.dir/atlas/binning.cc.o"
+  "CMakeFiles/rs_atlas.dir/atlas/binning.cc.o.d"
+  "CMakeFiles/rs_atlas.dir/atlas/cleaning.cc.o"
+  "CMakeFiles/rs_atlas.dir/atlas/cleaning.cc.o.d"
+  "CMakeFiles/rs_atlas.dir/atlas/dnsmon.cc.o"
+  "CMakeFiles/rs_atlas.dir/atlas/dnsmon.cc.o.d"
+  "CMakeFiles/rs_atlas.dir/atlas/population.cc.o"
+  "CMakeFiles/rs_atlas.dir/atlas/population.cc.o.d"
+  "CMakeFiles/rs_atlas.dir/atlas/probe.cc.o"
+  "CMakeFiles/rs_atlas.dir/atlas/probe.cc.o.d"
+  "CMakeFiles/rs_atlas.dir/atlas/record.cc.o"
+  "CMakeFiles/rs_atlas.dir/atlas/record.cc.o.d"
+  "CMakeFiles/rs_atlas.dir/atlas/trace_io.cc.o"
+  "CMakeFiles/rs_atlas.dir/atlas/trace_io.cc.o.d"
+  "librs_atlas.a"
+  "librs_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

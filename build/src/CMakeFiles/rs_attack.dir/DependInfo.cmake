@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/botnet.cc" "src/CMakeFiles/rs_attack.dir/attack/botnet.cc.o" "gcc" "src/CMakeFiles/rs_attack.dir/attack/botnet.cc.o.d"
+  "/root/repo/src/attack/events2015.cc" "src/CMakeFiles/rs_attack.dir/attack/events2015.cc.o" "gcc" "src/CMakeFiles/rs_attack.dir/attack/events2015.cc.o.d"
+  "/root/repo/src/attack/events2016.cc" "src/CMakeFiles/rs_attack.dir/attack/events2016.cc.o" "gcc" "src/CMakeFiles/rs_attack.dir/attack/events2016.cc.o.d"
+  "/root/repo/src/attack/schedule.cc" "src/CMakeFiles/rs_attack.dir/attack/schedule.cc.o" "gcc" "src/CMakeFiles/rs_attack.dir/attack/schedule.cc.o.d"
+  "/root/repo/src/attack/traffic.cc" "src/CMakeFiles/rs_attack.dir/attack/traffic.cc.o" "gcc" "src/CMakeFiles/rs_attack.dir/attack/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

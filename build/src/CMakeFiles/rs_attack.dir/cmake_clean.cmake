@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_attack.dir/attack/botnet.cc.o"
+  "CMakeFiles/rs_attack.dir/attack/botnet.cc.o.d"
+  "CMakeFiles/rs_attack.dir/attack/events2015.cc.o"
+  "CMakeFiles/rs_attack.dir/attack/events2015.cc.o.d"
+  "CMakeFiles/rs_attack.dir/attack/events2016.cc.o"
+  "CMakeFiles/rs_attack.dir/attack/events2016.cc.o.d"
+  "CMakeFiles/rs_attack.dir/attack/schedule.cc.o"
+  "CMakeFiles/rs_attack.dir/attack/schedule.cc.o.d"
+  "CMakeFiles/rs_attack.dir/attack/traffic.cc.o"
+  "CMakeFiles/rs_attack.dir/attack/traffic.cc.o.d"
+  "librs_attack.a"
+  "librs_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/catchment.cc" "src/CMakeFiles/rs_bgp.dir/bgp/catchment.cc.o" "gcc" "src/CMakeFiles/rs_bgp.dir/bgp/catchment.cc.o.d"
+  "/root/repo/src/bgp/collector.cc" "src/CMakeFiles/rs_bgp.dir/bgp/collector.cc.o" "gcc" "src/CMakeFiles/rs_bgp.dir/bgp/collector.cc.o.d"
+  "/root/repo/src/bgp/rib.cc" "src/CMakeFiles/rs_bgp.dir/bgp/rib.cc.o" "gcc" "src/CMakeFiles/rs_bgp.dir/bgp/rib.cc.o.d"
+  "/root/repo/src/bgp/route.cc" "src/CMakeFiles/rs_bgp.dir/bgp/route.cc.o" "gcc" "src/CMakeFiles/rs_bgp.dir/bgp/route.cc.o.d"
+  "/root/repo/src/bgp/simulator.cc" "src/CMakeFiles/rs_bgp.dir/bgp/simulator.cc.o" "gcc" "src/CMakeFiles/rs_bgp.dir/bgp/simulator.cc.o.d"
+  "/root/repo/src/bgp/topology.cc" "src/CMakeFiles/rs_bgp.dir/bgp/topology.cc.o" "gcc" "src/CMakeFiles/rs_bgp.dir/bgp/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_bgp.dir/bgp/catchment.cc.o"
+  "CMakeFiles/rs_bgp.dir/bgp/catchment.cc.o.d"
+  "CMakeFiles/rs_bgp.dir/bgp/collector.cc.o"
+  "CMakeFiles/rs_bgp.dir/bgp/collector.cc.o.d"
+  "CMakeFiles/rs_bgp.dir/bgp/rib.cc.o"
+  "CMakeFiles/rs_bgp.dir/bgp/rib.cc.o.d"
+  "CMakeFiles/rs_bgp.dir/bgp/route.cc.o"
+  "CMakeFiles/rs_bgp.dir/bgp/route.cc.o.d"
+  "CMakeFiles/rs_bgp.dir/bgp/simulator.cc.o"
+  "CMakeFiles/rs_bgp.dir/bgp/simulator.cc.o.d"
+  "CMakeFiles/rs_bgp.dir/bgp/topology.cc.o"
+  "CMakeFiles/rs_bgp.dir/bgp/topology.cc.o.d"
+  "librs_bgp.a"
+  "librs_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

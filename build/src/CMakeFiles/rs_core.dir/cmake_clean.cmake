@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_core.dir/core/evaluation.cc.o"
+  "CMakeFiles/rs_core.dir/core/evaluation.cc.o.d"
+  "CMakeFiles/rs_core.dir/core/policy_model.cc.o"
+  "CMakeFiles/rs_core.dir/core/policy_model.cc.o.d"
+  "CMakeFiles/rs_core.dir/core/report_writer.cc.o"
+  "CMakeFiles/rs_core.dir/core/report_writer.cc.o.d"
+  "CMakeFiles/rs_core.dir/core/whatif.cc.o"
+  "CMakeFiles/rs_core.dir/core/whatif.cc.o.d"
+  "librs_core.a"
+  "librs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

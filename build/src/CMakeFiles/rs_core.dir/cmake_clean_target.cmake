@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librs_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/chaos.cc" "src/CMakeFiles/rs_dns.dir/dns/chaos.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/chaos.cc.o.d"
+  "/root/repo/src/dns/edns.cc" "src/CMakeFiles/rs_dns.dir/dns/edns.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/edns.cc.o.d"
+  "/root/repo/src/dns/message.cc" "src/CMakeFiles/rs_dns.dir/dns/message.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/message.cc.o.d"
+  "/root/repo/src/dns/name.cc" "src/CMakeFiles/rs_dns.dir/dns/name.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/name.cc.o.d"
+  "/root/repo/src/dns/root_hints.cc" "src/CMakeFiles/rs_dns.dir/dns/root_hints.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/root_hints.cc.o.d"
+  "/root/repo/src/dns/rrl.cc" "src/CMakeFiles/rs_dns.dir/dns/rrl.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/rrl.cc.o.d"
+  "/root/repo/src/dns/server.cc" "src/CMakeFiles/rs_dns.dir/dns/server.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/server.cc.o.d"
+  "/root/repo/src/dns/wire.cc" "src/CMakeFiles/rs_dns.dir/dns/wire.cc.o" "gcc" "src/CMakeFiles/rs_dns.dir/dns/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_dns.dir/dns/chaos.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/chaos.cc.o.d"
+  "CMakeFiles/rs_dns.dir/dns/edns.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/edns.cc.o.d"
+  "CMakeFiles/rs_dns.dir/dns/message.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/message.cc.o.d"
+  "CMakeFiles/rs_dns.dir/dns/name.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/name.cc.o.d"
+  "CMakeFiles/rs_dns.dir/dns/root_hints.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/root_hints.cc.o.d"
+  "CMakeFiles/rs_dns.dir/dns/rrl.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/rrl.cc.o.d"
+  "CMakeFiles/rs_dns.dir/dns/server.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/server.cc.o.d"
+  "CMakeFiles/rs_dns.dir/dns/wire.cc.o"
+  "CMakeFiles/rs_dns.dir/dns/wire.cc.o.d"
+  "librs_dns.a"
+  "librs_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/clock.cc" "src/CMakeFiles/rs_net.dir/net/clock.cc.o" "gcc" "src/CMakeFiles/rs_net.dir/net/clock.cc.o.d"
+  "/root/repo/src/net/geo.cc" "src/CMakeFiles/rs_net.dir/net/geo.cc.o" "gcc" "src/CMakeFiles/rs_net.dir/net/geo.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/CMakeFiles/rs_net.dir/net/ipv4.cc.o" "gcc" "src/CMakeFiles/rs_net.dir/net/ipv4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

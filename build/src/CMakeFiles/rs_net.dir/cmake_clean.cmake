@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_net.dir/net/clock.cc.o"
+  "CMakeFiles/rs_net.dir/net/clock.cc.o.d"
+  "CMakeFiles/rs_net.dir/net/geo.cc.o"
+  "CMakeFiles/rs_net.dir/net/geo.cc.o.d"
+  "CMakeFiles/rs_net.dir/net/ipv4.cc.o"
+  "CMakeFiles/rs_net.dir/net/ipv4.cc.o.d"
+  "librs_net.a"
+  "librs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_resolver.dir/resolver/cache.cc.o"
+  "CMakeFiles/rs_resolver.dir/resolver/cache.cc.o.d"
+  "CMakeFiles/rs_resolver.dir/resolver/enduser.cc.o"
+  "CMakeFiles/rs_resolver.dir/resolver/enduser.cc.o.d"
+  "CMakeFiles/rs_resolver.dir/resolver/selection.cc.o"
+  "CMakeFiles/rs_resolver.dir/resolver/selection.cc.o.d"
+  "librs_resolver.a"
+  "librs_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

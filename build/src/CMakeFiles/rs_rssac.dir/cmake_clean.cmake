@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_rssac.dir/rssac/metrics.cc.o"
+  "CMakeFiles/rs_rssac.dir/rssac/metrics.cc.o.d"
+  "CMakeFiles/rs_rssac.dir/rssac/report.cc.o"
+  "CMakeFiles/rs_rssac.dir/rssac/report.cc.o.d"
+  "librs_rssac.a"
+  "librs_rssac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_rssac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

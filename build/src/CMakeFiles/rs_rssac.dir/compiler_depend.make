@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rs_rssac.
+# This may be replaced when dependencies are built.

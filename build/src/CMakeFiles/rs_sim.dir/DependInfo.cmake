@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/rs_sim.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/rs_sim.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/rs_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/rs_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/fluid.cc" "src/CMakeFiles/rs_sim.dir/sim/fluid.cc.o" "gcc" "src/CMakeFiles/rs_sim.dir/sim/fluid.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/rs_sim.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/rs_sim.dir/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/scenario_2016.cc" "src/CMakeFiles/rs_sim.dir/sim/scenario_2016.cc.o" "gcc" "src/CMakeFiles/rs_sim.dir/sim/scenario_2016.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_rssac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

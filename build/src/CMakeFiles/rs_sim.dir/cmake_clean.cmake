@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/rs_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/rs_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/rs_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/rs_sim.dir/sim/fluid.cc.o"
+  "CMakeFiles/rs_sim.dir/sim/fluid.cc.o.d"
+  "CMakeFiles/rs_sim.dir/sim/scenario.cc.o"
+  "CMakeFiles/rs_sim.dir/sim/scenario.cc.o.d"
+  "CMakeFiles/rs_sim.dir/sim/scenario_2016.cc.o"
+  "CMakeFiles/rs_sim.dir/sim/scenario_2016.cc.o.d"
+  "librs_sim.a"
+  "librs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/rs_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/rs_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/hll.cc" "src/CMakeFiles/rs_util.dir/util/hll.cc.o" "gcc" "src/CMakeFiles/rs_util.dir/util/hll.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/rs_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/rs_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/rs_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/rs_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/rs_util.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/rs_util.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/rs_util.dir/util/table.cc.o" "gcc" "src/CMakeFiles/rs_util.dir/util/table.cc.o.d"
+  "/root/repo/src/util/time_series.cc" "src/CMakeFiles/rs_util.dir/util/time_series.cc.o" "gcc" "src/CMakeFiles/rs_util.dir/util/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

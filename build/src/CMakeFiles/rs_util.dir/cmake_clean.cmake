@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_util.dir/util/histogram.cc.o"
+  "CMakeFiles/rs_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/rs_util.dir/util/hll.cc.o"
+  "CMakeFiles/rs_util.dir/util/hll.cc.o.d"
+  "CMakeFiles/rs_util.dir/util/logging.cc.o"
+  "CMakeFiles/rs_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/rs_util.dir/util/rng.cc.o"
+  "CMakeFiles/rs_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/rs_util.dir/util/stats.cc.o"
+  "CMakeFiles/rs_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/rs_util.dir/util/table.cc.o"
+  "CMakeFiles/rs_util.dir/util/table.cc.o.d"
+  "CMakeFiles/rs_util.dir/util/time_series.cc.o"
+  "CMakeFiles/rs_util.dir/util/time_series.cc.o.d"
+  "librs_util.a"
+  "librs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/behavior_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/behavior_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/behavior_test.cc.o.d"
+  "/root/repo/tests/analysis/collateral_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/collateral_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/collateral_test.cc.o.d"
+  "/root/repo/tests/analysis/correlation_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/correlation_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/correlation_test.cc.o.d"
+  "/root/repo/tests/analysis/distributions_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/distributions_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/distributions_test.cc.o.d"
+  "/root/repo/tests/analysis/event_size_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/event_size_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/event_size_test.cc.o.d"
+  "/root/repo/tests/analysis/flips_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/flips_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/flips_test.cc.o.d"
+  "/root/repo/tests/analysis/proximity_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/proximity_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/proximity_test.cc.o.d"
+  "/root/repo/tests/analysis/reachability_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/reachability_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/reachability_test.cc.o.d"
+  "/root/repo/tests/analysis/rtt_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/rtt_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/rtt_test.cc.o.d"
+  "/root/repo/tests/analysis/servers_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/servers_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/servers_test.cc.o.d"
+  "/root/repo/tests/analysis/stability_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/stability_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/stability_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_rssac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/behavior_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/behavior_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/collateral_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/collateral_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/correlation_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/correlation_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/distributions_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/distributions_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/event_size_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/event_size_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/flips_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/flips_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/proximity_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/proximity_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/reachability_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/reachability_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/rtt_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/rtt_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/servers_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/servers_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/stability_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/stability_test.cc.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

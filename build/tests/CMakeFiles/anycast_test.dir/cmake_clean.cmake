@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_test.dir/anycast/deployment_test.cc.o"
+  "CMakeFiles/anycast_test.dir/anycast/deployment_test.cc.o.d"
+  "CMakeFiles/anycast_test.dir/anycast/facility_test.cc.o"
+  "CMakeFiles/anycast_test.dir/anycast/facility_test.cc.o.d"
+  "CMakeFiles/anycast_test.dir/anycast/letter_test.cc.o"
+  "CMakeFiles/anycast_test.dir/anycast/letter_test.cc.o.d"
+  "CMakeFiles/anycast_test.dir/anycast/loadbalancer_test.cc.o"
+  "CMakeFiles/anycast_test.dir/anycast/loadbalancer_test.cc.o.d"
+  "CMakeFiles/anycast_test.dir/anycast/policy_test.cc.o"
+  "CMakeFiles/anycast_test.dir/anycast/policy_test.cc.o.d"
+  "CMakeFiles/anycast_test.dir/anycast/queue_model_test.cc.o"
+  "CMakeFiles/anycast_test.dir/anycast/queue_model_test.cc.o.d"
+  "CMakeFiles/anycast_test.dir/anycast/site_test.cc.o"
+  "CMakeFiles/anycast_test.dir/anycast/site_test.cc.o.d"
+  "anycast_test"
+  "anycast_test.pdb"
+  "anycast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_test.dir/atlas/binning_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/binning_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/cleaning_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/cleaning_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/dnsmon_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/dnsmon_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/population_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/population_test.cc.o.d"
+  "CMakeFiles/atlas_test.dir/atlas/trace_io_test.cc.o"
+  "CMakeFiles/atlas_test.dir/atlas/trace_io_test.cc.o.d"
+  "atlas_test"
+  "atlas_test.pdb"
+  "atlas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

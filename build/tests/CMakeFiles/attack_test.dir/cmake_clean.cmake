@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_test.dir/attack/botnet_test.cc.o"
+  "CMakeFiles/attack_test.dir/attack/botnet_test.cc.o.d"
+  "CMakeFiles/attack_test.dir/attack/events2016_test.cc.o"
+  "CMakeFiles/attack_test.dir/attack/events2016_test.cc.o.d"
+  "CMakeFiles/attack_test.dir/attack/schedule_test.cc.o"
+  "CMakeFiles/attack_test.dir/attack/schedule_test.cc.o.d"
+  "CMakeFiles/attack_test.dir/attack/traffic_test.cc.o"
+  "CMakeFiles/attack_test.dir/attack/traffic_test.cc.o.d"
+  "attack_test"
+  "attack_test.pdb"
+  "attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/catchment_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/catchment_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/catchment_test.cc.o.d"
+  "/root/repo/tests/bgp/collector_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/collector_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/collector_test.cc.o.d"
+  "/root/repo/tests/bgp/rib_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/rib_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/rib_test.cc.o.d"
+  "/root/repo/tests/bgp/simulator_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/simulator_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/simulator_test.cc.o.d"
+  "/root/repo/tests/bgp/topology_test.cc" "tests/CMakeFiles/bgp_test.dir/bgp/topology_test.cc.o" "gcc" "tests/CMakeFiles/bgp_test.dir/bgp/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_rssac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_test.dir/bgp/catchment_test.cc.o"
+  "CMakeFiles/bgp_test.dir/bgp/catchment_test.cc.o.d"
+  "CMakeFiles/bgp_test.dir/bgp/collector_test.cc.o"
+  "CMakeFiles/bgp_test.dir/bgp/collector_test.cc.o.d"
+  "CMakeFiles/bgp_test.dir/bgp/rib_test.cc.o"
+  "CMakeFiles/bgp_test.dir/bgp/rib_test.cc.o.d"
+  "CMakeFiles/bgp_test.dir/bgp/simulator_test.cc.o"
+  "CMakeFiles/bgp_test.dir/bgp/simulator_test.cc.o.d"
+  "CMakeFiles/bgp_test.dir/bgp/topology_test.cc.o"
+  "CMakeFiles/bgp_test.dir/bgp/topology_test.cc.o.d"
+  "bgp_test"
+  "bgp_test.pdb"
+  "bgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/defense_test.cc.o"
+  "CMakeFiles/core_test.dir/core/defense_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/evaluation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/evaluation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/policy_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/policy_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/report_writer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/report_writer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/whatif_test.cc.o"
+  "CMakeFiles/core_test.dir/core/whatif_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_test.dir/dns/chaos_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/chaos_test.cc.o.d"
+  "CMakeFiles/dns_test.dir/dns/edns_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/edns_test.cc.o.d"
+  "CMakeFiles/dns_test.dir/dns/message_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/message_test.cc.o.d"
+  "CMakeFiles/dns_test.dir/dns/name_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/name_test.cc.o.d"
+  "CMakeFiles/dns_test.dir/dns/root_hints_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/root_hints_test.cc.o.d"
+  "CMakeFiles/dns_test.dir/dns/rrl_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/rrl_test.cc.o.d"
+  "CMakeFiles/dns_test.dir/dns/server_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/server_test.cc.o.d"
+  "CMakeFiles/dns_test.dir/dns/wire_test.cc.o"
+  "CMakeFiles/dns_test.dir/dns/wire_test.cc.o.d"
+  "dns_test"
+  "dns_test.pdb"
+  "dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_test.dir/resolver/cache_test.cc.o"
+  "CMakeFiles/resolver_test.dir/resolver/cache_test.cc.o.d"
+  "CMakeFiles/resolver_test.dir/resolver/enduser_test.cc.o"
+  "CMakeFiles/resolver_test.dir/resolver/enduser_test.cc.o.d"
+  "CMakeFiles/resolver_test.dir/resolver/selection_test.cc.o"
+  "CMakeFiles/resolver_test.dir/resolver/selection_test.cc.o.d"
+  "resolver_test"
+  "resolver_test.pdb"
+  "resolver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

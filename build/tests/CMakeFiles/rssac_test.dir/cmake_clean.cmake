@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rssac_test.dir/rssac/metrics_test.cc.o"
+  "CMakeFiles/rssac_test.dir/rssac/metrics_test.cc.o.d"
+  "CMakeFiles/rssac_test.dir/rssac/report_test.cc.o"
+  "CMakeFiles/rssac_test.dir/rssac/report_test.cc.o.d"
+  "rssac_test"
+  "rssac_test.pdb"
+  "rssac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rssac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
