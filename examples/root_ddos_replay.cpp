@@ -3,9 +3,13 @@
 //
 // Usage:
 //   ./build/examples/root_ddos_replay [vp_count] [attack_mqps] [report.md]
+//       [telemetry.json]
 // Defaults: 800 VPs, 5 Mq/s per attacked letter. Expect ~half a minute at
 // the defaults; scale vp_count down for a quick look. When a third
-// argument is given, a full Markdown incident report is written there.
+// argument is given, a full Markdown incident report is written there;
+// a fourth argument receives the run's telemetry snapshot as JSON.
+// Set ROOTSTRESS_TRACE=trace.jsonl to also dump the structured event
+// trace (site withdrawals, BGP session failures, catchment flips, ...).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -63,6 +67,29 @@ int main(int argc, char** argv) {
     options.title = "Root DNS event replay (Nov 30 / Dec 1, 2015)";
     core::write_markdown_report(report, options, out);
     std::printf("\nwrote Markdown incident report to %s\n", argv[3]);
+  }
+
+  // Telemetry: where the wall-clock went, and what the run recorded.
+  const obs::Snapshot& telemetry = result.telemetry;
+  if (!telemetry.empty()) {
+    std::printf("\ntelemetry: %zu metrics; trace %llu events emitted, "
+                "%llu dropped (cap %zu)\n",
+                telemetry.metrics.size(),
+                static_cast<unsigned long long>(telemetry.trace.emitted),
+                static_cast<unsigned long long>(telemetry.trace.dropped),
+                telemetry.trace.capacity);
+    std::puts("phase profile (total ms / calls):");
+    for (const auto& phase : telemetry.phases) {
+      std::printf("  %*s%-18s %9.1f ms  x%llu\n", phase.depth * 2, "",
+                  phase.name.c_str(),
+                  static_cast<double>(phase.total_ns) / 1e6,
+                  static_cast<unsigned long long>(phase.calls));
+    }
+    if (argc > 4) {
+      std::ofstream out(argv[4]);
+      core::write_telemetry(telemetry, out);
+      std::printf("wrote telemetry JSON to %s\n", argv[4]);
+    }
   }
   std::puts("\nCompare against the paper via the bench binaries "
             "(build/bench/bench_fig3 ... bench_table3).");

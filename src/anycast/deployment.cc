@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/runtime.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -169,13 +170,33 @@ std::vector<bgp::RouteChange> RootDeployment::apply_scope(int site_id,
                                                           SiteScope scope,
                                                           net::SimTime now) {
   AnycastSite& s = site(site_id);
-  if (s.scope() == scope) return {};
-  s.set_scope(scope);
+  if (!s.transition_scope(scope, now)) return {};
   const ServiceInfo& svc = service(s.letter());
   const bool announced = scope != SiteScope::kDown;
   const bool local_only = scope == SiteScope::kLocalOnly;
+  obs::PhaseProfiler::Scope profile(
+      obs_ != nullptr ? &obs_->profiler() : nullptr, "bgp-convergence");
   return routing_->set_origin_state(svc.prefix, site_id, announced,
                                     local_only, now);
+}
+
+void RootDeployment::attach_obs(obs::Runtime* obs) {
+  obs_ = obs;
+  routing_->attach_obs(obs);
+  for (auto& site : sites_) {
+    SiteTelemetry telemetry;
+    if (obs != nullptr) {
+      telemetry.runtime = obs;
+      const obs::Labels labels{{"letter", std::string(1, site.letter())}};
+      auto& metrics = obs->metrics();
+      telemetry.withdrawals = &metrics.counter("site.withdrawals", labels);
+      telemetry.restores = &metrics.counter("site.restores", labels);
+      telemetry.overload_onsets =
+          &metrics.counter("site.overload_onsets", labels);
+      telemetry.queue = make_queue_instruments(metrics, site.letter());
+    }
+    site.attach_obs(telemetry);
+  }
 }
 
 }  // namespace rootstress::anycast

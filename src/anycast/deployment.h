@@ -71,6 +71,12 @@ class RootDeployment {
   std::vector<bgp::RouteChange> apply_scope(int site_id, SiteScope scope,
                                             net::SimTime now);
 
+  /// Attaches a telemetry runtime (nullable) to routing and every site
+  /// (per-letter withdrawal/restore counters, shared queue instruments,
+  /// RRL counters). apply_scope additionally profiles BGP reconvergence
+  /// under the "bgp-convergence" phase.
+  void attach_obs(obs::Runtime* obs);
+
  private:
   bgp::AsTopology topology_;
   std::vector<LetterConfig> letters_;
@@ -78,6 +84,7 @@ class RootDeployment {
   std::vector<AnycastSite> sites_;
   std::vector<ServiceInfo> services_;
   std::unique_ptr<bgp::AnycastRouting> routing_;
+  obs::Runtime* obs_ = nullptr;
   /// Origin sets staged during construction, registered once the topology
   /// is final (cleared afterwards).
   std::vector<std::vector<bgp::AnycastOrigin>> pending_origins_;

@@ -1,6 +1,9 @@
 #include "anycast/queue_model.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace rootstress::anycast {
 
@@ -47,6 +50,33 @@ QueueOutcome evaluate_queue(double offered_qps,
   out.queue_delay_ms = full_queue_ms;
   out.loss_fraction = 1.0 - 1.0 / rho;
   out.served_qps = config.capacity_qps;
+  return out;
+}
+
+QueueInstruments make_queue_instruments(obs::MetricsRegistry& metrics,
+                                        char letter) {
+  const obs::Labels labels{{"letter", std::string(1, letter)}};
+  QueueInstruments out;
+  // rho can exceed 1 under attack; 16 bins of 0.25 cover up to 4x capacity
+  // with the overflow bin absorbing the rest.
+  out.utilization =
+      &metrics.histogram("queue.utilization", labels, 0.25, 16);
+  out.loss = &metrics.histogram("queue.loss", labels, 0.05, 21);
+  out.saturated_steps = &metrics.counter("queue.saturated_steps", labels);
+  return out;
+}
+
+QueueOutcome evaluate_queue_observed(double offered_qps,
+                                     const QueueConfig& config,
+                                     const QueueInstruments& instruments) {
+  const QueueOutcome out = evaluate_queue(offered_qps, config);
+  if (instruments.utilization != nullptr) {
+    instruments.utilization->observe(out.utilization);
+  }
+  if (instruments.loss != nullptr) instruments.loss->observe(out.loss_fraction);
+  if (instruments.saturated_steps != nullptr && out.utilization >= 1.0) {
+    instruments.saturated_steps->add();
+  }
   return out;
 }
 

@@ -10,6 +10,12 @@
 //     (loss = 1 - capacity/offered).
 #pragma once
 
+namespace rootstress::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace rootstress::obs
+
 namespace rootstress::anycast {
 
 /// Result of pushing `offered` q/s through a site.
@@ -32,6 +38,24 @@ struct QueueConfig {
 /// Evaluates the queue at a given offered load. `offered_qps` >= 0;
 /// a non-positive capacity means the site serves nothing (loss = 1).
 QueueOutcome evaluate_queue(double offered_qps, const QueueConfig& config) noexcept;
+
+/// Cached instrument pointers for one letter's queue telemetry. All null
+/// by default, in which case recording is a no-op. Instruments are shared
+/// across a letter's sites (per-letter cardinality keeps snapshots small).
+struct QueueInstruments {
+  obs::Histogram* utilization = nullptr;  ///< per-step rho, 0.25-wide bins
+  obs::Histogram* loss = nullptr;         ///< per-step loss, 0.05-wide bins
+  obs::Counter* saturated_steps = nullptr;
+};
+
+/// Registers (or reuses) the per-letter queue instruments.
+QueueInstruments make_queue_instruments(obs::MetricsRegistry& metrics,
+                                        char letter);
+
+/// evaluate_queue plus recording into `instruments` (null members skipped).
+QueueOutcome evaluate_queue_observed(double offered_qps,
+                                     const QueueConfig& config,
+                                     const QueueInstruments& instruments);
 
 /// Additional loss imposed by a shared facility uplink carrying
 /// `offered_gbps` over a link of `uplink_gbps`. Zero when within capacity.

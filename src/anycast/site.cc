@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "dns/wire.h"
+#include "obs/runtime.h"
+#include "util/logging.h"
 
 namespace rootstress::anycast {
+
+namespace {
+const char* scope_name(SiteScope scope) noexcept {
+  switch (scope) {
+    case SiteScope::kGlobal: return "global";
+    case SiteScope::kLocalOnly: return "local-only";
+    case SiteScope::kDown: return "down";
+  }
+  return "?";
+}
+}  // namespace
 
 AnycastSite::AnycastSite(int site_id, char letter, SiteSpec spec,
                          net::GeoPoint location, int host_as, int facility,
@@ -32,13 +45,13 @@ std::string AnycastSite::label() const {
 
 void AnycastSite::begin_step(double attack_qps, double legit_qps,
                              double shared_loss, net::SimTime now) {
-  (void)now;
   attack_qps_ = attack_qps;
   legit_qps_ = legit_qps;
   QueueConfig qc;
   qc.capacity_qps = spec_.capacity_qps;
   qc.buffer_packets = spec_.buffer_packets;
-  outcome_ = evaluate_queue(attack_qps + legit_qps, qc);
+  outcome_ = evaluate_queue_observed(attack_qps + legit_qps, qc,
+                                     telemetry_.queue);
   arrival_loss_ =
       1.0 - (1.0 - outcome_.loss_fraction) * (1.0 - std::clamp(shared_loss, 0.0, 1.0));
 
@@ -48,8 +61,53 @@ void AnycastSite::begin_step(double attack_qps, double legit_qps,
     // visible service onto one surviving server, picked per episode.
     concentrate_server_ =
         static_cast<int>(jitter_rng_.below(servers_.size()));
+    if (telemetry_.overload_onsets != nullptr) {
+      telemetry_.overload_onsets->add();
+    }
+    obs::emit_event(telemetry_.runtime, obs::TraceEventType::kQueueOverloadOnset,
+                    now, letter_, label(), "ingress queue saturated",
+                    outcome_.utilization);
+  } else if (!now_overloaded && overloaded_) {
+    obs::emit_event(telemetry_.runtime, obs::TraceEventType::kQueueOverloadEnd,
+                    now, letter_, label(), "ingress queue drained",
+                    outcome_.utilization);
   }
   overloaded_ = now_overloaded;
+}
+
+bool AnycastSite::transition_scope(SiteScope scope, net::SimTime now) {
+  if (scope == scope_) return false;
+  const SiteScope previous = scope_;
+  scope_ = scope;
+  // Ranks by service reach: any move toward kDown is a withdrawal, any
+  // move away from it (or from local-only back to global) is a restore.
+  const bool withdrawing =
+      static_cast<int>(scope) > static_cast<int>(previous);
+  const std::string detail = std::string(scope_name(previous)) + " -> " +
+                             scope_name(scope);
+  if (withdrawing) {
+    RS_LOG_WARN << label() << " withdrawing (" << detail << ") at "
+                << now.to_string();
+    if (telemetry_.withdrawals != nullptr) telemetry_.withdrawals->add();
+    obs::emit_event(telemetry_.runtime, obs::TraceEventType::kSiteWithdraw,
+                    now, letter_, label(), detail,
+                    static_cast<double>(site_id_));
+  } else {
+    RS_LOG_INFO << label() << " restoring (" << detail << ") at "
+                << now.to_string();
+    if (telemetry_.restores != nullptr) telemetry_.restores->add();
+    obs::emit_event(telemetry_.runtime, obs::TraceEventType::kSiteRestore,
+                    now, letter_, label(), detail,
+                    static_cast<double>(site_id_));
+  }
+  return true;
+}
+
+void AnycastSite::attach_obs(const SiteTelemetry& telemetry) {
+  telemetry_ = telemetry;
+  for (auto& server : servers_) {
+    server.dns().rrl().attach_obs(telemetry.runtime, letter_, label());
+  }
 }
 
 int AnycastSite::pick_server(net::Ipv4Addr source) const noexcept {

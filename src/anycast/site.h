@@ -16,6 +16,11 @@
 #include "net/geo.h"
 #include "util/rng.h"
 
+namespace rootstress::obs {
+class Counter;
+class Runtime;
+}  // namespace rootstress::obs
+
 namespace rootstress::anycast {
 
 /// Routing scope of a site's announcement.
@@ -31,6 +36,17 @@ struct ProbeReply {
   int server = 0;               ///< 1-based index of the answering server
   double extra_delay_ms = 0.0;  ///< queueing delay beyond propagation
   std::vector<std::uint8_t> wire;  ///< encoded DNS response (if answered)
+};
+
+/// Telemetry wiring for one site: a nullable runtime plus cached
+/// instrument pointers (shared per letter — see make_queue_instruments).
+/// Default-constructed = telemetry off.
+struct SiteTelemetry {
+  obs::Runtime* runtime = nullptr;
+  obs::Counter* withdrawals = nullptr;      ///< per-letter
+  obs::Counter* restores = nullptr;         ///< per-letter
+  obs::Counter* overload_onsets = nullptr;  ///< per-letter
+  QueueInstruments queue;
 };
 
 /// One site of one letter.
@@ -57,6 +73,14 @@ class AnycastSite {
   /// Current announcement scope (engine keeps routing in sync).
   SiteScope scope() const noexcept { return scope_; }
   void set_scope(SiteScope scope) noexcept { scope_ = scope; }
+
+  /// set_scope plus logging, trace events, and counters; returns whether
+  /// the scope actually changed. The engine's apply path uses this so
+  /// every withdrawal/restore is observable (they used to be silent).
+  bool transition_scope(SiteScope scope, net::SimTime now);
+
+  /// Attaches telemetry; also wires each server's RRL instance.
+  void attach_obs(const SiteTelemetry& telemetry);
 
   /// Policy state machine (engine drives it each step).
   SitePolicyState& policy_state() noexcept { return policy_state_; }
@@ -102,6 +126,7 @@ class AnycastSite {
   bool overloaded_ = false;
   int concentrate_server_ = 0;  ///< 0-based survivor when concentrating
   util::Rng jitter_rng_;
+  SiteTelemetry telemetry_;
 };
 
 }  // namespace rootstress::anycast

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/runtime.h"
+
 namespace rootstress::bgp {
 
 RouteCollector::RouteCollector(const AsTopology& topo,
@@ -58,7 +60,20 @@ void RouteCollector::observe(int prefix,
                               static_cast<double>(changes.size()) *
                               static_cast<double>(peers_.size()) / 100.0;
   observations += rng_.poisson(ambient_mean);
+  if (updates_ != nullptr && observations > 0) updates_->add(observations);
   for (std::uint64_t i = 0; i < observations; ++i) series.count_event(t.ms);
+}
+
+void RouteCollector::attach_obs(obs::Runtime* obs) {
+  if (obs == nullptr) {
+    updates_ = nullptr;
+    return;
+  }
+  updates_ = &obs->metrics().counter("bgp.collector.updates",
+                                     {{"component", "collector"}});
+  obs->metrics()
+      .gauge("bgp.collector.peers", {{"component", "collector"}})
+      .set(static_cast<double>(peers_.size()));
 }
 
 }  // namespace rootstress::bgp

@@ -51,12 +51,18 @@ class RouteCollector {
 
   const std::vector<int>& peer_ases() const noexcept { return peers_; }
 
+  /// Attaches a telemetry runtime (nullable): logged update observations
+  /// become the "bgp.collector.updates" counter, and the peer count is
+  /// published as a gauge.
+  void attach_obs(obs::Runtime* obs);
+
  private:
   std::vector<int> peers_;
   std::vector<char> is_peer_;  ///< dense AS index -> peer?
   std::vector<util::BinnedSeries> series_;
   double ambient_visibility_;
   util::Rng rng_;
+  obs::Counter* updates_ = nullptr;
 };
 
 }  // namespace rootstress::bgp

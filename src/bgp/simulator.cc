@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/runtime.h"
 #include "util/logging.h"
 
 namespace rootstress::bgp {
@@ -31,9 +32,14 @@ std::vector<RouteChange> AnycastRouting::set_announced(int prefix, int site_id,
     }
   }
   if (!toggled) return {};
-  RS_LOG_INFO << table.label << " site " << site_id
-              << (announced ? " announced" : " withdrawn") << " at "
-              << now.to_string();
+  if (announced) {
+    RS_LOG_INFO << table.label << " site " << site_id << " announced at "
+                << now.to_string();
+  } else {
+    RS_LOG_WARN << table.label << " site " << site_id << " withdrawn at "
+                << now.to_string();
+  }
+  trace_session(table, site_id, announced, /*local_only=*/false, now);
   return recompute(prefix, now);
 }
 
@@ -53,10 +59,15 @@ std::vector<RouteChange> AnycastRouting::set_origin_state(int prefix,
     }
   }
   if (!toggled) return {};
-  RS_LOG_INFO << table.label << " site " << site_id << " -> "
-              << (announced ? (local_only ? "local-only" : "announced")
-                            : "withdrawn")
-              << " at " << now.to_string();
+  if (announced) {
+    RS_LOG_INFO << table.label << " site " << site_id << " -> "
+                << (local_only ? "local-only" : "announced") << " at "
+                << now.to_string();
+  } else {
+    RS_LOG_WARN << table.label << " site " << site_id << " -> withdrawn at "
+                << now.to_string();
+  }
+  trace_session(table, site_id, announced, local_only, now);
   return recompute(prefix, now);
 }
 
@@ -80,8 +91,45 @@ std::vector<RouteChange> AnycastRouting::recompute(int prefix,
     }
   }
   table.routes = std::move(fresh);
+  if (table.recomputes != nullptr) {
+    table.recomputes->add();
+    table.changes->add(changes.size());
+  }
   if (observer_ && !changes.empty()) observer_(prefix, changes);
   return changes;
+}
+
+void AnycastRouting::attach_obs(obs::Runtime* obs) {
+  obs_ = obs;
+  for (auto& table : tables_) {
+    if (obs == nullptr) {
+      table.recomputes = nullptr;
+      table.changes = nullptr;
+      continue;
+    }
+    obs::Labels labels{{"letter", table.label}};
+    table.recomputes = &obs->metrics().counter("bgp.recomputes", labels);
+    table.changes = &obs->metrics().counter("bgp.route_changes", labels);
+  }
+}
+
+void AnycastRouting::trace_session(const Table& table, int site_id,
+                                   bool announced, bool local_only,
+                                   net::SimTime now) {
+  if (obs_ == nullptr) return;
+  const char letter = table.label.size() == 1 ? table.label[0] : '\0';
+  if (announced) {
+    obs_->event(obs::TraceEventType::kBgpSessionRestore, now, letter,
+                table.label + "#" + std::to_string(site_id),
+                local_only ? "announcement restored (local-only)"
+                           : "announcement restored",
+                static_cast<double>(site_id));
+  } else {
+    obs_->event(obs::TraceEventType::kBgpSessionFailure, now, letter,
+                table.label + "#" + std::to_string(site_id),
+                "all BGP sessions of site torn down",
+                static_cast<double>(site_id));
+  }
 }
 
 }  // namespace rootstress::bgp

@@ -17,6 +17,11 @@
 #include "bgp/topology.h"
 #include "net/clock.h"
 
+namespace rootstress::obs {
+class Counter;
+class Runtime;
+}  // namespace rootstress::obs
+
 namespace rootstress::bgp {
 
 /// One AS's route to one prefix changed.
@@ -73,18 +78,28 @@ class AnycastRouting {
   /// True if the site currently announces.
   bool announced(int prefix, int site_id) const;
 
+  /// Attaches a telemetry runtime (nullable): session failures/restores
+  /// become trace events, recomputations and per-AS route changes become
+  /// counters. Call after every prefix is registered.
+  void attach_obs(obs::Runtime* obs);
+
  private:
   struct Table {
     std::string label;
     std::vector<AnycastOrigin> origins;
     std::vector<RouteChoice> routes;
+    obs::Counter* recomputes = nullptr;
+    obs::Counter* changes = nullptr;
   };
 
   std::vector<RouteChange> recompute(int prefix, net::SimTime now);
+  void trace_session(const Table& table, int site_id, bool announced,
+                     bool local_only, net::SimTime now);
 
   const AsTopology& topology_;
   std::vector<Table> tables_;
   Observer observer_;
+  obs::Runtime* obs_ = nullptr;
 };
 
 }  // namespace rootstress::bgp

@@ -7,6 +7,7 @@
 #include "analysis/collateral.h"
 #include "analysis/letter_flips.h"
 #include "atlas/dnsmon.h"
+#include "obs/json.h"
 
 namespace rootstress::core {
 
@@ -124,6 +125,81 @@ std::string markdown_report(const EvaluationReport& report,
                             const ReportOptions& options) {
   std::ostringstream os;
   write_markdown_report(report, options, os);
+  return os.str();
+}
+
+namespace {
+
+const char* metric_kind_name(obs::MetricKind kind) {
+  switch (kind) {
+    case obs::MetricKind::kCounter: return "counter";
+    case obs::MetricKind::kGauge: return "gauge";
+    case obs::MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+obs::JsonValue metric_to_json(const obs::MetricSample& sample) {
+  auto m = obs::JsonValue::object();
+  m.set("name", sample.name);
+  auto labels = obs::JsonValue::object();
+  for (const auto& [key, value] : sample.labels) labels.set(key, value);
+  m.set("labels", std::move(labels));
+  m.set("kind", metric_kind_name(sample.kind));
+  m.set("value", sample.value);
+  if (sample.kind == obs::MetricKind::kHistogram) {
+    m.set("bin_width", sample.bin_width);
+    auto bins = obs::JsonValue::array();
+    for (const std::uint64_t count : sample.bins) bins.push_back(count);
+    m.set("bins", std::move(bins));
+  }
+  return m;
+}
+
+obs::JsonValue phase_to_json(const obs::PhaseStats& phase) {
+  auto p = obs::JsonValue::object();
+  p.set("name", phase.name);
+  p.set("calls", phase.calls);
+  p.set("total_ms", static_cast<double>(phase.total_ns) / 1e6);
+  p.set("self_ms", static_cast<double>(phase.self_ns) / 1e6);
+  p.set("alloc_bytes", phase.alloc_bytes);
+  p.set("allocs", phase.allocs);
+  p.set("depth", phase.depth);
+  return p;
+}
+
+}  // namespace
+
+void write_telemetry(const obs::Snapshot& snapshot, std::ostream& os) {
+  auto doc = obs::JsonValue::object();
+  doc.set("sim_time_ms", snapshot.sim_time.ms);
+  doc.set("sim_time", snapshot.sim_time.to_string());
+
+  auto metrics = obs::JsonValue::array();
+  for (const auto& sample : snapshot.metrics) {
+    metrics.push_back(metric_to_json(sample));
+  }
+  doc.set("metrics", std::move(metrics));
+
+  auto phases = obs::JsonValue::array();
+  for (const auto& phase : snapshot.phases) {
+    phases.push_back(phase_to_json(phase));
+  }
+  doc.set("phases", std::move(phases));
+
+  auto trace = obs::JsonValue::object();
+  trace.set("emitted", snapshot.trace.emitted);
+  trace.set("dropped", snapshot.trace.dropped);
+  trace.set("capacity", snapshot.trace.capacity);
+  trace.set("buffered", snapshot.trace.buffered);
+  doc.set("trace", std::move(trace));
+
+  os << doc.dump() << '\n';
+}
+
+std::string telemetry_json(const obs::Snapshot& snapshot) {
+  std::ostringstream os;
+  write_telemetry(snapshot, os);
   return os.str();
 }
 

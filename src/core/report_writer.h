@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/evaluation.h"
+#include "obs/runtime.h"
 
 namespace rootstress::core {
 
@@ -28,5 +29,13 @@ void write_markdown_report(const EvaluationReport& report,
 /// Convenience: returns the report as a string.
 std::string markdown_report(const EvaluationReport& report,
                             const ReportOptions& options = {});
+
+/// Writes a run's telemetry snapshot as a single JSON document:
+/// {"sim_time_ms", "metrics": [...], "phases": [...], "trace": {...}}.
+/// Round-trips through obs::json_parse (the test suite checks this).
+void write_telemetry(const obs::Snapshot& snapshot, std::ostream& os);
+
+/// Convenience: the telemetry document as a string.
+std::string telemetry_json(const obs::Snapshot& snapshot);
 
 }  // namespace rootstress::core

@@ -1,8 +1,11 @@
 #include "dns/rrl.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "obs/runtime.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace rootstress::dns {
@@ -15,6 +18,7 @@ RrlAction ResponseRateLimiter::decide(net::Ipv4Addr source,
                                       net::SimTime now) {
   if (!config_.enabled) {
     ++responded_;
+    if (responded_counter_ != nullptr) responded_counter_->add();
     return RrlAction::kRespond;
   }
   const int shift = 32 - std::clamp(config_.source_prefix_len, 0, 32);
@@ -39,15 +43,46 @@ RrlAction ResponseRateLimiter::decide(net::Ipv4Addr source,
     bucket.tokens -= 1.0;
     bucket.drop_count = 0;
     ++responded_;
+    if (responded_counter_ != nullptr) responded_counter_->add();
+    suppressing_ = false;
     return RrlAction::kRespond;
   }
   ++bucket.drop_count;
+  if (!suppressing_) {
+    // Suppression onset: RRL silently eats responses from here on; leave a
+    // trace so the drop shows up somewhere (it once did not).
+    suppressing_ = true;
+    RS_LOG_DEBUG << "RRL suppression onset at "
+                 << (site_.empty() ? "server" : site_) << " " << now.to_string();
+    obs::emit_event(obs_, obs::TraceEventType::kRrlSuppression, now, letter_,
+                    site_, "token bucket exhausted; dropping responses",
+                    suppression_rate());
+  }
   if (config_.slip > 0 && bucket.drop_count % config_.slip == 0) {
     ++slipped_;
+    if (slipped_counter_ != nullptr) slipped_counter_->add();
     return RrlAction::kSlip;
   }
   ++dropped_;
+  if (dropped_counter_ != nullptr) dropped_counter_->add();
   return RrlAction::kDrop;
+}
+
+void ResponseRateLimiter::attach_obs(obs::Runtime* runtime, char letter,
+                                     std::string site) {
+  obs_ = runtime;
+  letter_ = letter;
+  site_ = std::move(site);
+  if (runtime == nullptr) {
+    responded_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+    slipped_counter_ = nullptr;
+    return;
+  }
+  const obs::Labels labels{{"letter", std::string(1, letter)}};
+  responded_counter_ = &runtime->metrics().counter("rrl.responded", labels);
+  dropped_counter_ = &runtime->metrics().counter("rrl.dropped", labels);
+  slipped_counter_ = &runtime->metrics().counter("rrl.slipped", labels);
 }
 
 double ResponseRateLimiter::suppression_rate() const noexcept {

@@ -7,10 +7,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "net/clock.h"
 #include "net/ipv4.h"
+
+namespace rootstress::obs {
+class Counter;
+class Runtime;
+}  // namespace rootstress::obs
 
 namespace rootstress::dns {
 
@@ -53,6 +59,12 @@ class ResponseRateLimiter {
 
   const RrlConfig& config() const noexcept { return config_; }
 
+  /// Attaches telemetry (nullable): per-letter respond/drop/slip counters
+  /// plus an "rrl-suppression" trace event + debug log when a limiter
+  /// first starts suppressing. `site` is the "X-APT" label used in
+  /// events.
+  void attach_obs(obs::Runtime* runtime, char letter, std::string site);
+
  private:
   struct Bucket {
     double tokens = 0.0;
@@ -65,6 +77,15 @@ class ResponseRateLimiter {
   std::uint64_t responded_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t slipped_ = 0;
+
+  // Telemetry (null when unattached).
+  obs::Runtime* obs_ = nullptr;
+  obs::Counter* responded_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* slipped_counter_ = nullptr;
+  char letter_ = '\0';
+  std::string site_;
+  bool suppressing_ = false;
 };
 
 /// Analytic aggregate model: the expected fraction of responses RRL

@@ -1,0 +1,304 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rootstress::obs {
+
+void JsonValue::set(std::string key, JsonValue v) {
+  kind_ = Kind::kObject;
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void json_escape(std::string_view text, std::string& out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void dump_number(double n, std::string& out) {
+  if (std::isnan(n) || std::isinf(n)) {
+    out += "null";  // JSON has no NaN/Inf; telemetry treats them as absent
+    return;
+  }
+  // Integers (the common case: counters, millisecond stamps) print
+  // without a fraction so traces stay compact and greppable.
+  if (n == std::floor(n) && std::abs(n) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", n);
+  out += buf;
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: dump_number(number_, out); return;
+    case Kind::kString:
+      out += '"';
+      json_escape(string_, out);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        array_[i].dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        json_escape(k, out);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    if (eof() || depth_ > kMaxDepth) return std::nullopt;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        auto s = string();
+        if (!s) return std::nullopt;
+        return JsonValue(std::move(*s));
+      }
+      case 't':
+        return consume_word("true") ? std::optional<JsonValue>(JsonValue(true))
+                                    : std::nullopt;
+      case 'f':
+        return consume_word("false")
+                   ? std::optional<JsonValue>(JsonValue(false))
+                   : std::nullopt;
+      case 'n':
+        return consume_word("null") ? std::optional<JsonValue>(JsonValue())
+                                    : std::nullopt;
+      default: return number();
+    }
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '-' || peek() == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) return std::nullopt;
+    return JsonValue(out);
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // UTF-8 encode (surrogate pairs are passed through individually;
+          // telemetry strings are ASCII in practice).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> array() {
+    if (!consume('[')) return std::nullopt;
+    ++depth_;
+    JsonValue out = JsonValue::array();
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) break;
+      if (!consume(',')) return std::nullopt;
+    }
+    --depth_;
+    return out;
+  }
+
+  std::optional<JsonValue> object() {
+    if (!consume('{')) return std::nullopt;
+    ++depth_;
+    JsonValue out = JsonValue::object();
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.set(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) break;
+      if (!consume(',')) return std::nullopt;
+    }
+    --depth_;
+    return out;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace rootstress::obs

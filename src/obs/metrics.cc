@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rootstress::obs {
+
+namespace {
+
+/// Identity key: name + sorted "k=v" pairs, separated by unit separators
+/// (which cannot appear in metric names by convention).
+std::string identity_key(std::string_view name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string MetricSample::id() const {
+  std::string out = name;
+  if (labels.empty()) return out;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name,
+                                                   Labels labels,
+                                                   MetricKind kind,
+                                                   double bin_width,
+                                                   std::size_t bin_count) {
+  const std::string key = identity_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Entry& existing = *entries_[it->second];
+    if (existing.kind != kind) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' re-registered with a different kind");
+    }
+    return existing;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::move(labels);
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(bin_width, bin_count);
+      break;
+  }
+  index_.emplace(key, entries_.size());
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return *entry_for(name, std::move(labels), MetricKind::kCounter, 0, 0)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return *entry_for(name, std::move(labels), MetricKind::kGauge, 0, 0).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
+                                      double bin_width,
+                                      std::size_t bin_count) {
+  return *entry_for(name, std::move(labels), MetricKind::kHistogram,
+                    bin_width, bin_count)
+              .histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.labels = entry->labels;
+    sample.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(entry->counter->value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = entry->gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const util::FixedBinHistogram hist = entry->histogram->snapshot();
+        sample.value = static_cast<double>(hist.total());
+        sample.bin_width = hist.bin_width();
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+          if (hist.bin(i) > 0) last = i + 1;
+        }
+        sample.bins.reserve(last);
+        for (std::size_t i = 0; i < last; ++i) {
+          sample.bins.push_back(hist.bin(i));
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace rootstress::obs

@@ -1,0 +1,169 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms,
+// registered by name + labels and snapshot-able at any sim time.
+//
+// The paper's analysis is entirely about per-site operational counters
+// (queries received/dropped per letter and site, route changes, RRL
+// suppression); this registry is how the simulator exposes the same
+// counters about itself. Design rules:
+//
+//  - Instruments are registered once (name + labels dedup) and the
+//    returned references stay valid for the registry's lifetime, so hot
+//    paths cache pointers and never touch the registry map again.
+//  - Counter/Gauge updates are relaxed atomics: safe from any thread,
+//    no locks on the hot path. Histograms take a short per-instrument
+//    mutex (observe() is called per site-step, not per query).
+//  - snapshot() copies every instrument into plain data, isolated from
+//    later updates.
+//
+// Naming convention: "component.metric" in snake_case, e.g.
+// "queue.utilization", "bgp.route_changes"; labels identify letter,
+// site, and component ({"letter","K"},{"site","K-AMS"}).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace rootstress::obs {
+
+/// Metric labels: ordered (key, value) pairs. Order does not matter for
+/// identity — the registry sorts a copy when building the dedup key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double, with an accumulate helper. Stored as the bit
+/// pattern in an atomic word so reads/writes never tear.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(to_bits(v), std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        expected, to_bits(from_bits(expected) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return from_bits(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static std::uint64_t to_bits(double v) noexcept {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double from_bits(std::uint64_t bits) noexcept {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram (thread-safe shell around util::FixedBinHistogram).
+class Histogram {
+ public:
+  Histogram(double bin_width, std::size_t bin_count)
+      : hist_(bin_width, bin_count) {}
+
+  void observe(double value, std::uint64_t count = 1) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hist_.add(value, count);
+  }
+
+  /// Copy of the current state.
+  util::FixedBinHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  util::FixedBinHistogram hist_;
+};
+
+/// One instrument copied out of the registry.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter/gauge value; for histograms, the total observation count.
+  double value = 0.0;
+  /// Histogram geometry + counts (trailing empty bins trimmed).
+  double bin_width = 0.0;
+  std::vector<std::uint64_t> bins;
+
+  /// Rendered "name{k=v,...}" identity, for tests and tables.
+  std::string id() const;
+};
+
+/// Registry of named instruments. Registration is mutex-guarded;
+/// instrument updates are not (see class comment).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under (name, labels), creating it
+  /// on first use. Registering the same identity with a different kind
+  /// throws std::logic_error.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  /// `bin_width`/`bin_count` apply on first registration only.
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       double bin_width = 1.0, std::size_t bin_count = 32);
+
+  /// Number of registered instruments.
+  std::size_t size() const;
+
+  /// Copies every instrument (registration order) into plain samples.
+  std::vector<MetricSample> snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry_for(std::string_view name, Labels labels, MetricKind kind,
+                   double bin_width, std::size_t bin_count);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace rootstress::obs

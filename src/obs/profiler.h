@@ -1,0 +1,83 @@
+// Phase profiling: RAII scoped timers around the engine's stages.
+//
+// Answers "where did the wall-clock go" for one run: topology build, BGP
+// convergence, fluid stepping, Atlas probing, cleaning, RSSAC accounting.
+// Phases aggregate by name across invocations (the 2880 per-step fluid
+// scopes of a 48 h run collapse into one row), nest (self time excludes
+// child phases), and track heap allocation via the process-wide
+// new/delete hook in profiler.cc.
+//
+// The profiler is per-run, driven from the engine thread, and not
+// thread-safe — wall time is observational only and never feeds back
+// into the simulation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rootstress::obs {
+
+/// Process-wide allocation counters (bytes / calls through operator new).
+/// Zero when the replacement hook was not linked in.
+std::uint64_t allocated_bytes() noexcept;
+std::uint64_t allocation_count() noexcept;
+
+/// One aggregated phase.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::int64_t total_ns = 0;  ///< wall time including child phases
+  std::int64_t self_ns = 0;   ///< wall time excluding child phases
+  std::uint64_t alloc_bytes = 0;  ///< heap allocated inside (incl. children)
+  std::uint64_t allocs = 0;
+  int depth = 0;  ///< nesting depth at first entry (for display indent)
+};
+
+class PhaseProfiler {
+ public:
+  PhaseProfiler() = default;
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// RAII frame; `profiler` may be null (the scope is then a no-op),
+  /// which lets instrumented code run without a telemetry runtime.
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, std::string_view name);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseProfiler* profiler_;
+  };
+
+  /// Aggregated stats in first-entry order.
+  std::vector<PhaseStats> stats() const;
+
+  /// Aligned text summary (one row per phase, indented by nesting).
+  std::string summary_table() const;
+
+ private:
+  friend class Scope;
+  void enter(std::string_view name);
+  void exit();
+
+  struct Frame {
+    std::size_t phase;  ///< index into phases_
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t bytes_at_entry;
+    std::uint64_t allocs_at_entry;
+    std::int64_t child_ns = 0;
+  };
+
+  std::vector<PhaseStats> phases_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace rootstress::obs

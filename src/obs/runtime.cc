@@ -1,0 +1,21 @@
+#include "obs/runtime.h"
+
+namespace rootstress::obs {
+
+const MetricSample* Snapshot::find_metric(std::string_view id) const noexcept {
+  for (const auto& sample : metrics) {
+    if (sample.id() == id) return &sample;
+  }
+  return nullptr;
+}
+
+Snapshot Runtime::snapshot(net::SimTime now) const {
+  Snapshot out;
+  out.sim_time = now;
+  out.metrics = metrics_.snapshot();
+  out.phases = profiler_.stats();
+  out.trace = trace_.stats();
+  return out;
+}
+
+}  // namespace rootstress::obs

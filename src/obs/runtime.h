@@ -1,0 +1,70 @@
+// Per-run telemetry runtime: one metrics registry + trace sink + phase
+// profiler, owned by the simulation engine and handed (as a nullable
+// pointer) to every instrumented layer. A null Runtime* disables
+// telemetry at zero cost — instrumented code guards with `if (obs)`.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "net/clock.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace rootstress::obs {
+
+/// Everything telemetry knows at the end of a run, as plain data. Carried
+/// on sim::SimulationResult and exported by core::write_telemetry().
+struct Snapshot {
+  net::SimTime sim_time{};
+  std::vector<MetricSample> metrics;
+  std::vector<PhaseStats> phases;
+  TraceStats trace;
+
+  /// First sample whose id() matches; nullptr if absent.
+  const MetricSample* find_metric(std::string_view id) const noexcept;
+  bool empty() const noexcept { return metrics.empty() && phases.empty(); }
+};
+
+class Runtime {
+ public:
+  explicit Runtime(std::size_t trace_capacity = TraceSink::capacity_from_env())
+      : trace_(trace_capacity) {}
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  TraceSink& trace() noexcept { return trace_; }
+  PhaseProfiler& profiler() noexcept { return profiler_; }
+
+  /// Convenience: emit a trace event in one call.
+  void event(TraceEventType type, net::SimTime when, char letter,
+             std::string site, std::string detail, double value = 0.0) {
+    TraceEvent e;
+    e.type = type;
+    e.sim_time = when;
+    e.letter = letter;
+    e.site = std::move(site);
+    e.detail = std::move(detail);
+    e.value = value;
+    trace_.emit(std::move(e));
+  }
+
+  /// Copies all telemetry into a Snapshot stamped `now`.
+  Snapshot snapshot(net::SimTime now) const;
+
+ private:
+  MetricsRegistry metrics_;
+  TraceSink trace_;
+  PhaseProfiler profiler_;
+};
+
+/// Null-safe event helper for instrumented layers.
+inline void emit_event(Runtime* obs, TraceEventType type, net::SimTime when,
+                       char letter, std::string site, std::string detail,
+                       double value = 0.0) {
+  if (obs != nullptr) {
+    obs->event(type, when, letter, std::move(site), std::move(detail), value);
+  }
+}
+
+}  // namespace rootstress::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/runtime.h"
 #include "resolver/cache.h"
+#include "resolver/selection.h"
 #include "util/time_series.h"
 
 namespace rootstress::resolver {
@@ -170,6 +172,18 @@ EndUserSeries simulate_end_users(const sim::SimulationResult& result,
   series.cache_hit_rate =
       total_queries > 0 ? static_cast<double>(cache_hits) / total_queries
                         : 0.0;
+
+  if (config.obs != nullptr) {
+    std::uint64_t root_queries = 0;
+    for (const std::uint64_t n : root_queries_per_bin) root_queries += n;
+    const obs::Labels labels{{"component", "enduser"},
+                             {"strategy", to_string(config.strategy)}};
+    auto& metrics = config.obs->metrics();
+    metrics.counter("enduser.client_queries", labels).add(total_queries);
+    metrics.counter("enduser.root_queries", labels).add(root_queries);
+    metrics.counter("enduser.failures", labels).add(total_failures);
+    metrics.counter("enduser.cache_hits", labels).add(cache_hits);
+  }
   return series;
 }
 

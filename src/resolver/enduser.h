@@ -14,6 +14,10 @@
 #include "resolver/selection.h"
 #include "sim/engine.h"
 
+namespace rootstress::obs {
+class Runtime;
+}  // namespace rootstress::obs
+
 namespace rootstress::resolver {
 
 /// Per-(letter, bin) service quality extracted from a simulation: the
@@ -60,6 +64,9 @@ struct EndUserConfig {
   double per_try_timeout_ms = 1500.0;
   bool enable_cache = true;
   std::uint64_t seed = 31;
+  /// Optional telemetry runtime: records aggregate enduser.* counters
+  /// (client queries, root queries, failures, cache hits). Nullable.
+  obs::Runtime* obs = nullptr;
 };
 
 /// Per-bin outcome across all simulated resolvers.

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "dns/chaos.h"
@@ -58,6 +59,10 @@ SimulationEngine::SimulationEngine(ScenarioConfig config)
   if (const std::string problem = validate(config_); !problem.empty()) {
     throw std::invalid_argument("invalid scenario: " + problem);
   }
+  if (config_.telemetry) obs_ = std::make_unique<obs::Runtime>();
+  obs::PhaseProfiler::Scope build_phase(
+      obs_ ? &obs_->profiler() : nullptr, "topology-build");
+
   anycast::RootDeployment::Config dep = config_.deployment;
   dep.seed = config_.seed;
   deployment_ = std::make_unique<anycast::RootDeployment>(dep);
@@ -110,9 +115,19 @@ SimulationEngine::SimulationEngine(ScenarioConfig config)
                        bins_for(config_.start, config_.end, config_.bin_width));
   }
   prev_failed_legit_.assign(services.size(), 0.0);
+
+  if (obs_) {
+    deployment_->attach_obs(obs_.get());
+    if (collector_) collector_->attach_obs(obs_.get());
+  }
 }
 
 SimulationResult SimulationEngine::run() {
+  obs::PhaseProfiler* const prof = obs_ ? &obs_->profiler() : nullptr;
+  // Route log lines into the trace while the run is live, so a flushed
+  // trace interleaves structured events with whatever was logged.
+  if (obs_) obs_->trace().attach_logger();
+
   SimulationResult result;
   result.start = config_.start;
   result.end = config_.end;
@@ -162,11 +177,52 @@ SimulationResult SimulationEngine::run() {
     }
   }
 
+  // Per-service instruments (cached pointers; null when telemetry is off).
+  std::vector<obs::Gauge*> g_offered(services.size(), nullptr);
+  std::vector<obs::Gauge*> g_served(services.size(), nullptr);
+  std::vector<obs::Gauge*> g_failed_legit(services.size(), nullptr);
+  std::vector<obs::Counter*> c_catchment(services.size(), nullptr);
+  std::vector<char> prefix_letter(services.size(), '?');
+  obs::Counter* c_steps = nullptr;
+  if (obs_) {
+    auto& metrics = obs_->metrics();
+    c_steps = &metrics.counter("sim.steps", {{"component", "engine"}});
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      const obs::Labels labels{
+          {"letter", std::string(1, services[s].letter)}};
+      g_offered[s] = &metrics.gauge("service.offered_queries", labels);
+      g_served[s] = &metrics.gauge("service.served_queries", labels);
+      g_failed_legit[s] =
+          &metrics.gauge("service.failed_legit_queries", labels);
+      // Catchment instruments are indexed by prefix id (what the routing
+      // observer reports), which matches service order by construction
+      // but is kept explicit here.
+      if (services[s].prefix >= 0 &&
+          services[s].prefix < static_cast<int>(prefix_letter.size())) {
+        const auto p = static_cast<std::size_t>(services[s].prefix);
+        prefix_letter[p] = services[s].letter;
+        c_catchment[p] = &metrics.counter("bgp.catchment_moves", labels);
+      }
+    }
+  }
+
   deployment_->routing().set_observer(
-      [this, &result](int prefix, const std::vector<bgp::RouteChange>& changes) {
+      [this, &result, &c_catchment,
+       &prefix_letter](int prefix, const std::vector<bgp::RouteChange>& changes) {
         result.route_changes.insert(result.route_changes.end(),
                                     changes.begin(), changes.end());
         if (collector_) collector_->observe(prefix, changes);
+        if (obs_ && prefix >= 0 &&
+            prefix < static_cast<int>(prefix_letter.size()) &&
+            !changes.empty()) {
+          const auto p = static_cast<std::size_t>(prefix);
+          if (c_catchment[p] != nullptr) c_catchment[p]->add(changes.size());
+          obs_->event(obs::TraceEventType::kCatchmentFlip,
+                      changes.front().time, prefix_letter[p],
+                      std::string(1, prefix_letter[p]),
+                      std::to_string(changes.size()) + " ASes changed site",
+                      static_cast<double>(changes.size()));
+        }
       });
 
   atlas::RecordSet raw;
@@ -187,6 +243,7 @@ SimulationResult SimulationEngine::run() {
 
   const net::SimTime step = config_.step;
   for (net::SimTime t = config_.start; t < config_.end; t = t + step) {
+    if (c_steps != nullptr) c_steps->add();
     // Maintenance flaps come back up first.
     for (std::size_t i = 0; i < pending_reannounce_.size();) {
       if (pending_reannounce_[i].when <= t) {
@@ -209,6 +266,8 @@ SimulationResult SimulationEngine::run() {
     active_event_ = config_.schedule.active(t);
     deployment_->facilities().begin_step();
 
+    {
+    obs::PhaseProfiler::Scope fluid_phase(prof, "fluid-stepping");
     // Pass 1: where does traffic land, and what does it put on shared
     // uplinks?
     current_loads_.clear();
@@ -299,22 +358,36 @@ SimulationResult SimulationEngine::run() {
       result.service_served_legit_qps[s].add(t.ms, served_legit);
       result.service_failed_legit_qps[s].add(t.ms, failed_legit);
       prev_failed_legit_[s] = failed_legit;
+      const double step_s = step.seconds();
+      if (g_offered[s] != nullptr) {
+        g_offered[s]->add(offered_total * step_s);
+        g_served[s]->add(served_total * step_s);
+        g_failed_legit[s]->add(failed_legit * step_s);
+      }
     }
+    }  // fluid-stepping
 
-    if (config_.collect_rssac) record_rssac(t, result);
+    if (config_.collect_rssac) {
+      obs::PhaseProfiler::Scope rssac_phase(prof, "rssac-accounting");
+      record_rssac(t, result);
+    }
 
     if (config_.collect_records &&
         config_.probe_window.begin < t + step &&
         t < config_.probe_window.end) {
+      obs::PhaseProfiler::Scope probe_phase(prof, "atlas-probing");
       run_probes(t, raw);
     }
 
-    if (config_.adaptive_defense) {
-      apply_adaptive_defense(t);
-    } else {
-      apply_policy_step(t, result);
+    {
+      obs::PhaseProfiler::Scope policy_phase(prof, "defense-policy");
+      if (config_.adaptive_defense) {
+        apply_adaptive_defense(t);
+      } else {
+        apply_policy_step(t, result);
+      }
+      update_h_root_backup(t);
     }
-    update_h_root_backup(t);
 
     // Background maintenance churn.
     if (rng_.chance(config_.maintenance_flap_per_step)) {
@@ -332,15 +405,33 @@ SimulationResult SimulationEngine::run() {
     }
   }
 
-  // Data cleaning (§2.4.1): firmware + hijack rules.
-  const auto keep = atlas::select_vps(vps_, raw, &result.cleaning);
-  result.records = atlas::filter_records(raw, keep, &result.cleaning);
+  {
+    // Data cleaning (§2.4.1): firmware + hijack rules.
+    obs::PhaseProfiler::Scope cleaning_phase(prof, "cleaning");
+    const auto keep = atlas::select_vps(vps_, raw, &result.cleaning);
+    result.records = atlas::filter_records(raw, keep, &result.cleaning);
+  }
 
   if (collector_) {
     for (std::size_t s = 0; s < services.size(); ++s) {
       result.collector_series.push_back(
           collector_->series(services[s].prefix));
     }
+  }
+
+  if (obs_) {
+    // Flush the trace when asked, then snapshot; the snapshot counts the
+    // flush log line too, which is fine — telemetry observes itself last.
+    if (const char* path = std::getenv("ROOTSTRESS_TRACE");
+        path != nullptr && *path != '\0') {
+      if (obs_->trace().flush_to_file(path)) {
+        RS_LOG_INFO << "trace flushed to " << path;
+      } else {
+        RS_LOG_ERROR << "could not write trace to " << path;
+      }
+    }
+    obs_->trace().detach_logger();
+    result.telemetry = obs_->snapshot(config_.end);
   }
   return result;
 }
@@ -539,7 +630,8 @@ void SimulationEngine::apply_adaptive_defense(net::SimTime now) {
       remembered = std::max(remembered, observed);
       offered.push_back(remembered);
     }
-    const auto advice = anycast::advise(capacity, offered);
+    const auto advice =
+        anycast::advise_observed(capacity, offered, obs_.get(), svc.letter);
     for (const auto& a : advice) {
       const int id = svc.site_ids[static_cast<std::size_t>(a.site_index)];
       auto& site = deployment_->site(id);
@@ -568,6 +660,10 @@ void SimulationEngine::apply_adaptive_defense(net::SimTime now) {
       }
       if (site.scope() != before) {
         adaptive_last_change_[static_cast<std::size_t>(id)] = now;
+        obs::emit_event(obs_.get(), obs::TraceEventType::kDefenseActivation,
+                        now, site.letter(), site.label(),
+                        anycast::to_string(a.action) + ": " + a.rationale,
+                        a.overload);
       }
     }
   }

@@ -17,6 +17,7 @@
 #include "attack/traffic.h"
 #include "bgp/collector.h"
 #include "net/geo.h"
+#include "obs/runtime.h"
 #include "rssac/metrics.h"
 #include "rssac/report.h"
 #include "sim/fluid.h"
@@ -75,6 +76,11 @@ struct SimulationResult {
   std::vector<rssac::Publisher> rssac_publishers;
   double resolver_pool = 0.0;
 
+  /// Final telemetry snapshot (empty when ScenarioConfig::telemetry is
+  /// off): metrics, phase profile, trace stats. core::write_telemetry()
+  /// exports it as JSON.
+  obs::Snapshot telemetry;
+
   /// Service index for a letter char; -1 if absent.
   int service_index(char letter) const noexcept;
   /// Site metadata by (letter, code); nullptr if absent.
@@ -95,6 +101,11 @@ class SimulationEngine {
     return *deployment_;
   }
 
+  /// The run's telemetry runtime; null when ScenarioConfig::telemetry is
+  /// off. Valid for the engine's lifetime (e.g. to inspect the trace or
+  /// profiler after run()).
+  obs::Runtime* telemetry_runtime() noexcept { return obs_.get(); }
+
  private:
   struct PendingReannounce {
     int site_id = -1;
@@ -111,6 +122,7 @@ class SimulationEngine {
                   net::SimTime when, atlas::RecordSet& raw);
 
   ScenarioConfig config_;
+  std::unique_ptr<obs::Runtime> obs_;
   std::unique_ptr<anycast::RootDeployment> deployment_;
   attack::Botnet botnet_;
   attack::LegitTraffic legit_;

@@ -53,6 +53,12 @@ struct ScenarioConfig {
   /// stress policies each step, withdrawing exactly the overloaded sites
   /// whose catchments the rest of the letter can absorb (core::advise).
   bool adaptive_defense = false;
+
+  /// Telemetry (obs::Runtime): metrics + trace + phase profile, carried
+  /// on SimulationResult::telemetry. Write-only with respect to the
+  /// simulation, so results are bit-identical either way; turn off for
+  /// benchmarks that want the truly minimal hot path.
+  bool telemetry = true;
 };
 
 /// The paper's two-day event scenario: events of Nov 30 and Dec 1 at

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 
 namespace rootstress::util {
 
@@ -14,6 +15,11 @@ LogLevel initial_level() noexcept {
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "none") == 0 ||
+      std::strcmp(env, "0") == 0) {
+    return LogLevel::kOff;
+  }
   return LogLevel::kOff;
 }
 
@@ -22,11 +28,23 @@ std::atomic<LogLevel>& level_storage() noexcept {
   return level;
 }
 
+/// Guards the stderr write (whole lines only) and the sink slot.
+std::mutex& log_mutex() noexcept {
+  static std::mutex mutex;
+  return mutex;
+}
+
+LogSink& sink_storage() noexcept {
+  static LogSink sink;
+  return sink;
+}
+
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
     case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
     case LogLevel::kOff: return "OFF";
   }
   return "?";
@@ -37,9 +55,25 @@ LogLevel log_level() noexcept { return level_storage().load(); }
 
 void set_log_level(LogLevel level) noexcept { level_storage().store(level); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  sink_storage() = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  // Format the whole line first so the write below is one call — lines
+  // from concurrent threads never interleave.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  if (const LogSink& sink = sink_storage(); sink) sink(level, message);
 }
 
 }  // namespace rootstress::util

@@ -1,15 +1,22 @@
 // Minimal leveled logging.
 //
-// The simulator is quiet by default; set ROOTSTRESS_LOG=debug|info|warn to
-// trace scenario progress (site withdrawals, BGP session failures, ...).
+// The simulator is quiet by default; set ROOTSTRESS_LOG=debug|info|warn|
+// error to trace scenario progress (site withdrawals, BGP session
+// failures, ...), or ROOTSTRESS_LOG=off to state the default explicitly.
+//
+// Lines are formatted fully before emission and written to stderr with a
+// single locked write, so concurrent threads never interleave. When a
+// telemetry trace sink is attached (obs::TraceSink::attach_logger), every
+// emitted line is also recorded as a structured "log" trace event.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace rootstress::util {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Current threshold; messages below it are dropped.
 LogLevel log_level() noexcept;
@@ -17,8 +24,15 @@ LogLevel log_level() noexcept;
 /// Overrides the threshold (initially taken from ROOTSTRESS_LOG).
 void set_log_level(LogLevel level) noexcept;
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// Emits one line (atomically, to stderr and any attached sink) if
+/// `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);
+
+/// Secondary destination for emitted lines (besides stderr). Used by the
+/// telemetry layer to capture logs as trace events; pass nullptr to
+/// detach. Replaces any previously attached sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 class LogStream {
@@ -42,5 +56,6 @@ class LogStream {
 #define RS_LOG_DEBUG ::rootstress::util::detail::LogStream(::rootstress::util::LogLevel::kDebug)
 #define RS_LOG_INFO ::rootstress::util::detail::LogStream(::rootstress::util::LogLevel::kInfo)
 #define RS_LOG_WARN ::rootstress::util::detail::LogStream(::rootstress::util::LogLevel::kWarn)
+#define RS_LOG_ERROR ::rootstress::util::detail::LogStream(::rootstress::util::LogLevel::kError)
 
 }  // namespace rootstress::util

@@ -1,0 +1,84 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace rootstress::obs {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-7).dump(), "-7");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue(std::int64_t{1700000000123}).dump(), "1700000000123");
+  EXPECT_EQ(JsonValue(std::uint64_t{0}).dump(), "0");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue(INFINITY).dump(), "null");
+}
+
+TEST(Json, EscapesControlAndQuote) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  std::string out;
+  json_escape(std::string_view("\x01", 1), out);
+  EXPECT_EQ(out, "\\u0001");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndReplacesInPlace) {
+  auto obj = JsonValue::object();
+  obj.set("b", 1);
+  obj.set("a", 2);
+  obj.set("b", 3);  // replaced, stays first
+  EXPECT_EQ(obj.dump(), "{\"b\":3,\"a\":2}");
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_number(), 2.0);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"name\":\"queue.loss\",\"labels\":{\"letter\":\"K\"},"
+      "\"bins\":[1,2,3],\"value\":-0.5,\"flag\":true,\"none\":null}";
+  const auto parsed = json_parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), text);
+  const JsonValue* bins = parsed->find("bins");
+  ASSERT_NE(bins, nullptr);
+  ASSERT_EQ(bins->size(), 3u);
+  EXPECT_EQ((*bins)[2].as_number(), 3.0);
+}
+
+TEST(Json, ParseWhitespaceAndEscapes) {
+  const auto parsed = json_parse("  { \"k\" : \"a\\u00e9\\n\" }  ");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->find("k"), nullptr);
+  EXPECT_EQ(parsed->find("k")->as_string(), "a\xc3\xa9\n");
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(json_parse("nul").has_value());
+}
+
+TEST(Json, ParseRejectsUnboundedDepth) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_parse(deep).has_value());
+}
+
+}  // namespace
+}  // namespace rootstress::obs

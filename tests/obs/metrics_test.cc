@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rootstress::obs {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("sim.steps");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, LabelDedupReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("bgp.route_changes", {{"letter", "K"}});
+  // Label order must not matter for identity.
+  Counter& b = registry.counter("bgp.route_changes",
+                                {{"letter", "K"}});
+  Counter& c = registry.counter(
+      "queue.saturated_steps", {{"letter", "K"}, {"site", "K-AMS"}});
+  Counter& d = registry.counter(
+      "queue.saturated_steps", {{"site", "K-AMS"}, {"letter", "K"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(&c, &d);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Metrics, DistinctLabelsAreDistinctInstruments) {
+  MetricsRegistry registry;
+  Counter& k = registry.counter("site.withdrawals", {{"letter", "K"}});
+  Counter& e = registry.counter("site.withdrawals", {{"letter", "E"}});
+  EXPECT_NE(&k, &e);
+  k.add(2);
+  EXPECT_EQ(e.value(), 0u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x"), std::logic_error);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hot.path");
+  Gauge& g = registry.gauge("hot.gauge");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, GaugeSetIsLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("service.offered_queries", {{"letter", "B"}});
+  g.set(10.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST(Metrics, HistogramObservesIntoFixedBins) {
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("queue.utilization", {{"letter", "K"}}, 0.25, 16);
+  h.observe(0.1);
+  h.observe(0.3);
+  h.observe(0.3);
+  h.observe(99.0);  // overflow clamps to last bin
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total(), 4u);
+  EXPECT_EQ(snap.bin(0), 1u);
+  EXPECT_EQ(snap.bin(1), 2u);
+  EXPECT_EQ(snap.bin(15), 1u);
+}
+
+TEST(Metrics, SnapshotIsIsolatedFromLaterUpdates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("sim.steps");
+  Histogram& h = registry.histogram("queue.loss", {}, 0.05, 21);
+  c.add(5);
+  h.observe(0.0);
+  const auto before = registry.snapshot();
+  c.add(100);
+  h.observe(0.9);
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_DOUBLE_EQ(before[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(before[1].value, 1.0);  // histogram value = total count
+  const auto after = registry.snapshot();
+  EXPECT_DOUBLE_EQ(after[0].value, 105.0);
+  EXPECT_DOUBLE_EQ(after[1].value, 2.0);
+}
+
+TEST(Metrics, SnapshotPreservesRegistrationOrderAndIds) {
+  MetricsRegistry registry;
+  registry.counter("b.second", {{"letter", "K"}, {"site", "K-AMS"}});
+  registry.gauge("a.first");
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id(), "b.second{letter=K,site=K-AMS}");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[1].id(), "a.first");
+  EXPECT_EQ(snap[1].kind, MetricKind::kGauge);
+}
+
+TEST(Metrics, SnapshotTrimsTrailingEmptyHistogramBins) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("queue.loss", {}, 0.05, 21);
+  h.observe(0.07);  // bin 1
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].bins.size(), 2u);
+  EXPECT_EQ(snap[0].bins[1], 1u);
+  EXPECT_DOUBLE_EQ(snap[0].bin_width, 0.05);
+}
+
+}  // namespace
+}  // namespace rootstress::obs

@@ -4,6 +4,8 @@
 
 #include <iostream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace rootstress::util {
 namespace {
@@ -22,7 +24,10 @@ class CerrCapture {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kOff); }
+  void TearDown() override {
+    set_log_level(LogLevel::kOff);
+    set_log_sink(nullptr);
+  }
 };
 
 TEST_F(LoggingTest, ThresholdFilters) {
@@ -53,6 +58,40 @@ TEST_F(LoggingTest, LevelRoundTrip) {
   EXPECT_EQ(log_level(), LogLevel::kDebug);
   set_log_level(LogLevel::kOff);
   EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ErrorLevelPassesWarnThresholdFilter) {
+  set_log_level(LogLevel::kError);
+  CerrCapture capture;
+  RS_LOG_WARN << "below threshold";
+  RS_LOG_ERROR << "broken";
+  EXPECT_EQ(capture.text(), "[ERROR] broken\n");
+}
+
+TEST_F(LoggingTest, SinkReceivesEmittedLines) {
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  set_log_sink([&seen](LogLevel level, const std::string& message) {
+    seen.emplace_back(level, message);
+  });
+  CerrCapture capture;
+  RS_LOG_DEBUG << "filtered";  // below threshold: neither stderr nor sink
+  RS_LOG_WARN << "to both";
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, LogLevel::kWarn);
+  EXPECT_EQ(seen[0].second, "to both");
+  EXPECT_EQ(capture.text(), "[WARN] to both\n");
+}
+
+TEST_F(LoggingTest, DetachedSinkStopsReceiving) {
+  set_log_level(LogLevel::kInfo);
+  int calls = 0;
+  set_log_sink([&calls](LogLevel, const std::string&) { ++calls; });
+  CerrCapture capture;
+  RS_LOG_INFO << "one";
+  set_log_sink(nullptr);
+  RS_LOG_INFO << "two";
+  EXPECT_EQ(calls, 1);
 }
 
 }  // namespace
