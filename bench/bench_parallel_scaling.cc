@@ -1,0 +1,147 @@
+// Parallel stepping scaling guard: runs the Nov 30 event scenario at
+// 1/2/4/8 threads, reports speedup over the serial path, and checks the
+// determinism contract (identical probe records and route changes at
+// every thread count). Writes BENCH_parallel.json (path overridable as
+// argv[1]); VP population overridable with ROOTSTRESS_VPS.
+//
+// Pass criteria are hardware-aware: speedup can only come from real
+// cores. On an N-core machine the 4-thread run must reach at least
+// 0.6 * min(4, N)x, except N == 1 where no speedup is physically
+// possible and only determinism plus the absence of pool overhead
+// (4-thread run within 25% of serial) is required. On >= 4 cores this
+// demands >= 2.4x, comfortably above the 2x target.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "sim/engine.h"
+
+using namespace rootstress;
+
+namespace {
+
+struct RunMeasurement {
+  int threads = 0;
+  double best_ms = 0.0;
+  atlas::RecordSet records;
+  std::size_t route_changes = 0;
+};
+
+sim::ScenarioConfig scenario(int threads) {
+  sim::ScenarioConfig config =
+      sim::november_2015_scenario(sim::vp_count_from_env(300));
+  config.probe_letters = {'B', 'D', 'E', 'J', 'K'};
+  config.end = net::SimTime::from_hours(12);
+  config.probe_window = net::SimInterval{net::SimTime(0), config.end};
+  config.telemetry = false;  // measure the bare hot path
+  config.threads = threads;
+  return config;
+}
+
+RunMeasurement measure(int threads, int iterations) {
+  RunMeasurement m;
+  m.threads = threads;
+  for (int i = 0; i < iterations; ++i) {
+    const auto config = scenario(threads);
+    const auto begin = std::chrono::steady_clock::now();
+    sim::SimulationEngine engine(config);
+    sim::SimulationResult result = engine.run();
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    if (i == 0 || ms < m.best_ms) m.best_ms = ms;
+    m.records = std::move(result.records);
+    m.route_changes = result.route_changes.size();
+  }
+  return m;
+}
+
+bool identical(const RunMeasurement& a, const RunMeasurement& b) {
+  return a.route_changes == b.route_changes &&
+         a.records.size() == b.records.size() &&
+         (a.records.empty() ||
+          std::memcmp(a.records.data(), b.records.data(),
+                      a.records.size() * sizeof(atlas::ProbeRecord)) == 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const int iterations = 3;
+  const int cores = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<RunMeasurement> runs;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::printf("threads=%d, best of %d...\n", threads, iterations);
+    runs.push_back(measure(threads, iterations));
+    std::printf("  %.1f ms\n", runs.back().best_ms);
+  }
+  const RunMeasurement& serial = runs.front();
+
+  bool deterministic = true;
+  for (const auto& run : runs) {
+    if (!identical(serial, run)) {
+      deterministic = false;
+      std::printf("FAIL: threads=%d diverged from serial results\n",
+                  run.threads);
+    }
+  }
+
+  double speedup_at_4 = 0.0;
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("bench", obs::JsonValue("parallel_scaling"));
+  doc.set("scenario", obs::JsonValue("november_2015"));
+  doc.set("iterations", obs::JsonValue(static_cast<double>(iterations)));
+  doc.set("cores", obs::JsonValue(static_cast<double>(cores)));
+  doc.set("probe_records",
+          obs::JsonValue(static_cast<double>(serial.records.size())));
+  obs::JsonValue threads_json = obs::JsonValue::array();
+  for (const auto& run : runs) {
+    const double speedup =
+        run.best_ms > 0.0 ? serial.best_ms / run.best_ms : 0.0;
+    if (run.threads == 4) speedup_at_4 = speedup;
+    std::printf("threads=%d: %.1f ms, speedup %.2fx\n", run.threads,
+                run.best_ms, speedup);
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("threads", obs::JsonValue(static_cast<double>(run.threads)));
+    entry.set("best_ms", obs::JsonValue(run.best_ms));
+    entry.set("speedup", obs::JsonValue(speedup));
+    threads_json.push_back(std::move(entry));
+  }
+  doc.set("runs", std::move(threads_json));
+
+  // Hardware-aware pass bar (see file comment).
+  const double required =
+      cores >= 2 ? 0.6 * static_cast<double>(std::min(4, cores)) : 0.0;
+  bool pass = deterministic;
+  if (cores >= 2) {
+    pass = pass && speedup_at_4 >= required;
+  } else {
+    // Single core: require only that the pool adds no real overhead.
+    pass = pass && speedup_at_4 >= 0.75;
+    std::printf("single-core host: speedup is physically impossible; "
+                "checking determinism and overhead only\n");
+  }
+  doc.set("speedup_at_4", obs::JsonValue(speedup_at_4));
+  doc.set("required_speedup_at_4", obs::JsonValue(required));
+  doc.set("deterministic", obs::JsonValue(deterministic));
+  doc.set("pass", obs::JsonValue(pass));
+
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::printf("wrote %s\n", out_path);
+
+  if (!pass) {
+    std::puts("FAIL");
+    return 1;
+  }
+  std::puts("PASS");
+  return 0;
+}

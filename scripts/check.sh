@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full local gate for the threading work:
+#
+#   1. Release build + the whole test suite, serial (ROOTSTRESS_THREADS=1)
+#      and parallel (ROOTSTRESS_THREADS=4) — the auto thread knob reads
+#      that variable, so this runs every engine test on both paths.
+#   2. Debug build with ThreadSanitizer, running the thread-pool unit
+#      tests and the parallel-determinism integration test under TSan.
+#
+# Usage: scripts/check.sh  (from the repo root; build trees land in
+# build/check-release and build/check-tsan).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== Release build ==="
+cmake -B build/check-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build/check-release -j
+
+echo "=== Test suite, serial (ROOTSTRESS_THREADS=1) ==="
+(cd build/check-release && ROOTSTRESS_THREADS=1 ctest --output-on-failure -j)
+
+echo "=== Test suite, parallel (ROOTSTRESS_THREADS=4) ==="
+(cd build/check-release && ROOTSTRESS_THREADS=4 ctest --output-on-failure -j)
+
+echo "=== Debug + ThreadSanitizer build ==="
+cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build/check-tsan -j --target util_test integration_test
+
+echo "=== Pool tests under TSan ==="
+(cd build/check-tsan &&
+  ./tests/util_test --gtest_filter='ThreadPool.*:ResolveThreadCount.*' &&
+  ROOTSTRESS_THREADS=4 ./tests/integration_test \
+    --gtest_filter='ParallelDeterminism.*')
+
+echo "ALL CHECKS PASSED"

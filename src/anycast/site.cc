@@ -118,6 +118,13 @@ int AnycastSite::pick_server(net::Ipv4Addr source) const noexcept {
 ProbeReply AnycastSite::probe(net::Ipv4Addr source,
                               const std::vector<std::uint8_t>& query_wire,
                               net::SimTime now, util::Rng& rng) {
+  const auto query = dns::decode(query_wire);
+  if (!query) return ProbeReply{};
+  return probe(source, *query, now, rng);
+}
+
+ProbeReply AnycastSite::probe(net::Ipv4Addr source, const dns::Message& query,
+                              net::SimTime now, util::Rng& rng) {
   ProbeReply reply;
   if (scope_ == SiteScope::kDown) return reply;
 
@@ -146,10 +153,8 @@ ProbeReply AnycastSite::probe(net::Ipv4Addr source,
 
   if (rng.chance(loss)) return reply;
 
-  auto query = dns::decode(query_wire);
-  if (!query) return reply;
   auto response = servers_[static_cast<std::size_t>(server_index)].dns().answer(
-      *query, source, now);
+      query, source, now);
   if (!response) return reply;
 
   reply.answered = true;

@@ -102,6 +102,13 @@ class AnycastSite {
                    const std::vector<std::uint8_t>& query_wire,
                    net::SimTime now, util::Rng& rng);
 
+  /// Same, with the query already decoded — the engine caches the CHAOS
+  /// query per service and skips the per-probe wire decode. Safe to call
+  /// concurrently between begin_step()s: it reads the step's queue state
+  /// and touches only atomic server counters.
+  ProbeReply probe(net::Ipv4Addr source, const dns::Message& query,
+                   net::SimTime now, util::Rng& rng);
+
   int server_count() const noexcept { return static_cast<int>(servers_.size()); }
   SiteServer& server(int index_0based) { return servers_[static_cast<std::size_t>(index_0based)]; }
 

@@ -58,6 +58,15 @@ std::vector<double> Botnet::attack_by_site(
     const std::vector<bgp::RouteChoice>& routes, double total_qps,
     int site_count, double* unrouted_qps) const {
   std::vector<double> per_site(static_cast<std::size_t>(site_count), 0.0);
+  attack_by_site_into(routes, total_qps, per_site, unrouted_qps);
+  return per_site;
+}
+
+void Botnet::attack_by_site_into(const std::vector<bgp::RouteChoice>& routes,
+                                 double total_qps, std::span<double> per_site,
+                                 double* unrouted_qps) const {
+  std::fill(per_site.begin(), per_site.end(), 0.0);
+  const int site_count = static_cast<int>(per_site.size());
   double unrouted = 0.0;
   for (const auto& group : groups_) {
     const double qps = group.share * total_qps;
@@ -74,7 +83,6 @@ std::vector<double> Botnet::attack_by_site(
     }
   }
   if (unrouted_qps != nullptr) *unrouted_qps = unrouted;
-  return per_site;
 }
 
 }  // namespace rootstress::attack

@@ -10,6 +10,7 @@
 // from a small heavy-hitter set.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "bgp/route.h"
@@ -57,6 +58,13 @@ class Botnet {
   std::vector<double> attack_by_site(const std::vector<bgp::RouteChoice>& routes,
                                      double total_qps, int site_count,
                                      double* unrouted_qps = nullptr) const;
+
+  /// Allocation-free variant: zero-fills `per_site` (sized to the site
+  /// count) and accumulates into it. The engine's fluid stepping calls
+  /// this every step with preallocated buffers.
+  void attack_by_site_into(const std::vector<bgp::RouteChoice>& routes,
+                           double total_qps, std::span<double> per_site,
+                           double* unrouted_qps = nullptr) const;
 
  private:
   BotnetConfig config_;

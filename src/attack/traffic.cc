@@ -1,5 +1,7 @@
 #include "attack/traffic.h"
 
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace rootstress::attack {
@@ -28,6 +30,15 @@ std::vector<double> LegitTraffic::legit_by_site(
     const std::vector<bgp::RouteChoice>& routes, double letter_qps,
     int site_count, double* unrouted_qps) const {
   std::vector<double> per_site(static_cast<std::size_t>(site_count), 0.0);
+  legit_by_site_into(routes, letter_qps, per_site, unrouted_qps);
+  return per_site;
+}
+
+void LegitTraffic::legit_by_site_into(
+    const std::vector<bgp::RouteChoice>& routes, double letter_qps,
+    std::span<double> per_site, double* unrouted_qps) const {
+  std::fill(per_site.begin(), per_site.end(), 0.0);
+  const int site_count = static_cast<int>(per_site.size());
   double unrouted = 0.0;
   for (std::size_t as = 0; as < routes.size() && as < weights_.size(); ++as) {
     const double qps = weights_[as] * letter_qps;
@@ -40,7 +51,6 @@ std::vector<double> LegitTraffic::legit_by_site(
     }
   }
   if (unrouted_qps != nullptr) *unrouted_qps = unrouted;
-  return per_site;
 }
 
 }  // namespace rootstress::attack

@@ -8,6 +8,7 @@
 // queries retry against another letter after a timeout.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "bgp/route.h"
@@ -45,6 +46,12 @@ class LegitTraffic {
   std::vector<double> legit_by_site(const std::vector<bgp::RouteChoice>& routes,
                                     double letter_qps, int site_count,
                                     double* unrouted_qps = nullptr) const;
+
+  /// Allocation-free variant: zero-fills `per_site` (sized to the site
+  /// count) and accumulates into it.
+  void legit_by_site_into(const std::vector<bgp::RouteChoice>& routes,
+                          double letter_qps, std::span<double> per_site,
+                          double* unrouted_qps = nullptr) const;
 
  private:
   LegitConfig config_;

@@ -6,6 +6,7 @@
 // anycast module; this class is pure protocol behaviour.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -17,14 +18,37 @@
 
 namespace rootstress::dns {
 
-/// Per-server protocol statistics.
+/// Per-server protocol statistics. Counters are relaxed atomics: the
+/// engine's parallel Atlas probing delivers CHAOS queries to the same
+/// server from several threads at once, and the CHAOS path touches
+/// nothing but these counters.
 struct ServerStats {
-  std::uint64_t queries = 0;
-  std::uint64_t responses = 0;
-  std::uint64_t chaos_queries = 0;
-  std::uint64_t rrl_dropped = 0;
-  std::uint64_t rrl_slipped = 0;
-  std::uint64_t refused = 0;
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> chaos_queries{0};
+  std::atomic<std::uint64_t> rrl_dropped{0};
+  std::atomic<std::uint64_t> rrl_slipped{0};
+  std::atomic<std::uint64_t> refused{0};
+
+  // Atomics delete the implicit copy/move; value-copy semantics keep
+  // RootServer storable in vectors (copies happen only at setup time).
+  ServerStats() = default;
+  ServerStats(const ServerStats& other) noexcept { *this = other; }
+  ServerStats& operator=(const ServerStats& other) noexcept {
+    queries.store(other.queries.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    responses.store(other.responses.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    chaos_queries.store(other.chaos_queries.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    rrl_dropped.store(other.rrl_dropped.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    rrl_slipped.store(other.rrl_slipped.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    refused.store(other.refused.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// A single root DNS server instance.

@@ -8,6 +8,7 @@
 #include "dns/rrl.h"
 #include "dns/wire.h"
 #include "anycast/defense.h"
+#include "sim/probe_rng.h"
 #include "util/logging.h"
 
 namespace rootstress::sim {
@@ -15,13 +16,6 @@ namespace rootstress::sim {
 namespace {
 
 constexpr int kHeavyHitters = 200;
-
-std::string identity_key(char letter, std::string_view code) {
-  std::string key(1, letter);
-  key += '-';
-  key += code;
-  return key;
-}
 
 std::size_t bins_for(net::SimTime start, net::SimTime end,
                      net::SimTime width) {
@@ -31,7 +25,41 @@ std::size_t bins_for(net::SimTime start, net::SimTime end,
 
 }  // namespace
 
+std::uint64_t SimulationResult::pack_site_key(char letter,
+                                              std::string_view code) noexcept {
+  if (code.size() > 7) return 0;
+  std::uint64_t key = static_cast<unsigned char>(letter);
+  for (const char c : code) {
+    key = (key << 8) | static_cast<unsigned char>(c);
+  }
+  return key;
+}
+
+void SimulationResult::build_lookup_tables() {
+  service_lookup_.assign(256, -1);
+  for (std::size_t i = 0; i < letter_chars.size(); ++i) {
+    service_lookup_[static_cast<unsigned char>(letter_chars[i])] =
+        static_cast<int>(i);
+  }
+  site_lookup_.clear();
+  site_lookup_.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const std::uint64_t key = pack_site_key(sites[i].letter, sites[i].code);
+    if (key == 0) {
+      // A code too long to pack (never true for deployment sites): keep
+      // every lookup on the linear fallback rather than miss entries.
+      service_lookup_.clear();
+      site_lookup_.clear();
+      return;
+    }
+    site_lookup_.emplace(key, i);
+  }
+}
+
 int SimulationResult::service_index(char letter) const noexcept {
+  if (!service_lookup_.empty()) {
+    return service_lookup_[static_cast<unsigned char>(letter)];
+  }
   for (std::size_t i = 0; i < letter_chars.size(); ++i) {
     if (letter_chars[i] == letter) return static_cast<int>(i);
   }
@@ -40,6 +68,11 @@ int SimulationResult::service_index(char letter) const noexcept {
 
 const SiteMeta* SimulationResult::find_site(
     char letter, std::string_view code) const noexcept {
+  if (!site_lookup_.empty()) {
+    const std::uint64_t key = pack_site_key(letter, code);
+    const auto it = site_lookup_.find(key);
+    return it == site_lookup_.end() ? nullptr : &sites[it->second];
+  }
   for (const auto& site : sites) {
     if (site.letter == letter && site.code == code) return &site;
   }
@@ -59,6 +92,8 @@ SimulationEngine::SimulationEngine(ScenarioConfig config)
   if (const std::string problem = validate(config_); !problem.empty()) {
     throw std::invalid_argument("invalid scenario: " + problem);
   }
+  threads_ = util::resolve_thread_count(config_.threads);
+  pool_ = std::make_unique<util::ThreadPool>(threads_);
   if (config_.telemetry) obs_ = std::make_unique<obs::Runtime>();
   obs::PhaseProfiler::Scope build_phase(
       obs_ ? &obs_->profiler() : nullptr, "topology-build");
@@ -101,9 +136,27 @@ SimulationEngine::SimulationEngine(ScenarioConfig config)
     }
   }
 
+  // Intern every deployed server's CHAOS identity once: replies map back
+  // to (site, server) with one hash lookup, no per-probe parsing.
   for (int id = 0; id < deployment_->site_count(); ++id) {
-    const auto& site = deployment_->site(id);
-    site_by_identity_[identity_key(site.letter(), site.code())] = id;
+    auto& site = deployment_->site(id);
+    for (int srv = 0; srv < site.server_count(); ++srv) {
+      site_by_identity_.emplace(
+          site.server(srv).dns().identity(),
+          (static_cast<std::uint32_t>(id) << 8) |
+              static_cast<std::uint32_t>(site.server(srv).index() & 0xff));
+    }
+  }
+
+  // Cache the CHAOS query per service: encoded to wire and decoded back
+  // exactly once, instead of per probe. The fixed per-service message id
+  // is echoed in replies but consumed by nothing.
+  chaos_query_.reserve(services.size());
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto wire = dns::encode(dns::make_chaos_query(
+        static_cast<std::uint16_t>(0x5250u + s)));
+    auto decoded = dns::decode(wire);
+    chaos_query_.push_back(std::move(*decoded));
   }
 
   if (config_.enable_collector) {
@@ -170,10 +223,39 @@ SimulationResult SimulationEngine::run() {
                                            config_.bin_width.ms, bins);
   }
   result.vps = vps_;
+  result.build_lookup_tables();
   for (const auto& cfg : deployment_->letters()) {
     if (cfg.rssac_reporting) {
       result.rssac_publishers.push_back(rssac::Publisher{
           cfg.letter, result.service_index(cfg.letter)});
+    }
+  }
+
+  // Preallocate the per-step buffers the parallel phases write into;
+  // every step reuses them in place (no per-step allocation).
+  const auto site_count = static_cast<std::size_t>(deployment_->site_count());
+  current_loads_.resize(services.size());
+  for (auto& load : current_loads_) {
+    load.attack_qps.assign(site_count, 0.0);
+    load.legit_qps.assign(site_count, 0.0);
+  }
+  facility_contrib_.resize(services.size());
+  probe_shards_.clear();
+  if (config_.collect_records && !vps_.empty()) {
+    // Service-major, VP-ascending: concatenating shard outputs in this
+    // order reproduces the serial record stream exactly.
+    const std::size_t shard_count = std::min(
+        vps_.size(),
+        threads_ > 1 ? static_cast<std::size_t>(threads_) * 4 : std::size_t{1});
+    for (const int s : probed_services_) {
+      for (std::size_t shard = 0; shard < shard_count; ++shard) {
+        ProbeShard task;
+        task.service = s;
+        task.vp_begin = vps_.size() * shard / shard_count;
+        task.vp_end = vps_.size() * (shard + 1) / shard_count;
+        if (task.vp_begin == task.vp_end) continue;
+        probe_shards_.push_back(std::move(task));
+      }
     }
   }
 
@@ -187,6 +269,8 @@ SimulationResult SimulationEngine::run() {
   if (obs_) {
     auto& metrics = obs_->metrics();
     c_steps = &metrics.counter("sim.steps", {{"component", "engine"}});
+    metrics.gauge("parallel.workers", {{"component", "engine"}})
+        .set(static_cast<double>(threads_));
     for (std::size_t s = 0; s < services.size(); ++s) {
       const obs::Labels labels{
           {"letter", std::string(1, services[s].letter)}};
@@ -244,10 +328,14 @@ SimulationResult SimulationEngine::run() {
   const net::SimTime step = config_.step;
   for (net::SimTime t = config_.start; t < config_.end; t = t + step) {
     if (c_steps != nullptr) c_steps->add();
-    // Maintenance flaps come back up first.
-    for (std::size_t i = 0; i < pending_reannounce_.size();) {
-      if (pending_reannounce_[i].when <= t) {
-        const int id = pending_reannounce_[i].site_id;
+    // Maintenance flaps come back up first. Due entries are applied in
+    // insertion order (same as the old erase-in-loop scan) and swept out
+    // with one stable O(n) pass instead of an O(n^2) vector::erase per
+    // due entry.
+    if (!pending_reannounce_.empty()) {
+      for (const PendingReannounce& pending : pending_reannounce_) {
+        if (pending.when > t) continue;
+        const int id = pending.site_id;
         auto& site = deployment_->site(id);
         if (!site.policy_state().withdrawn()) {
           deployment_->apply_scope(id,
@@ -256,116 +344,18 @@ SimulationResult SimulationEngine::run() {
                                        : anycast::SiteScope::kLocalOnly,
                                    t);
         }
-        pending_reannounce_.erase(pending_reannounce_.begin() +
-                                  static_cast<long>(i));
-      } else {
-        ++i;
       }
+      std::erase_if(pending_reannounce_,
+                    [t](const PendingReannounce& p) { return p.when <= t; });
     }
 
     active_event_ = config_.schedule.active(t);
     deployment_->facilities().begin_step();
 
     {
-    obs::PhaseProfiler::Scope fluid_phase(prof, "fluid-stepping");
-    // Pass 1: where does traffic land, and what does it put on shared
-    // uplinks?
-    current_loads_.clear();
-    current_loads_.reserve(services.size());
-    for (std::size_t s = 0; s < services.size(); ++s) {
-      const auto& svc = services[s];
-      const bool attacked =
-          active_event_ != nullptr && svc.letter_index >= 0 &&
-          deployment_->letters()[static_cast<std::size_t>(svc.letter_index)]
-              .attacked;
-      double attack_qps = attacked ? active_event_->per_letter_qps : 0.0;
-      if (!attacked && active_event_ != nullptr && svc.letter_index >= 0) {
-        // Spillover: spared letters still see a sliver of the (spoofed)
-        // attack stream.
-        attack_qps = active_event_->per_letter_qps *
-                     active_event_->spillover_fraction;
-      }
-      // Retries from other letters' failures last step (resolver
-      // failover; .nl neither receives nor generates root retries).
-      double retry_in = 0.0;
-      if (svc.letter != 'N') {
-        for (std::size_t o = 0; o < services.size(); ++o) {
-          if (o == s || services[o].letter == 'N') continue;
-          retry_in += prev_failed_legit_[o] * config_.legit.retry_fraction /
-                      12.0;
-        }
-      }
-      const double legit_qps = config_.legit.per_letter_qps + retry_in;
-      current_loads_.push_back(compute_service_load(
-          *deployment_, svc, botnet_, legit_, attack_qps, legit_qps));
-
-      const double q_payload = active_event_ != nullptr && attacked
-                                   ? active_event_->query_payload_bytes
-                                   : config_.legit.query_payload_bytes;
-      const double r_payload = active_event_ != nullptr && attacked
-                                   ? active_event_->response_payload_bytes
-                                   : config_.legit.response_payload_bytes;
-      const double suppression =
-          attacked ? dns::expected_suppression(
-                         active_event_->duplicate_fraction)
-                   : 0.0;
-      for (int id : svc.site_ids) {
-        const auto& load = current_loads_.back();
-        const double offered =
-            load.attack_qps[static_cast<std::size_t>(id)] +
-            load.legit_qps[static_cast<std::size_t>(id)];
-        const auto& site = deployment_->site(id);
-        if (offered > 0.0 && site.facility() >= 0) {
-          deployment_->facilities().add_load(
-              site.facility(), site_uplink_gbps(site, offered, q_payload,
-                                                r_payload, suppression));
-        }
-      }
+      obs::PhaseProfiler::Scope fluid_phase(prof, "fluid-stepping");
+      run_fluid_step(t, result, g_offered, g_served, g_failed_legit);
     }
-
-    // Pass 2: evaluate every site's queue with its facility's shared
-    // loss, and record the fluid series.
-    for (std::size_t s = 0; s < services.size(); ++s) {
-      const auto& svc = services[s];
-      const auto& load = current_loads_[s];
-      double offered_total = load.unrouted_attack + load.unrouted_legit;
-      double served_total = 0.0;
-      double served_legit = 0.0;
-      double failed_legit = load.unrouted_legit;
-      for (int id : svc.site_ids) {
-        auto& site = deployment_->site(id);
-        const double attack = load.attack_qps[static_cast<std::size_t>(id)];
-        const double lq = load.legit_qps[static_cast<std::size_t>(id)];
-        const double shared = site.facility() >= 0
-                                  ? deployment_->facilities().shared_loss(
-                                        site.facility())
-                                  : 0.0;
-        site.begin_step(attack, lq, shared, t);
-        const double offered = attack + lq;
-        const double served = offered * (1.0 - site.arrival_loss());
-        offered_total += offered;
-        served_total += served;
-        served_legit += lq * (1.0 - site.arrival_loss());
-        failed_legit += lq * site.arrival_loss();
-        result.site_served_qps[static_cast<std::size_t>(id)].add(t.ms, served);
-        result.site_offered_attack_qps[static_cast<std::size_t>(id)].add(
-            t.ms, attack);
-        result.site_loss_fraction[static_cast<std::size_t>(id)].add(
-            t.ms, site.arrival_loss());
-      }
-      result.service_offered_qps[s].add(t.ms, offered_total);
-      result.service_served_qps[s].add(t.ms, served_total);
-      result.service_served_legit_qps[s].add(t.ms, served_legit);
-      result.service_failed_legit_qps[s].add(t.ms, failed_legit);
-      prev_failed_legit_[s] = failed_legit;
-      const double step_s = step.seconds();
-      if (g_offered[s] != nullptr) {
-        g_offered[s]->add(offered_total * step_s);
-        g_served[s]->add(served_total * step_s);
-        g_failed_legit[s]->add(failed_legit * step_s);
-      }
-    }
-    }  // fluid-stepping
 
     if (config_.collect_rssac) {
       obs::PhaseProfiler::Scope rssac_phase(prof, "rssac-accounting");
@@ -420,6 +410,13 @@ SimulationResult SimulationEngine::run() {
   }
 
   if (obs_) {
+    // Pool lifetime counters: one engine runs once, so the totals are
+    // this run's totals.
+    auto& metrics = obs_->metrics();
+    metrics.counter("parallel.tasks", {{"component", "engine"}})
+        .add(pool_->tasks_executed());
+    metrics.counter("parallel.dispatches", {{"component", "engine"}})
+        .add(pool_->dispatches());
     // Flush the trace when asked, then snapshot; the snapshot counts the
     // flush log line too, which is fine — telemetry observes itself last.
     if (const char* path = std::getenv("ROOTSTRESS_TRACE");
@@ -434,6 +431,124 @@ SimulationResult SimulationEngine::run() {
     result.telemetry = obs_->snapshot(config_.end);
   }
   return result;
+}
+
+void SimulationEngine::run_fluid_step(
+    net::SimTime t, SimulationResult& result,
+    const std::vector<obs::Gauge*>& g_offered,
+    const std::vector<obs::Gauge*>& g_served,
+    const std::vector<obs::Gauge*>& g_failed_legit) {
+  const auto& services = deployment_->services();
+  // Pass 1 (parallel over services): where does each service's traffic
+  // land, and what does it put on shared uplinks? Each lane writes only
+  // its own ServiceLoad buffer and facility-contribution list; nothing
+  // here reads another service's output.
+  pool_->parallel_for(services.size(), [&](std::size_t s) {
+    const auto& svc = services[s];
+    const bool attacked =
+        active_event_ != nullptr && svc.letter_index >= 0 &&
+        deployment_->letters()[static_cast<std::size_t>(svc.letter_index)]
+            .attacked;
+    double attack_qps = attacked ? active_event_->per_letter_qps : 0.0;
+    if (!attacked && active_event_ != nullptr && svc.letter_index >= 0) {
+      // Spillover: spared letters still see a sliver of the (spoofed)
+      // attack stream.
+      attack_qps = active_event_->per_letter_qps *
+                   active_event_->spillover_fraction;
+    }
+    // Retries from other letters' failures last step (resolver
+    // failover; .nl neither receives nor generates root retries).
+    double retry_in = 0.0;
+    if (svc.letter != 'N') {
+      for (std::size_t o = 0; o < services.size(); ++o) {
+        if (o == s || services[o].letter == 'N') continue;
+        retry_in += prev_failed_legit_[o] * config_.legit.retry_fraction /
+                    12.0;
+      }
+    }
+    const double legit_qps = config_.legit.per_letter_qps + retry_in;
+    compute_service_load_into(*deployment_, svc, botnet_, legit_, attack_qps,
+                              legit_qps, current_loads_[s]);
+
+    const double q_payload = active_event_ != nullptr && attacked
+                                 ? active_event_->query_payload_bytes
+                                 : config_.legit.query_payload_bytes;
+    const double r_payload = active_event_ != nullptr && attacked
+                                 ? active_event_->response_payload_bytes
+                                 : config_.legit.response_payload_bytes;
+    const double suppression =
+        attacked
+            ? dns::expected_suppression(active_event_->duplicate_fraction)
+            : 0.0;
+    const auto& load = current_loads_[s];
+    auto& contrib = facility_contrib_[s];
+    contrib.clear();
+    for (int id : svc.site_ids) {
+      const double offered =
+          load.attack_qps[static_cast<std::size_t>(id)] +
+          load.legit_qps[static_cast<std::size_t>(id)];
+      const auto& site = deployment_->site(id);
+      if (offered > 0.0 && site.facility() >= 0) {
+        contrib.emplace_back(
+            site.facility(), site_uplink_gbps(site, offered, q_payload,
+                                              r_payload, suppression));
+      }
+    }
+  });
+
+  // Merge facility loads sequentially in (service, site) order: the
+  // floating-point accumulation order is fixed, so uplink sums are
+  // bit-identical for any thread count.
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    for (const auto& [facility, gbps] : facility_contrib_[s]) {
+      deployment_->facilities().add_load(facility, gbps);
+    }
+  }
+
+  // Pass 2 (parallel over services): evaluate every site's queue with
+  // its facility's shared loss, and record the fluid series. Sites
+  // belong to exactly one service, so site state, per-site series, and
+  // per-service series/gauges are all lane-private.
+  const double step_s = config_.step.seconds();
+  pool_->parallel_for(services.size(), [&](std::size_t s) {
+    const auto& svc = services[s];
+    const auto& load = current_loads_[s];
+    double offered_total = load.unrouted_attack + load.unrouted_legit;
+    double served_total = 0.0;
+    double served_legit = 0.0;
+    double failed_legit = load.unrouted_legit;
+    for (int id : svc.site_ids) {
+      auto& site = deployment_->site(id);
+      const double attack = load.attack_qps[static_cast<std::size_t>(id)];
+      const double lq = load.legit_qps[static_cast<std::size_t>(id)];
+      const double shared = site.facility() >= 0
+                                ? deployment_->facilities().shared_loss(
+                                      site.facility())
+                                : 0.0;
+      site.begin_step(attack, lq, shared, t);
+      const double offered = attack + lq;
+      const double served = offered * (1.0 - site.arrival_loss());
+      offered_total += offered;
+      served_total += served;
+      served_legit += lq * (1.0 - site.arrival_loss());
+      failed_legit += lq * site.arrival_loss();
+      result.site_served_qps[static_cast<std::size_t>(id)].add(t.ms, served);
+      result.site_offered_attack_qps[static_cast<std::size_t>(id)].add(
+          t.ms, attack);
+      result.site_loss_fraction[static_cast<std::size_t>(id)].add(
+          t.ms, site.arrival_loss());
+    }
+    result.service_offered_qps[s].add(t.ms, offered_total);
+    result.service_served_qps[s].add(t.ms, served_total);
+    result.service_served_legit_qps[s].add(t.ms, served_legit);
+    result.service_failed_legit_qps[s].add(t.ms, failed_legit);
+    prev_failed_legit_[s] = failed_legit;
+    if (g_offered[s] != nullptr) {
+      g_offered[s]->add(offered_total * step_s);
+      g_served[s]->add(served_total * step_s);
+      g_failed_legit[s]->add(failed_legit * step_s);
+    }
+  });
 }
 
 void SimulationEngine::record_rssac(net::SimTime now,
@@ -492,11 +607,16 @@ void SimulationEngine::record_rssac(net::SimTime now,
 void SimulationEngine::run_probes(net::SimTime step_begin,
                                   atlas::RecordSet& raw) {
   const net::SimTime step_end = step_begin + config_.step;
-  for (int s : probed_services_) {
+  pool_->parallel_for(probe_shards_.size(), [&](std::size_t i) {
+    ProbeShard& shard = probe_shards_[i];
+    shard.records.clear();
+    const int s = shard.service;
     const auto& svc = deployment_->services()[static_cast<std::size_t>(s)];
     const auto& routes = deployment_->routing().routes(svc.prefix);
-    const std::int64_t interval = probe_interval_ms_[static_cast<std::size_t>(s)];
-    for (const auto& vp : vps_) {
+    const std::int64_t interval =
+        probe_interval_ms_[static_cast<std::size_t>(s)];
+    for (std::size_t v = shard.vp_begin; v < shard.vp_end; ++v) {
+      const auto& vp = vps_[v];
       // Per-(VP, letter) phase spread across the whole probing interval,
       // so infrequently probed letters (A at 30 min) still cover every
       // analysis bin with a subset of VPs.
@@ -511,18 +631,26 @@ void SimulationEngine::run_probes(net::SimTime step_begin,
       for (; tp < step_end.ms; tp += interval) {
         const net::SimTime when(tp);
         if (!config_.probe_window.contains(when)) continue;
-        probe_once(vp, s, routes, when, raw);
+        probe_once(vp, s, routes, when, shard.records);
       }
     }
+  });
+  // Deterministic merge: shards are ordered service-major with ascending
+  // VP ranges and each appends in (VP, time) order, so concatenation
+  // reproduces the serial (service, VP, time) record stream exactly.
+  for (const ProbeShard& shard : probe_shards_) {
+    raw.insert(raw.end(), shard.records.begin(), shard.records.end());
   }
 }
 
 void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
                                   int service_index,
                                   const std::vector<bgp::RouteChoice>& routes,
-                                  net::SimTime when, atlas::RecordSet& raw) {
-  const auto& svc =
-      deployment_->services()[static_cast<std::size_t>(service_index)];
+                                  net::SimTime when, atlas::RecordSet& out) {
+  // Every random draw for this probe comes from its own stream keyed on
+  // (seed, service, VP, time): probe outcomes are a pure function of the
+  // schedule, independent of thread count and execution order.
+  util::Rng rng = probe_rng(config_.seed, service_index, vp.id, when);
   atlas::ProbeRecord rec;
   rec.vp = static_cast<std::uint32_t>(vp.id);
   rec.t_s = static_cast<std::uint32_t>(when.ms / 1000);
@@ -533,31 +661,30 @@ void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
   if (vp.hijacked) {
     // A middlebox answers locally: wrong pattern, implausibly fast.
     rec.outcome = atlas::ProbeOutcome::kError;
-    rec.rtt_ms = static_cast<std::uint16_t>(2 + rng_.below(4));
-    raw.push_back(rec);
+    rec.rtt_ms = static_cast<std::uint16_t>(2 + rng.below(4));
+    out.push_back(rec);
     return;
   }
 
   const auto& route = routes[static_cast<std::size_t>(vp.as_index)];
   if (!route.reachable()) {
-    raw.push_back(rec);  // no route: query never arrives
+    out.push_back(rec);  // no route: query never arrives
     return;
   }
   auto& site = deployment_->site(route.site_id);
 
-  const std::uint16_t id = static_cast<std::uint16_t>(
-      (static_cast<std::uint64_t>(vp.id) * 31 + rec.t_s) & 0xffff);
-  const auto query_wire = dns::encode(dns::make_chaos_query(id));
-  const auto reply = site.probe(vp.address, query_wire, when, rng_);
+  const auto reply = site.probe(
+      vp.address, chaos_query_[static_cast<std::size_t>(service_index)], when,
+      rng);
   if (!reply.answered) {
-    raw.push_back(rec);
+    out.push_back(rec);
     return;
   }
   const double base =
-      net::base_rtt_ms(vp.location, site.location()) * rng_.uniform(0.95, 1.1);
+      net::base_rtt_ms(vp.location, site.location()) * rng.uniform(0.95, 1.1);
   const double rtt = base + reply.extra_delay_ms;
   if (rtt >= atlas::kTimeoutMs) {
-    raw.push_back(rec);  // reply arrived after the Atlas timeout
+    out.push_back(rec);  // reply arrived after the Atlas timeout
     return;
   }
   rec.rtt_ms = static_cast<std::uint16_t>(
@@ -566,29 +693,27 @@ void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
   const auto response = dns::decode(reply.wire);
   if (!response || response->answers.empty()) {
     rec.outcome = atlas::ProbeOutcome::kError;
-    raw.push_back(rec);
+    out.push_back(rec);
     return;
   }
   rec.rcode = static_cast<std::uint8_t>(response->header.rcode);
   const auto txt = response->answers.front().txt_value();
-  const auto identity =
-      txt ? dns::parse_identity(svc.letter, *txt) : std::nullopt;
-  if (!identity) {
-    rec.outcome = atlas::ProbeOutcome::kError;
-    raw.push_back(rec);
-    return;
-  }
+  // The interned table maps the full CHAOS identity text straight to its
+  // (site, server): one hash lookup, no key string, no format re-parse.
+  // Unknown text (an identity no deployed server owns) stays an error,
+  // exactly as the old parse-then-lookup chain classified it.
   const auto it =
-      site_by_identity_.find(identity_key(identity->letter, identity->site));
+      txt ? site_by_identity_.find(std::string_view(*txt))
+          : site_by_identity_.end();
   if (it == site_by_identity_.end()) {
     rec.outcome = atlas::ProbeOutcome::kError;
-    raw.push_back(rec);
+    out.push_back(rec);
     return;
   }
   rec.outcome = atlas::ProbeOutcome::kSite;
-  rec.site_id = static_cast<std::int16_t>(it->second);
-  rec.server = static_cast<std::uint8_t>(identity->server);
-  raw.push_back(rec);
+  rec.site_id = static_cast<std::int16_t>(it->second >> 8);
+  rec.server = static_cast<std::uint8_t>(it->second & 0xff);
+  out.push_back(rec);
 }
 
 void SimulationEngine::apply_adaptive_defense(net::SimTime now) {

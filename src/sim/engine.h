@@ -4,9 +4,12 @@
 // consume.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "anycast/deployment.h"
@@ -16,12 +19,14 @@
 #include "attack/botnet.h"
 #include "attack/traffic.h"
 #include "bgp/collector.h"
+#include "dns/message.h"
 #include "net/geo.h"
 #include "obs/runtime.h"
 #include "rssac/metrics.h"
 #include "rssac/report.h"
 #include "sim/fluid.h"
 #include "sim/scenario.h"
+#include "util/parallel.h"
 #include "util/time_series.h"
 
 namespace rootstress::sim {
@@ -81,12 +86,30 @@ struct SimulationResult {
   /// exports it as JSON.
   obs::Snapshot telemetry;
 
-  /// Service index for a letter char; -1 if absent.
+  /// Service index for a letter char; -1 if absent. O(1) once run() has
+  /// built the lookup tables; linear fallback on hand-built results.
   int service_index(char letter) const noexcept;
-  /// Site metadata by (letter, code); nullptr if absent.
+  /// Site metadata by (letter, code); nullptr if absent. O(1) once run()
+  /// has built the lookup tables (analyses call this per record).
   const SiteMeta* find_site(char letter, std::string_view code) const noexcept;
   /// All site ids of one letter.
   std::vector<int> sites_of(char letter) const;
+
+  /// (Re)builds the constant-time lookup tables behind service_index and
+  /// find_site from letter_chars/sites. run() calls this once metadata
+  /// is final; call it again after mutating either by hand.
+  void build_lookup_tables();
+
+ private:
+  /// Packs (letter, code) into one key; 0 when the code is too long to
+  /// pack (no deployment site is — codes are 3-letter airport codes).
+  static std::uint64_t pack_site_key(char letter,
+                                     std::string_view code) noexcept;
+
+  /// letter -> service index (256 entries, -1 absent); empty until built.
+  std::vector<int> service_lookup_;
+  /// packed (letter, code) -> index into `sites`; empty until built.
+  std::unordered_map<std::uint64_t, std::size_t> site_lookup_;
 };
 
 /// Runs one scenario.
@@ -106,22 +129,50 @@ class SimulationEngine {
   /// profiler after run()).
   obs::Runtime* telemetry_runtime() noexcept { return obs_.get(); }
 
+  /// Worker lanes the run resolved to (config threads / env / hardware).
+  int thread_count() const noexcept { return threads_; }
+
  private:
   struct PendingReannounce {
     int site_id = -1;
     net::SimTime when{};
   };
 
+  /// One unit of parallel probing: one service over one VP range, with
+  /// its own output records (merged in task order after the barrier, so
+  /// the record stream is identical to the serial service->VP->time
+  /// iteration for any thread count).
+  struct ProbeShard {
+    int service = -1;
+    std::size_t vp_begin = 0;
+    std::size_t vp_end = 0;
+    atlas::RecordSet records;  ///< reused across steps (capacity kept)
+  };
+
+  /// Heterogeneous string hash so CHAOS identity lookups take a
+  /// string_view and never build a temporary std::string.
+  struct IdentityHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   void apply_policy_step(net::SimTime now, SimulationResult& result);
   void apply_adaptive_defense(net::SimTime now);
   void update_h_root_backup(net::SimTime now);
+  void run_fluid_step(net::SimTime t, SimulationResult& result,
+                      const std::vector<obs::Gauge*>& g_offered,
+                      const std::vector<obs::Gauge*>& g_served,
+                      const std::vector<obs::Gauge*>& g_failed_legit);
   void run_probes(net::SimTime step_begin, atlas::RecordSet& raw);
   void record_rssac(net::SimTime now, SimulationResult& result);
   void probe_once(const atlas::VantagePoint& vp, int service_index,
                   const std::vector<bgp::RouteChoice>& routes,
-                  net::SimTime when, atlas::RecordSet& raw);
+                  net::SimTime when, atlas::RecordSet& out);
 
   ScenarioConfig config_;
+  int threads_ = 1;
   std::unique_ptr<obs::Runtime> obs_;
   std::unique_ptr<anycast::RootDeployment> deployment_;
   attack::Botnet botnet_;
@@ -129,6 +180,10 @@ class SimulationEngine {
   std::vector<atlas::VantagePoint> vps_;
   std::optional<bgp::RouteCollector> collector_;
   util::Rng rng_;
+  /// Fixed-worker pool for the per-step parallel phases. Always present;
+  /// with threads_ == 1 it spawns no workers and parallel_for runs
+  /// inline (the exact legacy path).
+  std::unique_ptr<util::ThreadPool> pool_;
 
   // Per-letter legit failures from the previous step (drives retries /
   // letter flips).
@@ -136,10 +191,27 @@ class SimulationEngine {
   std::vector<PendingReannounce> pending_reannounce_;
   std::vector<int> probed_services_;           ///< service indices probed
   std::vector<std::int64_t> probe_interval_ms_;  ///< per service
+  /// Per-service load buffers, preallocated once in run() and rewritten
+  /// in place every step (pass 1 writes them in parallel).
   std::vector<ServiceLoad> current_loads_;
+  /// Per-service (facility, Gb/s) contributions staged by pass 1 and
+  /// merged into the facility table in service order — the merge order,
+  /// and therefore every floating-point sum, is thread-count-invariant.
+  std::vector<std::vector<std::pair<int, double>>> facility_contrib_;
+  /// Parallel probing shards, service-major then VP-ascending.
+  std::vector<ProbeShard> probe_shards_;
+  /// Cached decoded CHAOS query per service: built (encode + decode wire
+  /// once) at construction instead of per probe. The message id is fixed
+  /// per service; replies echo it but nothing downstream reads it.
+  std::vector<dns::Message> chaos_query_;
   const attack::AttackEvent* active_event_ = nullptr;
-  /// (letter, code) -> site id for CHAOS reply mapping.
-  std::unordered_map<std::string, int> site_by_identity_;
+  /// CHAOS identity text -> (site id << 8 | server index): one entry per
+  /// deployed server, interned at construction so mapping a reply back
+  /// to its site is a single allocation-free hash lookup (replaces the
+  /// per-probe "X-CODE" key string + parse).
+  std::unordered_map<std::string, std::uint32_t, IdentityHash,
+                     std::equal_to<>>
+      site_by_identity_;
   /// Adaptive defense: last meaningful offered load per site, used as the
   /// would-be load of withdrawn sites (slowly decayed) so the controller
   /// does not flap between withdraw and re-announce.

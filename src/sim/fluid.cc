@@ -13,17 +13,32 @@ ServiceLoad compute_service_load(const anycast::RootDeployment& deployment,
                                  double attack_total_qps,
                                  double legit_total_qps) {
   ServiceLoad load;
-  const auto& routes = deployment.routing().routes(service.prefix);
-  const int site_count = deployment.site_count();
-  if (attack_total_qps > 0.0) {
-    load.attack_qps = botnet.attack_by_site(routes, attack_total_qps,
-                                            site_count, &load.unrouted_attack);
-  } else {
-    load.attack_qps.assign(static_cast<std::size_t>(site_count), 0.0);
-  }
-  load.legit_qps = legit.legit_by_site(routes, legit_total_qps, site_count,
-                                       &load.unrouted_legit);
+  compute_service_load_into(deployment, service, botnet, legit,
+                            attack_total_qps, legit_total_qps, load);
   return load;
+}
+
+void compute_service_load_into(const anycast::RootDeployment& deployment,
+                               const anycast::ServiceInfo& service,
+                               const attack::Botnet& botnet,
+                               const attack::LegitTraffic& legit,
+                               double attack_total_qps,
+                               double legit_total_qps, ServiceLoad& out) {
+  const auto& routes = deployment.routing().routes(service.prefix);
+  const auto site_count =
+      static_cast<std::size_t>(deployment.site_count());
+  out.attack_qps.resize(site_count);
+  out.legit_qps.resize(site_count);
+  out.unrouted_attack = 0.0;
+  out.unrouted_legit = 0.0;
+  if (attack_total_qps > 0.0) {
+    botnet.attack_by_site_into(routes, attack_total_qps, out.attack_qps,
+                               &out.unrouted_attack);
+  } else {
+    std::fill(out.attack_qps.begin(), out.attack_qps.end(), 0.0);
+  }
+  legit.legit_by_site_into(routes, legit_total_qps, out.legit_qps,
+                           &out.unrouted_legit);
 }
 
 double site_uplink_gbps(const anycast::AnycastSite& site, double offered_qps,

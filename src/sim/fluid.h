@@ -33,6 +33,17 @@ ServiceLoad compute_service_load(const anycast::RootDeployment& deployment,
                                  double attack_total_qps,
                                  double legit_total_qps);
 
+/// Allocation-free variant: writes into `out`, resizing its per-site
+/// vectors only on first use (the engine preallocates one ServiceLoad
+/// per service and reuses them every step). Safe to call concurrently
+/// for different services/outputs; reads only routing state.
+void compute_service_load_into(const anycast::RootDeployment& deployment,
+                               const anycast::ServiceInfo& service,
+                               const attack::Botnet& botnet,
+                               const attack::LegitTraffic& legit,
+                               double attack_total_qps,
+                               double legit_total_qps, ServiceLoad& out);
+
 /// Estimated Gb/s this site pushes through its facility uplink at the
 /// given offered load: query ingress plus (capacity-clamped) response
 /// egress after RRL suppression.

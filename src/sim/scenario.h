@@ -18,6 +18,13 @@ namespace rootstress::sim {
 struct ScenarioConfig {
   std::uint64_t seed = 42;
 
+  /// Worker lanes for the engine's parallel phases (fluid stepping and
+  /// Atlas probing). <= 0 = auto: ROOTSTRESS_THREADS from the
+  /// environment, else hardware_concurrency. 1 = the exact serial legacy
+  /// path (no pool, no synchronization). Results are bit-identical for
+  /// every value — see "Performance & threading model" in DESIGN.md.
+  int threads = 0;
+
   anycast::RootDeployment::Config deployment{};
   attack::BotnetConfig botnet{};
   attack::LegitConfig legit{};

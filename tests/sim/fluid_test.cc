@@ -67,5 +67,56 @@ TEST(Fluid, UplinkClampsAtCapacity) {
   EXPECT_GT(at_5m, cap * 518.0 * 8.0 / 1e9);  // includes egress
 }
 
+TEST(Fluid, UplinkSuppressionClampsToUnitRange) {
+  anycast::RootDeployment deployment(small_config());
+  const auto& site = deployment.site(*deployment.find_site('K', "AMS"));
+  // Suppression outside [0, 1] clamps: > 1 kills all egress (ingress
+  // remains), < 0 behaves as no suppression.
+  const double over = site_uplink_gbps(site, 1e6, 32.0, 490.0, 1.7);
+  const double full = site_uplink_gbps(site, 1e6, 32.0, 490.0, 1.0);
+  EXPECT_DOUBLE_EQ(over, full);
+  EXPECT_NEAR(full, 1e6 * 60.0 * 8.0 / 1e9, 1e-9);  // ingress only
+  const double under = site_uplink_gbps(site, 1e6, 32.0, 490.0, -0.5);
+  const double none = site_uplink_gbps(site, 1e6, 32.0, 490.0, 0.0);
+  EXPECT_DOUBLE_EQ(under, none);
+  EXPECT_GT(none, full);
+}
+
+TEST(Fluid, UplinkZeroOfferedIsZero) {
+  anycast::RootDeployment deployment(small_config());
+  const auto& site = deployment.site(*deployment.find_site('K', "AMS"));
+  EXPECT_DOUBLE_EQ(site_uplink_gbps(site, 0.0, 32.0, 490.0, 0.0), 0.0);
+}
+
+TEST(Fluid, IntoVariantMatchesAndReusesBuffers) {
+  anycast::RootDeployment deployment(small_config());
+  const auto botnet = attack::Botnet::build(deployment.topology(), {});
+  const auto legit = attack::LegitTraffic::build(deployment.topology(), {});
+  const auto& svc = deployment.service('K');
+
+  const auto fresh =
+      compute_service_load(deployment, svc, botnet, legit, 5e6, 40e3);
+  ServiceLoad reused;
+  compute_service_load_into(deployment, svc, botnet, legit, 5e6, 40e3,
+                            reused);
+  EXPECT_EQ(reused.attack_qps, fresh.attack_qps);
+  EXPECT_EQ(reused.legit_qps, fresh.legit_qps);
+  EXPECT_DOUBLE_EQ(reused.unrouted_attack, fresh.unrouted_attack);
+  EXPECT_DOUBLE_EQ(reused.unrouted_legit, fresh.unrouted_legit);
+
+  // Rewriting the same buffer — including the attack→no-attack edge that
+  // must zero stale per-site attack entries — matches a fresh compute.
+  const double* before = reused.attack_qps.data();
+  compute_service_load_into(deployment, svc, botnet, legit, 0.0, 40e3,
+                            reused);
+  EXPECT_EQ(reused.attack_qps.data(), before);  // no reallocation
+  const auto fresh2 =
+      compute_service_load(deployment, svc, botnet, legit, 0.0, 40e3);
+  EXPECT_EQ(reused.attack_qps, fresh2.attack_qps);
+  EXPECT_EQ(reused.legit_qps, fresh2.legit_qps);
+  for (const double qps : reused.attack_qps) EXPECT_DOUBLE_EQ(qps, 0.0);
+  EXPECT_DOUBLE_EQ(reused.unrouted_attack, 0.0);
+}
+
 }  // namespace
 }  // namespace rootstress::sim

@@ -1,0 +1,97 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rootstress::util {
+namespace {
+
+TEST(ResolveThreadCount, ExplicitRequestPassesThrough) {
+  EXPECT_EQ(resolve_thread_count(1), 1);
+  EXPECT_EQ(resolve_thread_count(4), 4);
+  EXPECT_EQ(resolve_thread_count(37), 37);
+}
+
+TEST(ResolveThreadCount, AutoRespectsEnvOverride) {
+  ::setenv("ROOTSTRESS_THREADS", "3", 1);
+  EXPECT_EQ(resolve_thread_count(0), 3);
+  EXPECT_EQ(resolve_thread_count(-1), 3);
+  // A nonsense value falls through to hardware detection (>= 1).
+  ::setenv("ROOTSTRESS_THREADS", "bogus", 1);
+  EXPECT_GE(resolve_thread_count(0), 1);
+  ::unsetenv("ROOTSTRESS_THREADS");
+  EXPECT_GE(resolve_thread_count(0), 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kRounds = 50;
+  constexpr std::size_t kN = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    pool.parallel_for(kN, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), kRounds * (kN * (kN - 1)) / 2);
+  EXPECT_EQ(pool.tasks_executed(), kRounds * kN);
+  EXPECT_EQ(pool.dispatches(), kRounds);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);  // serial path: strict ascending order
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndSurvives) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [](std::size_t i) {
+                            if (i == 42) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool must stay usable after a throwing dispatch.
+    std::atomic<int> count{0};
+    pool.parallel_for(10, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 10) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace rootstress::util
