@@ -9,11 +9,7 @@
 #include <map>
 #include <string>
 
-#include "anycast/deployment.h"
-#include "bgp/catchment.h"
-#include "atlas/population.h"
-#include "dns/chaos.h"
-#include "dns/wire.h"
+#include "rootstress.h"
 
 using namespace rootstress;
 

@@ -7,8 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "atlas/dnsmon.h"
-#include "core/evaluation.h"
+#include "rootstress.h"
 
 using namespace rootstress;
 
@@ -17,7 +16,7 @@ int main(int argc, char** argv) {
   std::printf("DNSMON replay: %d VPs, 2015-11-30 .. 2015-12-02\n\n", vp_count);
 
   const auto report =
-      core::evaluate_scenario(sim::november_2015_scenario(vp_count));
+      rootstress::run(sim::ScenarioBuilder::november_2015().vp_count(vp_count));
   const auto letters = anycast::root_letter_table(0);
 
   std::puts("         |0h          6h          12h         18h         24h         30h         36h         42h         |");

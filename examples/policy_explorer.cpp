@@ -9,8 +9,7 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/defense.h"
-#include "core/policy_model.h"
+#include "rootstress.h"
 
 using namespace rootstress;
 

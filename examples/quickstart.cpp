@@ -6,21 +6,20 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "atlas/binning.h"
-#include "sim/engine.h"
-#include "sim/scenario.h"
+#include "rootstress.h"
 
 using namespace rootstress;
 
 int main() {
   // A small population keeps the demo fast; raise for more fidelity.
-  sim::ScenarioConfig config = sim::november_2015_scenario(/*vp_count=*/400);
-  config.end = net::SimTime::from_hours(12);  // covers the first event
-  config.probe_window.end = config.end;
-
+  // The builder validates the invariants (and clamps the probing window
+  // to the shortened span) before anything runs.
   std::puts("Running the Nov 30 event (first 12h, 400 VPs)...");
-  sim::SimulationEngine engine(std::move(config));
-  const sim::SimulationResult result = engine.run();
+  const core::EvaluationReport report =
+      rootstress::run(sim::ScenarioBuilder::november_2015()
+                          .vp_count(400)
+                          .duration(net::SimTime::from_hours(12)));
+  const sim::SimulationResult& result = report.result;
 
   std::printf("VPs kept after cleaning: %d of %d (dropped %d firmware, %d hijacked)\n",
               result.cleaning.kept_vps, result.cleaning.total_vps,
@@ -29,14 +28,7 @@ int main() {
   std::printf("records: %zu, route changes: %zu\n", result.records.size(),
               result.route_changes.size());
 
-  // Bin the records and compare reachability before vs. during the event.
-  const std::size_t bins = static_cast<std::size_t>(
-      (result.end - result.start).ms / result.bin_width.ms);
-  const auto grids = atlas::bin_records(
-      result.records, static_cast<int>(result.letter_chars.size()),
-      static_cast<int>(result.vps.size()), result.start, result.bin_width,
-      bins);
-
+  // The report's grids compare reachability before vs. during the event.
   // 05:00 is pre-attack; 08:00 is mid-attack (event runs 06:50-09:30).
   const std::size_t quiet_bin = 5 * 6;   // 10-minute bins
   const std::size_t attack_bin = 8 * 6;
@@ -45,8 +37,8 @@ int main() {
     const int s = result.service_index(letter);
     if (s < 0) continue;
     std::printf("  %c     %9d  %9d\n", letter,
-                grids[static_cast<std::size_t>(s)].successful_vps(quiet_bin),
-                grids[static_cast<std::size_t>(s)].successful_vps(attack_bin));
+                report.grids[static_cast<std::size_t>(s)].successful_vps(quiet_bin),
+                report.grids[static_cast<std::size_t>(s)].successful_vps(attack_bin));
   }
   std::puts("\nExpected shape: B/H crash hard, C/E/G/K dip, D/L/M unchanged.");
   return 0;

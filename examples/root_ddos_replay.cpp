@@ -14,10 +14,7 @@
 #include <cstdlib>
 #include <fstream>
 
-#include "analysis/collateral.h"
-#include "analysis/letter_flips.h"
-#include "core/evaluation.h"
-#include "core/report_writer.h"
+#include "rootstress.h"
 
 using namespace rootstress;
 
@@ -28,9 +25,10 @@ int main(int argc, char** argv) {
   std::printf("Replaying the 2015 Root DNS events: %d VPs, %.1f Mq/s per "
               "attacked letter, 48 simulated hours...\n",
               vp_count, attack_mqps);
-  sim::ScenarioConfig config =
-      sim::november_2015_scenario(vp_count, attack_mqps * 1e6);
-  const core::EvaluationReport report = core::evaluate_scenario(config);
+  const core::EvaluationReport report =
+      rootstress::run(sim::ScenarioBuilder::november_2015()
+                          .vp_count(vp_count)
+                          .attack_qps(attack_mqps * 1e6));
   const auto& result = report.result;
 
   std::printf("\ncleaning: kept %d/%d VPs (%d old firmware, %d hijacked); "

@@ -4,7 +4,10 @@
 #   1. Release build + the whole test suite, serial (ROOTSTRESS_THREADS=1)
 #      and parallel (ROOTSTRESS_THREADS=4) — the auto thread knob reads
 #      that variable, so this runs every engine test on both paths.
-#   2. Debug build with ThreadSanitizer, running the thread-pool unit
+#   2. Smoke campaign: a 2x2 sweep grid against a fresh cache, run cold
+#      then warm, asserting the warm pass executes ZERO engine runs (the
+#      content-addressed cache contract).
+#   3. Debug build with ThreadSanitizer, running the thread-pool unit
 #      tests and the parallel-determinism integration test under TSan.
 #
 # Usage: scripts/check.sh  (from the repo root; build trees land in
@@ -21,6 +24,18 @@ echo "=== Test suite, serial (ROOTSTRESS_THREADS=1) ==="
 
 echo "=== Test suite, parallel (ROOTSTRESS_THREADS=4) ==="
 (cd build/check-release && ROOTSTRESS_THREADS=4 ctest --output-on-failure -j)
+
+echo "=== Smoke campaign: cold fills the cache, warm must not execute ==="
+SWEEP_CACHE="$(mktemp -d)"
+trap 'rm -rf "$SWEEP_CACHE"' EXIT
+cold_line=$(./build/check-release/examples/campaign_sweep --smoke \
+  --cache "$SWEEP_CACHE" | tee /dev/stderr | grep '^executed=')
+[[ "$cold_line" == executed=4\ cache_hits=0\ * ]] ||
+  { echo "FAIL: cold smoke campaign expected executed=4 cache_hits=0, got: $cold_line"; exit 1; }
+warm_line=$(./build/check-release/examples/campaign_sweep --smoke \
+  --cache "$SWEEP_CACHE" | tee /dev/stderr | grep '^executed=')
+[[ "$warm_line" == executed=0\ cache_hits=4\ * ]] ||
+  { echo "FAIL: warm smoke campaign expected executed=0 cache_hits=4, got: $warm_line"; exit 1; }
 
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \

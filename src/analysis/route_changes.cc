@@ -36,4 +36,13 @@ std::vector<std::uint64_t> route_changes_per_bin(
   return out;
 }
 
+std::uint64_t route_change_count(const sim::SimulationResult& result,
+                                 int service_index) {
+  std::uint64_t count = 0;
+  for (const auto& change : result.route_changes) {
+    if (change.prefix == service_index) ++count;
+  }
+  return count;
+}
+
 }  // namespace rootstress::analysis

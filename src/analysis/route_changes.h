@@ -17,4 +17,9 @@ std::vector<std::uint64_t> collector_changes_per_bin(
 std::vector<std::uint64_t> route_changes_per_bin(
     const sim::SimulationResult& result, char letter);
 
+/// Total route-change log entries for one service across the run (prefix
+/// id == service index in this deployment).
+std::uint64_t route_change_count(const sim::SimulationResult& result,
+                                 int service_index);
+
 }  // namespace rootstress::analysis

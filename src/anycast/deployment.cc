@@ -67,6 +67,7 @@ RootDeployment::RootDeployment(const Config& config) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       SiteSpec spec = std::move(specs[i]);
       resolve_location(spec);
+      spec.capacity_qps *= config.capacity_scale;
       const int facility =
           spec.facility.empty()
               ? -1

@@ -36,6 +36,9 @@ class RootDeployment {
     /// Default uplink for facilities referenced by sites but not in the
     /// default facility table.
     double default_facility_uplink_gbps = 50.0;
+    /// Uniform multiplier on every site's capacity_qps — the "what if
+    /// sites were provisioned Nx" axis of §5-style capacity sweeps.
+    double capacity_scale = 1.0;
     /// When set, every site uses this stress policy (what-if studies),
     /// overriding letter defaults and per-site overrides.
     std::optional<StressPolicy> force_policy;

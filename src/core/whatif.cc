@@ -1,5 +1,6 @@
 #include "core/whatif.h"
 
+#include "analysis/route_changes.h"
 #include "attack/events2015.h"
 #include "sim/engine.h"
 
@@ -15,10 +16,8 @@ std::string to_string(PolicyRegime regime) {
   return "?";
 }
 
-namespace {
-
-/// Mean of a service series over an interval, in q/s.
-double mean_over(const util::BinnedSeries& series, net::SimInterval window) {
+double mean_qps_over(const util::BinnedSeries& series,
+                     net::SimInterval window) {
   double total = 0.0;
   int bins = 0;
   for (std::size_t b = 0; b < series.bin_count(); ++b) {
@@ -32,7 +31,7 @@ double mean_over(const util::BinnedSeries& series, net::SimInterval window) {
   return bins == 0 ? 0.0 : total / bins;
 }
 
-RegimeOutcome run_regime(sim::ScenarioConfig config, PolicyRegime regime) {
+void apply_policy_regime(sim::ScenarioConfig& config, PolicyRegime regime) {
   switch (regime) {
     case PolicyRegime::kAsDeployed:
       break;
@@ -50,6 +49,12 @@ RegimeOutcome run_regime(sim::ScenarioConfig config, PolicyRegime regime) {
       config.adaptive_defense = true;
       break;
   }
+}
+
+namespace {
+
+RegimeOutcome run_regime(sim::ScenarioConfig config, PolicyRegime regime) {
+  apply_policy_regime(config, regime);
   config.collect_records = false;  // fluid comparison only
   config.enable_collector = false;
   config.collect_rssac = false;
@@ -71,15 +76,14 @@ RegimeOutcome run_regime(sim::ScenarioConfig config, PolicyRegime regime) {
         result.service_failed_legit_qps[static_cast<std::size_t>(s)];
     RegimeLetterOutcome lo;
     lo.letter = cfg.letter;
-    const double s1 = mean_over(served, attack::kEvent1);
-    const double f1 = mean_over(failed, attack::kEvent1);
-    const double s2 = mean_over(served, attack::kEvent2);
-    const double f2 = mean_over(failed, attack::kEvent2);
+    const double s1 = mean_qps_over(served, attack::kEvent1);
+    const double f1 = mean_qps_over(failed, attack::kEvent1);
+    const double s2 = mean_qps_over(served, attack::kEvent2);
+    const double f2 = mean_qps_over(failed, attack::kEvent2);
     lo.served_fraction_event1 = s1 + f1 > 0.0 ? s1 / (s1 + f1) : 1.0;
     lo.served_fraction_event2 = s2 + f2 > 0.0 ? s2 / (s2 + f2) : 1.0;
-    for (const auto& change : result.route_changes) {
-      if (change.prefix == s) ++lo.route_changes;
-    }
+    lo.route_changes =
+        static_cast<int>(analysis::route_change_count(result, s));
     if (cfg.attacked) {
       sum1 += lo.served_fraction_event1;
       sum2 += lo.served_fraction_event2;

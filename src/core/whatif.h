@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/scenario.h"
+#include "util/time_series.h"
 
 namespace rootstress::core {
 
@@ -26,6 +27,17 @@ enum class PolicyRegime {
 };
 
 std::string to_string(PolicyRegime regime);
+
+/// Rewrites `config` so the engine simulates `regime`: forces the
+/// matching per-site stress policy, or switches on the adaptive-defense
+/// controller for kOracle. kAsDeployed leaves the config untouched. This
+/// is the single place regimes map onto engine knobs — the what-if
+/// comparison and the sweep campaign policy axis both go through it.
+void apply_policy_regime(sim::ScenarioConfig& config, PolicyRegime regime);
+
+/// Mean of a binned q/s series over `window` (mean of the bin means that
+/// overlap it); 0 when no bin overlaps.
+double mean_qps_over(const util::BinnedSeries& series, net::SimInterval window);
 
 /// Outcome of one regime on one letter.
 struct RegimeLetterOutcome {

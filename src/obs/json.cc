@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rootstress::obs {
 
@@ -60,8 +61,15 @@ void dump_number(double n, std::string& out) {
     out += buf;
     return;
   }
+  // Shortest representation that parses back to the same double: %.12g is
+  // enough for almost every telemetry value; fall back to %.17g when it
+  // is not, so dump/parse round-trips are exact (the sweep run cache
+  // depends on this for bit-identical warm results).
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.12g", n);
+  if (std::strtod(buf, nullptr) != n) {
+    std::snprintf(buf, sizeof(buf), "%.17g", n);
+  }
   out += buf;
 }
 

@@ -1,11 +1,21 @@
-// Umbrella header: the RootStress public API in one include.
+// The RootStress facade: one include, two entry points.
 //
 //   #include "rootstress.h"
-//   auto report = rootstress::core::evaluate_scenario(
-//       rootstress::sim::november_2015_scenario(800));
+//
+//   // One scenario, evaluated:
+//   auto report = rootstress::run(
+//       rootstress::sim::ScenarioBuilder::november_2015().vp_count(800));
+//
+//   // A whole parameter study, cached and parallel:
+//   rootstress::sweep::Campaign campaign;
+//   campaign.base = rootstress::sim::ScenarioBuilder::november_2015()
+//                       .fluid_only().build();
+//   campaign.add(rootstress::sweep::Axis::attack_qps({2.5e6, 5e6, 1e7}))
+//           .add(rootstress::sweep::Axis::capacity_scale({0.5, 1.0, 2.0}));
+//   auto grid = rootstress::run_campaign(campaign);
 //
 // Fine-grained consumers should include the specific module headers; this
-// exists for examples, notebooks, and quick experiments.
+// header re-exports everything and declares the facade functions.
 #pragma once
 
 // Foundations.
@@ -36,6 +46,7 @@
 #include "atlas/binning.h"
 #include "atlas/cleaning.h"
 #include "atlas/dnsmon.h"
+#include "atlas/population.h"
 #include "attack/events2015.h"
 #include "attack/events2016.h"
 #include "rssac/report.h"
@@ -59,9 +70,34 @@
 #include "sim/scenario.h"
 #include "sim/scenario_2016.h"
 
+// Simulation construction.
+#include "sim/scenario_builder.h"
+
 // The contribution layer.
 #include "core/defense.h"
 #include "core/evaluation.h"
 #include "core/policy_model.h"
 #include "core/report_writer.h"
 #include "core/whatif.h"
+
+// Multi-scenario campaigns.
+#include "sweep/cache.h"
+#include "sweep/campaign.h"
+#include "sweep/runner.h"
+#include "sweep/summary.h"
+
+namespace rootstress {
+
+/// Runs one scenario end to end: simulate, bin, summarize per letter.
+core::EvaluationReport run(const sim::ScenarioConfig& config);
+
+/// Builder overload: validates (throwing std::invalid_argument on a
+/// broken invariant) and runs.
+core::EvaluationReport run(const sim::ScenarioBuilder& builder);
+
+/// Expands and executes a campaign: cross-product run matrix, cached,
+/// outer-parallel under a shared lane budget. See sweep/runner.h.
+sweep::CampaignResult run_campaign(const sweep::Campaign& campaign,
+                                   const sweep::CampaignOptions& options = {});
+
+}  // namespace rootstress

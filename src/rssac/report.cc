@@ -25,6 +25,12 @@ std::vector<DailyReport> publish(const DailyAccumulator& accumulator,
   return reports;
 }
 
+double day_queries(const DailyAccumulator& accumulator, int letter_index,
+                   int day) {
+  if (!accumulator.has(letter_index, day)) return 0.0;
+  return accumulator.metrics(letter_index, day).queries;
+}
+
 double baseline_queries(const DailyAccumulator& accumulator, int letter_index,
                         int first_day, int last_day) {
   double total = 0.0;

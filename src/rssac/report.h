@@ -38,6 +38,10 @@ std::vector<DailyReport> publish(const DailyAccumulator& accumulator,
                                  int first_day, int last_day,
                                  double resolver_pool);
 
+/// Metered queries for one (letter, day); 0 when the day is absent.
+double day_queries(const DailyAccumulator& accumulator, int letter_index,
+                   int day);
+
 /// Mean daily queries over [first_day, last_day] for one letter — the
 /// baseline the paper subtracts (mean of the 7 days before the event).
 double baseline_queries(const DailyAccumulator& accumulator, int letter_index,

@@ -41,6 +41,13 @@ std::string validate(const ScenarioConfig& config) {
   if (config.probe_window.end < config.probe_window.begin) {
     return "probe window ends before it begins";
   }
+  if (config.maintenance_flap_per_step < 0.0 ||
+      config.maintenance_flap_per_step > 1.0) {
+    return "maintenance flap probability must be within [0, 1]";
+  }
+  if (!(config.deployment.capacity_scale > 0.0)) {
+    return "capacity scale must be positive";
+  }
   for (const auto& event : config.schedule.events()) {
     if (!(event.when.begin < event.when.end)) {
       return "attack event has a non-positive duration";

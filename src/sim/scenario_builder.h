@@ -1,0 +1,132 @@
+// Fluent, validating construction of ScenarioConfig.
+//
+// The bare struct stays the plain value type every engine API consumes,
+// but mutating it by hand is easy to get subtly wrong (a probe window
+// outside the simulated span silently measures nothing; a bin width that
+// is not a step multiple misaligns every series). The builder is the
+// front door: named setters, named presets replacing the positional
+// `november_2015_scenario(int, double, bool)` family, and a build() that
+// checks every cross-field invariant and reports the first violation
+// instead of letting the run mis-simulate.
+//
+//   auto config = sim::ScenarioBuilder::november_2015()
+//                     .vp_count(400)
+//                     .attack_qps(5e6)
+//                     .duration(net::SimTime::from_hours(12))
+//                     .build();  // throws std::invalid_argument if broken
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "sim/scenario_2016.h"
+
+namespace rootstress::sim {
+
+class ScenarioBuilder {
+ public:
+  /// Starts from the default (quiet, full-deployment) configuration.
+  ScenarioBuilder() = default;
+  /// Starts from an existing configuration (incremental migration path:
+  /// wrap a hand-built config to get validation for free).
+  explicit ScenarioBuilder(ScenarioConfig base) : config_(std::move(base)) {}
+
+  // -- Named presets (replace the positional factory arguments) --------
+
+  /// The paper's Nov 30 / Dec 1, 2015 two-event scenario.
+  static ScenarioBuilder november_2015();
+  /// Two quiet days, same deployment and measurement (§3.3.1 control).
+  static ScenarioBuilder quiet_days();
+  /// The June 25, 2016 follow-up event (§2.3 "Generalizing").
+  static ScenarioBuilder events_2016();
+
+  // -- Simulation identity and resources --------------------------------
+
+  ScenarioBuilder& seed(std::uint64_t seed);
+  /// Engine worker lanes; see ScenarioConfig::threads.
+  ScenarioBuilder& threads(int threads);
+  ScenarioBuilder& telemetry(bool enabled);
+
+  // -- Deployment --------------------------------------------------------
+
+  ScenarioBuilder& deployment(anycast::RootDeployment::Config config);
+  /// Uniform multiplier on every site's capacity (§5 capacity axis).
+  ScenarioBuilder& capacity_scale(double scale);
+  /// Stub-AS count of the synthesized topology (small = fast tests).
+  ScenarioBuilder& topology_stubs(int stub_count);
+  /// Forces one stress policy on every site (what-if studies).
+  ScenarioBuilder& force_policy(anycast::StressPolicy policy);
+  /// Omniscient per-letter withdraw/absorb controller (core::advise).
+  ScenarioBuilder& adaptive_defense(bool enabled = true);
+
+  // -- Traffic -----------------------------------------------------------
+
+  ScenarioBuilder& schedule(attack::AttackSchedule schedule);
+  /// Per-attacked-letter offered rate: rewrites the rate of every event
+  /// in the schedule (presets ship the paper's timeline; this scales it).
+  ScenarioBuilder& attack_qps(double per_letter_qps);
+  ScenarioBuilder& botnet(attack::BotnetConfig config);
+  ScenarioBuilder& legit(attack::LegitConfig config);
+  /// Per-step probability of a background maintenance flap (Fig 9 noise).
+  ScenarioBuilder& maintenance_flap(double per_step_probability);
+
+  // -- Time --------------------------------------------------------------
+
+  ScenarioBuilder& span(net::SimTime start, net::SimTime end);
+  /// Keeps the current start, sets end = start + length.
+  ScenarioBuilder& duration(net::SimTime length);
+  ScenarioBuilder& step(net::SimTime step);
+  ScenarioBuilder& bin_width(net::SimTime width);
+  /// Extends the span to cover the seven RSSAC baseline days before the
+  /// event (probing still covers only the probe window).
+  ScenarioBuilder& include_baseline_week(bool include = true);
+
+  // -- Measurement -------------------------------------------------------
+
+  ScenarioBuilder& vp_count(int count);
+  ScenarioBuilder& population(atlas::PopulationConfig config);
+  /// Restricts Atlas probing to these letters (empty = all thirteen).
+  ScenarioBuilder& probe_letters(std::vector<char> letters);
+  /// Explicit probing window. Must lie inside the simulated span; when
+  /// never called, the builder clamps the preset's window to the span
+  /// instead (so november_2015().duration(12h) just works).
+  ScenarioBuilder& probe_window(net::SimInterval window);
+  ScenarioBuilder& collect_records(bool enabled);
+  ScenarioBuilder& collect_rssac(bool enabled);
+  ScenarioBuilder& enable_collector(bool enabled);
+  /// Fluid-study shorthand: no probing, no collector, no RSSAC. The
+  /// what-if regime comparisons and large campaign grids run this way.
+  ScenarioBuilder& fluid_only();
+
+  // -- Finalization ------------------------------------------------------
+
+  /// The config as staged so far, without validation or window clamping.
+  const ScenarioConfig& peek() const noexcept { return config_; }
+
+  /// Empty when the staged config is valid, else the first problem.
+  /// Checks everything sim::validate does plus the cross-field
+  /// invariants: bin width a step multiple, probe window inside the span.
+  std::string validate() const;
+
+  /// Returns the validated config; throws std::invalid_argument carrying
+  /// the validate() message when an invariant is violated.
+  ScenarioConfig build() const;
+
+  /// Non-throwing variant: nullopt on violation, message in *error.
+  std::optional<ScenarioConfig> try_build(std::string* error = nullptr) const;
+
+ private:
+  /// Applies deferred pieces (attack rate rewrite, baseline extension,
+  /// window clamping) to a copy of the staged config.
+  ScenarioConfig resolve() const;
+
+  ScenarioConfig config_{};
+  std::optional<double> attack_qps_{};
+  bool include_baseline_week_ = false;
+  bool probe_window_set_ = false;
+};
+
+}  // namespace rootstress::sim

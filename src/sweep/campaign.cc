@@ -1,0 +1,164 @@
+#include "sweep/campaign.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace rootstress::sweep {
+
+std::string to_string(AxisKind kind) {
+  switch (kind) {
+    case AxisKind::kAttackQps: return "attack_qps";
+    case AxisKind::kCapacityScale: return "capacity_scale";
+    case AxisKind::kPolicy: return "policy";
+    case AxisKind::kProbeLetters: return "probe_letters";
+    case AxisKind::kSeed: return "seed";
+    case AxisKind::kVpCount: return "vp_count";
+  }
+  return "?";
+}
+
+Axis Axis::attack_qps(std::vector<double> qps) {
+  Axis axis;
+  axis.kind = AxisKind::kAttackQps;
+  axis.numbers = std::move(qps);
+  return axis;
+}
+
+Axis Axis::capacity_scale(std::vector<double> scales) {
+  Axis axis;
+  axis.kind = AxisKind::kCapacityScale;
+  axis.numbers = std::move(scales);
+  return axis;
+}
+
+Axis Axis::policy(std::vector<core::PolicyRegime> regimes) {
+  Axis axis;
+  axis.kind = AxisKind::kPolicy;
+  axis.regimes = std::move(regimes);
+  return axis;
+}
+
+Axis Axis::probe_letters(std::vector<std::vector<char>> sets) {
+  Axis axis;
+  axis.kind = AxisKind::kProbeLetters;
+  axis.letter_sets = std::move(sets);
+  return axis;
+}
+
+Axis Axis::replicate_seeds(std::vector<std::uint64_t> seeds) {
+  Axis axis;
+  axis.kind = AxisKind::kSeed;
+  axis.seeds = std::move(seeds);
+  return axis;
+}
+
+Axis Axis::vp_count(std::vector<int> counts) {
+  Axis axis;
+  axis.kind = AxisKind::kVpCount;
+  axis.counts = std::move(counts);
+  return axis;
+}
+
+std::size_t Axis::size() const noexcept {
+  switch (kind) {
+    case AxisKind::kAttackQps:
+    case AxisKind::kCapacityScale:
+      return numbers.size();
+    case AxisKind::kPolicy: return regimes.size();
+    case AxisKind::kProbeLetters: return letter_sets.size();
+    case AxisKind::kSeed: return seeds.size();
+    case AxisKind::kVpCount: return counts.size();
+  }
+  return 0;
+}
+
+std::string Axis::label(std::size_t i) const {
+  char buf[64];
+  switch (kind) {
+    case AxisKind::kAttackQps:
+      std::snprintf(buf, sizeof(buf), "qps=%g", numbers[i]);
+      return buf;
+    case AxisKind::kCapacityScale:
+      std::snprintf(buf, sizeof(buf), "cap=%gx", numbers[i]);
+      return buf;
+    case AxisKind::kPolicy:
+      return "policy=" + core::to_string(regimes[i]);
+    case AxisKind::kProbeLetters: {
+      std::string label = "letters=";
+      if (letter_sets[i].empty()) {
+        label += "all";
+      } else {
+        label.append(letter_sets[i].begin(), letter_sets[i].end());
+      }
+      return label;
+    }
+    case AxisKind::kSeed:
+      std::snprintf(buf, sizeof(buf), "seed=%llu",
+                    static_cast<unsigned long long>(seeds[i]));
+      return buf;
+    case AxisKind::kVpCount:
+      std::snprintf(buf, sizeof(buf), "vps=%d", counts[i]);
+      return buf;
+  }
+  return "?";
+}
+
+void Axis::apply(std::size_t i, sim::ScenarioConfig& config) const {
+  switch (kind) {
+    case AxisKind::kAttackQps: {
+      std::vector<attack::AttackEvent> events = config.schedule.events();
+      for (auto& event : events) event.per_letter_qps = numbers[i];
+      config.schedule = attack::AttackSchedule(std::move(events));
+      return;
+    }
+    case AxisKind::kCapacityScale:
+      config.deployment.capacity_scale = numbers[i];
+      return;
+    case AxisKind::kPolicy:
+      core::apply_policy_regime(config, regimes[i]);
+      return;
+    case AxisKind::kProbeLetters:
+      config.probe_letters = letter_sets[i];
+      return;
+    case AxisKind::kSeed:
+      config.seed = seeds[i];
+      return;
+    case AxisKind::kVpCount:
+      config.population.vp_count = counts[i];
+      return;
+  }
+}
+
+std::size_t Campaign::cell_count() const noexcept {
+  std::size_t count = 1;
+  for (const Axis& axis : axes) count *= axis.size();
+  return count;
+}
+
+std::vector<CampaignCell> expand(const Campaign& campaign) {
+  const std::size_t total = campaign.cell_count();
+  std::vector<CampaignCell> cells;
+  cells.reserve(total);
+  std::vector<std::size_t> coords(campaign.axes.size(), 0);
+  for (std::size_t index = 0; index < total; ++index) {
+    CampaignCell cell;
+    cell.index = index;
+    cell.coords = coords;
+    cell.config = campaign.base;
+    for (std::size_t a = 0; a < campaign.axes.size(); ++a) {
+      campaign.axes[a].apply(coords[a], cell.config);
+      if (!cell.label.empty()) cell.label += '/';
+      cell.label += campaign.axes[a].label(coords[a]);
+    }
+    if (cell.label.empty()) cell.label = "base";
+    cells.push_back(std::move(cell));
+    // Odometer increment, last axis fastest (row-major).
+    for (std::size_t a = coords.size(); a-- > 0;) {
+      if (++coords[a] < campaign.axes[a].size()) break;
+      coords[a] = 0;
+    }
+  }
+  return cells;
+}
+
+}  // namespace rootstress::sweep

@@ -1,0 +1,92 @@
+// Declarative multi-scenario campaigns.
+//
+// The paper's headline claims are comparisons *across* runs: withdraw vs
+// absorb (§2.2), reachability vs attack rate, what-if capacity planning
+// (§5). A Campaign captures such a study declaratively — one base
+// scenario plus axes of parameter variations — and expand() turns it
+// into the full cross-product run matrix. Expansion is pure and
+// deterministic: cell order is row-major in axis declaration order, and
+// every cell's ScenarioConfig is fully resolved up front, so running a
+// cell standalone is bit-identical to running it inside the campaign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/whatif.h"
+#include "sim/scenario.h"
+
+namespace rootstress::sweep {
+
+/// What a campaign axis varies.
+enum class AxisKind : std::uint8_t {
+  kAttackQps,      ///< per-attacked-letter offered rate (rewrites events)
+  kCapacityScale,  ///< uniform site capacity multiplier
+  kPolicy,         ///< defense policy regime (core::PolicyRegime)
+  kProbeLetters,   ///< letter architecture under measurement
+  kSeed,           ///< replicate seeds
+  kVpCount,        ///< Atlas population size
+};
+
+std::string to_string(AxisKind kind);
+
+/// One axis: a kind plus its values. Construct through the named
+/// factories; exactly one value vector (the kind's) is populated.
+struct Axis {
+  AxisKind kind = AxisKind::kSeed;
+  std::vector<double> numbers;                 ///< kAttackQps, kCapacityScale
+  std::vector<core::PolicyRegime> regimes;     ///< kPolicy
+  std::vector<std::vector<char>> letter_sets;  ///< kProbeLetters
+  std::vector<std::uint64_t> seeds;            ///< kSeed
+  std::vector<int> counts;                     ///< kVpCount
+
+  static Axis attack_qps(std::vector<double> qps);
+  static Axis capacity_scale(std::vector<double> scales);
+  static Axis policy(std::vector<core::PolicyRegime> regimes);
+  static Axis probe_letters(std::vector<std::vector<char>> sets);
+  static Axis replicate_seeds(std::vector<std::uint64_t> seeds);
+  static Axis vp_count(std::vector<int> counts);
+
+  /// Number of points on this axis.
+  std::size_t size() const noexcept;
+
+  /// Short human label for point `i`: "qps=5e+06", "cap=0.5x",
+  /// "policy=oracle-advisor", "letters=BHK", "seed=7", "vps=400".
+  std::string label(std::size_t i) const;
+
+  /// Applies point `i` to a scenario config.
+  void apply(std::size_t i, sim::ScenarioConfig& config) const;
+};
+
+/// A base scenario plus axes of variation.
+struct Campaign {
+  std::string name = "campaign";
+  sim::ScenarioConfig base{};
+  std::vector<Axis> axes;
+
+  /// Fluent axis append.
+  Campaign& add(Axis axis) {
+    axes.push_back(std::move(axis));
+    return *this;
+  }
+
+  /// Product of the axis sizes (1 for an axis-free campaign: the base
+  /// scenario is then the single cell).
+  std::size_t cell_count() const noexcept;
+};
+
+/// One fully-resolved cell of the run matrix.
+struct CampaignCell {
+  std::size_t index = 0;             ///< row-major ordinal
+  std::vector<std::size_t> coords;   ///< per-axis point indices
+  std::string label;                 ///< axis labels joined with '/'
+  sim::ScenarioConfig config;        ///< base + every axis point applied
+};
+
+/// Expands the campaign into its run matrix. Row-major: the last declared
+/// axis varies fastest. Deterministic and side-effect free.
+std::vector<CampaignCell> expand(const Campaign& campaign);
+
+}  // namespace rootstress::sweep

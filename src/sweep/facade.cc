@@ -1,0 +1,21 @@
+// Implementation of the rootstress:: facade (declared in rootstress.h).
+// Lives in the sweep module because the facade sits above everything
+// else: run() is evaluation, run_campaign() is the sweep engine.
+#include "rootstress.h"
+
+namespace rootstress {
+
+core::EvaluationReport run(const sim::ScenarioConfig& config) {
+  return core::evaluate_scenario(config);
+}
+
+core::EvaluationReport run(const sim::ScenarioBuilder& builder) {
+  return core::evaluate_scenario(builder.build());
+}
+
+sweep::CampaignResult run_campaign(const sweep::Campaign& campaign,
+                                   const sweep::CampaignOptions& options) {
+  return sweep::run_campaign(campaign, options);
+}
+
+}  // namespace rootstress

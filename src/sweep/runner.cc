@@ -1,0 +1,274 @@
+#include "sweep/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace rootstress::sweep {
+
+std::string to_string(CellMetric metric) {
+  switch (metric) {
+    case CellMetric::kMeanServedAttacked: return "mean_served_attacked";
+    case CellMetric::kWorstLetterLoss: return "worst_letter_loss";
+    case CellMetric::kRouteChanges: return "route_changes";
+    case CellMetric::kRecords: return "records";
+    case CellMetric::kRssacDay0Queries: return "rssac_day0_queries";
+  }
+  return "?";
+}
+
+double metric_value(const RunSummary& summary, CellMetric metric) {
+  switch (metric) {
+    case CellMetric::kMeanServedAttacked: return summary.mean_served_attacked;
+    case CellMetric::kWorstLetterLoss: return summary.worst_letter_loss;
+    case CellMetric::kRouteChanges:
+      return static_cast<double>(summary.route_changes);
+    case CellMetric::kRecords:
+      return static_cast<double>(summary.record_count);
+    case CellMetric::kRssacDay0Queries: return summary.rssac_day0_queries;
+  }
+  return 0.0;
+}
+
+const CellOutcome* CampaignResult::cell_at(
+    const std::vector<std::size_t>& coords) const {
+  if (coords.size() != axis_labels.size()) return nullptr;
+  std::size_t index = 0;
+  for (std::size_t a = 0; a < coords.size(); ++a) {
+    if (coords[a] >= axis_labels[a].size()) return nullptr;
+    index = index * axis_labels[a].size() + coords[a];
+  }
+  return index < cells.size() ? &cells[index] : nullptr;
+}
+
+util::TextTable CampaignResult::table(std::size_t row_axis,
+                                      std::size_t col_axis,
+                                      CellMetric metric) const {
+  if (row_axis >= axis_labels.size() || col_axis >= axis_labels.size() ||
+      row_axis == col_axis) {
+    throw std::invalid_argument("CampaignResult::table: bad axis pair");
+  }
+  std::vector<std::string> headers;
+  headers.push_back(to_string(axis_kinds[row_axis]) + " \\ " +
+                    to_string(axis_kinds[col_axis]));
+  for (const auto& label : axis_labels[col_axis]) headers.push_back(label);
+  util::TextTable table(std::move(headers));
+
+  const std::size_t rows = axis_labels[row_axis].size();
+  const std::size_t cols = axis_labels[col_axis].size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    table.begin_row();
+    table.cell(axis_labels[row_axis][r]);
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Average the metric over every cell matching (r, c) on the two
+      // displayed axes — the remaining axes (e.g. replicate seeds)
+      // collapse into the mean.
+      double total = 0.0;
+      std::size_t count = 0;
+      for (const auto& cell : cells) {
+        if (cell.coords[row_axis] != r || cell.coords[col_axis] != c) {
+          continue;
+        }
+        total += metric_value(cell.summary, metric);
+        ++count;
+      }
+      table.cell(count == 0 ? 0.0 : total / static_cast<double>(count), 4);
+    }
+  }
+  return table;
+}
+
+obs::JsonValue CampaignResult::to_json() const {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("campaign", obs::JsonValue(name));
+  obs::JsonValue axes = obs::JsonValue::array();
+  for (std::size_t a = 0; a < axis_kinds.size(); ++a) {
+    obs::JsonValue axis = obs::JsonValue::object();
+    axis.set("kind", obs::JsonValue(sweep::to_string(axis_kinds[a])));
+    obs::JsonValue labels = obs::JsonValue::array();
+    for (const auto& label : axis_labels[a]) {
+      labels.push_back(obs::JsonValue(label));
+    }
+    axis.set("labels", std::move(labels));
+    axes.push_back(std::move(axis));
+  }
+  doc.set("axes", std::move(axes));
+  doc.set("executed", obs::JsonValue(static_cast<std::uint64_t>(executed)));
+  doc.set("cache_hits",
+          obs::JsonValue(static_cast<std::uint64_t>(cache_hits)));
+  doc.set("wall_ms", obs::JsonValue(wall_ms));
+  obs::JsonValue cell_docs = obs::JsonValue::array();
+  for (const auto& cell : cells) {
+    obs::JsonValue c = obs::JsonValue::object();
+    c.set("label", obs::JsonValue(cell.label));
+    obs::JsonValue coords = obs::JsonValue::array();
+    for (const std::size_t coord : cell.coords) {
+      coords.push_back(obs::JsonValue(static_cast<std::uint64_t>(coord)));
+    }
+    c.set("coords", std::move(coords));
+    char key_hex[24];
+    std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                  static_cast<unsigned long long>(cell.key));
+    c.set("key", obs::JsonValue(key_hex));
+    c.set("from_cache", obs::JsonValue(cell.from_cache));
+    c.set("wall_ms", obs::JsonValue(cell.wall_ms));
+    c.set("summary", summary_to_json(cell.summary));
+    cell_docs.push_back(std::move(c));
+  }
+  doc.set("cells", std::move(cell_docs));
+  return doc;
+}
+
+CampaignResult run_campaign(const Campaign& campaign,
+                            const CampaignOptions& options) {
+  const auto campaign_begin = std::chrono::steady_clock::now();
+  std::unique_ptr<obs::Runtime> obs_runtime;
+  if (options.telemetry) obs_runtime = std::make_unique<obs::Runtime>();
+  obs::Runtime* obs = obs_runtime.get();
+  obs::PhaseProfiler* profiler = obs ? &obs->profiler() : nullptr;
+
+  CampaignResult result;
+  result.name = campaign.name;
+  for (const Axis& axis : campaign.axes) {
+    result.axis_kinds.push_back(axis.kind);
+    std::vector<std::string> labels;
+    for (std::size_t i = 0; i < axis.size(); ++i) {
+      labels.push_back(axis.label(i));
+    }
+    result.axis_labels.push_back(std::move(labels));
+  }
+
+  // Expand and validate everything before running anything: a campaign
+  // either starts fully or not at all.
+  std::vector<CampaignCell> cells;
+  {
+    obs::PhaseProfiler::Scope scope(profiler, "expand");
+    cells = expand(campaign);
+    for (const CampaignCell& cell : cells) {
+      if (std::string problem = sim::validate(cell.config);
+          !problem.empty()) {
+        throw std::invalid_argument("campaign cell '" + cell.label +
+                                    "': " + problem);
+      }
+    }
+  }
+
+  std::unique_ptr<RunCache> cache;
+  if (!options.cache_dir.empty()) {
+    cache = std::make_unique<RunCache>(options.cache_dir, options.cache_salt);
+  }
+
+  result.cells.resize(cells.size());
+  std::vector<std::size_t> to_run;  // indices of cache misses
+  {
+    obs::PhaseProfiler::Scope scope(profiler, "cache-probe");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      CellOutcome& outcome = result.cells[i];
+      outcome.index = cells[i].index;
+      outcome.coords = cells[i].coords;
+      outcome.label = cells[i].label;
+      outcome.key = cache ? cache->key(cells[i].config)
+                          : config_hash(cells[i].config, options.cache_salt);
+      if (cache) {
+        if (auto cached = cache->load(outcome.key); cached.has_value()) {
+          outcome.summary = std::move(*cached);
+          outcome.from_cache = true;
+          ++result.cache_hits;
+          continue;
+        }
+      }
+      to_run.push_back(i);
+    }
+  }
+
+  // Compose outer cell workers with inner engine lanes under one budget.
+  const int lane_budget = util::resolve_thread_count(options.lane_budget);
+  int workers = util::resolve_thread_count(options.workers);
+  workers = std::min(
+      workers, static_cast<int>(std::max<std::size_t>(to_run.size(), 1)));
+  const int inner_lanes = util::lanes_per_worker(lane_budget, workers);
+
+  obs::Counter* executed_counter = nullptr;
+  obs::Histogram* wall_hist = nullptr;
+  if (obs) {
+    obs->metrics().gauge("sweep.cells_total", {}).set(
+        static_cast<double>(cells.size()));
+    obs->metrics().gauge("sweep.cache_hits", {}).set(
+        static_cast<double>(result.cache_hits));
+    obs->metrics().gauge("sweep.outer_workers", {}).set(workers);
+    obs->metrics().gauge("sweep.inner_lanes", {}).set(inner_lanes);
+    executed_counter = &obs->metrics().counter("sweep.cells_executed", {});
+    wall_hist = &obs->metrics().histogram("sweep.cell_wall_ms", {},
+                                          /*bin_width=*/1000.0,
+                                          /*bin_count=*/64);
+  }
+
+  {
+    obs::PhaseProfiler::Scope scope(profiler, "execute");
+    std::mutex progress_mutex;
+    util::ThreadPool pool(workers);
+    pool.parallel_for(to_run.size(), [&](std::size_t task) {
+      const std::size_t i = to_run[task];
+      sim::ScenarioConfig config = cells[i].config;
+      // An explicit per-cell thread count wins; auto cells get their
+      // budget share.
+      if (config.threads <= 0) config.threads = inner_lanes;
+      const auto begin = std::chrono::steady_clock::now();
+      const core::EvaluationReport report = core::evaluate_scenario(config);
+      CellOutcome& outcome = result.cells[i];
+      // Summarize against the resolved config (not the thread-adjusted
+      // copy's identity — summaries must match standalone runs).
+      outcome.summary = summarize(cells[i].config, report);
+      outcome.summary.config_hash = outcome.key;
+      outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count();
+      if (cache) cache->store(outcome.key, outcome.summary);
+      if (executed_counter) executed_counter->add(1);
+      if (wall_hist) wall_hist->observe(outcome.wall_ms);
+      if (options.progress) {
+        const std::scoped_lock lock(progress_mutex);
+        options.progress(outcome.label, /*cached=*/false, outcome.wall_ms);
+      }
+    });
+  }
+  result.executed = to_run.size();
+  if (options.progress) {
+    for (const CellOutcome& outcome : result.cells) {
+      if (outcome.from_cache) {
+        options.progress(outcome.label, /*cached=*/true, 0.0);
+      }
+    }
+  }
+
+  {
+    obs::PhaseProfiler::Scope scope(profiler, "aggregate");
+    // Cache hits carry the summary's stored hash; recompute nothing —
+    // just stamp hashes on cached cells that predate the field.
+    for (CellOutcome& outcome : result.cells) {
+      if (outcome.summary.config_hash == 0) {
+        outcome.summary.config_hash = outcome.key;
+      }
+    }
+  }
+
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - campaign_begin)
+                       .count();
+  if (obs) {
+    obs->metrics().gauge("sweep.wall_ms", {}).set(result.wall_ms);
+    result.telemetry = obs->snapshot(net::SimTime(0));
+  }
+  RS_LOG_INFO << "campaign '" << result.name << "': " << cells.size()
+              << " cells, " << result.executed << " executed, "
+              << result.cache_hits << " cached, " << workers << "x"
+              << inner_lanes << " lanes";
+  return result;
+}
+
+}  // namespace rootstress::sweep

@@ -1,0 +1,109 @@
+// Campaign execution: expand, probe the cache, run the misses
+// concurrently, aggregate.
+//
+// Concurrency model: cells run on an outer util::ThreadPool, composed
+// with each cell's inner engine parallelism through a shared lane
+// budget — outer_workers * inner_threads <= lane_budget, so a campaign
+// never oversubscribes the machine however the two knobs are set.
+// Because the engine is bit-identical for any thread count and every
+// cell's config is fully resolved before dispatch, per-cell results are
+// independent of the outer worker count and identical to running each
+// config standalone (the sweep test suite enforces both).
+//
+// Telemetry: the runner owns a campaign-level obs::Runtime — progress
+// counters (cells executed / cached, per-cell wall histogram) plus
+// coordinator-side phases (expand / cache-probe / execute / aggregate) —
+// snapshotted onto CampaignResult::telemetry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/runtime.h"
+#include "sweep/cache.h"
+#include "sweep/campaign.h"
+#include "sweep/summary.h"
+#include "util/table.h"
+
+namespace rootstress::sweep {
+
+/// Knobs for one campaign execution.
+struct CampaignOptions {
+  /// Concurrent cells. <= 0 = auto (ROOTSTRESS_THREADS, else hardware),
+  /// capped at the number of cells to run.
+  int workers = 0;
+  /// Total worker lanes shared by outer x inner parallelism. <= 0 = auto
+  /// (same resolution as `workers`).
+  int lane_budget = 0;
+  /// Cache directory; empty disables caching (every cell executes).
+  std::filesystem::path cache_dir;
+  /// Cache salt; change to invalidate every cached summary.
+  std::string cache_salt{kCodeVersionSalt};
+  /// Campaign-level telemetry (cell engines additionally follow their
+  /// own ScenarioConfig::telemetry).
+  bool telemetry = true;
+  /// Per-cell completion callback (label, cached?, wall ms). Invoked
+  /// under a lock, in completion order — display only, results never
+  /// depend on it.
+  std::function<void(const std::string& label, bool cached, double wall_ms)>
+      progress;
+};
+
+/// One executed (or cache-served) cell.
+struct CellOutcome {
+  std::size_t index = 0;
+  std::vector<std::size_t> coords;
+  std::string label;
+  std::uint64_t key = 0;       ///< salted config hash (cache key)
+  bool from_cache = false;
+  double wall_ms = 0.0;        ///< 0 for cache hits
+  RunSummary summary;
+};
+
+/// The metric a comparison table projects out of each cell.
+enum class CellMetric : std::uint8_t {
+  kMeanServedAttacked,
+  kWorstLetterLoss,
+  kRouteChanges,
+  kRecords,
+  kRssacDay0Queries,
+};
+
+std::string to_string(CellMetric metric);
+double metric_value(const RunSummary& summary, CellMetric metric);
+
+/// Everything one campaign execution produced.
+struct CampaignResult {
+  std::string name;
+  std::vector<AxisKind> axis_kinds;              ///< one per axis
+  std::vector<std::vector<std::string>> axis_labels;  ///< per axis, per point
+  std::vector<CellOutcome> cells;                ///< row-major, all cells
+  std::size_t executed = 0;    ///< cells that ran the engine
+  std::size_t cache_hits = 0;  ///< cells served from the cache
+  double wall_ms = 0.0;        ///< whole-campaign wall clock
+  obs::Snapshot telemetry;     ///< campaign-level metrics + phases
+
+  /// Cell by per-axis coordinates; nullptr when out of range.
+  const CellOutcome* cell_at(const std::vector<std::size_t>& coords) const;
+
+  /// Paper-style comparison grid: rows = `row_axis` points, columns =
+  /// `col_axis` points, cells = `metric` averaged over every remaining
+  /// axis (replicate seeds average out naturally).
+  util::TextTable table(std::size_t row_axis, std::size_t col_axis,
+                        CellMetric metric) const;
+
+  /// Full campaign as one JSON document (axes, per-cell summaries,
+  /// cache statistics) for downstream plotting.
+  obs::JsonValue to_json() const;
+};
+
+/// Expands and executes `campaign`. Throws std::invalid_argument when any
+/// expanded cell fails sim::validate (before anything runs).
+CampaignResult run_campaign(const Campaign& campaign,
+                            const CampaignOptions& options = {});
+
+}  // namespace rootstress::sweep

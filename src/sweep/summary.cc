@@ -1,0 +1,192 @@
+#include "sweep/summary.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "analysis/route_changes.h"
+#include "anycast/letter.h"
+#include "core/whatif.h"
+#include "rssac/report.h"
+
+namespace rootstress::sweep {
+
+namespace {
+
+/// Served fraction of a service's legit traffic over the scenario's
+/// attack windows (whole span without a schedule).
+double served_fraction(const sim::SimulationResult& result, int service,
+                       const attack::AttackSchedule& schedule) {
+  const auto& served =
+      result.service_served_legit_qps[static_cast<std::size_t>(service)];
+  const auto& failed =
+      result.service_failed_legit_qps[static_cast<std::size_t>(service)];
+  double served_sum = 0.0;
+  double failed_sum = 0.0;
+  if (schedule.events().empty()) {
+    const net::SimInterval whole{result.start, result.end};
+    served_sum = core::mean_qps_over(served, whole);
+    failed_sum = core::mean_qps_over(failed, whole);
+  } else {
+    for (const auto& event : schedule.events()) {
+      served_sum += core::mean_qps_over(served, event.when);
+      failed_sum += core::mean_qps_over(failed, event.when);
+    }
+  }
+  const double total = served_sum + failed_sum;
+  return total > 0.0 ? served_sum / total : 1.0;
+}
+
+}  // namespace
+
+RunSummary summarize(const sim::ScenarioConfig& config,
+                     const core::EvaluationReport& report) {
+  const sim::SimulationResult& result = report.result;
+  RunSummary summary;
+  summary.record_count = result.records.size();
+  summary.route_changes = result.route_changes.size();
+  summary.kept_vps = result.cleaning.kept_vps;
+
+  // Which letters the event schedule targets is deployment metadata; the
+  // letter table is deterministic (seed only perturbs site synthesis).
+  const auto letter_table = anycast::root_letter_table(0);
+
+  double served_sum = 0.0;
+  int attacked = 0;
+  for (const auto& ls : report.letters) {
+    const int s = result.service_index(ls.letter);
+    if (s < 0) continue;
+    LetterCellSummary cell;
+    cell.letter = ls.letter;
+    cell.attacked = anycast::find_letter(letter_table, ls.letter).attacked;
+    cell.served_fraction = served_fraction(result, s, config.schedule);
+    cell.baseline_vps = ls.baseline_vps;
+    cell.min_vps = ls.min_vps;
+    cell.worst_loss = ls.worst_loss;
+    cell.median_rtt_quiet_ms = ls.median_rtt_quiet_ms;
+    cell.median_rtt_event_ms = ls.median_rtt_event_ms;
+    cell.site_flips = ls.site_flips;
+    cell.route_changes = analysis::route_change_count(result, s);
+    summary.worst_letter_loss =
+        std::max(summary.worst_letter_loss, cell.worst_loss);
+    if (cell.attacked) {
+      served_sum += cell.served_fraction;
+      ++attacked;
+    }
+    summary.letters.push_back(cell);
+  }
+  if (attacked > 0) summary.mean_served_attacked = served_sum / attacked;
+
+  if (config.collect_rssac) {
+    for (int li = 0; li < result.rssac.letter_count(); ++li) {
+      summary.rssac_day0_queries += rssac::day_queries(result.rssac, li, 0);
+    }
+  }
+  return summary;
+}
+
+obs::JsonValue summary_to_json(const RunSummary& summary) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("config_hash",
+          obs::JsonValue(std::to_string(summary.config_hash)));
+  doc.set("mean_served_attacked", obs::JsonValue(summary.mean_served_attacked));
+  doc.set("worst_letter_loss", obs::JsonValue(summary.worst_letter_loss));
+  doc.set("record_count",
+          obs::JsonValue(static_cast<std::uint64_t>(summary.record_count)));
+  doc.set("route_changes",
+          obs::JsonValue(static_cast<std::uint64_t>(summary.route_changes)));
+  doc.set("kept_vps", obs::JsonValue(summary.kept_vps));
+  doc.set("rssac_day0_queries", obs::JsonValue(summary.rssac_day0_queries));
+  obs::JsonValue letters = obs::JsonValue::array();
+  for (const auto& cell : summary.letters) {
+    obs::JsonValue l = obs::JsonValue::object();
+    l.set("letter", obs::JsonValue(std::string(1, cell.letter)));
+    l.set("attacked", obs::JsonValue(cell.attacked));
+    l.set("served_fraction", obs::JsonValue(cell.served_fraction));
+    l.set("baseline_vps", obs::JsonValue(cell.baseline_vps));
+    l.set("min_vps", obs::JsonValue(cell.min_vps));
+    l.set("worst_loss", obs::JsonValue(cell.worst_loss));
+    l.set("median_rtt_quiet_ms", obs::JsonValue(cell.median_rtt_quiet_ms));
+    l.set("median_rtt_event_ms", obs::JsonValue(cell.median_rtt_event_ms));
+    l.set("site_flips", obs::JsonValue(cell.site_flips));
+    l.set("route_changes", obs::JsonValue(cell.route_changes));
+    letters.push_back(std::move(l));
+  }
+  doc.set("letters", std::move(letters));
+  return doc;
+}
+
+namespace {
+
+bool read_number(const obs::JsonValue& doc, const char* key, double* out) {
+  const obs::JsonValue* v = doc.find(key);
+  if (v == nullptr || v->kind() != obs::JsonValue::Kind::kNumber) return false;
+  *out = v->as_number();
+  return true;
+}
+
+bool read_int(const obs::JsonValue& doc, const char* key, int* out) {
+  double d = 0.0;
+  if (!read_number(doc, key, &d)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+}  // namespace
+
+std::optional<RunSummary> summary_from_json(const obs::JsonValue& doc) {
+  if (doc.kind() != obs::JsonValue::Kind::kObject) return std::nullopt;
+  RunSummary summary;
+  // The 64-bit hash is stored as a decimal string: JSON numbers are
+  // doubles and would round it.
+  const obs::JsonValue* hash = doc.find("config_hash");
+  if (hash == nullptr || hash->kind() != obs::JsonValue::Kind::kString) {
+    return std::nullopt;
+  }
+  summary.config_hash = std::strtoull(hash->as_string().c_str(), nullptr, 10);
+
+  double number = 0.0;
+  if (!read_number(doc, "mean_served_attacked", &summary.mean_served_attacked))
+    return std::nullopt;
+  if (!read_number(doc, "worst_letter_loss", &summary.worst_letter_loss))
+    return std::nullopt;
+  if (!read_number(doc, "record_count", &number)) return std::nullopt;
+  summary.record_count = static_cast<std::size_t>(number);
+  if (!read_number(doc, "route_changes", &number)) return std::nullopt;
+  summary.route_changes = static_cast<std::size_t>(number);
+  if (!read_int(doc, "kept_vps", &summary.kept_vps)) return std::nullopt;
+  if (!read_number(doc, "rssac_day0_queries", &summary.rssac_day0_queries))
+    return std::nullopt;
+
+  const obs::JsonValue* letters = doc.find("letters");
+  if (letters == nullptr || letters->kind() != obs::JsonValue::Kind::kArray) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < letters->size(); ++i) {
+    const obs::JsonValue& l = (*letters)[i];
+    LetterCellSummary cell;
+    const obs::JsonValue* letter = l.find("letter");
+    if (letter == nullptr || letter->as_string().size() != 1) {
+      return std::nullopt;
+    }
+    cell.letter = letter->as_string()[0];
+    const obs::JsonValue* attacked = l.find("attacked");
+    if (attacked == nullptr) return std::nullopt;
+    cell.attacked = attacked->as_bool();
+    if (!read_number(l, "served_fraction", &cell.served_fraction))
+      return std::nullopt;
+    if (!read_int(l, "baseline_vps", &cell.baseline_vps)) return std::nullopt;
+    if (!read_int(l, "min_vps", &cell.min_vps)) return std::nullopt;
+    if (!read_number(l, "worst_loss", &cell.worst_loss)) return std::nullopt;
+    if (!read_number(l, "median_rtt_quiet_ms", &cell.median_rtt_quiet_ms))
+      return std::nullopt;
+    if (!read_number(l, "median_rtt_event_ms", &cell.median_rtt_event_ms))
+      return std::nullopt;
+    if (!read_int(l, "site_flips", &cell.site_flips)) return std::nullopt;
+    if (!read_number(l, "route_changes", &number)) return std::nullopt;
+    cell.route_changes = static_cast<std::uint64_t>(number);
+    summary.letters.push_back(cell);
+  }
+  return summary;
+}
+
+}  // namespace rootstress::sweep

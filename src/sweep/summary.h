@@ -1,0 +1,68 @@
+// Per-cell run summaries: the compact, deterministic digest of one
+// SimulationResult that campaigns aggregate and the run cache persists.
+//
+// A full SimulationResult (records, series, route log) is too heavy to
+// keep for hundreds of cells; the summary keeps exactly the per-letter
+// headline numbers the paper's cross-run comparisons are made of. It is
+// pure data, bit-identical for any thread count (everything is derived
+// from the engine's deterministic outputs), and round-trips exactly
+// through JSON (obs::json dumps doubles shortest-exact).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "obs/json.h"
+
+namespace rootstress::sweep {
+
+/// One letter's digest within one cell.
+struct LetterCellSummary {
+  char letter = '?';
+  bool attacked = false;
+  /// Legit served / (served + failed) over the attack windows (whole
+  /// span when the scenario has no schedule). 1.0 = no damage.
+  double served_fraction = 1.0;
+  int baseline_vps = 0;   ///< typical successful VPs per bin
+  int min_vps = 0;        ///< worst bin
+  double worst_loss = 0.0;
+  double median_rtt_quiet_ms = 0.0;
+  double median_rtt_event_ms = 0.0;
+  int site_flips = 0;
+  std::uint64_t route_changes = 0;
+
+  bool operator==(const LetterCellSummary&) const = default;
+};
+
+/// The digest of one run.
+struct RunSummary {
+  /// Content hash of the fully-resolved config that produced this (salted
+  /// cache key; see sweep::RunCache).
+  std::uint64_t config_hash = 0;
+  /// Mean served_fraction over attacked letters (the §5 headline).
+  double mean_served_attacked = 1.0;
+  /// Worst per-letter reachability loss across letters.
+  double worst_letter_loss = 0.0;
+  std::size_t record_count = 0;
+  std::size_t route_changes = 0;
+  int kept_vps = 0;
+  /// Event-day (day 0) metered queries summed over the root letters; 0
+  /// when RSSAC accounting was off.
+  double rssac_day0_queries = 0.0;
+  std::vector<LetterCellSummary> letters;
+
+  bool operator==(const RunSummary&) const = default;
+};
+
+/// Digests one evaluated run. `config` must be the cell's fully-resolved
+/// scenario (its schedule decides the served-fraction windows).
+RunSummary summarize(const sim::ScenarioConfig& config,
+                     const core::EvaluationReport& report);
+
+/// JSON round-trip (exact, including doubles).
+obs::JsonValue summary_to_json(const RunSummary& summary);
+std::optional<RunSummary> summary_from_json(const obs::JsonValue& doc);
+
+}  // namespace rootstress::sweep

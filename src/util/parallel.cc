@@ -15,6 +15,13 @@ int resolve_thread_count(int requested) noexcept {
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
+int lanes_per_worker(int lane_budget, int outer_workers) noexcept {
+  if (lane_budget < 1) lane_budget = 1;
+  if (outer_workers < 1) outer_workers = 1;
+  const int lanes = lane_budget / outer_workers;
+  return lanes < 1 ? 1 : lanes;
+}
+
 ThreadPool::ThreadPool(int threads)
     : thread_count_(threads < 1 ? 1 : threads) {
   workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));

@@ -43,6 +43,14 @@ namespace rootstress::util {
 /// reads ROOTSTRESS_THREADS, falling back to hardware_concurrency (>= 1).
 int resolve_thread_count(int requested) noexcept;
 
+/// Splits a total lane budget across `outer` concurrent workers: the
+/// lanes each worker may use for its own inner parallelism so that
+/// outer * inner never oversubscribes the budget. Always >= 1 (outer
+/// concurrency beyond the budget degrades gracefully instead of
+/// spawning budget * outer threads). The sweep campaign runner composes
+/// its outer cell workers with ScenarioConfig::threads through this.
+int lanes_per_worker(int lane_budget, int outer_workers) noexcept;
+
 /// Fixed-worker fork/join pool. See file comment for the contract.
 class ThreadPool {
  public:

@@ -1,0 +1,154 @@
+#include "sim/scenario_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rootstress::sim {
+namespace {
+
+TEST(ScenarioBuilder, November2015PresetMatchesLegacyFactory) {
+  const ScenarioConfig legacy = november_2015_scenario();
+  const ScenarioConfig built = ScenarioBuilder::november_2015().build();
+  EXPECT_EQ(built.seed, legacy.seed);
+  EXPECT_EQ(built.start.ms, legacy.start.ms);
+  EXPECT_EQ(built.end.ms, legacy.end.ms);
+  EXPECT_EQ(built.population.vp_count, legacy.population.vp_count);
+  ASSERT_EQ(built.schedule.events().size(), legacy.schedule.events().size());
+  for (std::size_t i = 0; i < built.schedule.events().size(); ++i) {
+    EXPECT_EQ(built.schedule.events()[i].per_letter_qps,
+              legacy.schedule.events()[i].per_letter_qps);
+  }
+}
+
+TEST(ScenarioBuilder, QuietAnd2016PresetsMatchLegacyFactories) {
+  const ScenarioConfig quiet = ScenarioBuilder::quiet_days().build();
+  const ScenarioConfig quiet_legacy = quiet_days_scenario();
+  EXPECT_EQ(quiet.schedule.events().size(),
+            quiet_legacy.schedule.events().size());
+  EXPECT_EQ(quiet.end.ms, quiet_legacy.end.ms);
+
+  const ScenarioConfig y16 = ScenarioBuilder::events_2016().build();
+  const ScenarioConfig y16_legacy = june_2016_scenario();
+  ASSERT_EQ(y16.schedule.events().size(), y16_legacy.schedule.events().size());
+  EXPECT_EQ(y16.end.ms, y16_legacy.end.ms);
+}
+
+TEST(ScenarioBuilder, AttackQpsRewritesEveryScheduledEvent) {
+  const ScenarioConfig config =
+      ScenarioBuilder::november_2015().attack_qps(7.5e6).build();
+  ASSERT_FALSE(config.schedule.events().empty());
+  for (const auto& event : config.schedule.events()) {
+    EXPECT_EQ(event.per_letter_qps, 7.5e6);
+  }
+}
+
+TEST(ScenarioBuilder, DurationClampsPresetProbeWindow) {
+  // The preset probes the full 48h; shortening the span must pull the
+  // window in rather than fail validation.
+  const ScenarioConfig config = ScenarioBuilder::november_2015()
+                                    .duration(net::SimTime::from_hours(12))
+                                    .build();
+  EXPECT_EQ(config.end.ms, net::SimTime::from_hours(12).ms);
+  EXPECT_LE(config.probe_window.end.ms, config.end.ms);
+  EXPECT_GE(config.probe_window.begin.ms, config.start.ms);
+}
+
+TEST(ScenarioBuilder, ExplicitProbeWindowOutsideSpanIsRejected) {
+  std::string error;
+  const auto config =
+      ScenarioBuilder::november_2015()
+          .duration(net::SimTime::from_hours(12))
+          .probe_window({net::SimTime(0), net::SimTime::from_hours(24)})
+          .try_build(&error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(error.find("probe window"), std::string::npos) << error;
+}
+
+TEST(ScenarioBuilder, BaselineWeekExtendsStart) {
+  const ScenarioConfig config =
+      ScenarioBuilder::november_2015().include_baseline_week().build();
+  EXPECT_EQ(config.start.ms, net::SimTime::from_hours(-7 * 24).ms);
+  // Probing still covers only the event days.
+  EXPECT_GE(config.probe_window.begin.ms, 0);
+}
+
+TEST(ScenarioBuilder, RejectsNonPositiveStep) {
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder::quiet_days()
+                   .step(net::SimTime(0))
+                   .try_build(&error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ScenarioBuilder, RejectsEmptySpan) {
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder::quiet_days()
+                   .span(net::SimTime::from_hours(10),
+                         net::SimTime::from_hours(10))
+                   .try_build(&error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ScenarioBuilder, RejectsBinWidthNotMultipleOfStep) {
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder::quiet_days()
+                   .step(net::SimTime::from_seconds(60))
+                   .bin_width(net::SimTime::from_seconds(90))
+                   .try_build(&error)
+                   .has_value());
+  EXPECT_NE(error.find("multiple"), std::string::npos) << error;
+}
+
+TEST(ScenarioBuilder, RejectsBadFlapProbability) {
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder::quiet_days()
+                   .maintenance_flap(1.5)
+                   .try_build(&error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ScenarioBuilder::quiet_days()
+                   .maintenance_flap(-0.1)
+                   .try_build(&error)
+                   .has_value());
+}
+
+TEST(ScenarioBuilder, RejectsNonPositiveCapacityScale) {
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder::november_2015()
+                   .capacity_scale(0.0)
+                   .try_build(&error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ScenarioBuilder, BuildThrowsWithValidateMessage) {
+  try {
+    ScenarioBuilder::quiet_days().step(net::SimTime(0)).build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ScenarioBuilder"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioBuilder, PeekShowsStagedConfigWithoutResolution) {
+  ScenarioBuilder builder = ScenarioBuilder::november_2015();
+  builder.attack_qps(9e6);
+  // peek() must not apply the deferred rewrite; build() must.
+  EXPECT_NE(builder.peek().schedule.events().front().per_letter_qps, 9e6);
+  EXPECT_EQ(builder.build().schedule.events().front().per_letter_qps, 9e6);
+}
+
+TEST(ScenarioBuilder, FluidOnlyDisablesCollection) {
+  const ScenarioConfig config =
+      ScenarioBuilder::november_2015().fluid_only().build();
+  EXPECT_FALSE(config.collect_records);
+  EXPECT_FALSE(config.collect_rssac);
+  EXPECT_FALSE(config.enable_collector);
+}
+
+}  // namespace
+}  // namespace rootstress::sim

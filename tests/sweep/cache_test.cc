@@ -1,0 +1,179 @@
+#include "sweep/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/scenario_builder.h"
+
+namespace rootstress::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+sim::ScenarioConfig base_config() {
+  return sim::ScenarioBuilder::november_2015()
+      .fluid_only()
+      .topology_stubs(200)
+      .duration(net::SimTime::from_hours(10))
+      .build();
+}
+
+RunSummary sample_summary() {
+  RunSummary summary;
+  summary.config_hash = 0xdeadbeefcafef00dull;
+  // Deliberately awkward doubles: non-terminating binary fractions, a
+  // huge magnitude, a denormal-adjacent tiny value.
+  summary.mean_served_attacked = 1.0 / 3.0;
+  summary.worst_letter_loss = 0.1 + 0.2;
+  summary.record_count = 849576;
+  summary.route_changes = 123776;
+  summary.kept_vps = 389;
+  summary.rssac_day0_queries = 1.23456789012345e12;
+  LetterCellSummary b;
+  b.letter = 'B';
+  b.attacked = true;
+  b.served_fraction = 0.07000000000000001;
+  b.baseline_vps = 389;
+  b.min_vps = 12;
+  b.worst_loss = 1.0 - 12.0 / 389.0;
+  b.median_rtt_quiet_ms = 31.25;
+  b.median_rtt_event_ms = 1e-308;
+  b.site_flips = 3;
+  b.route_changes = 42;
+  summary.letters.push_back(b);
+  return summary;
+}
+
+fs::path fresh_dir(const char* name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(ConfigHash, StableAndSeedSensitive) {
+  const sim::ScenarioConfig config = base_config();
+  EXPECT_EQ(config_hash(config), config_hash(config));
+
+  sim::ScenarioConfig other = config;
+  other.seed = config.seed + 1;
+  EXPECT_NE(config_hash(config), config_hash(other));
+}
+
+TEST(ConfigHash, ThreadsAndTelemetryAreExcluded) {
+  // Both are result-invariant by the determinism contract, so a summary
+  // computed at any thread count must serve every other.
+  sim::ScenarioConfig config = base_config();
+  const std::uint64_t reference = config_hash(config);
+  config.threads = 8;
+  EXPECT_EQ(config_hash(config), reference);
+  config.threads = 1;
+  EXPECT_EQ(config_hash(config), reference);
+  config.telemetry = !config.telemetry;
+  EXPECT_EQ(config_hash(config), reference);
+}
+
+TEST(ConfigHash, ResultAffectingKnobsChangeTheHash) {
+  const sim::ScenarioConfig config = base_config();
+  const std::uint64_t reference = config_hash(config);
+
+  sim::ScenarioConfig changed = config;
+  changed.deployment.capacity_scale = 0.5;
+  EXPECT_NE(config_hash(changed), reference);
+
+  changed = config;
+  changed.probe_letters = {'B'};
+  EXPECT_NE(config_hash(changed), reference);
+
+  changed = config;
+  changed.maintenance_flap_per_step = 0.0;
+  EXPECT_NE(config_hash(changed), reference);
+
+  changed = config;
+  changed.adaptive_defense = true;
+  EXPECT_NE(config_hash(changed), reference);
+}
+
+TEST(ConfigHash, SaltChangesTheKey) {
+  const sim::ScenarioConfig config = base_config();
+  EXPECT_NE(config_hash(config, "rootstress-sim-v3"),
+            config_hash(config, "rootstress-sim-v4"));
+}
+
+TEST(Summary, JsonRoundTripIsExact) {
+  const RunSummary original = sample_summary();
+  const auto parsed = summary_from_json(summary_to_json(original));
+  ASSERT_TRUE(parsed.has_value());
+  // Defaulted operator== — every field, doubles bit-for-bit.
+  EXPECT_TRUE(*parsed == original);
+}
+
+TEST(Summary, RejectsForeignJson) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("unrelated", obs::JsonValue(1.0));
+  EXPECT_FALSE(summary_from_json(doc).has_value());
+}
+
+TEST(RunCache, StoreThenLoadRoundTrips) {
+  RunCache cache(fresh_dir("rs_cache_roundtrip"));
+  const RunSummary summary = sample_summary();
+  const std::uint64_t key = summary.config_hash;
+
+  EXPECT_FALSE(cache.load(key).has_value());  // cold miss
+  cache.store(key, summary);
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == summary);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(RunCache, SaltChangeInvalidatesEntries) {
+  const fs::path dir = fresh_dir("rs_cache_salt");
+  const sim::ScenarioConfig config = base_config();
+  {
+    RunCache cache(dir, "salt-a");
+    RunSummary summary = sample_summary();
+    summary.config_hash = cache.key(config);
+    cache.store(summary.config_hash, summary);
+    EXPECT_TRUE(cache.load(cache.key(config)).has_value());
+  }
+  // Same directory, new salt: the key moves, the old entry just misses.
+  RunCache cache(dir, "salt-b");
+  EXPECT_FALSE(cache.load(cache.key(config)).has_value());
+}
+
+TEST(RunCache, CorruptedEntryIsAMiss) {
+  const fs::path dir = fresh_dir("rs_cache_corrupt");
+  RunCache cache(dir);
+  const RunSummary summary = sample_summary();
+  cache.store(summary.config_hash, summary);
+
+  // Truncate/garble every entry file behind the cache's back.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "{torn write";
+  }
+  EXPECT_FALSE(cache.load(summary.config_hash).has_value());
+  EXPECT_GE(cache.stats().invalid, 1u);
+}
+
+TEST(RunCache, WrongSaltStoredEntryIsInvalidNotServed) {
+  // A file present under the right key but carrying a different salt
+  // (e.g. copied between machines) must not be served.
+  const fs::path dir = fresh_dir("rs_cache_stale");
+  const std::uint64_t key = 0x1234abcd5678ef01ull;
+  {
+    RunCache writer(dir, "old-salt");
+    writer.store(key, sample_summary());
+  }
+  RunCache reader(dir, "new-salt");
+  EXPECT_FALSE(reader.load(key).has_value());
+}
+
+}  // namespace
+}  // namespace rootstress::sweep

@@ -1,0 +1,140 @@
+#include "sweep/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario_builder.h"
+#include "sweep/cache.h"
+
+namespace rootstress::sweep {
+namespace {
+
+sim::ScenarioConfig small_base() {
+  return sim::ScenarioBuilder::november_2015()
+      .fluid_only()
+      .topology_stubs(200)
+      .duration(net::SimTime::from_hours(10))
+      .build();
+}
+
+TEST(Campaign, CellCountIsAxisProduct) {
+  Campaign campaign;
+  campaign.base = small_base();
+  EXPECT_EQ(campaign.cell_count(), 1u);  // axis-free: the base is the cell
+  campaign.add(Axis::attack_qps({1e6, 5e6, 1e7}))
+      .add(Axis::capacity_scale({0.5, 1.0}))
+      .add(Axis::replicate_seeds({1, 2}));
+  EXPECT_EQ(campaign.cell_count(), 12u);
+}
+
+TEST(Campaign, AxisFreeCampaignExpandsToBaseCell) {
+  Campaign campaign;
+  campaign.base = small_base();
+  const auto cells = expand(campaign);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label, "base");
+  EXPECT_TRUE(cells[0].coords.empty());
+}
+
+TEST(Campaign, ExpansionIsRowMajorLastAxisFastest) {
+  Campaign campaign;
+  campaign.base = small_base();
+  campaign.add(Axis::attack_qps({1e6, 5e6}))
+      .add(Axis::replicate_seeds({10, 20, 30}));
+  const auto cells = expand(campaign);
+  ASSERT_EQ(cells.size(), 6u);
+  // coords sequence: (0,0) (0,1) (0,2) (1,0) (1,1) (1,2)
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    ASSERT_EQ(cells[i].coords.size(), 2u);
+    EXPECT_EQ(cells[i].coords[0], i / 3);
+    EXPECT_EQ(cells[i].coords[1], i % 3);
+  }
+  EXPECT_EQ(cells[0].config.seed, 10u);
+  EXPECT_EQ(cells[1].config.seed, 20u);
+  EXPECT_EQ(cells[5].config.seed, 30u);
+}
+
+TEST(Campaign, LabelsNameEveryAxisPoint) {
+  Campaign campaign;
+  campaign.base = small_base();
+  campaign.add(Axis::attack_qps({5e6})).add(Axis::capacity_scale({0.5}));
+  const auto cells = expand(campaign);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label, "qps=5e+06/cap=0.5x");
+
+  const Axis letters = Axis::probe_letters({{'B', 'H', 'K'}, {}});
+  EXPECT_EQ(letters.label(0), "letters=BHK");
+  EXPECT_EQ(letters.label(1), "letters=all");
+  EXPECT_EQ(Axis::replicate_seeds({7}).label(0), "seed=7");
+  EXPECT_EQ(Axis::vp_count({400}).label(0), "vps=400");
+  EXPECT_EQ(Axis::policy({core::PolicyRegime::kOracle}).label(0),
+            "policy=oracle-advisor");
+}
+
+TEST(Campaign, AxisApplyTouchesTheRightKnob) {
+  const sim::ScenarioConfig base = small_base();
+
+  sim::ScenarioConfig config = base;
+  Axis::attack_qps({9e6}).apply(0, config);
+  ASSERT_FALSE(config.schedule.events().empty());
+  for (const auto& event : config.schedule.events()) {
+    EXPECT_EQ(event.per_letter_qps, 9e6);
+  }
+
+  config = base;
+  Axis::capacity_scale({0.25}).apply(0, config);
+  EXPECT_EQ(config.deployment.capacity_scale, 0.25);
+
+  config = base;
+  Axis::policy({core::PolicyRegime::kAllAbsorb}).apply(0, config);
+  EXPECT_TRUE(config.deployment.force_policy.has_value());
+
+  config = base;
+  Axis::policy({core::PolicyRegime::kOracle}).apply(0, config);
+  EXPECT_TRUE(config.adaptive_defense);
+
+  config = base;
+  Axis::probe_letters({{'B', 'K'}}).apply(0, config);
+  EXPECT_EQ(config.probe_letters, (std::vector<char>{'B', 'K'}));
+
+  config = base;
+  Axis::vp_count({321}).apply(0, config);
+  EXPECT_EQ(config.population.vp_count, 321);
+}
+
+TEST(Campaign, ExpansionIsDeterministic) {
+  Campaign campaign;
+  campaign.name = "det";
+  campaign.base = small_base();
+  campaign.add(Axis::attack_qps({1e6, 5e6}))
+      .add(Axis::capacity_scale({0.5, 1.0}))
+      .add(Axis::replicate_seeds({1, 2, 3}));
+  const auto a = expand(campaign);
+  const auto b = expand(campaign);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].coords, b[i].coords);
+    // Configs identical down to the content hash.
+    EXPECT_EQ(config_hash(a[i].config), config_hash(b[i].config));
+  }
+}
+
+TEST(Campaign, CellsAreFullyResolvedAndDistinct) {
+  Campaign campaign;
+  campaign.base = small_base();
+  campaign.add(Axis::attack_qps({1e6, 5e6}))
+      .add(Axis::replicate_seeds({1, 2}));
+  const auto cells = expand(campaign);
+  ASSERT_EQ(cells.size(), 4u);
+  // Every cell hashes differently: each is a genuinely different run.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_NE(config_hash(cells[i].config), config_hash(cells[j].config))
+          << cells[i].label << " vs " << cells[j].label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rootstress::sweep

@@ -93,5 +93,14 @@ TEST(ThreadPool, PropagatesFirstExceptionAndSurvives) {
   }
 }
 
+TEST(LanesPerWorker, SplitsTheBudgetAndClampsToOne) {
+  EXPECT_EQ(lanes_per_worker(16, 4), 4);
+  EXPECT_EQ(lanes_per_worker(8, 3), 2);   // floor
+  EXPECT_EQ(lanes_per_worker(4, 8), 1);   // more workers than lanes
+  EXPECT_EQ(lanes_per_worker(1, 1), 1);
+  EXPECT_EQ(lanes_per_worker(0, 0), 1);   // degenerate inputs clamp
+  EXPECT_EQ(lanes_per_worker(-5, -2), 1);
+}
+
 }  // namespace
 }  // namespace rootstress::util
