@@ -1,0 +1,89 @@
+// Playbook controller overhead guard: the closed loop (estimate →
+// match rules → drain actuator) runs inside the serial defense-policy
+// phase every step, so it must stay in the noise. Runs the november
+// fluid scenario with no controller and with the absorb-only playbook
+// (full signal pipeline, zero actuations — pure controller cost) and
+// gates the relative overhead. Writes BENCH_playbook.json (path
+// overridable as argv[1]).
+//
+// Pass criteria: absorb-only adds < 3% wall time over no controller
+// (min-of-reps on both sides to shave scheduler noise), and the
+// controller actually saw the event (detections > 0) so the gate is
+// not measuring a dormant loop.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "rootstress.h"
+
+using namespace rootstress;
+
+namespace {
+
+constexpr int kReps = 5;
+
+sim::ScenarioConfig base_config(bool with_playbook) {
+  sim::ScenarioBuilder builder = sim::ScenarioBuilder::november_2015()
+                                     .fluid_only()
+                                     .topology_stubs(300)
+                                     .duration(net::SimTime::from_hours(10))
+                                     .threads(1);
+  if (with_playbook) builder.playbook(playbook::Playbook::absorb_only());
+  return builder.build();
+}
+
+double min_run_ms(bool with_playbook, sim::SimulationResult* last) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    sim::SimulationEngine engine(base_config(with_playbook));
+    const auto begin = std::chrono::steady_clock::now();
+    *last = engine.run();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count();
+    best = rep == 0 ? ms : std::min(best, ms);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_playbook.json";
+
+  sim::SimulationResult baseline_result, controlled_result;
+  const double baseline_ms = min_run_ms(false, &baseline_result);
+  const double controlled_ms = min_run_ms(true, &controlled_result);
+
+  const double overhead =
+      baseline_ms > 0.0 ? (controlled_ms - baseline_ms) / baseline_ms : 0.0;
+  const bool observed = controlled_result.playbook.detections > 0;
+  const bool pass = overhead < 0.03 && observed;
+
+  std::printf("baseline (no controller): %.1f ms (min of %d)\n", baseline_ms,
+              kReps);
+  std::printf("absorb-only controller:   %.1f ms (min of %d)\n", controlled_ms,
+              kReps);
+  std::printf("overhead: %.2f%% (gate < 3%%), detections=%llu\n",
+              overhead * 100.0,
+              static_cast<unsigned long long>(
+                  controlled_result.playbook.detections));
+
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("bench", obs::JsonValue("playbook"));
+  doc.set("reps", obs::JsonValue(static_cast<double>(kReps)));
+  doc.set("baseline_ms", obs::JsonValue(baseline_ms));
+  doc.set("controlled_ms", obs::JsonValue(controlled_ms));
+  doc.set("overhead_fraction", obs::JsonValue(overhead));
+  doc.set("detections",
+          obs::JsonValue(static_cast<double>(
+              controlled_result.playbook.detections)));
+  doc.set("pass", obs::JsonValue(pass));
+  std::ofstream out(out_path);
+  out << doc.dump() << "\n";
+  std::printf("wrote %s\n", out_path);
+
+  std::puts(pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

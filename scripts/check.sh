@@ -7,7 +7,12 @@
 #   2. Smoke campaign: a 2x2 sweep grid against a fresh cache, run cold
 #      then warm, asserting the warm pass executes ZERO engine runs (the
 #      content-addressed cache contract).
-#   3. Debug build with ThreadSanitizer, running the thread-pool unit
+#   3. Playbook gate: the reactive-controller integration tests on both
+#      engine paths (ROOTSTRESS_THREADS=1 and 4), then the playbook_duel
+#      example, which exits non-zero unless the withdraw plan changes the
+#      answered fraction, threads 1 and 4 agree bit-for-bit, and the
+#      playbook campaign axis caches three distinct digests.
+#   4. Debug build with ThreadSanitizer, running the thread-pool unit
 #      tests and the parallel-determinism integration test under TSan.
 #
 # Usage: scripts/check.sh  (from the repo root; build trees land in
@@ -36,6 +41,17 @@ warm_line=$(./build/check-release/examples/campaign_sweep --smoke \
   --cache "$SWEEP_CACHE" | tee /dev/stderr | grep '^executed=')
 [[ "$warm_line" == executed=0\ cache_hits=4\ * ]] ||
   { echo "FAIL: warm smoke campaign expected executed=0 cache_hits=4, got: $warm_line"; exit 1; }
+
+echo "=== Playbook integration, serial and pooled engines ==="
+ROOTSTRESS_THREADS=1 ./build/check-release/tests/integration_test \
+  --gtest_filter='Playbook*.*'
+ROOTSTRESS_THREADS=4 ./build/check-release/tests/integration_test \
+  --gtest_filter='Playbook*.*'
+
+echo "=== Playbook duel example: reactive arm must move the needle ==="
+DUEL_CACHE="$(mktemp -d)"
+./build/check-release/examples/playbook_duel --quick --cache "$DUEL_CACHE"
+rm -rf "$DUEL_CACHE"
 
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \

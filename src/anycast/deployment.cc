@@ -109,6 +109,7 @@ RootDeployment::RootDeployment(const Config& config) {
                                            : spec.policy_override.value_or(policy);
       sites_.emplace_back(site_id, letter, std::move(spec), location, host_as,
                           facility, site_policy, rng);
+      sites_.back().set_rrl_enabled(config.rrl_enabled);
       svc.site_ids.push_back(site_id);
 
       bgp::AnycastOrigin origin;
@@ -179,6 +180,16 @@ std::vector<bgp::RouteChange> RootDeployment::apply_scope(int site_id,
       obs_ != nullptr ? &obs_->profiler() : nullptr, "bgp-convergence");
   return routing_->set_origin_state(svc.prefix, site_id, announced,
                                     local_only, now);
+}
+
+std::vector<bgp::RouteChange> RootDeployment::apply_prepend(int site_id,
+                                                            int prepend,
+                                                            net::SimTime now) {
+  const AnycastSite& s = site(site_id);
+  const ServiceInfo& svc = service(s.letter());
+  obs::PhaseProfiler::Scope profile(
+      obs_ != nullptr ? &obs_->profiler() : nullptr, "bgp-convergence");
+  return routing_->set_prepend(svc.prefix, site_id, prepend, now);
 }
 
 void RootDeployment::attach_obs(obs::Runtime* obs) {

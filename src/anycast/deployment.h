@@ -42,6 +42,9 @@ class RootDeployment {
     /// When set, every site uses this stress policy (what-if studies),
     /// overriding letter defaults and per-site overrides.
     std::optional<StressPolicy> force_policy;
+    /// Whether sites start with response rate limiting active. Reactive
+    /// playbooks can flip it per site mid-run (enable_rrl / disable_rrl).
+    bool rrl_enabled = true;
   };
 
   explicit RootDeployment(const Config& config);
@@ -73,6 +76,11 @@ class RootDeployment {
   /// Returns the per-AS route changes the transition caused.
   std::vector<bgp::RouteChange> apply_scope(int site_id, SiteScope scope,
                                             net::SimTime now);
+
+  /// Sets the AS-path prepend on a site's announcement (keeps routing in
+  /// sync). Returns the per-AS route changes; empty when nothing moved.
+  std::vector<bgp::RouteChange> apply_prepend(int site_id, int prepend,
+                                              net::SimTime now);
 
   /// Attaches a telemetry runtime (nullable) to routing and every site
   /// (per-letter withdrawal/restore counters, shared queue instruments,

@@ -110,6 +110,18 @@ void AnycastSite::attach_obs(const SiteTelemetry& telemetry) {
   }
 }
 
+void AnycastSite::set_rrl_enabled(bool on) noexcept {
+  rrl_enabled_ = on;
+  for (auto& server : servers_) {
+    server.dns().rrl().set_enabled(on);
+  }
+}
+
+void AnycastSite::scale_capacity(double factor) noexcept {
+  if (factor <= 0.0) return;
+  spec_.capacity_qps *= factor;
+}
+
 int AnycastSite::pick_server(net::Ipv4Addr source) const noexcept {
   return ecmp_pick(source, static_cast<int>(servers_.size()),
                    static_cast<std::uint64_t>(site_id_));

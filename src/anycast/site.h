@@ -82,6 +82,17 @@ class AnycastSite {
   /// Attaches telemetry; also wires each server's RRL instance.
   void attach_obs(const SiteTelemetry& telemetry);
 
+  /// Whether response rate limiting is active at this site. Reactive
+  /// defenses toggle it mid-run; the fluid layer consults this when
+  /// modelling uplink egress and RSSAC response counts.
+  bool rrl_enabled() const noexcept { return rrl_enabled_; }
+  /// Flips RRL on every server of the site.
+  void set_rrl_enabled(bool on) noexcept;
+
+  /// Multiplies the site's capacity by `factor` (> 0): the "surge
+  /// capacity" actuation. Takes effect from the next begin_step().
+  void scale_capacity(double factor) noexcept;
+
   /// Policy state machine (engine drives it each step).
   SitePolicyState& policy_state() noexcept { return policy_state_; }
 
@@ -124,6 +135,7 @@ class AnycastSite {
   SiteScope scope_ = SiteScope::kGlobal;
   SitePolicyState policy_state_;
   std::vector<SiteServer> servers_;
+  bool rrl_enabled_ = true;
 
   // Per-step state.
   double attack_qps_ = 0.0;

@@ -27,7 +27,9 @@ std::vector<RouteChoice> compute_routes(
     if (!origin.announced || origin.local_only) continue;
     const auto idx = topo.index_of(origin.host_as);
     if (!idx) continue;
-    RouteChoice self{RouteClass::kOrigin, origin.site_id, 0,
+    // Prepend hops count into the seed path length, so every path through
+    // this origin looks `prepend` hops longer than it is.
+    RouteChoice self{RouteClass::kOrigin, origin.site_id, origin.prepend,
                      topo.info(*idx).asn};
     if (better(self, best[*idx])) {
       best[*idx] = self;
@@ -87,7 +89,7 @@ std::vector<RouteChoice> compute_routes(
     if (!origin.announced || !origin.local_only) continue;
     const auto idx = topo.index_of(origin.host_as);
     if (!idx) continue;
-    RouteChoice self{RouteClass::kOrigin, origin.site_id, 0,
+    RouteChoice self{RouteClass::kOrigin, origin.site_id, origin.prepend,
                      topo.info(*idx).asn};
     if (better(self, best[*idx])) {
       best[*idx] = self;
@@ -101,7 +103,9 @@ std::vector<RouteChoice> compute_routes(
       if (link.rel == Rel::kProvider) continue;
       const RouteClass cls = link.rel == Rel::kCustomer ? RouteClass::kProvider
                                                         : RouteClass::kPeer;
-      RouteChoice cand{cls, origin.site_id, 1, topo.info(*idx).asn};
+      RouteChoice cand{cls, origin.site_id,
+                       static_cast<std::uint16_t>(1 + origin.prepend),
+                       topo.info(*idx).asn};
       if (better(cand, best[link.neighbor])) {
         best[link.neighbor] = cand;
         scoped[link.neighbor] = 1;

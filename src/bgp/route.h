@@ -62,6 +62,10 @@ struct AnycastOrigin {
   net::Asn host_as{};
   bool announced = true;
   bool local_only = false;
+  /// AS-path prepend hops on this origin's announcement. Lengthens the
+  /// apparent path, shrinking the site's catchment without withdrawing it
+  /// (the classic traffic-engineering nudge).
+  std::uint16_t prepend = 0;
 };
 
 }  // namespace rootstress::bgp

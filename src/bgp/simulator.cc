@@ -71,6 +71,31 @@ std::vector<RouteChange> AnycastRouting::set_origin_state(int prefix,
   return recompute(prefix, now);
 }
 
+std::vector<RouteChange> AnycastRouting::set_prepend(int prefix, int site_id,
+                                                     int prepend,
+                                                     net::SimTime now) {
+  Table& table = tables_.at(prefix);
+  const auto value = static_cast<std::uint16_t>(prepend < 0 ? 0 : prepend);
+  bool toggled = false;
+  for (auto& origin : table.origins) {
+    if (origin.site_id == site_id && origin.prepend != value) {
+      origin.prepend = value;
+      toggled = true;
+    }
+  }
+  if (!toggled) return {};
+  RS_LOG_INFO << table.label << " site " << site_id << " prepend -> "
+              << value << " at " << now.to_string();
+  return recompute(prefix, now);
+}
+
+int AnycastRouting::prepend(int prefix, int site_id) const {
+  for (const auto& origin : tables_.at(prefix).origins) {
+    if (origin.site_id == site_id) return origin.prepend;
+  }
+  return 0;
+}
+
 bool AnycastRouting::announced(int prefix, int site_id) const {
   for (const auto& origin : tables_.at(prefix).origins) {
     if (origin.site_id == site_id) return origin.announced;

@@ -69,6 +69,15 @@ class AnycastRouting {
                                             bool announced, bool local_only,
                                             net::SimTime now);
 
+  /// Sets the AS-path prepend on `site_id`'s announcement of `prefix`
+  /// (traffic engineering: longer apparent path, smaller catchment).
+  /// Recomputes and returns changes when the value actually moved.
+  std::vector<RouteChange> set_prepend(int prefix, int site_id, int prepend,
+                                       net::SimTime now);
+
+  /// Current prepend of a site's origin (0 if the site is unknown).
+  int prepend(int prefix, int site_id) const;
+
   /// Observer for route changes (the collector). Called once per
   /// recomputation with all changes of that recomputation.
   using Observer = std::function<void(int prefix,

@@ -59,6 +59,11 @@ class ResponseRateLimiter {
 
   const RrlConfig& config() const noexcept { return config_; }
 
+  /// Turns the limiter on or off at runtime (reactive defenses toggle RRL
+  /// mid-run). Bucket state is kept, so re-enabling resumes where the
+  /// limiter left off.
+  void set_enabled(bool on) noexcept { config_.enabled = on; }
+
   /// Attaches telemetry (nullable): per-letter respond/drop/slip counters
   /// plus an "rrl-suppression" trace event + debug log when a limiter
   /// first starts suppressing. `site` is the "X-APT" label used in

@@ -20,6 +20,9 @@ const char* to_string(TraceEventType type) noexcept {
     case TraceEventType::kQueueOverloadEnd: return "queue-overload-end";
     case TraceEventType::kDefenseActivation: return "defense-activation";
     case TraceEventType::kRrlSuppression: return "rrl-suppression";
+    case TraceEventType::kPlaybookDetection: return "playbook-detection";
+    case TraceEventType::kPlaybookAction: return "playbook-action";
+    case TraceEventType::kWithdrawVeto: return "policy-withdraw-veto";
     case TraceEventType::kLog: return "log";
   }
   return "?";

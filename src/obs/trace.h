@@ -36,6 +36,9 @@ enum class TraceEventType : std::uint8_t {
   kQueueOverloadEnd,   ///< the overload episode ended
   kDefenseActivation,  ///< adaptive defense decided to act on a site
   kRrlSuppression,     ///< an RRL bucket started suppressing responses
+  kPlaybookDetection,  ///< the playbook estimator confirmed a site attack
+  kPlaybookAction,     ///< a playbook rule scheduled / applied an action
+  kWithdrawVeto,       ///< a withdrawal was refused (last-global-site guard)
   kLog,                ///< a log line routed through the sink
 };
 

@@ -1,0 +1,63 @@
+#include "playbook/actuator.h"
+
+#include <algorithm>
+
+namespace rootstress::playbook {
+
+net::SimTime Actuator::delay_for(const Action& action) const noexcept {
+  switch (action.kind) {
+    case ActionKind::kWithdrawSite:
+    case ActionKind::kPartialWithdraw:
+    case ActionKind::kRestoreSite:
+    case ActionKind::kPrependPath:
+      return delays_.bgp;
+    case ActionKind::kScaleCapacity:
+    case ActionKind::kEnableRrl:
+    case ActionKind::kDisableRrl:
+      return delays_.local;
+  }
+  return delays_.local;
+}
+
+bool Actuator::schedule(int site_id, int rule_index, const Action& action,
+                        net::SimTime now) {
+  for (const PendingActuation& pending : queue_) {
+    if (pending.site_id == site_id && pending.action == action) return false;
+  }
+  PendingActuation entry;
+  entry.due = now + delay_for(action);
+  entry.sequence = next_sequence_++;
+  entry.site_id = site_id;
+  entry.rule_index = rule_index;
+  entry.action = action;
+  queue_.push_back(entry);
+  return true;
+}
+
+void Actuator::drain(net::SimTime now, ActuationBackend& backend,
+                     const std::function<void(const PendingActuation&,
+                                              ActuationOutcome)>& done) {
+  if (queue_.empty()) return;
+  // Due entries, oldest decision first. The queue is small (pending
+  // actions per site per rule are deduplicated), so a sort per drain is
+  // cheap and keeps the application order obviously deterministic.
+  std::vector<PendingActuation> due;
+  for (const PendingActuation& pending : queue_) {
+    if (pending.due <= now) due.push_back(pending);
+  }
+  if (due.empty()) return;
+  std::sort(due.begin(), due.end(),
+            [](const PendingActuation& a, const PendingActuation& b) {
+              if (a.due.ms != b.due.ms) return a.due.ms < b.due.ms;
+              return a.sequence < b.sequence;
+            });
+  std::erase_if(queue_,
+                [now](const PendingActuation& p) { return p.due <= now; });
+  for (const PendingActuation& pending : due) {
+    const ActuationOutcome outcome =
+        backend.actuate(pending.site_id, pending.action, now);
+    if (done) done(pending, outcome);
+  }
+}
+
+}  // namespace rootstress::playbook

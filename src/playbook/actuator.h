@@ -1,0 +1,79 @@
+// The actuation layer between playbook decisions and the world.
+//
+// Decisions do not take effect when made: routing changes propagate at
+// BGP-convergence speed, local configuration at operator speed. The
+// Actuator queues decided actions with their per-kind delay and applies
+// the due ones each step through an ActuationBackend, which may veto
+// (mirroring SitePolicyState::veto_withdrawal — a letter's last global
+// site stays up as a degraded absorber no matter what the plan says).
+//
+// Determinism: the queue is drained in (due time, decision sequence)
+// order, both of which derive from simulation state only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/clock.h"
+#include "playbook/rules.h"
+
+namespace rootstress::playbook {
+
+/// What applying one action did.
+enum class ActuationOutcome : std::uint8_t {
+  kApplied,  ///< the world changed
+  kNoop,     ///< already in the target state
+  kVetoed,   ///< refused (e.g. last-global-site guard)
+};
+
+/// Applies actions to the simulated world; the engine implements this
+/// over its deployment. Implementations must be deterministic.
+class ActuationBackend {
+ public:
+  virtual ~ActuationBackend() = default;
+  virtual ActuationOutcome actuate(int site_id, const Action& action,
+                                   net::SimTime now) = 0;
+};
+
+/// One decided-but-not-yet-effective action.
+struct PendingActuation {
+  net::SimTime due{};
+  std::uint64_t sequence = 0;  ///< decision order; ties on `due` break by this
+  int site_id = -1;
+  int rule_index = -1;
+  Action action{};
+};
+
+/// Delay queue for decided actions.
+class Actuator {
+ public:
+  explicit Actuator(ActuationDelays delays) : delays_(delays) {}
+
+  /// Propagation delay for an action kind: routing knobs (withdraw,
+  /// restore, prepend) pay the BGP delay, everything else the local one.
+  net::SimTime delay_for(const Action& action) const noexcept;
+
+  /// Queues `action` against `site_id`, due after its delay. Returns
+  /// false (and queues nothing) when an identical action for the site is
+  /// already pending — rules re-firing every step must not pile up.
+  bool schedule(int site_id, int rule_index, const Action& action,
+                net::SimTime now);
+
+  /// Applies every action due at `now` in (due, sequence) order and
+  /// reports each outcome through `done` (nullable).
+  void drain(net::SimTime now, ActuationBackend& backend,
+             const std::function<void(const PendingActuation&,
+                                      ActuationOutcome)>& done);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  const ActuationDelays& delays() const noexcept { return delays_; }
+
+ private:
+  ActuationDelays delays_;
+  std::vector<PendingActuation> queue_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace rootstress::playbook

@@ -1,0 +1,190 @@
+#include "playbook/controller.h"
+
+#include <string>
+
+#include "obs/runtime.h"
+
+namespace rootstress::playbook {
+
+namespace {
+
+std::string site_label(int site_id) {
+  return "site-" + std::to_string(site_id);
+}
+
+bool takes_announcement(ActionKind kind) noexcept {
+  return kind == ActionKind::kWithdrawSite ||
+         kind == ActionKind::kPartialWithdraw;
+}
+
+}  // namespace
+
+PlaybookController::PlaybookController(Playbook playbook,
+                                       std::size_t site_count)
+    : playbook_(std::move(playbook)),
+      estimator_(playbook_.signals, site_count),
+      actuator_(playbook_.delays),
+      rule_state_(playbook_.rules.size(),
+                  std::vector<RuleSiteState>(site_count)),
+      held_(site_count, 0),
+      was_detected_(site_count, 0) {
+  stats_.rules.reserve(playbook_.rules.size());
+  for (const Rule& rule : playbook_.rules) {
+    RuleStats rs;
+    rs.name = rule.name;
+    stats_.rules.push_back(std::move(rs));
+  }
+}
+
+void PlaybookController::attach_obs(obs::Runtime* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  c_detections_ = &obs_->metrics().counter("playbook.detections");
+  c_vetoes_ = &obs_->metrics().counter("playbook.vetoes");
+  c_rule_activations_.clear();
+  c_rule_activations_.reserve(playbook_.rules.size());
+  for (const Rule& rule : playbook_.rules) {
+    c_rule_activations_.push_back(&obs_->metrics().counter(
+        "playbook.activations", obs::Labels{{"rule", rule.name}}));
+  }
+}
+
+bool PlaybookController::trigger_holds(const Trigger& trigger,
+                                       const SiteSignal& signal) const {
+  switch (trigger.kind) {
+    case TriggerKind::kLossAbove:
+      return signal.detected && signal.loss_ema >= trigger.threshold;
+    case TriggerKind::kRttInflation:
+      return signal.detected &&
+             signal.delay_ema_ms >= trigger.threshold * signal.baseline_delay_ms;
+    case TriggerKind::kUtilizationAbove:
+      return signal.detected && signal.util_ema >= trigger.threshold;
+    case TriggerKind::kLossBelow:
+      return signal.loss_ema <= trigger.threshold;
+  }
+  return false;
+}
+
+bool PlaybookController::action_applicable(const Action& action,
+                                           std::size_t site) const {
+  // Announcement-taking actions only make sense while the playbook does
+  // not already hold the site; restore only while it does. Everything
+  // else (RRL, capacity, prepend) is idempotent at the backend, which
+  // reports kNoop — but re-scheduling a withdrawal of a dark site every
+  // step would burn the rule's activation budget for nothing.
+  if (takes_announcement(action.kind)) return held_[site] == 0;
+  if (action.kind == ActionKind::kRestoreSite) return held_[site] != 0;
+  return true;
+}
+
+void PlaybookController::step(net::SimTime now,
+                              std::span<const SiteObservation> observations,
+                              ActuationBackend& backend) {
+  estimator_.observe(now, observations);
+
+  const double on_loss = playbook_.signals.on_loss;
+  for (std::size_t s = 0; s < observations.size(); ++s) {
+    if (stats_.first_signal_ms < 0 &&
+        1.0 - observations[s].answered_fraction >= on_loss) {
+      stats_.first_signal_ms = now.ms;
+    }
+    const SiteSignal& signal = estimator_.site(s);
+    const bool was = was_detected_[s] != 0;
+    if (signal.detected && !was) {
+      ++stats_.detections;
+      if (stats_.first_detection_ms < 0) stats_.first_detection_ms = now.ms;
+      if (c_detections_ != nullptr) c_detections_->add();
+      obs::emit_event(obs_, obs::TraceEventType::kPlaybookDetection, now, '-',
+                      site_label(static_cast<int>(s)), "attack detected",
+                      signal.loss_ema);
+    }
+    was_detected_[s] = signal.detected ? 1 : 0;
+  }
+
+  // Decide: rules in declaration order, sites in id order. All state the
+  // decisions read was fixed above, so the loop order is only about
+  // actuator sequence numbers (and therefore tie-breaks), which must not
+  // depend on anything but the playbook itself.
+  for (std::size_t r = 0; r < playbook_.rules.size(); ++r) {
+    const Rule& rule = playbook_.rules[r];
+    std::vector<RuleSiteState>& per_site = rule_state_[r];
+    for (std::size_t s = 0; s < per_site.size(); ++s) {
+      RuleSiteState& state = per_site[s];
+      if (!trigger_holds(rule.trigger, estimator_.site(s))) {
+        state.streak = 0;
+        continue;
+      }
+      ++state.streak;
+      if (state.streak < rule.trigger.for_steps) continue;
+      if (state.last_fired.ms >= 0 &&
+          now.ms - state.last_fired.ms < rule.cooldown.ms) {
+        continue;
+      }
+      if (rule.max_activations > 0 &&
+          state.activations >= rule.max_activations) {
+        continue;
+      }
+      if (!action_applicable(rule.action, s)) continue;
+      if (!actuator_.schedule(static_cast<int>(s), static_cast<int>(r),
+                              rule.action, now)) {
+        continue;  // identical action already in flight
+      }
+      state.last_fired = now;
+      ++state.activations;
+      ++stats_.rules[r].fired;
+      obs::emit_event(obs_, obs::TraceEventType::kPlaybookAction, now, '-',
+                      site_label(static_cast<int>(s)),
+                      rule.name + ": scheduled " +
+                          to_string(rule.action.kind),
+                      rule.action.amount);
+    }
+  }
+
+  actuator_.drain(now, backend,
+                  [this, now](const PendingActuation& pending,
+                              ActuationOutcome outcome) {
+                    on_actuated(pending, outcome, now);
+                  });
+}
+
+void PlaybookController::on_actuated(const PendingActuation& pending,
+                                     ActuationOutcome outcome,
+                                     net::SimTime now) {
+  const std::size_t r = static_cast<std::size_t>(pending.rule_index);
+  const std::string& rule_name =
+      r < stats_.rules.size() ? stats_.rules[r].name : playbook_.name;
+  switch (outcome) {
+    case ActuationOutcome::kApplied: {
+      ++stats_.activations;
+      if (stats_.first_activation_ms < 0) stats_.first_activation_ms = now.ms;
+      if (r < stats_.rules.size()) ++stats_.rules[r].applied;
+      if (r < c_rule_activations_.size()) c_rule_activations_[r]->add();
+      obs::emit_event(obs_, obs::TraceEventType::kPlaybookAction, now, '-',
+                      site_label(pending.site_id),
+                      rule_name + ": applied " +
+                          to_string(pending.action.kind),
+                      pending.action.amount);
+      const std::size_t site = static_cast<std::size_t>(pending.site_id);
+      if (site < held_.size()) {
+        if (takes_announcement(pending.action.kind)) held_[site] = 1;
+        if (pending.action.kind == ActionKind::kRestoreSite) held_[site] = 0;
+      }
+      break;
+    }
+    case ActuationOutcome::kVetoed: {
+      ++stats_.vetoes;
+      if (r < stats_.rules.size()) ++stats_.rules[r].vetoed;
+      if (c_vetoes_ != nullptr) c_vetoes_->add();
+      obs::emit_event(obs_, obs::TraceEventType::kWithdrawVeto, now, '-',
+                      site_label(pending.site_id),
+                      rule_name + ": vetoed " +
+                          to_string(pending.action.kind),
+                      pending.action.amount);
+      break;
+    }
+    case ActuationOutcome::kNoop:
+      break;
+  }
+}
+
+}  // namespace rootstress::playbook

@@ -1,0 +1,116 @@
+// The closed loop: estimator -> rules -> actuator, once per engine step.
+//
+// The controller is the per-run instance of a Playbook. Each step it
+// folds the operator-view observations into the SignalEstimator,
+// evaluates every rule against every site's evidence (in rule order,
+// then site-id order), schedules fired actions on the Actuator, and
+// drains whatever came due through the engine's ActuationBackend.
+//
+// Determinism: the whole step is a pure function of (playbook, prior
+// controller state, this step's observations). There is no RNG, no wall
+// clock, and the engine calls step() from its serial defense-policy
+// phase, so decisions are bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/clock.h"
+#include "playbook/actuator.h"
+#include "playbook/rules.h"
+#include "playbook/signal.h"
+
+namespace rootstress::obs {
+class Counter;
+class Runtime;
+}  // namespace rootstress::obs
+
+namespace rootstress::playbook {
+
+/// Per-rule lifetime counters.
+struct RuleStats {
+  std::string name;
+  std::uint64_t fired = 0;    ///< trigger matched, action scheduled
+  std::uint64_t applied = 0;  ///< actuation changed the world
+  std::uint64_t vetoed = 0;   ///< actuation refused by the backend
+
+  bool operator==(const RuleStats&) const = default;
+};
+
+/// What the controller did over one run. Carried on SimulationResult and
+/// digested into sweep::RunSummary.
+struct PlaybookRunStats {
+  std::uint64_t detections = 0;   ///< site detection onsets
+  std::uint64_t activations = 0;  ///< applied actuations (all rules)
+  std::uint64_t vetoes = 0;
+  std::int64_t first_signal_ms = -1;      ///< first hot raw observation
+  std::int64_t first_detection_ms = -1;   ///< first confirmed detection
+  std::int64_t first_activation_ms = -1;  ///< first applied actuation
+  std::vector<RuleStats> rules;           ///< one per playbook rule
+
+  /// Confirmed-detection latency behind the first raw evidence; -1 when
+  /// either never happened.
+  std::int64_t detection_lag_ms() const noexcept {
+    if (first_signal_ms < 0 || first_detection_ms < 0) return -1;
+    return first_detection_ms - first_signal_ms;
+  }
+
+  bool operator==(const PlaybookRunStats&) const = default;
+};
+
+/// Runs one playbook against one deployment's observation stream.
+class PlaybookController {
+ public:
+  PlaybookController(Playbook playbook, std::size_t site_count);
+
+  /// Wires metrics + trace (nullable): playbook.activations{rule=...},
+  /// playbook.vetoes, playbook.detections counters and per-rule
+  /// playbook-action trace events.
+  void attach_obs(obs::Runtime* obs);
+
+  /// One control step. `observations` is indexed by site id and must
+  /// cover every site; `backend` applies due actions.
+  void step(net::SimTime now, std::span<const SiteObservation> observations,
+            ActuationBackend& backend);
+
+  /// True while the playbook manages this site's announcement (it applied
+  /// a withdrawal not yet restored). The engine's static policy pass
+  /// skips held sites: reactive rules outrank static regimes.
+  bool holds(int site_id) const noexcept {
+    return held_[static_cast<std::size_t>(site_id)] != 0;
+  }
+
+  const PlaybookRunStats& stats() const noexcept { return stats_; }
+  const Playbook& playbook() const noexcept { return playbook_; }
+  const SignalEstimator& estimator() const noexcept { return estimator_; }
+
+ private:
+  struct RuleSiteState {
+    int streak = 0;       ///< consecutive steps the trigger held
+    int activations = 0;  ///< schedules charged against max_activations
+    net::SimTime last_fired{-1};  ///< -1 = never
+  };
+
+  bool trigger_holds(const Trigger& trigger, const SiteSignal& signal) const;
+  bool action_applicable(const Action& action, std::size_t site) const;
+  void on_actuated(const PendingActuation& pending, ActuationOutcome outcome,
+                   net::SimTime now);
+
+  Playbook playbook_;
+  SignalEstimator estimator_;
+  Actuator actuator_;
+  /// [rule][site] trigger/cooldown state.
+  std::vector<std::vector<RuleSiteState>> rule_state_;
+  std::vector<char> held_;          ///< sites whose scope the playbook owns
+  std::vector<char> was_detected_;  ///< previous-step detection state
+  PlaybookRunStats stats_;
+
+  obs::Runtime* obs_ = nullptr;
+  obs::Counter* c_vetoes_ = nullptr;
+  obs::Counter* c_detections_ = nullptr;
+  std::vector<obs::Counter*> c_rule_activations_;  ///< one per rule
+};
+
+}  // namespace rootstress::playbook

@@ -1,0 +1,189 @@
+#include "playbook/rules.h"
+
+#include <algorithm>
+
+namespace rootstress::playbook {
+
+const char* to_string(TriggerKind kind) noexcept {
+  switch (kind) {
+    case TriggerKind::kLossAbove: return "loss-above";
+    case TriggerKind::kRttInflation: return "rtt-inflation";
+    case TriggerKind::kUtilizationAbove: return "utilization-above";
+    case TriggerKind::kLossBelow: return "loss-below";
+  }
+  return "?";
+}
+
+const char* to_string(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kWithdrawSite: return "withdraw-site";
+    case ActionKind::kPartialWithdraw: return "partial-withdraw";
+    case ActionKind::kRestoreSite: return "restore-site";
+    case ActionKind::kScaleCapacity: return "scale-capacity";
+    case ActionKind::kEnableRrl: return "enable-rrl";
+    case ActionKind::kDisableRrl: return "disable-rrl";
+    case ActionKind::kPrependPath: return "prepend-path";
+  }
+  return "?";
+}
+
+Trigger Trigger::loss_above(double loss, int for_steps) {
+  return Trigger{TriggerKind::kLossAbove, loss, for_steps};
+}
+
+Trigger Trigger::rtt_inflation(double factor, int for_steps) {
+  return Trigger{TriggerKind::kRttInflation, factor, for_steps};
+}
+
+Trigger Trigger::utilization_above(double ratio, int for_steps) {
+  return Trigger{TriggerKind::kUtilizationAbove, ratio, for_steps};
+}
+
+Trigger Trigger::loss_below(double loss, int for_steps) {
+  return Trigger{TriggerKind::kLossBelow, loss, for_steps};
+}
+
+Action Action::withdraw_site() { return Action{ActionKind::kWithdrawSite, 0.0}; }
+Action Action::partial_withdraw() {
+  return Action{ActionKind::kPartialWithdraw, 0.0};
+}
+Action Action::restore_site() { return Action{ActionKind::kRestoreSite, 0.0}; }
+Action Action::scale_capacity(double factor) {
+  return Action{ActionKind::kScaleCapacity, factor};
+}
+Action Action::enable_rrl() { return Action{ActionKind::kEnableRrl, 0.0}; }
+Action Action::disable_rrl() { return Action{ActionKind::kDisableRrl, 0.0}; }
+Action Action::prepend_path(int hops) {
+  return Action{ActionKind::kPrependPath, static_cast<double>(hops)};
+}
+
+Playbook Playbook::absorb_only() {
+  Playbook p;
+  p.name = "absorb-only";
+  return p;
+}
+
+Playbook Playbook::withdraw_at_threshold(double loss_threshold) {
+  Playbook p;
+  p.name = "withdraw-at-threshold";
+  p.rules.push_back(Rule{
+      "withdraw-on-loss",
+      Trigger::loss_above(loss_threshold, /*for_steps=*/3),
+      Action::withdraw_site(),
+      net::SimTime::from_minutes(20),
+      /*max_activations=*/0,
+  });
+  p.rules.push_back(Rule{
+      "restore-on-recovery",
+      Trigger::loss_below(0.02, /*for_steps=*/30),
+      Action::restore_site(),
+      net::SimTime::from_minutes(30),
+      /*max_activations=*/0,
+  });
+  return p;
+}
+
+Playbook Playbook::layered_defense(double loss_threshold) {
+  Playbook p;
+  p.name = "layered-rrl-withdraw";
+  p.rules.push_back(Rule{
+      "rrl-on-detection",
+      Trigger::loss_above(p.signals.on_loss, /*for_steps=*/1),
+      Action::enable_rrl(),
+      net::SimTime::from_minutes(10),
+      /*max_activations=*/0,
+  });
+  p.rules.push_back(Rule{
+      "partial-withdraw-on-loss",
+      Trigger::loss_above(loss_threshold, /*for_steps=*/3),
+      Action::partial_withdraw(),
+      net::SimTime::from_minutes(20),
+      /*max_activations=*/0,
+  });
+  p.rules.push_back(Rule{
+      "withdraw-as-last-resort",
+      Trigger::loss_above(std::min(1.0, loss_threshold + 0.3),
+                          /*for_steps=*/5),
+      Action::withdraw_site(),
+      net::SimTime::from_minutes(30),
+      /*max_activations=*/2,
+  });
+  p.rules.push_back(Rule{
+      "restore-on-recovery",
+      Trigger::loss_below(0.02, /*for_steps=*/30),
+      Action::restore_site(),
+      net::SimTime::from_minutes(30),
+      /*max_activations=*/0,
+  });
+  return p;
+}
+
+std::string validate(const Playbook& playbook) {
+  if (std::string problem = validate(playbook.signals); !problem.empty()) {
+    return "signals: " + problem;
+  }
+  if (playbook.delays.bgp.ms < 0 || playbook.delays.local.ms < 0) {
+    return "actuation delays must be non-negative";
+  }
+  for (std::size_t i = 0; i < playbook.rules.size(); ++i) {
+    const Rule& rule = playbook.rules[i];
+    const std::string where =
+        "rule " + std::to_string(i) +
+        (rule.name.empty() ? std::string() : " ('" + rule.name + "')");
+    if (rule.trigger.for_steps < 1) {
+      return where + ": trigger for_steps must be >= 1";
+    }
+    if (rule.trigger.threshold < 0.0) {
+      return where + ": trigger threshold must be non-negative";
+    }
+    if ((rule.trigger.kind == TriggerKind::kLossAbove ||
+         rule.trigger.kind == TriggerKind::kLossBelow) &&
+        rule.trigger.threshold > 1.0) {
+      return where + ": loss threshold must be <= 1";
+    }
+    if (rule.cooldown.ms < 0) return where + ": cooldown must be non-negative";
+    if (rule.max_activations < 0) {
+      return where + ": max_activations must be >= 0";
+    }
+    if (rule.action.kind == ActionKind::kScaleCapacity &&
+        rule.action.amount <= 0.0) {
+      return where + ": scale_capacity amount must be > 0";
+    }
+    if (rule.action.kind == ActionKind::kPrependPath &&
+        (rule.action.amount < 0.0 || rule.action.amount > 16.0)) {
+      return where + ": prepend_path hops must be in [0, 16]";
+    }
+  }
+  return {};
+}
+
+obs::JsonValue playbook_fingerprint(const Playbook& playbook) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  obs::JsonValue signals = obs::JsonValue::object();
+  signals.set("on_loss", obs::JsonValue(playbook.signals.on_loss));
+  signals.set("off_loss", obs::JsonValue(playbook.signals.off_loss));
+  signals.set("confirm_steps", obs::JsonValue(playbook.signals.confirm_steps));
+  signals.set("clear_steps", obs::JsonValue(playbook.signals.clear_steps));
+  signals.set("ema_alpha", obs::JsonValue(playbook.signals.ema_alpha));
+  doc.set("signals", std::move(signals));
+  obs::JsonValue delays = obs::JsonValue::object();
+  delays.set("bgp_ms", obs::JsonValue(playbook.delays.bgp.ms));
+  delays.set("local_ms", obs::JsonValue(playbook.delays.local.ms));
+  doc.set("delays", std::move(delays));
+  obs::JsonValue rules = obs::JsonValue::array();
+  for (const Rule& rule : playbook.rules) {
+    obs::JsonValue r = obs::JsonValue::object();
+    r.set("trigger", obs::JsonValue(to_string(rule.trigger.kind)));
+    r.set("threshold", obs::JsonValue(rule.trigger.threshold));
+    r.set("for_steps", obs::JsonValue(rule.trigger.for_steps));
+    r.set("action", obs::JsonValue(to_string(rule.action.kind)));
+    r.set("amount", obs::JsonValue(rule.action.amount));
+    r.set("cooldown_ms", obs::JsonValue(rule.cooldown.ms));
+    r.set("max_activations", obs::JsonValue(rule.max_activations));
+    rules.push_back(std::move(r));
+  }
+  doc.set("rules", std::move(rules));
+  return doc;
+}
+
+}  // namespace rootstress::playbook

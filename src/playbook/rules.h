@@ -1,0 +1,125 @@
+// Declarative reaction playbooks: ordered trigger -> action rules.
+//
+// A Playbook is the operator's written-down reaction plan (the "network
+// playbooks" of the Anycast Agility line of work): which evidence fires
+// which knob, how long to wait before re-deciding, and how often a knob
+// may be pulled at all. Rules are data, not code — campaigns sweep whole
+// playbooks the way they sweep attack rates, and the cache fingerprints
+// them so distinct plans never collide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/clock.h"
+#include "obs/json.h"
+#include "playbook/signal.h"
+
+namespace rootstress::playbook {
+
+/// Evidence predicate a rule waits on. Thresholds are evaluated against
+/// the estimator's smoothed per-site signals, never raw ground truth.
+enum class TriggerKind : std::uint8_t {
+  kLossAbove,         ///< loss EMA >= threshold (requires detection)
+  kRttInflation,      ///< delay EMA >= threshold x quiet baseline (requires detection)
+  kUtilizationAbove,  ///< utilization EMA >= threshold (requires detection)
+  kLossBelow,         ///< loss EMA <= threshold (recovery; no detection gate)
+};
+
+const char* to_string(TriggerKind kind) noexcept;
+
+struct Trigger {
+  TriggerKind kind = TriggerKind::kLossAbove;
+  double threshold = 0.0;
+  /// Consecutive controller steps the predicate must hold before the rule
+  /// fires (on top of the estimator's own confirm latency).
+  int for_steps = 1;
+
+  static Trigger loss_above(double loss, int for_steps = 1);
+  static Trigger rtt_inflation(double factor, int for_steps = 1);
+  static Trigger utilization_above(double ratio, int for_steps = 1);
+  static Trigger loss_below(double loss, int for_steps = 1);
+
+  bool operator==(const Trigger&) const = default;
+};
+
+/// The knob a rule pulls on the triggering site.
+enum class ActionKind : std::uint8_t {
+  kWithdrawSite,     ///< full withdrawal (site goes dark)
+  kPartialWithdraw,  ///< drop transit, keep direct peers (NO_EXPORT)
+  kRestoreSite,      ///< re-announce a site this playbook pulled
+  kScaleCapacity,    ///< multiply site capacity by `amount` (surge capacity)
+  kEnableRrl,        ///< turn response rate limiting on
+  kDisableRrl,       ///< turn response rate limiting off
+  kPrependPath,      ///< AS-path prepend the site's announcement by `amount`
+};
+
+const char* to_string(ActionKind kind) noexcept;
+
+struct Action {
+  ActionKind kind = ActionKind::kWithdrawSite;
+  double amount = 0.0;  ///< kScaleCapacity factor / kPrependPath hop count
+
+  static Action withdraw_site();
+  static Action partial_withdraw();
+  static Action restore_site();
+  static Action scale_capacity(double factor);
+  static Action enable_rrl();
+  static Action disable_rrl();
+  static Action prepend_path(int hops);
+
+  bool operator==(const Action&) const = default;
+};
+
+/// One line of the playbook. Evaluated per site, in declaration order.
+struct Rule {
+  std::string name;  ///< label for stats / trace events
+  Trigger trigger{};
+  Action action{};
+  /// Minimum time between this rule's activations on the same site.
+  net::SimTime cooldown = net::SimTime::from_minutes(20);
+  /// Per-site activation budget; 0 = unlimited.
+  int max_activations = 0;
+
+  bool operator==(const Rule&) const = default;
+};
+
+/// How long actuations take to become effective. Routing changes wait for
+/// BGP convergence; local configuration (RRL, capacity) is near-instant.
+struct ActuationDelays {
+  net::SimTime bgp = net::SimTime::from_minutes(2);
+  net::SimTime local = net::SimTime::from_seconds(30);
+
+  bool operator==(const ActuationDelays&) const = default;
+};
+
+/// A full reaction plan.
+struct Playbook {
+  std::string name = "absorb-only";
+  SignalConfig signals{};
+  ActuationDelays delays{};
+  std::vector<Rule> rules;  ///< evaluated in order
+
+  /// Monitor-only: detection runs, nothing actuates (the paper's 2015
+  /// absorber baseline).
+  static Playbook absorb_only();
+  /// Withdraw a site once its confirmed loss passes `loss_threshold`,
+  /// restore after sustained recovery.
+  static Playbook withdraw_at_threshold(double loss_threshold = 0.35);
+  /// Layered defense: RRL first on detection, partial withdrawal under
+  /// sustained loss, full withdrawal as the last resort, staged recovery.
+  static Playbook layered_defense(double loss_threshold = 0.35);
+
+  bool operator==(const Playbook&) const = default;
+};
+
+/// Empty when the playbook is usable, else the first problem.
+std::string validate(const Playbook& playbook);
+
+/// Canonical JSON fingerprint of everything that affects results. The
+/// name is deliberately excluded: it is a display label, and two plans
+/// with identical rules simulate identically.
+obs::JsonValue playbook_fingerprint(const Playbook& playbook);
+
+}  // namespace rootstress::playbook

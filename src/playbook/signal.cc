@@ -1,0 +1,79 @@
+#include "playbook/signal.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rootstress::playbook {
+
+namespace {
+/// Baseline delay adapts much slower than the step EMAs: it should track
+/// the quiet-time level across hours, not chase the onset of an event.
+constexpr double kBaselineAlpha = 0.05;
+constexpr double kBaselineFloorMs = 1.0;
+}  // namespace
+
+std::string validate(const SignalConfig& config) {
+  if (!(config.on_loss > 0.0 && config.on_loss <= 1.0)) {
+    return "on_loss must be in (0, 1]";
+  }
+  if (!(config.off_loss >= 0.0 && config.off_loss < config.on_loss)) {
+    return "off_loss must be in [0, on_loss)";
+  }
+  if (config.confirm_steps < 1) return "confirm_steps must be >= 1";
+  if (config.clear_steps < 1) return "clear_steps must be >= 1";
+  if (!(config.ema_alpha > 0.0 && config.ema_alpha <= 1.0)) {
+    return "ema_alpha must be in (0, 1]";
+  }
+  return {};
+}
+
+SignalEstimator::SignalEstimator(SignalConfig config, std::size_t site_count)
+    : config_(config), signals_(site_count) {}
+
+void SignalEstimator::observe(net::SimTime now,
+                              std::span<const SiteObservation> obs) {
+  assert(obs.size() == signals_.size());
+  const double a = config_.ema_alpha;
+  for (std::size_t id = 0; id < signals_.size(); ++id) {
+    SiteSignal& sig = signals_[id];
+    const SiteObservation& o = obs[id];
+    const double loss = std::clamp(1.0 - o.answered_fraction, 0.0, 1.0);
+    if (!primed_) {
+      sig.loss_ema = loss;
+      sig.delay_ema_ms = o.queue_delay_ms;
+      sig.util_ema = o.utilization;
+      sig.baseline_delay_ms = std::max(o.queue_delay_ms, kBaselineFloorMs);
+    } else {
+      sig.loss_ema += a * (loss - sig.loss_ema);
+      sig.delay_ema_ms += a * (o.queue_delay_ms - sig.delay_ema_ms);
+      sig.util_ema += a * (o.utilization - sig.util_ema);
+    }
+
+    const bool hot = sig.loss_ema >= config_.on_loss;
+    const bool cool = sig.loss_ema <= config_.off_loss;
+    sig.hot_streak = hot ? sig.hot_streak + 1 : 0;
+    sig.cool_streak = cool ? sig.cool_streak + 1 : 0;
+    if (!sig.detected && sig.hot_streak >= config_.confirm_steps) {
+      sig.detected = true;
+      sig.detected_since = now;
+    } else if (sig.detected && sig.cool_streak >= config_.clear_steps) {
+      sig.detected = false;
+      sig.detected_since = net::SimTime(-1);
+    }
+    if (!sig.detected && cool) {
+      sig.baseline_delay_ms = std::max(
+          sig.baseline_delay_ms +
+              kBaselineAlpha * (o.queue_delay_ms - sig.baseline_delay_ms),
+          kBaselineFloorMs);
+    }
+  }
+  primed_ = true;
+}
+
+int SignalEstimator::detected_count() const noexcept {
+  int count = 0;
+  for (const SiteSignal& sig : signals_) count += sig.detected ? 1 : 0;
+  return count;
+}
+
+}  // namespace rootstress::playbook

@@ -1,0 +1,94 @@
+// Attack-evidence estimation from the operator's view.
+//
+// The estimator consumes only observables a real operator has: the
+// answered fraction of arriving queries, ingress queue delay, and
+// utilization per site — never the simulator's ground truth (it cannot
+// see the botnet, the schedule, or the attack/legit split). Evidence is
+// smoothed (EMA), must persist for a configurable number of steps before
+// a site counts as "under attack" (detection latency), and clears through
+// a lower threshold held for several steps (hysteresis), mirroring how
+// operational detectors avoid flapping on bursty load.
+//
+// Everything here is a pure function of the observation stream: no RNG,
+// no wall clock, no shared state — the determinism of the playbook
+// controller rests on this.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/clock.h"
+
+namespace rootstress::playbook {
+
+/// What the operator can see about one site in one step. For withdrawn
+/// sites every field reads idle — a dark site produces no evidence.
+struct SiteObservation {
+  double offered_qps = 0.0;
+  /// Fraction of arriving queries answered this step (1 - arrival loss):
+  /// the per-bin answered fraction of the paper's reachability metric,
+  /// as the site itself measures it.
+  double answered_fraction = 1.0;
+  double queue_delay_ms = 0.0;
+  double utilization = 0.0;  ///< offered / capacity
+};
+
+/// Detector tuning.
+struct SignalConfig {
+  /// Loss (1 - answered fraction) at or above which a step counts as
+  /// "hot"; evidence accumulates toward detection.
+  double on_loss = 0.10;
+  /// Loss below which a step counts as "cool"; must be < on_loss
+  /// (hysteresis band — between the two, state holds).
+  double off_loss = 0.03;
+  /// Consecutive hot steps before a site is detected (detection latency).
+  int confirm_steps = 3;
+  /// Consecutive cool steps before a detection clears.
+  int clear_steps = 5;
+  /// EMA smoothing factor for loss / delay / utilization, in (0, 1].
+  double ema_alpha = 0.3;
+};
+
+/// Empty when valid, else the first problem.
+std::string validate(const SignalConfig& config);
+
+/// Per-site evidence state.
+struct SiteSignal {
+  double loss_ema = 0.0;
+  double delay_ema_ms = 0.0;
+  double util_ema = 0.0;
+  /// Quiet-time queue delay (slow EMA, updated only while undetected and
+  /// cool; floored at 1 ms) — the baseline rtt_inflation triggers
+  /// compare against.
+  double baseline_delay_ms = 1.0;
+  int hot_streak = 0;
+  int cool_streak = 0;
+  bool detected = false;
+  net::SimTime detected_since{-1};
+};
+
+/// Streams observations into per-site evidence.
+class SignalEstimator {
+ public:
+  SignalEstimator(SignalConfig config, std::size_t site_count);
+
+  /// Folds one step of observations in (indexed by site id; the span size
+  /// must equal site_count).
+  void observe(net::SimTime now, std::span<const SiteObservation> obs);
+
+  const SiteSignal& site(std::size_t id) const { return signals_[id]; }
+  std::size_t site_count() const noexcept { return signals_.size(); }
+  const SignalConfig& config() const noexcept { return config_; }
+
+  /// Sites currently in the detected state.
+  int detected_count() const noexcept;
+
+ private:
+  SignalConfig config_;
+  std::vector<SiteSignal> signals_;
+  bool primed_ = false;  ///< first observation seeds the EMAs
+};
+
+}  // namespace rootstress::playbook

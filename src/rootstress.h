@@ -73,6 +73,12 @@
 // Simulation construction.
 #include "sim/scenario_builder.h"
 
+// Reactive defense playbooks.
+#include "playbook/actuator.h"
+#include "playbook/controller.h"
+#include "playbook/rules.h"
+#include "playbook/signal.h"
+
 // The contribution layer.
 #include "core/defense.h"
 #include "core/evaluation.h"

@@ -169,9 +169,16 @@ SimulationEngine::SimulationEngine(ScenarioConfig config)
   }
   prev_failed_legit_.assign(services.size(), 0.0);
 
+  if (config_.playbook.has_value()) {
+    playbook_ = std::make_unique<playbook::PlaybookController>(
+        *config_.playbook,
+        static_cast<std::size_t>(deployment_->site_count()));
+  }
+
   if (obs_) {
     deployment_->attach_obs(obs_.get());
     if (collector_) collector_->attach_obs(obs_.get());
+    if (playbook_) playbook_->attach_obs(obs_.get());
   }
 }
 
@@ -337,6 +344,9 @@ SimulationResult SimulationEngine::run() {
         if (pending.when > t) continue;
         const int id = pending.site_id;
         auto& site = deployment_->site(id);
+        // Sites the playbook withdrew stay down until its restore rule
+        // fires — a maintenance timer must not undo a deliberate defense.
+        if (playbook_ && playbook_->holds(id)) continue;
         if (!site.policy_state().withdrawn()) {
           deployment_->apply_scope(id,
                                    site.spec().global
@@ -371,6 +381,10 @@ SimulationResult SimulationEngine::run() {
 
     {
       obs::PhaseProfiler::Scope policy_phase(prof, "defense-policy");
+      // The reactive controller decides first, on this step's
+      // observations; the static per-site policies then run over whatever
+      // the playbook does not hold.
+      if (playbook_) run_playbook_step(t);
       if (config_.adaptive_defense) {
         apply_adaptive_defense(t);
       } else {
@@ -406,6 +420,18 @@ SimulationResult SimulationEngine::run() {
     for (std::size_t s = 0; s < services.size(); ++s) {
       result.collector_series.push_back(
           collector_->series(services[s].prefix));
+    }
+  }
+
+  if (playbook_) {
+    result.playbook = playbook_->stats();
+    if (obs_) {
+      const std::int64_t lag = result.playbook.detection_lag_ms();
+      obs_->metrics()
+          .gauge("playbook.detection_lag_bins")
+          .set(lag < 0 ? -1.0
+                       : static_cast<double>(lag) /
+                             static_cast<double>(config_.bin_width.ms));
     }
   }
 
@@ -489,9 +515,12 @@ void SimulationEngine::run_fluid_step(
           load.legit_qps[static_cast<std::size_t>(id)];
       const auto& site = deployment_->site(id);
       if (offered > 0.0 && site.facility() >= 0) {
+        // Only sites actually running RRL suppress responses on their
+        // uplink (a playbook may have toggled it per site).
         contrib.emplace_back(
-            site.facility(), site_uplink_gbps(site, offered, q_payload,
-                                              r_payload, suppression));
+            site.facility(),
+            site_uplink_gbps(site, offered, q_payload, r_payload,
+                             site.rrl_enabled() ? suppression : 0.0));
       }
     }
   });
@@ -563,10 +592,14 @@ void SimulationEngine::record_rssac(net::SimTime now,
     const auto& load = current_loads_[s];
 
     double attack_recv = 0.0, legit_recv = 0.0;
+    double attack_recv_rrl = 0.0;  ///< attack arrivals at RRL-enabled sites
     for (int id : svc.site_ids) {
       const auto& site = deployment_->site(id);
       const double pass = 1.0 - site.arrival_loss();
-      attack_recv += load.attack_qps[static_cast<std::size_t>(id)] * pass;
+      const double attack_at_site =
+          load.attack_qps[static_cast<std::size_t>(id)] * pass;
+      attack_recv += attack_at_site;
+      if (site.rrl_enabled()) attack_recv_rrl += attack_at_site;
       legit_recv += load.legit_qps[static_cast<std::size_t>(id)] * pass;
     }
 
@@ -577,9 +610,15 @@ void SimulationEngine::record_rssac(net::SimTime now,
     if (attack_recv > 0.0 && active_event_ != nullptr) {
       rssac::StepTraffic traffic;
       traffic.queries_received = attack_recv * step_s;
+      // RRL suppression applies only to the share of arrivals landing at
+      // RRL-enabled sites. With RRL on everywhere the share is exactly
+      // 1.0, so the product reduces bit-identically to the plain form.
+      const double rrl_share = attack_recv_rrl / attack_recv;
       traffic.responses_sent =
           attack_recv *
-          (1.0 - dns::expected_suppression(active_event_->duplicate_fraction)) *
+          (1.0 -
+           dns::expected_suppression(active_event_->duplicate_fraction) *
+               rrl_share) *
           step_s;
       traffic.random_source_queries =
           attack_recv * botnet_.config().spoof_uniform_fraction * step_s;
@@ -799,6 +838,10 @@ void SimulationEngine::apply_policy_step(net::SimTime now,
   (void)result;
   for (int id = 0; id < deployment_->site_count(); ++id) {
     auto& site = deployment_->site(id);
+    // Reactive playbook decisions outrank the static stress policy: a
+    // site the playbook holds (withdrew and has not restored) is not
+    // re-decided here, whatever regime the scenario forces.
+    if (playbook_ && playbook_->holds(id)) continue;
     const auto action = site.policy_state().step(
         site.outcome().utilization, site.arrival_loss(), now, config_.step,
         rng_);
@@ -825,6 +868,7 @@ void SimulationEngine::apply_policy_step(net::SimTime now,
           }
           if (global_sites <= 1) {
             site.policy_state().veto_withdrawal();
+            note_withdraw_veto(site, now);
             break;
           }
         }
@@ -845,6 +889,110 @@ void SimulationEngine::apply_policy_step(net::SimTime now,
         break;
     }
   }
+}
+
+void SimulationEngine::run_playbook_step(net::SimTime now) {
+  const auto site_count = static_cast<std::size_t>(deployment_->site_count());
+  playbook_obs_.resize(site_count);
+  for (std::size_t id = 0; id < site_count; ++id) {
+    const auto& site = deployment_->site(static_cast<int>(id));
+    playbook::SiteObservation& o = playbook_obs_[id];
+    o.offered_qps = site.offered_attack_qps() + site.offered_legit_qps();
+    // A dark or idle site produces no evidence: nothing arrives, so the
+    // operator reads a clean answered fraction.
+    o.answered_fraction =
+        o.offered_qps > 0.0 ? 1.0 - site.arrival_loss() : 1.0;
+    o.queue_delay_ms = site.outcome().queue_delay_ms;
+    o.utilization = site.outcome().utilization;
+  }
+  playbook_->step(now, playbook_obs_, *this);
+}
+
+playbook::ActuationOutcome SimulationEngine::actuate(
+    int site_id, const playbook::Action& action, net::SimTime now) {
+  using playbook::ActionKind;
+  using playbook::ActuationOutcome;
+  auto& site = deployment_->site(site_id);
+  switch (action.kind) {
+    case ActionKind::kWithdrawSite:
+    case ActionKind::kPartialWithdraw: {
+      // Same guard as the static policy path: a letter's last globally
+      // announced site never withdraws — it stays up as a degraded
+      // absorber (§2.2, case 5). Primary/backup letters are exempt.
+      const auto& svc_of_site = deployment_->service(site.letter());
+      const bool has_backup =
+          svc_of_site.letter_index >= 0 &&
+          deployment_->letters()[static_cast<std::size_t>(
+              svc_of_site.letter_index)].primary_backup;
+      if (site.scope() == anycast::SiteScope::kGlobal && !has_backup) {
+        int global_sites = 0;
+        for (int other : svc_of_site.site_ids) {
+          if (deployment_->site(other).scope() ==
+              anycast::SiteScope::kGlobal) {
+            ++global_sites;
+          }
+        }
+        if (global_sites <= 1) {
+          site.policy_state().veto_withdrawal();
+          note_withdraw_veto(site, now);
+          return ActuationOutcome::kVetoed;
+        }
+      }
+      anycast::SiteScope target;
+      if (action.kind == ActionKind::kWithdrawSite) {
+        target = anycast::SiteScope::kDown;
+      } else if (site.scope() == anycast::SiteScope::kGlobal) {
+        target = anycast::SiteScope::kLocalOnly;
+      } else {
+        return ActuationOutcome::kNoop;  // already partial (or darker)
+      }
+      if (site.scope() == target) return ActuationOutcome::kNoop;
+      deployment_->apply_scope(site_id, target, now);
+      return ActuationOutcome::kApplied;
+    }
+    case ActionKind::kRestoreSite: {
+      const auto normal = site.spec().global ? anycast::SiteScope::kGlobal
+                                             : anycast::SiteScope::kLocalOnly;
+      if (site.scope() == normal) return ActuationOutcome::kNoop;
+      deployment_->apply_scope(site_id, normal, now);
+      return ActuationOutcome::kApplied;
+    }
+    case ActionKind::kScaleCapacity:
+      if (action.amount == 1.0) return ActuationOutcome::kNoop;
+      site.scale_capacity(action.amount);
+      return ActuationOutcome::kApplied;
+    case ActionKind::kEnableRrl:
+      if (site.rrl_enabled()) return ActuationOutcome::kNoop;
+      site.set_rrl_enabled(true);
+      return ActuationOutcome::kApplied;
+    case ActionKind::kDisableRrl:
+      if (!site.rrl_enabled()) return ActuationOutcome::kNoop;
+      site.set_rrl_enabled(false);
+      return ActuationOutcome::kApplied;
+    case ActionKind::kPrependPath: {
+      const auto& svc_of_site = deployment_->service(site.letter());
+      const int hops = static_cast<int>(action.amount);
+      if (deployment_->routing().prepend(svc_of_site.prefix, site_id) ==
+          hops) {
+        return ActuationOutcome::kNoop;
+      }
+      deployment_->apply_prepend(site_id, hops, now);
+      return ActuationOutcome::kApplied;
+    }
+  }
+  return ActuationOutcome::kNoop;
+}
+
+void SimulationEngine::note_withdraw_veto(const anycast::AnycastSite& site,
+                                          net::SimTime now) {
+  if (!obs_) return;
+  obs_->metrics()
+      .counter("policy.withdraw_veto",
+               {{"letter", std::string(1, site.letter())}})
+      .add();
+  obs_->event(obs::TraceEventType::kWithdrawVeto, now, site.letter(),
+              site.label(), "last global site kept as degraded absorber",
+              static_cast<double>(site.site_id()));
 }
 
 void SimulationEngine::update_h_root_backup(net::SimTime now) {

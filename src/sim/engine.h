@@ -22,6 +22,7 @@
 #include "dns/message.h"
 #include "net/geo.h"
 #include "obs/runtime.h"
+#include "playbook/controller.h"
 #include "rssac/metrics.h"
 #include "rssac/report.h"
 #include "sim/fluid.h"
@@ -81,6 +82,11 @@ struct SimulationResult {
   std::vector<rssac::Publisher> rssac_publishers;
   double resolver_pool = 0.0;
 
+  /// What the reactive playbook controller did (all zeros / -1 when the
+  /// scenario ran without one): detections, activations, vetoes, and
+  /// time-to-first-action, per rule and in total.
+  playbook::PlaybookRunStats playbook;
+
   /// Final telemetry snapshot (empty when ScenarioConfig::telemetry is
   /// off): metrics, phase profile, trace stats. core::write_telemetry()
   /// exports it as JSON.
@@ -112,8 +118,10 @@ struct SimulationResult {
   std::unordered_map<std::uint64_t, std::size_t> site_lookup_;
 };
 
-/// Runs one scenario.
-class SimulationEngine {
+/// Runs one scenario. Doubles as the playbook controller's actuation
+/// backend: the controller decides, the engine applies (scope changes,
+/// RRL toggles, capacity scaling, prepends) against the live deployment.
+class SimulationEngine : private playbook::ActuationBackend {
  public:
   explicit SimulationEngine(ScenarioConfig config);
 
@@ -160,6 +168,17 @@ class SimulationEngine {
 
   void apply_policy_step(net::SimTime now, SimulationResult& result);
   void apply_adaptive_defense(net::SimTime now);
+  /// Builds this step's operator-view observations and runs the playbook
+  /// controller (serial phase; decisions are thread-count-invariant).
+  void run_playbook_step(net::SimTime now);
+  /// playbook::ActuationBackend: applies one due action to the world,
+  /// enforcing the last-global-site withdrawal veto.
+  playbook::ActuationOutcome actuate(int site_id,
+                                     const playbook::Action& action,
+                                     net::SimTime now) override;
+  /// Counter + trace event for a refused withdrawal (policy veto and
+  /// playbook veto share this).
+  void note_withdraw_veto(const anycast::AnycastSite& site, net::SimTime now);
   void update_h_root_backup(net::SimTime now);
   void run_fluid_step(net::SimTime t, SimulationResult& result,
                       const std::vector<obs::Gauge*>& g_offered,
@@ -219,6 +238,10 @@ class SimulationEngine {
   /// Per-site time of the controller's last scope change (20-min
   /// cool-down between decisions).
   std::vector<net::SimTime> adaptive_last_change_;
+  /// Reactive playbook controller (null when the scenario has none) and
+  /// its per-step observation buffer (reused; indexed by site id).
+  std::unique_ptr<playbook::PlaybookController> playbook_;
+  std::vector<playbook::SiteObservation> playbook_obs_;
 };
 
 }  // namespace rootstress::sim

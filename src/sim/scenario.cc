@@ -54,6 +54,16 @@ std::string validate(const ScenarioConfig& config) {
     }
     if (event.per_letter_qps < 0.0) return "negative attack rate";
   }
+  if (config.playbook.has_value()) {
+    if (std::string problem = playbook::validate(*config.playbook);
+        !problem.empty()) {
+      return "playbook: " + problem;
+    }
+    if (config.adaptive_defense) {
+      return "playbook and adaptive_defense are mutually exclusive "
+             "controllers; enable one";
+    }
+  }
   return {};
 }
 

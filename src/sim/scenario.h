@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "anycast/deployment.h"
@@ -11,6 +12,7 @@
 #include "attack/traffic.h"
 #include "bgp/collector.h"
 #include "net/clock.h"
+#include "playbook/rules.h"
 
 namespace rootstress::sim {
 
@@ -60,6 +62,14 @@ struct ScenarioConfig {
   /// stress policies each step, withdrawing exactly the overloaded sites
   /// whose catchments the rest of the letter can absorb (core::advise).
   bool adaptive_defense = false;
+
+  /// Reactive defense playbook: a closed-loop controller (detect ->
+  /// decide -> actuate) driven only by operator-visible observables. Runs
+  /// in the engine's serial defense phase; sites it withdraws are held
+  /// against the static stress policies. nullopt = no controller at all
+  /// (distinct from an absorb-only playbook, which detects but never
+  /// acts).
+  std::optional<playbook::Playbook> playbook;
 
   /// Telemetry (obs::Runtime): metrics + trace + phase profile, carried
   /// on SimulationResult::telemetry. Write-only with respect to the

@@ -59,6 +59,16 @@ ScenarioBuilder& ScenarioBuilder::adaptive_defense(bool enabled) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::playbook(playbook::Playbook playbook) {
+  config_.playbook = std::move(playbook);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::rrl_enabled(bool enabled) {
+  config_.deployment.rrl_enabled = enabled;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::schedule(attack::AttackSchedule schedule) {
   config_.schedule = std::move(schedule);
   return *this;

@@ -61,6 +61,13 @@ class ScenarioBuilder {
   ScenarioBuilder& force_policy(anycast::StressPolicy policy);
   /// Omniscient per-letter withdraw/absorb controller (core::advise).
   ScenarioBuilder& adaptive_defense(bool enabled = true);
+  /// Reactive defense playbook (detect -> decide -> actuate from
+  /// operator-visible observables only). Mutually exclusive with
+  /// adaptive_defense.
+  ScenarioBuilder& playbook(playbook::Playbook playbook);
+  /// Whether sites start with response rate limiting active (playbooks
+  /// can toggle it per site mid-run).
+  ScenarioBuilder& rrl_enabled(bool enabled);
 
   // -- Traffic -----------------------------------------------------------
 

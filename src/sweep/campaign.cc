@@ -1,6 +1,7 @@
 #include "sweep/campaign.h"
 
 #include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 namespace rootstress::sweep {
@@ -13,6 +14,7 @@ std::string to_string(AxisKind kind) {
     case AxisKind::kProbeLetters: return "probe_letters";
     case AxisKind::kSeed: return "seed";
     case AxisKind::kVpCount: return "vp_count";
+    case AxisKind::kPlaybook: return "playbook";
   }
   return "?";
 }
@@ -59,6 +61,13 @@ Axis Axis::vp_count(std::vector<int> counts) {
   return axis;
 }
 
+Axis Axis::playbook(std::vector<playbook::Playbook> playbooks) {
+  Axis axis;
+  axis.kind = AxisKind::kPlaybook;
+  axis.playbooks = std::move(playbooks);
+  return axis;
+}
+
 std::size_t Axis::size() const noexcept {
   switch (kind) {
     case AxisKind::kAttackQps:
@@ -68,6 +77,7 @@ std::size_t Axis::size() const noexcept {
     case AxisKind::kProbeLetters: return letter_sets.size();
     case AxisKind::kSeed: return seeds.size();
     case AxisKind::kVpCount: return counts.size();
+    case AxisKind::kPlaybook: return playbooks.size();
   }
   return 0;
 }
@@ -99,6 +109,10 @@ std::string Axis::label(std::size_t i) const {
     case AxisKind::kVpCount:
       std::snprintf(buf, sizeof(buf), "vps=%d", counts[i]);
       return buf;
+    case AxisKind::kPlaybook:
+      return "playbook=" +
+             (playbooks[i].name.empty() ? std::string("unnamed")
+                                        : playbooks[i].name);
   }
   return "?";
 }
@@ -126,6 +140,9 @@ void Axis::apply(std::size_t i, sim::ScenarioConfig& config) const {
     case AxisKind::kVpCount:
       config.population.vp_count = counts[i];
       return;
+    case AxisKind::kPlaybook:
+      config.playbook = playbooks[i];
+      return;
   }
 }
 
@@ -136,6 +153,15 @@ std::size_t Campaign::cell_count() const noexcept {
 }
 
 std::vector<CampaignCell> expand(const Campaign& campaign) {
+  for (std::size_t a = 0; a < campaign.axes.size(); ++a) {
+    if (campaign.axes[a].size() == 0) {
+      throw std::invalid_argument(
+          "campaign '" + campaign.name + "': axis " + std::to_string(a) +
+          " (" + to_string(campaign.axes[a].kind) +
+          ") has no values; an empty axis would expand to zero cells — "
+          "drop the axis or give it at least one value");
+    }
+  }
   const std::size_t total = campaign.cell_count();
   std::vector<CampaignCell> cells;
   cells.reserve(total);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/whatif.h"
+#include "playbook/rules.h"
 #include "sim/scenario.h"
 
 namespace rootstress::sweep {
@@ -28,6 +29,7 @@ enum class AxisKind : std::uint8_t {
   kProbeLetters,   ///< letter architecture under measurement
   kSeed,           ///< replicate seeds
   kVpCount,        ///< Atlas population size
+  kPlaybook,       ///< reactive defense playbook (playbook::Playbook)
 };
 
 std::string to_string(AxisKind kind);
@@ -41,6 +43,7 @@ struct Axis {
   std::vector<std::vector<char>> letter_sets;  ///< kProbeLetters
   std::vector<std::uint64_t> seeds;            ///< kSeed
   std::vector<int> counts;                     ///< kVpCount
+  std::vector<playbook::Playbook> playbooks;   ///< kPlaybook
 
   static Axis attack_qps(std::vector<double> qps);
   static Axis capacity_scale(std::vector<double> scales);
@@ -48,6 +51,7 @@ struct Axis {
   static Axis probe_letters(std::vector<std::vector<char>> sets);
   static Axis replicate_seeds(std::vector<std::uint64_t> seeds);
   static Axis vp_count(std::vector<int> counts);
+  static Axis playbook(std::vector<playbook::Playbook> playbooks);
 
   /// Number of points on this axis.
   std::size_t size() const noexcept;
@@ -86,7 +90,9 @@ struct CampaignCell {
 };
 
 /// Expands the campaign into its run matrix. Row-major: the last declared
-/// axis varies fastest. Deterministic and side-effect free.
+/// axis varies fastest. Deterministic and side-effect free. Throws
+/// std::invalid_argument when any axis is empty — an empty axis would
+/// silently expand to zero cells, which is never what a study meant.
 std::vector<CampaignCell> expand(const Campaign& campaign);
 
 }  // namespace rootstress::sweep

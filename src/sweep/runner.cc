@@ -18,6 +18,8 @@ std::string to_string(CellMetric metric) {
     case CellMetric::kRouteChanges: return "route_changes";
     case CellMetric::kRecords: return "records";
     case CellMetric::kRssacDay0Queries: return "rssac_day0_queries";
+    case CellMetric::kPlaybookActivations: return "playbook_activations";
+    case CellMetric::kTimeToMitigationMs: return "time_to_mitigation_ms";
   }
   return "?";
 }
@@ -31,6 +33,10 @@ double metric_value(const RunSummary& summary, CellMetric metric) {
     case CellMetric::kRecords:
       return static_cast<double>(summary.record_count);
     case CellMetric::kRssacDay0Queries: return summary.rssac_day0_queries;
+    case CellMetric::kPlaybookActivations:
+      return static_cast<double>(summary.playbook_activations);
+    case CellMetric::kTimeToMitigationMs:
+      return static_cast<double>(summary.time_to_mitigation_ms);
   }
   return 0.0;
 }
@@ -102,6 +108,13 @@ obs::JsonValue CampaignResult::to_json() const {
   doc.set("cache_hits",
           obs::JsonValue(static_cast<std::uint64_t>(cache_hits)));
   doc.set("wall_ms", obs::JsonValue(wall_ms));
+  obs::JsonValue cache_doc = obs::JsonValue::object();
+  cache_doc.set("hits", obs::JsonValue(cache_stats.hits));
+  cache_doc.set("misses", obs::JsonValue(cache_stats.misses));
+  cache_doc.set("stores", obs::JsonValue(cache_stats.stores));
+  cache_doc.set("invalid", obs::JsonValue(cache_stats.invalid));
+  cache_doc.set("evicted", obs::JsonValue(cache_stats.evicted));
+  doc.set("cache", std::move(cache_doc));
   obs::JsonValue cell_docs = obs::JsonValue::array();
   for (const auto& cell : cells) {
     obs::JsonValue c = obs::JsonValue::object();
@@ -160,7 +173,9 @@ CampaignResult run_campaign(const Campaign& campaign,
 
   std::unique_ptr<RunCache> cache;
   if (!options.cache_dir.empty()) {
-    cache = std::make_unique<RunCache>(options.cache_dir, options.cache_salt);
+    cache = std::make_unique<RunCache>(
+        options.cache_dir, options.cache_salt,
+        CacheLimits{options.cache_max_entries, options.cache_max_bytes});
   }
 
   result.cells.resize(cells.size());
@@ -257,6 +272,7 @@ CampaignResult run_campaign(const Campaign& campaign,
     }
   }
 
+  if (cache) result.cache_stats = cache->stats();
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - campaign_begin)
                        .count();

@@ -43,6 +43,10 @@ struct CampaignOptions {
   std::filesystem::path cache_dir;
   /// Cache salt; change to invalidate every cached summary.
   std::string cache_salt{kCodeVersionSalt};
+  /// Cache size bounds (entries / bytes); 0 = unlimited. When exceeded
+  /// after a store, oldest entries are evicted first.
+  std::size_t cache_max_entries = 0;
+  std::uintmax_t cache_max_bytes = 0;
   /// Campaign-level telemetry (cell engines additionally follow their
   /// own ScenarioConfig::telemetry).
   bool telemetry = true;
@@ -71,6 +75,8 @@ enum class CellMetric : std::uint8_t {
   kRouteChanges,
   kRecords,
   kRssacDay0Queries,
+  kPlaybookActivations,
+  kTimeToMitigationMs,
 };
 
 std::string to_string(CellMetric metric);
@@ -85,6 +91,7 @@ struct CampaignResult {
   std::size_t executed = 0;    ///< cells that ran the engine
   std::size_t cache_hits = 0;  ///< cells served from the cache
   double wall_ms = 0.0;        ///< whole-campaign wall clock
+  CacheStats cache_stats;      ///< run-cache counters (zeros without one)
   obs::Snapshot telemetry;     ///< campaign-level metrics + phases
 
   /// Cell by per-axis coordinates; nullptr when out of range.

@@ -81,6 +81,20 @@ RunSummary summarize(const sim::ScenarioConfig& config,
       summary.rssac_day0_queries += rssac::day_queries(result.rssac, li, 0);
     }
   }
+
+  if (config.playbook.has_value()) {
+    summary.playbook_activations = result.playbook.activations;
+    summary.playbook_vetoes = result.playbook.vetoes;
+    if (result.playbook.first_activation_ms >= 0 &&
+        !config.schedule.events().empty()) {
+      std::int64_t onset_ms = config.schedule.events().front().when.begin.ms;
+      for (const auto& event : config.schedule.events()) {
+        onset_ms = std::min(onset_ms, event.when.begin.ms);
+      }
+      summary.time_to_mitigation_ms =
+          result.playbook.first_activation_ms - onset_ms;
+    }
+  }
   return summary;
 }
 
@@ -96,6 +110,11 @@ obs::JsonValue summary_to_json(const RunSummary& summary) {
           obs::JsonValue(static_cast<std::uint64_t>(summary.route_changes)));
   doc.set("kept_vps", obs::JsonValue(summary.kept_vps));
   doc.set("rssac_day0_queries", obs::JsonValue(summary.rssac_day0_queries));
+  doc.set("playbook_activations",
+          obs::JsonValue(summary.playbook_activations));
+  doc.set("playbook_vetoes", obs::JsonValue(summary.playbook_vetoes));
+  doc.set("time_to_mitigation_ms",
+          obs::JsonValue(static_cast<double>(summary.time_to_mitigation_ms)));
   obs::JsonValue letters = obs::JsonValue::array();
   for (const auto& cell : summary.letters) {
     obs::JsonValue l = obs::JsonValue::object();
@@ -156,6 +175,13 @@ std::optional<RunSummary> summary_from_json(const obs::JsonValue& doc) {
   if (!read_int(doc, "kept_vps", &summary.kept_vps)) return std::nullopt;
   if (!read_number(doc, "rssac_day0_queries", &summary.rssac_day0_queries))
     return std::nullopt;
+  if (!read_number(doc, "playbook_activations", &number)) return std::nullopt;
+  summary.playbook_activations = static_cast<std::uint64_t>(number);
+  if (!read_number(doc, "playbook_vetoes", &number)) return std::nullopt;
+  summary.playbook_vetoes = static_cast<std::uint64_t>(number);
+  if (!read_number(doc, "time_to_mitigation_ms", &number))
+    return std::nullopt;
+  summary.time_to_mitigation_ms = static_cast<std::int64_t>(number);
 
   const obs::JsonValue* letters = doc.find("letters");
   if (letters == nullptr || letters->kind() != obs::JsonValue::Kind::kArray) {

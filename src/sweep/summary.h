@@ -51,6 +51,12 @@ struct RunSummary {
   /// Event-day (day 0) metered queries summed over the root letters; 0
   /// when RSSAC accounting was off.
   double rssac_day0_queries = 0.0;
+  /// Reactive-playbook digest (all zero / -1 without a playbook): applied
+  /// actuations, vetoed withdrawals, and the lag from the first scheduled
+  /// attack onset to the first applied actuation (-1 = never mitigated).
+  std::uint64_t playbook_activations = 0;
+  std::uint64_t playbook_vetoes = 0;
+  std::int64_t time_to_mitigation_ms = -1;
   std::vector<LetterCellSummary> letters;
 
   bool operator==(const RunSummary&) const = default;

@@ -66,6 +66,21 @@ TEST(WhatIf, RegimeNames) {
   EXPECT_EQ(to_string(PolicyRegime::kOracle), "oracle-advisor");
 }
 
+TEST(WhatIf, ApplyRegimePreservesAnAttachedPlaybook) {
+  // Campaigns combine a policy axis with a playbook axis; forcing a
+  // regime must only touch the regime knobs, never strip the playbook.
+  sim::ScenarioConfig config = fast_config();
+  config.playbook = playbook::Playbook::withdraw_at_threshold(0.35);
+
+  apply_policy_regime(config, PolicyRegime::kAllAbsorb);
+  ASSERT_TRUE(config.playbook.has_value());
+  EXPECT_EQ(config.playbook->name, "withdraw-at-threshold");
+  EXPECT_TRUE(config.deployment.force_policy.has_value());
+
+  apply_policy_regime(config, PolicyRegime::kAllWithdraw);
+  EXPECT_TRUE(config.playbook.has_value());
+}
+
 TEST(WhatIf, OracleIsCompetitive) {
   // The adaptive controller should never be far behind the best fixed
   // regime on served traffic (it can only misjudge transiently).

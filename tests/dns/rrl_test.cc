@@ -106,6 +106,29 @@ TEST(Rrl, ExpireIdleDropsState) {
             RrlAction::kRespond);
 }
 
+TEST(Rrl, DynamicDisableRespondsAndKeepsBucketState) {
+  // A playbook can flip RRL mid-run. Disabling must answer everything
+  // immediately; re-enabling must resume from the drained bucket rather
+  // than granting a fresh burst.
+  RrlConfig config;
+  config.responses_per_second = 0.0;  // no refill: bucket state is static
+  config.burst = 5.0;
+  config.slip = 0;
+  ResponseRateLimiter rrl(config);
+  for (int i = 0; i < 10; ++i) {
+    rrl.decide(src(1), 42, net::SimTime(0));  // drain the bucket
+  }
+  ASSERT_EQ(rrl.decide(src(1), 42, net::SimTime(0)), RrlAction::kDrop);
+
+  rrl.set_enabled(false);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rrl.decide(src(1), 42, net::SimTime(0)), RrlAction::kRespond);
+  }
+
+  rrl.set_enabled(true);
+  EXPECT_EQ(rrl.decide(src(1), 42, net::SimTime(0)), RrlAction::kDrop);
+}
+
 TEST(Rrl, ExpectedSuppressionClamped) {
   EXPECT_DOUBLE_EQ(expected_suppression(-0.5), 0.0);
   EXPECT_DOUBLE_EQ(expected_suppression(0.6), 0.6);

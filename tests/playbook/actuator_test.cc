@@ -1,0 +1,116 @@
+#include "playbook/actuator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rootstress::playbook {
+namespace {
+
+struct RecordingBackend : ActuationBackend {
+  struct Call {
+    int site = -1;
+    ActionKind kind = ActionKind::kWithdrawSite;
+    std::int64_t at_ms = 0;
+  };
+  std::vector<Call> calls;
+  ActuationOutcome result = ActuationOutcome::kApplied;
+
+  ActuationOutcome actuate(int site_id, const Action& action,
+                           net::SimTime now) override {
+    calls.push_back({site_id, action.kind, now.ms});
+    return result;
+  }
+};
+
+ActuationDelays test_delays() {
+  ActuationDelays delays;
+  delays.bgp = net::SimTime(100);
+  delays.local = net::SimTime(10);
+  return delays;
+}
+
+TEST(Actuator, RoutingActionsPayTheBgpDelay) {
+  const Actuator actuator(test_delays());
+  EXPECT_EQ(actuator.delay_for(Action::withdraw_site()).ms, 100);
+  EXPECT_EQ(actuator.delay_for(Action::partial_withdraw()).ms, 100);
+  EXPECT_EQ(actuator.delay_for(Action::restore_site()).ms, 100);
+  EXPECT_EQ(actuator.delay_for(Action::prepend_path(2)).ms, 100);
+  EXPECT_EQ(actuator.delay_for(Action::scale_capacity(2.0)).ms, 10);
+  EXPECT_EQ(actuator.delay_for(Action::enable_rrl()).ms, 10);
+  EXPECT_EQ(actuator.delay_for(Action::disable_rrl()).ms, 10);
+}
+
+TEST(Actuator, SchedulingDedupsIdenticalPendingActions) {
+  Actuator actuator(test_delays());
+  EXPECT_TRUE(actuator.schedule(3, 0, Action::withdraw_site(), net::SimTime(0)));
+  // Same site, same action, still in flight: refused.
+  EXPECT_FALSE(
+      actuator.schedule(3, 0, Action::withdraw_site(), net::SimTime(5)));
+  // Different site or different action: queued.
+  EXPECT_TRUE(actuator.schedule(4, 0, Action::withdraw_site(), net::SimTime(0)));
+  EXPECT_TRUE(actuator.schedule(3, 1, Action::enable_rrl(), net::SimTime(0)));
+  EXPECT_EQ(actuator.pending(), 3u);
+}
+
+TEST(Actuator, DrainAppliesOnlyDueActions) {
+  Actuator actuator(test_delays());
+  RecordingBackend backend;
+  actuator.schedule(0, 0, Action::withdraw_site(), net::SimTime(0));  // due 100
+  actuator.schedule(1, 1, Action::enable_rrl(), net::SimTime(0));     // due 10
+
+  actuator.drain(net::SimTime(5), backend, nullptr);
+  EXPECT_TRUE(backend.calls.empty());
+  EXPECT_EQ(actuator.pending(), 2u);
+
+  actuator.drain(net::SimTime(10), backend, nullptr);
+  ASSERT_EQ(backend.calls.size(), 1u);
+  EXPECT_EQ(backend.calls[0].kind, ActionKind::kEnableRrl);
+  EXPECT_EQ(actuator.pending(), 1u);
+
+  actuator.drain(net::SimTime(100), backend, nullptr);
+  ASSERT_EQ(backend.calls.size(), 2u);
+  EXPECT_EQ(backend.calls[1].kind, ActionKind::kWithdrawSite);
+  EXPECT_EQ(actuator.pending(), 0u);
+}
+
+TEST(Actuator, DrainOrdersByDueThenDecisionSequence) {
+  // Everything becomes due at once; application order must be (due,
+  // sequence) — the earliest decision with the earliest due goes first.
+  ActuationDelays delays;
+  delays.bgp = net::SimTime(20);
+  delays.local = net::SimTime(20);
+  Actuator actuator(delays);
+  RecordingBackend backend;
+  actuator.schedule(2, 0, Action::enable_rrl(), net::SimTime(0));       // seq 0
+  actuator.schedule(0, 0, Action::withdraw_site(), net::SimTime(0));    // seq 1
+  actuator.schedule(1, 0, Action::scale_capacity(2.0), net::SimTime(0));  // seq 2
+
+  actuator.drain(net::SimTime(20), backend, nullptr);
+  ASSERT_EQ(backend.calls.size(), 3u);
+  EXPECT_EQ(backend.calls[0].site, 2);
+  EXPECT_EQ(backend.calls[1].site, 0);
+  EXPECT_EQ(backend.calls[2].site, 1);
+}
+
+TEST(Actuator, DrainReportsOutcomesToTheCallback) {
+  Actuator actuator(test_delays());
+  RecordingBackend backend;
+  backend.result = ActuationOutcome::kVetoed;
+  actuator.schedule(7, 3, Action::withdraw_site(), net::SimTime(0));
+
+  std::vector<std::pair<int, ActuationOutcome>> seen;
+  actuator.drain(net::SimTime(100), backend,
+                 [&](const PendingActuation& pending,
+                     ActuationOutcome outcome) {
+                   seen.emplace_back(pending.rule_index, outcome);
+                 });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 3);
+  EXPECT_EQ(seen[0].second, ActuationOutcome::kVetoed);
+  // Applied (even vetoed) entries leave the queue: the rule may re-decide.
+  EXPECT_EQ(actuator.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace rootstress::playbook

@@ -1,0 +1,235 @@
+#include "playbook/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rootstress::playbook {
+namespace {
+
+constexpr std::int64_t kStepMs = 60'000;
+
+struct RecordingBackend : ActuationBackend {
+  struct Call {
+    int site = -1;
+    ActionKind kind = ActionKind::kWithdrawSite;
+    std::int64_t at_ms = 0;
+  };
+  std::vector<Call> calls;
+  ActuationOutcome result = ActuationOutcome::kApplied;
+
+  ActuationOutcome actuate(int site_id, const Action& action,
+                           net::SimTime now) override {
+    calls.push_back({site_id, action.kind, now.ms});
+    return result;
+  }
+};
+
+std::vector<SiteObservation> losses(std::initializer_list<double> per_site) {
+  std::vector<SiteObservation> obs;
+  for (const double loss : per_site) {
+    SiteObservation o;
+    o.offered_qps = 1000.0;
+    o.answered_fraction = 1.0 - loss;
+    obs.push_back(o);
+  }
+  return obs;
+}
+
+/// A crisp single-rule playbook: EMA == observation, one confirm step,
+/// instant actuation — every knob's effect is visible step by step.
+Playbook instant_playbook(Rule rule) {
+  Playbook p;
+  p.name = "test";
+  p.signals.ema_alpha = 1.0;
+  p.signals.confirm_steps = 1;
+  p.signals.clear_steps = 1;
+  p.delays.bgp = net::SimTime(0);
+  p.delays.local = net::SimTime(0);
+  p.rules.push_back(std::move(rule));
+  return p;
+}
+
+TEST(PlaybookController, AbsorbOnlyDetectsButNeverActuates) {
+  PlaybookController controller(Playbook::absorb_only(), 2);
+  RecordingBackend backend;
+  for (int i = 0; i < 10; ++i) {
+    controller.step(net::SimTime(i * kStepMs), losses({0.5, 0.0}), backend);
+  }
+  EXPECT_TRUE(backend.calls.empty());
+  EXPECT_EQ(controller.stats().detections, 1u);
+  EXPECT_EQ(controller.stats().activations, 0u);
+  EXPECT_GE(controller.stats().first_detection_ms, 0);
+  EXPECT_EQ(controller.stats().first_activation_ms, -1);
+}
+
+TEST(PlaybookController, DetectionLagTracksConfirmLatency) {
+  Playbook p = Playbook::absorb_only();  // defaults: confirm_steps = 3
+  p.signals.ema_alpha = 1.0;
+  PlaybookController controller(p, 1);
+  RecordingBackend backend;
+  for (int i = 0; i < 5; ++i) {
+    controller.step(net::SimTime(i * kStepMs), losses({0.5}), backend);
+  }
+  EXPECT_EQ(controller.stats().first_signal_ms, 0);
+  EXPECT_EQ(controller.stats().first_detection_ms, 2 * kStepMs);
+  EXPECT_EQ(controller.stats().detection_lag_ms(), 2 * kStepMs);
+}
+
+TEST(PlaybookController, RuleWaitsForItsOwnStreakThenActuatesAfterDelay) {
+  Playbook p = instant_playbook(Rule{
+      "withdraw",
+      Trigger::loss_above(0.3, /*for_steps=*/2),
+      Action::withdraw_site(),
+      net::SimTime::from_minutes(20),
+  });
+  p.delays.bgp = net::SimTime(2 * kStepMs);  // two steps of BGP propagation
+  PlaybookController controller(p, 1);
+  RecordingBackend backend;
+
+  // Step 0: detected, streak 1 of 2 — nothing scheduled.
+  controller.step(net::SimTime(0), losses({0.5}), backend);
+  EXPECT_TRUE(backend.calls.empty());
+  // Step 1: streak 2 — scheduled, due two steps out.
+  controller.step(net::SimTime(kStepMs), losses({0.5}), backend);
+  EXPECT_TRUE(backend.calls.empty());
+  EXPECT_EQ(controller.stats().rules[0].fired, 1u);
+  // Step 2: still propagating.
+  controller.step(net::SimTime(2 * kStepMs), losses({0.5}), backend);
+  EXPECT_TRUE(backend.calls.empty());
+  // Step 3: due.
+  controller.step(net::SimTime(3 * kStepMs), losses({0.5}), backend);
+  ASSERT_EQ(backend.calls.size(), 1u);
+  EXPECT_EQ(backend.calls[0].kind, ActionKind::kWithdrawSite);
+  EXPECT_EQ(controller.stats().activations, 1u);
+  EXPECT_EQ(controller.stats().first_activation_ms, 3 * kStepMs);
+  EXPECT_TRUE(controller.holds(0));
+}
+
+TEST(PlaybookController, MaxActivationsCapsARule) {
+  Rule surge{
+      "surge",
+      Trigger::loss_above(0.3, /*for_steps=*/1),
+      Action::scale_capacity(2.0),
+      net::SimTime(0),  // no cooldown: only the budget limits it
+      /*max_activations=*/2,
+  };
+  PlaybookController controller(instant_playbook(surge), 1);
+  RecordingBackend backend;
+  for (int i = 0; i < 10; ++i) {
+    controller.step(net::SimTime(i * kStepMs), losses({0.5}), backend);
+  }
+  EXPECT_EQ(backend.calls.size(), 2u);
+  EXPECT_EQ(controller.stats().rules[0].fired, 2u);
+  EXPECT_EQ(controller.stats().rules[0].applied, 2u);
+}
+
+TEST(PlaybookController, CooldownSpacesActivations) {
+  Rule surge{
+      "surge",
+      Trigger::loss_above(0.3, /*for_steps=*/1),
+      Action::scale_capacity(2.0),
+      net::SimTime(3 * kStepMs),
+      /*max_activations=*/0,
+  };
+  PlaybookController controller(instant_playbook(surge), 1);
+  RecordingBackend backend;
+  for (int i = 0; i < 7; ++i) {
+    controller.step(net::SimTime(i * kStepMs), losses({0.5}), backend);
+  }
+  // Fires at steps 0, 3, 6: every 3 steps of cooldown.
+  ASSERT_EQ(backend.calls.size(), 3u);
+  EXPECT_EQ(backend.calls[0].at_ms, 0);
+  EXPECT_EQ(backend.calls[1].at_ms, 3 * kStepMs);
+  EXPECT_EQ(backend.calls[2].at_ms, 6 * kStepMs);
+}
+
+TEST(PlaybookController, VetoedActuationsAreCountedNotHeld) {
+  Playbook p = instant_playbook(Rule{
+      "withdraw",
+      Trigger::loss_above(0.3, /*for_steps=*/1),
+      Action::withdraw_site(),
+      net::SimTime(0),
+  });
+  PlaybookController controller(p, 1);
+  RecordingBackend backend;
+  backend.result = ActuationOutcome::kVetoed;
+  controller.step(net::SimTime(0), losses({0.5}), backend);
+  EXPECT_EQ(backend.calls.size(), 1u);
+  EXPECT_EQ(controller.stats().vetoes, 1u);
+  EXPECT_EQ(controller.stats().activations, 0u);
+  EXPECT_EQ(controller.stats().rules[0].vetoed, 1u);
+  EXPECT_FALSE(controller.holds(0));
+}
+
+TEST(PlaybookController, WithdrawThenRecoveryRestoresTheHold) {
+  Playbook p = instant_playbook(Rule{
+      "withdraw",
+      Trigger::loss_above(0.3, /*for_steps=*/1),
+      Action::withdraw_site(),
+      net::SimTime(0),
+  });
+  p.rules.push_back(Rule{
+      "restore",
+      Trigger::loss_below(0.02, /*for_steps=*/2),
+      Action::restore_site(),
+      net::SimTime(0),
+  });
+  PlaybookController controller(p, 1);
+  RecordingBackend backend;
+
+  controller.step(net::SimTime(0), losses({0.5}), backend);
+  ASSERT_TRUE(controller.holds(0));
+
+  // A dark site reads idle: loss 0. Two quiet steps satisfy the restore
+  // rule's streak; the withdraw rule must not re-fire on a held site.
+  controller.step(net::SimTime(kStepMs), losses({0.0}), backend);
+  EXPECT_TRUE(controller.holds(0));
+  controller.step(net::SimTime(2 * kStepMs), losses({0.0}), backend);
+  EXPECT_FALSE(controller.holds(0));
+
+  ASSERT_EQ(backend.calls.size(), 2u);
+  EXPECT_EQ(backend.calls[0].kind, ActionKind::kWithdrawSite);
+  EXPECT_EQ(backend.calls[1].kind, ActionKind::kRestoreSite);
+}
+
+TEST(PlaybookController, RulesActOnlyOnTheirTriggeringSite) {
+  Playbook p = instant_playbook(Rule{
+      "withdraw",
+      Trigger::loss_above(0.3, /*for_steps=*/1),
+      Action::withdraw_site(),
+      net::SimTime(0),
+  });
+  PlaybookController controller(p, 3);
+  RecordingBackend backend;
+  controller.step(net::SimTime(0), losses({0.0, 0.5, 0.0}), backend);
+  ASSERT_EQ(backend.calls.size(), 1u);
+  EXPECT_EQ(backend.calls[0].site, 1);
+  EXPECT_FALSE(controller.holds(0));
+  EXPECT_TRUE(controller.holds(1));
+  EXPECT_FALSE(controller.holds(2));
+}
+
+TEST(PlaybookController, StepIsDeterministicGivenTheSameStream) {
+  const Playbook p = Playbook::layered_defense(0.2);
+  PlaybookController a(p, 4);
+  PlaybookController b(p, 4);
+  RecordingBackend backend_a;
+  RecordingBackend backend_b;
+  for (int i = 0; i < 60; ++i) {
+    const auto obs =
+        losses({0.0, i < 30 ? 0.6 : 0.0, 0.25, i % 7 == 0 ? 0.4 : 0.1});
+    a.step(net::SimTime(i * kStepMs), obs, backend_a);
+    b.step(net::SimTime(i * kStepMs), obs, backend_b);
+  }
+  ASSERT_EQ(backend_a.calls.size(), backend_b.calls.size());
+  for (std::size_t i = 0; i < backend_a.calls.size(); ++i) {
+    EXPECT_EQ(backend_a.calls[i].site, backend_b.calls[i].site);
+    EXPECT_EQ(backend_a.calls[i].kind, backend_b.calls[i].kind);
+    EXPECT_EQ(backend_a.calls[i].at_ms, backend_b.calls[i].at_ms);
+  }
+  EXPECT_TRUE(a.stats() == b.stats());
+}
+
+}  // namespace
+}  // namespace rootstress::playbook

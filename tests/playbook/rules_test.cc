@@ -1,0 +1,112 @@
+#include "playbook/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace rootstress::playbook {
+namespace {
+
+TEST(PlaybookPresets, AllValidate) {
+  EXPECT_TRUE(validate(Playbook::absorb_only()).empty());
+  EXPECT_TRUE(validate(Playbook::withdraw_at_threshold()).empty());
+  EXPECT_TRUE(validate(Playbook::layered_defense()).empty());
+}
+
+TEST(PlaybookPresets, HaveTheExpectedShape) {
+  EXPECT_TRUE(Playbook::absorb_only().rules.empty());
+
+  const Playbook withdraw = Playbook::withdraw_at_threshold(0.4);
+  ASSERT_EQ(withdraw.rules.size(), 2u);
+  EXPECT_EQ(withdraw.rules[0].action.kind, ActionKind::kWithdrawSite);
+  EXPECT_EQ(withdraw.rules[0].trigger.threshold, 0.4);
+  EXPECT_EQ(withdraw.rules[1].action.kind, ActionKind::kRestoreSite);
+  EXPECT_EQ(withdraw.rules[1].trigger.kind, TriggerKind::kLossBelow);
+
+  const Playbook layered = Playbook::layered_defense(0.4);
+  ASSERT_EQ(layered.rules.size(), 4u);
+  EXPECT_EQ(layered.rules[0].action.kind, ActionKind::kEnableRrl);
+  EXPECT_EQ(layered.rules[1].action.kind, ActionKind::kPartialWithdraw);
+  EXPECT_EQ(layered.rules[2].action.kind, ActionKind::kWithdrawSite);
+  EXPECT_EQ(layered.rules[2].max_activations, 2);
+  EXPECT_EQ(layered.rules[3].action.kind, ActionKind::kRestoreSite);
+}
+
+TEST(PlaybookValidate, CatchesBrokenRules) {
+  Playbook p = Playbook::withdraw_at_threshold();
+  p.rules[0].trigger.for_steps = 0;
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::withdraw_at_threshold();
+  p.rules[0].trigger.threshold = -0.1;
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::withdraw_at_threshold();
+  p.rules[0].trigger.threshold = 1.5;  // loss trigger above 1
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::withdraw_at_threshold();
+  p.rules[0].cooldown = net::SimTime(-1);
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::withdraw_at_threshold();
+  p.rules[0].max_activations = -1;
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::absorb_only();
+  p.rules.push_back(Rule{"surge", Trigger::loss_above(0.2),
+                         Action::scale_capacity(0.0)});
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::absorb_only();
+  p.rules.push_back(
+      Rule{"prepend", Trigger::loss_above(0.2), Action::prepend_path(17)});
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::absorb_only();
+  p.signals.ema_alpha = 0.0;
+  EXPECT_FALSE(validate(p).empty());
+
+  p = Playbook::absorb_only();
+  p.delays.bgp = net::SimTime(-1);
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(PlaybookFingerprint, IgnoresTheDisplayName) {
+  Playbook a = Playbook::withdraw_at_threshold();
+  Playbook b = a;
+  b.name = "same-plan-different-label";
+  EXPECT_EQ(playbook_fingerprint(a).dump(), playbook_fingerprint(b).dump());
+}
+
+TEST(PlaybookFingerprint, SeesEveryResultAffectingKnob) {
+  const Playbook base = Playbook::withdraw_at_threshold();
+  const std::string reference = playbook_fingerprint(base).dump();
+
+  Playbook changed = base;
+  changed.rules[0].trigger.threshold = 0.5;
+  EXPECT_NE(playbook_fingerprint(changed).dump(), reference);
+
+  changed = base;
+  changed.rules[0].cooldown = net::SimTime::from_minutes(5);
+  EXPECT_NE(playbook_fingerprint(changed).dump(), reference);
+
+  changed = base;
+  changed.signals.confirm_steps += 1;
+  EXPECT_NE(playbook_fingerprint(changed).dump(), reference);
+
+  changed = base;
+  changed.delays.bgp = net::SimTime::from_minutes(5);
+  EXPECT_NE(playbook_fingerprint(changed).dump(), reference);
+
+  changed = base;
+  changed.rules.pop_back();
+  EXPECT_NE(playbook_fingerprint(changed).dump(), reference);
+
+  // The three presets are pairwise distinct plans.
+  EXPECT_NE(playbook_fingerprint(Playbook::absorb_only()).dump(),
+            playbook_fingerprint(Playbook::withdraw_at_threshold()).dump());
+  EXPECT_NE(playbook_fingerprint(Playbook::withdraw_at_threshold()).dump(),
+            playbook_fingerprint(Playbook::layered_defense()).dump());
+}
+
+}  // namespace
+}  // namespace rootstress::playbook

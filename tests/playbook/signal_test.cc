@@ -1,0 +1,160 @@
+#include "playbook/signal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rootstress::playbook {
+namespace {
+
+SiteObservation obs_loss(double loss, double delay_ms = 0.0,
+                         double util = 0.0) {
+  SiteObservation o;
+  o.offered_qps = 1000.0;
+  o.answered_fraction = 1.0 - loss;
+  o.queue_delay_ms = delay_ms;
+  o.utilization = util;
+  return o;
+}
+
+TEST(SignalConfigValidate, AcceptsDefaultsRejectsBrokenKnobs) {
+  EXPECT_TRUE(validate(SignalConfig{}).empty());
+
+  SignalConfig config;
+  config.on_loss = 0.0;
+  EXPECT_FALSE(validate(config).empty());
+
+  config = SignalConfig{};
+  config.off_loss = config.on_loss;  // band collapses
+  EXPECT_FALSE(validate(config).empty());
+
+  config = SignalConfig{};
+  config.confirm_steps = 0;
+  EXPECT_FALSE(validate(config).empty());
+
+  config = SignalConfig{};
+  config.clear_steps = 0;
+  EXPECT_FALSE(validate(config).empty());
+
+  config = SignalConfig{};
+  config.ema_alpha = 0.0;
+  EXPECT_FALSE(validate(config).empty());
+  config.ema_alpha = 1.5;
+  EXPECT_FALSE(validate(config).empty());
+}
+
+TEST(SignalEstimator, FirstObservationSeedsTheEmas) {
+  SignalConfig config;
+  config.ema_alpha = 0.3;
+  SignalEstimator est(config, 1);
+  const std::vector<SiteObservation> step{obs_loss(0.5, 20.0, 0.8)};
+  est.observe(net::SimTime(0), step);
+  // Seeded, not blended from zero: loss_ema is the observation itself.
+  EXPECT_DOUBLE_EQ(est.site(0).loss_ema, 0.5);
+  EXPECT_DOUBLE_EQ(est.site(0).delay_ema_ms, 20.0);
+  EXPECT_DOUBLE_EQ(est.site(0).util_ema, 0.8);
+  EXPECT_DOUBLE_EQ(est.site(0).baseline_delay_ms, 20.0);
+}
+
+TEST(SignalEstimator, DetectionWaitsForTheConfirmStreak) {
+  SignalConfig config;
+  config.ema_alpha = 1.0;  // EMA == current observation
+  config.confirm_steps = 3;
+  SignalEstimator est(config, 1);
+  const std::vector<SiteObservation> hot{obs_loss(0.5)};
+
+  est.observe(net::SimTime(0), hot);
+  EXPECT_FALSE(est.site(0).detected);
+  est.observe(net::SimTime(60'000), hot);
+  EXPECT_FALSE(est.site(0).detected);
+  est.observe(net::SimTime(120'000), hot);
+  EXPECT_TRUE(est.site(0).detected);
+  EXPECT_EQ(est.site(0).detected_since.ms, 120'000);
+  EXPECT_EQ(est.detected_count(), 1);
+}
+
+TEST(SignalEstimator, OneCoolStepResetsTheConfirmStreak) {
+  SignalConfig config;
+  config.ema_alpha = 1.0;
+  config.confirm_steps = 3;
+  SignalEstimator est(config, 1);
+  const std::vector<SiteObservation> hot{obs_loss(0.5)};
+  const std::vector<SiteObservation> quiet{obs_loss(0.0)};
+
+  est.observe(net::SimTime(0), hot);
+  est.observe(net::SimTime(60'000), hot);
+  est.observe(net::SimTime(120'000), quiet);  // streak back to zero
+  est.observe(net::SimTime(180'000), hot);
+  est.observe(net::SimTime(240'000), hot);
+  EXPECT_FALSE(est.site(0).detected);
+  est.observe(net::SimTime(300'000), hot);
+  EXPECT_TRUE(est.site(0).detected);
+}
+
+TEST(SignalEstimator, HysteresisBandHoldsADetection) {
+  SignalConfig config;
+  config.ema_alpha = 1.0;
+  config.confirm_steps = 1;
+  config.clear_steps = 2;
+  config.on_loss = 0.10;
+  config.off_loss = 0.03;
+  SignalEstimator est(config, 1);
+
+  est.observe(net::SimTime(0), std::vector<SiteObservation>{obs_loss(0.5)});
+  ASSERT_TRUE(est.site(0).detected);
+
+  // Loss inside the band (off_loss, on_loss): neither hot nor cool, the
+  // detection must not flap off.
+  const std::vector<SiteObservation> band{obs_loss(0.05)};
+  for (int i = 1; i <= 10; ++i) {
+    est.observe(net::SimTime(i * 60'000), band);
+    EXPECT_TRUE(est.site(0).detected) << "cleared inside the band, step " << i;
+  }
+
+  // Truly cool for clear_steps: the detection clears.
+  const std::vector<SiteObservation> quiet{obs_loss(0.0)};
+  est.observe(net::SimTime(11 * 60'000), quiet);
+  EXPECT_TRUE(est.site(0).detected);
+  est.observe(net::SimTime(12 * 60'000), quiet);
+  EXPECT_FALSE(est.site(0).detected);
+  EXPECT_EQ(est.site(0).detected_since.ms, -1);
+}
+
+TEST(SignalEstimator, BaselineDelayFreezesWhileDetected) {
+  SignalConfig config;
+  config.ema_alpha = 1.0;
+  config.confirm_steps = 1;
+  SignalEstimator est(config, 1);
+
+  est.observe(net::SimTime(0),
+              std::vector<SiteObservation>{obs_loss(0.0, 10.0)});
+  const double quiet_baseline = est.site(0).baseline_delay_ms;
+  EXPECT_DOUBLE_EQ(quiet_baseline, 10.0);
+
+  // Event: queue delay explodes, but the baseline must keep the
+  // quiet-time value — it is what rtt_inflation compares against.
+  for (int i = 1; i <= 20; ++i) {
+    est.observe(net::SimTime(i * 60'000),
+                std::vector<SiteObservation>{obs_loss(0.5, 500.0)});
+  }
+  EXPECT_TRUE(est.site(0).detected);
+  EXPECT_DOUBLE_EQ(est.site(0).baseline_delay_ms, quiet_baseline);
+}
+
+TEST(SignalEstimator, SitesAreIndependent) {
+  SignalConfig config;
+  config.ema_alpha = 1.0;
+  config.confirm_steps = 2;
+  SignalEstimator est(config, 3);
+  const std::vector<SiteObservation> mixed{obs_loss(0.5), obs_loss(0.0),
+                                           obs_loss(0.5)};
+  est.observe(net::SimTime(0), mixed);
+  est.observe(net::SimTime(60'000), mixed);
+  EXPECT_TRUE(est.site(0).detected);
+  EXPECT_FALSE(est.site(1).detected);
+  EXPECT_TRUE(est.site(2).detected);
+  EXPECT_EQ(est.detected_count(), 2);
+}
+
+}  // namespace
+}  // namespace rootstress::playbook

@@ -150,5 +150,38 @@ TEST(ScenarioBuilder, FluidOnlyDisablesCollection) {
   EXPECT_FALSE(config.enable_collector);
 }
 
+TEST(ScenarioBuilder, PlaybookAndRrlKnobsCarryThrough) {
+  const ScenarioConfig config =
+      ScenarioBuilder::november_2015()
+          .playbook(playbook::Playbook::withdraw_at_threshold(0.35))
+          .rrl_enabled(false)
+          .build();
+  ASSERT_TRUE(config.playbook.has_value());
+  EXPECT_EQ(config.playbook->name, "withdraw-at-threshold");
+  EXPECT_FALSE(config.deployment.rrl_enabled);
+}
+
+TEST(ScenarioBuilder, RejectsAnInvalidPlaybook) {
+  playbook::Playbook broken = playbook::Playbook::withdraw_at_threshold();
+  broken.rules[0].trigger.for_steps = 0;
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder::november_2015()
+                   .playbook(broken)
+                   .try_build(&error)
+                   .has_value());
+  EXPECT_NE(error.find("for_steps"), std::string::npos) << error;
+}
+
+TEST(ScenarioBuilder, RejectsPlaybookCombinedWithAdaptiveDefense) {
+  // Two controllers would fight over the same announcements.
+  std::string error;
+  EXPECT_FALSE(ScenarioBuilder::november_2015()
+                   .playbook(playbook::Playbook::absorb_only())
+                   .adaptive_defense(true)
+                   .try_build(&error)
+                   .has_value());
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace rootstress::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -31,6 +32,9 @@ RunSummary sample_summary() {
   summary.route_changes = 123776;
   summary.kept_vps = 389;
   summary.rssac_day0_queries = 1.23456789012345e12;
+  summary.playbook_activations = 7;
+  summary.playbook_vetoes = 2;
+  summary.time_to_mitigation_ms = 123'456;
   LetterCellSummary b;
   b.letter = 'B';
   b.attacked = true;
@@ -93,6 +97,33 @@ TEST(ConfigHash, ResultAffectingKnobsChangeTheHash) {
   changed = config;
   changed.adaptive_defense = true;
   EXPECT_NE(config_hash(changed), reference);
+
+  changed = config;
+  changed.deployment.rrl_enabled = false;
+  EXPECT_NE(config_hash(changed), reference);
+}
+
+TEST(ConfigHash, PlaybooksAreFingerprintedByContentNotName) {
+  const sim::ScenarioConfig config = base_config();
+  const std::uint64_t reference = config_hash(config);
+
+  // Attaching any playbook (even monitor-only) changes the key.
+  sim::ScenarioConfig with_playbook = config;
+  with_playbook.playbook = playbook::Playbook::absorb_only();
+  EXPECT_NE(config_hash(with_playbook), reference);
+
+  // Distinct plans get distinct keys...
+  sim::ScenarioConfig withdraw = config;
+  withdraw.playbook = playbook::Playbook::withdraw_at_threshold(0.35);
+  EXPECT_NE(config_hash(withdraw), config_hash(with_playbook));
+  sim::ScenarioConfig tighter = config;
+  tighter.playbook = playbook::Playbook::withdraw_at_threshold(0.25);
+  EXPECT_NE(config_hash(tighter), config_hash(withdraw));
+
+  // ...but renaming a plan does not move its cache identity.
+  sim::ScenarioConfig renamed = withdraw;
+  renamed.playbook->name = "same-rules-other-label";
+  EXPECT_EQ(config_hash(renamed), config_hash(withdraw));
 }
 
 TEST(ConfigHash, SaltChangesTheKey) {
@@ -160,6 +191,86 @@ TEST(RunCache, CorruptedEntryIsAMiss) {
   }
   EXPECT_FALSE(cache.load(summary.config_hash).has_value());
   EXPECT_GE(cache.stats().invalid, 1u);
+}
+
+TEST(RunCache, MaxEntriesEvictsOldestFirst) {
+  const fs::path dir = fresh_dir("rs_cache_evict_entries");
+  CacheLimits limits;
+  limits.max_entries = 2;
+  RunCache cache(dir, std::string(kCodeVersionSalt), limits);
+
+  // Four stores with strictly increasing mtimes (rewinding the clock on
+  // the older files keeps the test independent of filesystem timestamp
+  // granularity).
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    RunSummary summary = sample_summary();
+    summary.config_hash = key;
+    cache.store(key, summary);
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      fs::last_write_time(entry.path(),
+                          fs::last_write_time(entry.path()) -
+                              std::chrono::seconds(1));
+    }
+  }
+
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_LE(files, 2u);
+  EXPECT_EQ(cache.stats().evicted, 2u);
+  // The newest entries survived; the oldest were evicted.
+  EXPECT_FALSE(cache.load(1).has_value());
+  EXPECT_FALSE(cache.load(2).has_value());
+  EXPECT_TRUE(cache.load(3).has_value());
+  EXPECT_TRUE(cache.load(4).has_value());
+}
+
+TEST(RunCache, MaxBytesEvictsUntilUnderTheBudget) {
+  const fs::path dir = fresh_dir("rs_cache_evict_bytes");
+  // First find one entry's size, then set the budget to about two.
+  std::uintmax_t entry_bytes = 0;
+  {
+    RunCache sizer(fresh_dir("rs_cache_evict_sizer"));
+    sizer.store(1, sample_summary());
+    for (const auto& entry :
+         fs::directory_iterator(sizer.directory())) {
+      entry_bytes = entry.file_size();
+    }
+  }
+  ASSERT_GT(entry_bytes, 0u);
+
+  CacheLimits limits;
+  limits.max_bytes = 2 * entry_bytes + entry_bytes / 2;
+  RunCache cache(dir, std::string(kCodeVersionSalt), limits);
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    cache.store(key, sample_summary());
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      fs::last_write_time(entry.path(),
+                          fs::last_write_time(entry.path()) -
+                              std::chrono::seconds(1));
+    }
+  }
+  std::uintmax_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    total += entry.file_size();
+  }
+  EXPECT_LE(total, limits.max_bytes);
+  EXPECT_GE(cache.stats().evicted, 1u);
+}
+
+TEST(RunCache, UnlimitedByDefaultNeverEvicts) {
+  RunCache cache(fresh_dir("rs_cache_unlimited"));
+  EXPECT_EQ(cache.limits().max_entries, 0u);
+  EXPECT_EQ(cache.limits().max_bytes, 0u);
+  for (std::uint64_t key = 1; key <= 16; ++key) {
+    cache.store(key, sample_summary());
+  }
+  EXPECT_EQ(cache.stats().evicted, 0u);
+  for (std::uint64_t key = 1; key <= 16; ++key) {
+    EXPECT_TRUE(cache.load(key).has_value()) << key;
+  }
 }
 
 TEST(RunCache, WrongSaltStoredEntryIsInvalidNotServed) {

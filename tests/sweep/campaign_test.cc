@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "sim/scenario_builder.h"
 #include "sweep/cache.h"
 
@@ -100,6 +103,45 @@ TEST(Campaign, AxisApplyTouchesTheRightKnob) {
   config = base;
   Axis::vp_count({321}).apply(0, config);
   EXPECT_EQ(config.population.vp_count, 321);
+}
+
+TEST(Campaign, PlaybookAxisAppliesAndLabels) {
+  const Axis axis = Axis::playbook({
+      playbook::Playbook::absorb_only(),
+      playbook::Playbook::withdraw_at_threshold(0.35),
+  });
+  EXPECT_EQ(axis.size(), 2u);
+  EXPECT_EQ(axis.label(0), "playbook=absorb-only");
+  EXPECT_EQ(axis.label(1), "playbook=withdraw-at-threshold");
+
+  sim::ScenarioConfig config = small_base();
+  ASSERT_FALSE(config.playbook.has_value());
+  axis.apply(1, config);
+  ASSERT_TRUE(config.playbook.has_value());
+  EXPECT_EQ(config.playbook->name, "withdraw-at-threshold");
+
+  playbook::Playbook unnamed;
+  unnamed.name.clear();
+  EXPECT_EQ(Axis::playbook({unnamed}).label(0), "playbook=unnamed");
+}
+
+TEST(Campaign, EmptyAxisFailsExpansionWithAClearError) {
+  Campaign campaign;
+  campaign.name = "holey";
+  campaign.base = small_base();
+  campaign.add(Axis::attack_qps({1e6, 5e6}))
+      .add(Axis::replicate_seeds({}));  // empty: would expand to 0 cells
+  EXPECT_EQ(campaign.cell_count(), 0u);
+  try {
+    expand(campaign);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("holey"), std::string::npos) << what;
+    EXPECT_NE(what.find("axis 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("seed"), std::string::npos) << what;
+    EXPECT_NE(what.find("no values"), std::string::npos) << what;
+  }
 }
 
 TEST(Campaign, ExpansionIsDeterministic) {
