@@ -1,0 +1,204 @@
+// Pulse duel: reaction playbooks against a pulse-wave attack — the
+// adversary pattern reactive defenses are worst at. The 06:50-09:30
+// event window is carved into 20-minute periods at 50% duty: ten minutes
+// of full 2015 rate, ten minutes of silence, repeat. A controller tuned
+// for the steady flood is baited into withdraw/restore churn by exactly
+// those quiet gaps; a patient variant (longer confirm streaks, longer
+// cooldowns) rides the gaps out.
+//
+// Usage:
+//   ./build/examples/pulse_duel [--cache DIR] [--quick]
+//
+// Prints each plan's resilience digest (worst-bin answered fraction,
+// per-bin spread, recovery time after the last pulse, and the
+// false-activation count — actions applied in quiet gaps), then asserts
+// the fault subsystem's contract:
+//   1. fault-laden runs are bit-identical at 1 and 4 engine threads,
+//   2. the pulse wave baits the stock reactive plans into quiet-gap
+//      false activations, and the patient variant oscillates strictly
+//      less than stock withdrawal,
+//   3. a campaign sweeping fault schedules (incl. the no-fault baseline)
+//      yields distinct cache keys per schedule, no collision with the
+//      baseline, and a fully warm second pass.
+// Exits non-zero when any of those fail (scripts/check.sh runs this).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rootstress.h"
+
+using namespace rootstress;
+
+namespace {
+
+sim::ScenarioConfig duel_base(int stubs, int threads = 0) {
+  sim::ScenarioConfig config = sim::ScenarioBuilder::november_2015()
+                                   .fluid_only()
+                                   .topology_stubs(stubs)
+                                   .duration(net::SimTime::from_hours(12))
+                                   .rrl_enabled(false)
+                                   .threads(threads)
+                                   .build();
+  // Keep only the first 2015 event: the December 1 follow-up starts past
+  // this 12-hour horizon, and leaving it in the schedule would push the
+  // engagement span beyond the run — recovery would be unmeasurable.
+  config.schedule = attack::AttackSchedule({config.schedule.events().front()});
+  return config;
+}
+
+struct Arm {
+  playbook::Playbook plan;
+  sweep::RunSummary summary;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path cache_dir;
+  int stubs = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      stubs = 200;
+    }
+  }
+  bool ok = true;
+  const fault::FaultSchedule pulses = fault::FaultSchedule::pulse_wave_2015();
+
+  // Stock withdrawal with the reflexes slowed down: triggers must hold
+  // four times as long, and every knob gets a one-hour cooldown. The
+  // pulse's ten-minute quiet gaps reset the longer streaks, so the plan
+  // mostly declines the bait.
+  playbook::Playbook patient = playbook::Playbook::withdraw_at_threshold(0.35);
+  patient.name = "patient-withdraw";
+  for (playbook::Rule& rule : patient.rules) {
+    rule.trigger.for_steps *= 4;
+    rule.cooldown = net::SimTime::from_minutes(60);
+  }
+
+  // --- The duel: four plans, one pulse wave. ---------------------------
+  std::vector<Arm> arms;
+  for (const playbook::Playbook& plan :
+       {playbook::Playbook::absorb_only(),
+        playbook::Playbook::withdraw_at_threshold(0.35),
+        playbook::Playbook::layered_defense(0.35), patient}) {
+    sim::ScenarioConfig config = duel_base(stubs);
+    config.playbook = plan;
+    config.fault_schedule = pulses;
+    const core::EvaluationReport report = core::evaluate_scenario(config);
+    arms.push_back(Arm{plan, sweep::summarize(config, report)});
+  }
+
+  std::printf("pulse wave %s vs four reaction plans\n", pulses.name.c_str());
+  std::printf("%-24s %10s %10s %12s %11s %6s %6s\n", "plan", "worst_bin",
+              "bin_sd", "recovery_ms", "false_acts", "acts", "vetoes");
+  for (const Arm& arm : arms) {
+    std::printf("%-24s %10.4f %10.4f %12lld %11llu %6llu %6llu\n",
+                arm.plan.name.c_str(), arm.summary.worst_bin_answered,
+                arm.summary.answered_bin_stddev,
+                static_cast<long long>(arm.summary.recovery_ms),
+                static_cast<unsigned long long>(
+                    arm.summary.playbook_false_activations),
+                static_cast<unsigned long long>(
+                    arm.summary.playbook_activations),
+                static_cast<unsigned long long>(arm.summary.playbook_vetoes));
+  }
+
+  // The pulse must actually bite: absorb-only's worst bin shows damage.
+  if (!(arms[0].summary.worst_bin_answered < 1.0)) {
+    std::printf("FAIL: pulse wave left absorb-only unscathed\n");
+    ok = false;
+  }
+
+  // 1. Thread-count invariance of the whole fault-laden closed loop.
+  sim::ScenarioConfig serial_config = duel_base(stubs, /*threads=*/1);
+  serial_config.playbook = playbook::Playbook::layered_defense(0.35);
+  serial_config.fault_schedule = pulses;
+  sim::ScenarioConfig pooled_config = serial_config;
+  pooled_config.threads = 4;
+  sim::SimulationEngine serial_engine(serial_config);
+  const sim::SimulationResult serial = serial_engine.run();
+  sim::SimulationEngine pooled_engine(pooled_config);
+  const sim::SimulationResult pooled = pooled_engine.run();
+  bool identical = serial.playbook == pooled.playbook;
+  if (identical) {
+    for (std::size_t i = 0; i < serial.site_loss_fraction.size(); ++i) {
+      const auto& a = serial.site_loss_fraction[i];
+      const auto& b = pooled.site_loss_fraction[i];
+      for (std::size_t bin = 0; identical && bin < a.bin_count(); ++bin) {
+        identical = a.sum(bin) == b.sum(bin) && a.count(bin) == b.count(bin);
+      }
+    }
+  }
+  std::printf("threads 1 vs 4 under faults: %s\n",
+              identical ? "bit-identical" : "DIVERGED");
+  if (!identical) ok = false;
+
+  // 2. The pulse wave must bait the stock reactive plans (quiet-gap
+  // false activations on both), and patience must pay: the slowed-down
+  // withdrawal oscillates strictly less than the stock one.
+  const auto& withdraw = arms[1].summary;
+  const auto& layered = arms[2].summary;
+  const auto& patient_summary = arms[3].summary;
+  std::printf(
+      "quiet-gap false activations: withdraw=%llu layered=%llu patient=%llu\n",
+      static_cast<unsigned long long>(withdraw.playbook_false_activations),
+      static_cast<unsigned long long>(layered.playbook_false_activations),
+      static_cast<unsigned long long>(
+          patient_summary.playbook_false_activations));
+  if (withdraw.playbook_false_activations == 0 ||
+      layered.playbook_false_activations == 0) {
+    std::printf("FAIL: pulse wave failed to bait the stock reactive plans\n");
+    ok = false;
+  }
+  if (patient_summary.playbook_false_activations >=
+      withdraw.playbook_false_activations) {
+    std::printf("FAIL: patient plan does not oscillate less than stock\n");
+    ok = false;
+  }
+
+  // 3. Fault schedules as a campaign axis with distinct cached digests.
+  const bool temp_cache = cache_dir.empty();
+  if (temp_cache) {
+    cache_dir = std::filesystem::temp_directory_path() / "rs_pulse_duel_cache";
+    std::filesystem::remove_all(cache_dir);
+  }
+  sweep::Campaign campaign;
+  campaign.name = "pulse-duel";
+  campaign.base = duel_base(stubs);
+  campaign.add(sweep::Axis::fault_schedule({
+      fault::FaultSchedule{},  // the no-fault baseline
+      fault::FaultSchedule::pulse_wave_2015(),
+      fault::FaultSchedule::rolling_site_outage(),
+      fault::FaultSchedule::flash_crowd_plus_fault(),
+  }));
+  sweep::CampaignOptions options;
+  options.cache_dir = cache_dir;
+  const sweep::CampaignResult cold = rootstress::run_campaign(campaign, options);
+  const sweep::CampaignResult warm = rootstress::run_campaign(campaign, options);
+  std::set<std::uint64_t> keys;
+  for (const auto& cell : cold.cells) keys.insert(cell.key);
+  const std::uint64_t baseline_key =
+      sweep::config_hash(duel_base(stubs), sweep::kCodeVersionSalt);
+  std::printf(
+      "campaign: cells=%zu distinct_keys=%zu cold_executed=%zu "
+      "warm_cache_hits=%zu\n",
+      cold.cells.size(), keys.size(), cold.executed, warm.cache_hits);
+  if (keys.size() != cold.cells.size() ||
+      warm.cache_hits != cold.cells.size() || cold.executed != cold.cells.size()) {
+    std::printf("FAIL: fault axis did not cache four distinct digests\n");
+    ok = false;
+  }
+  if (cold.cells[0].key != baseline_key) {
+    std::printf("FAIL: empty fault schedule re-keyed the baseline config\n");
+    ok = false;
+  }
+  if (temp_cache) std::filesystem::remove_all(cache_dir);
+
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

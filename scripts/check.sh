@@ -12,7 +12,13 @@
 #      example, which exits non-zero unless the withdraw plan changes the
 #      answered fraction, threads 1 and 4 agree bit-for-bit, and the
 #      playbook campaign axis caches three distinct digests.
-#   4. Debug build with ThreadSanitizer, running the thread-pool unit
+#   4. Fault gate: the fault-layer integration tests on both engine
+#      paths, then the pulse_duel example at ROOTSTRESS_THREADS=1 and 4
+#      — it exits non-zero unless the pulse wave damages the absorb
+#      baseline, fault-laden runs are thread-count invariant, the patient
+#      plan out-oscillates nothing, and the fault-schedule campaign axis
+#      caches four distinct digests cold then serves them all warm.
+#   5. Debug build with ThreadSanitizer, running the thread-pool unit
 #      tests and the parallel-determinism integration test under TSan.
 #
 # Usage: scripts/check.sh  (from the repo root; build trees land in
@@ -52,6 +58,22 @@ echo "=== Playbook duel example: reactive arm must move the needle ==="
 DUEL_CACHE="$(mktemp -d)"
 ./build/check-release/examples/playbook_duel --quick --cache "$DUEL_CACHE"
 rm -rf "$DUEL_CACHE"
+
+echo "=== Fault integration, serial and pooled engines ==="
+ROOTSTRESS_THREADS=1 ./build/check-release/tests/integration_test \
+  --gtest_filter='FaultIntegration.*'
+ROOTSTRESS_THREADS=4 ./build/check-release/tests/integration_test \
+  --gtest_filter='FaultIntegration.*'
+
+echo "=== Pulse duel example: the chaos layer's end-to-end contract ==="
+PULSE_CACHE="$(mktemp -d)"
+ROOTSTRESS_THREADS=1 ./build/check-release/examples/pulse_duel --quick \
+  --cache "$PULSE_CACHE"
+rm -rf "$PULSE_CACHE"
+PULSE_CACHE="$(mktemp -d)"
+ROOTSTRESS_THREADS=4 ./build/check-release/examples/pulse_duel --quick \
+  --cache "$PULSE_CACHE"
+rm -rf "$PULSE_CACHE"
 
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \

@@ -1,0 +1,162 @@
+#include "fault/runtime.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace rootstress::fault {
+
+const char* to_string(DueAction::Kind kind) noexcept {
+  switch (kind) {
+    case DueAction::Kind::kSiteDown: return "site-down";
+    case DueAction::Kind::kSiteRestore: return "site-restore";
+    case DueAction::Kind::kSessionDown: return "session-down";
+    case DueAction::Kind::kSessionRestore: return "session-restore";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// (site id, prefix) of `letter`'s `ordinal`-th site, or nullopt when the
+// deployment has no such letter or too few sites.
+std::optional<std::pair<int, int>> resolve(
+    const anycast::RootDeployment& deployment, char letter, int ordinal) {
+  for (const anycast::ServiceInfo& svc : deployment.services()) {
+    if (svc.letter != letter) continue;
+    if (ordinal < 0 || ordinal >= static_cast<int>(svc.site_ids.size())) {
+      return std::nullopt;
+    }
+    return std::make_pair(svc.site_ids[static_cast<std::size_t>(ordinal)],
+                          svc.prefix);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+FaultRuntime::FaultRuntime(const FaultSchedule& schedule,
+                           const anycast::RootDeployment& deployment)
+    : schedule_(schedule) {
+  site_faults_.reserve(schedule_.site_faults.size());
+  for (std::size_t i = 0; i < schedule_.site_faults.size(); ++i) {
+    const SiteFault& fault = schedule_.site_faults[i];
+    if (auto hit = resolve(deployment, fault.letter, fault.site_ordinal)) {
+      site_faults_.push_back({i, hit->first, hit->second, false});
+    }
+  }
+  bgp_resets_.reserve(schedule_.bgp_resets.size());
+  for (std::size_t i = 0; i < schedule_.bgp_resets.size(); ++i) {
+    const BgpReset& reset = schedule_.bgp_resets[i];
+    if (auto hit = resolve(deployment, reset.letter, reset.site_ordinal)) {
+      bgp_resets_.push_back({i, hit->first, hit->second, false, false});
+    }
+  }
+}
+
+std::vector<DueAction> FaultRuntime::begin_step(net::SimTime t) {
+  now_ = t;
+  std::vector<DueAction> due;
+  for (ResolvedSiteFault& fault : site_faults_) {
+    const net::SimInterval window = schedule_.site_faults[fault.index].window;
+    if (!fault.applied && window.contains(t)) {
+      fault.applied = true;
+      due.push_back({DueAction::Kind::kSiteDown, fault.site_id, fault.prefix});
+    } else if (fault.applied && t >= window.end) {
+      fault.applied = false;
+      due.push_back(
+          {DueAction::Kind::kSiteRestore, fault.site_id, fault.prefix});
+    }
+  }
+  for (ResolvedBgpReset& reset : bgp_resets_) {
+    const BgpReset& spec = schedule_.bgp_resets[reset.index];
+    const net::SimTime up_at = spec.at + spec.hold;
+    if (!reset.done && !reset.down && t >= spec.at && t < up_at) {
+      reset.down = true;
+      due.push_back(
+          {DueAction::Kind::kSessionDown, reset.site_id, reset.prefix});
+    } else if (reset.down && t >= up_at) {
+      reset.down = false;
+      reset.done = true;
+      due.push_back(
+          {DueAction::Kind::kSessionRestore, reset.site_id, reset.prefix});
+    }
+  }
+
+  active_pulse_ = schedule_.pulse_at(t);
+  active_pulse_index_ =
+      active_pulse_ ? FaultSchedule::pulse_index(*active_pulse_, t) : -1;
+
+  legit_scale_ = 1.0;
+  for (const LegitSurge& surge : schedule_.legit_surges) {
+    if (surge.window.contains(t)) legit_scale_ *= surge.scale;
+  }
+
+  telemetry_gap_ = false;
+  for (const TelemetryGap& gap : schedule_.telemetry_gaps) {
+    if (gap.window.contains(t)) {
+      telemetry_gap_ = true;
+      break;
+    }
+  }
+
+  held_sites_.clear();
+  for (const ResolvedSiteFault& fault : site_faults_) {
+    if (schedule_.site_faults[fault.index].window.contains(t)) {
+      held_sites_.push_back(fault.site_id);
+    }
+  }
+  return due;
+}
+
+const attack::AttackEvent* FaultRuntime::shape(
+    net::SimTime t, const attack::AttackSchedule& base) {
+  const PulseWave* pulse = schedule_.pulse_at(t);
+  if (pulse == nullptr) return base.active(t);
+  const double envelope = FaultSchedule::envelope(*pulse, t);
+  if (envelope <= 0.0) return nullptr;  // true silence between pulses
+  scratch_event_.when = pulse->window;
+  scratch_event_.per_letter_qps = pulse->peak_qps * envelope;
+  scratch_event_.qname = "www.pulse-wave.example";
+  scratch_event_.query_payload_bytes = pulse->query_payload_bytes;
+  scratch_event_.response_payload_bytes = pulse->response_payload_bytes;
+  scratch_event_.duplicate_fraction = pulse->duplicate_fraction;
+  scratch_event_.spillover_fraction = pulse->spillover_fraction;
+  return &scratch_event_;
+}
+
+bool FaultRuntime::letter_attacked(char letter,
+                                   bool static_attacked) const noexcept {
+  if (active_pulse_ == nullptr || active_pulse_->pulse_targets.empty()) {
+    return static_attacked;
+  }
+  const auto& sets = active_pulse_->pulse_targets;
+  const std::size_t which = static_cast<std::size_t>(
+      active_pulse_index_ < 0 ? 0 : active_pulse_index_) % sets.size();
+  const std::vector<char>& targets = sets[which];
+  return std::find(targets.begin(), targets.end(), letter) != targets.end();
+}
+
+bool FaultRuntime::holds_site(int site_id) const noexcept {
+  return std::find(held_sites_.begin(), held_sites_.end(), site_id) !=
+         held_sites_.end();
+}
+
+bool FaultRuntime::vp_dropped(int vp_id, net::SimTime when) const noexcept {
+  for (const VpDropout& dropout : schedule_.vp_dropouts) {
+    if (!dropout.window.contains(when) || dropout.fraction <= 0.0) continue;
+    // Stateless per-VP coin: the same VP is silent for the whole window,
+    // mirroring a real probe going dark rather than per-sample flicker.
+    const std::uint64_t h =
+        util::mix64(static_cast<std::uint64_t>(vp_id) * 0x9e3779b97f4a7c15ull ^
+                    dropout.salt);
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+    if (u < dropout.fraction) return true;
+  }
+  return false;
+}
+
+}  // namespace rootstress::fault

@@ -1,0 +1,108 @@
+// Engine-side evaluation of a FaultSchedule.
+//
+// FaultRuntime resolves a declarative schedule against a concrete
+// deployment (letter/ordinal -> site id + prefix) and answers, per step,
+// what to inject. All stateful decisions (site down/restore, session
+// flaps) happen in begin_step(), which the engine calls from its serial
+// defense-injection phase; the remaining queries are pure reads of the
+// step state — or, for vp_dropped(), a pure hash — and are safe from the
+// parallel probe shards. That split is what keeps fault-laden runs
+// bit-identical at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "anycast/deployment.h"
+#include "attack/schedule.h"
+#include "fault/schedule.h"
+#include "net/clock.h"
+
+namespace rootstress::fault {
+
+/// One injection the engine must apply this step, in declaration order.
+struct DueAction {
+  enum class Kind : std::uint8_t {
+    kSiteDown,        ///< hardware failure begins: fully withdraw
+    kSiteRestore,     ///< hardware recovered: re-announce (unless vetoed)
+    kSessionDown,     ///< BGP session reset: tear down the announcement
+    kSessionRestore,  ///< session back: reassert the scope's announcement
+  };
+
+  Kind kind = Kind::kSiteDown;
+  int site_id = -1;
+  int prefix = -1;
+};
+
+const char* to_string(DueAction::Kind kind) noexcept;
+
+class FaultRuntime {
+ public:
+  /// Resolves ordinals against `deployment` (borrowed; must outlive the
+  /// runtime). Injectors naming letters or ordinals the deployment does
+  /// not have are dropped — small test topologies stay usable.
+  FaultRuntime(const FaultSchedule& schedule,
+               const anycast::RootDeployment& deployment);
+
+  /// Advances all injector state machines to `t` and returns the actions
+  /// now due, in schedule declaration order. Serial phase only.
+  std::vector<DueAction> begin_step(net::SimTime t);
+
+  /// The attack event in force at `t`: inside a pulse window a
+  /// synthesized event scaled by the envelope (nullptr when the envelope
+  /// is zero — true inter-pulse silence), otherwise whatever `base` says.
+  /// The returned pointer is valid until the next begin_step()/shape().
+  const attack::AttackEvent* shape(net::SimTime t,
+                                   const attack::AttackSchedule& base);
+
+  /// Whether `letter` counts as attacked this step. During a pulse with
+  /// per-pulse targets the target set decides; during a pulse without
+  /// targets (and outside pulses) the caller's static flag stands.
+  bool letter_attacked(char letter, bool static_attacked) const noexcept;
+
+  /// Legit-rate multiplier this step (product of active surges; 1.0 when
+  /// none).
+  double legit_scale() const noexcept { return legit_scale_; }
+
+  /// Whether operator telemetry is frozen this step.
+  bool telemetry_gap() const noexcept { return telemetry_gap_; }
+
+  /// Whether a hardware fault currently pins `site_id` down (defense
+  /// layers must not re-announce it).
+  bool holds_site(int site_id) const noexcept;
+
+  /// Whether VP `vp_id` is silent at `when`. Pure (hash of vp and the
+  /// dropout salt) — safe to call concurrently from probe shards.
+  bool vp_dropped(int vp_id, net::SimTime when) const noexcept;
+
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  struct ResolvedSiteFault {
+    std::size_t index = 0;  ///< into schedule_.site_faults
+    int site_id = -1;
+    int prefix = -1;
+    bool applied = false;
+  };
+  struct ResolvedBgpReset {
+    std::size_t index = 0;  ///< into schedule_.bgp_resets
+    int site_id = -1;
+    int prefix = -1;
+    bool down = false;
+    bool done = false;
+  };
+
+  FaultSchedule schedule_;
+  std::vector<ResolvedSiteFault> site_faults_;
+  std::vector<ResolvedBgpReset> bgp_resets_;
+
+  // Step state, written only by begin_step()/shape() (serial phase).
+  net::SimTime now_{};
+  const PulseWave* active_pulse_ = nullptr;
+  std::int64_t active_pulse_index_ = -1;
+  double legit_scale_ = 1.0;
+  bool telemetry_gap_ = false;
+  std::vector<int> held_sites_;
+  attack::AttackEvent scratch_event_{};
+};
+
+}  // namespace rootstress::fault

@@ -1,0 +1,389 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "attack/events2015.h"
+
+namespace rootstress::fault {
+
+const char* to_string(PulseShape shape) noexcept {
+  switch (shape) {
+    case PulseShape::kSquare: return "square";
+    case PulseShape::kSawtooth: return "sawtooth";
+  }
+  return "unknown";
+}
+
+const PulseWave* FaultSchedule::pulse_at(net::SimTime t) const noexcept {
+  for (const PulseWave& pulse : pulses) {
+    if (pulse.window.contains(t)) return &pulse;
+  }
+  return nullptr;
+}
+
+std::int64_t FaultSchedule::pulse_index(const PulseWave& pulse,
+                                        net::SimTime t) noexcept {
+  if (!pulse.window.contains(t) || pulse.period.ms <= 0) return -1;
+  return (t.ms - pulse.window.begin.ms) / pulse.period.ms;
+}
+
+double FaultSchedule::envelope(const PulseWave& pulse,
+                               net::SimTime t) noexcept {
+  if (!pulse.window.contains(t) || pulse.period.ms <= 0) return 0.0;
+  const std::int64_t phase_ms = (t.ms - pulse.window.begin.ms) % pulse.period.ms;
+  const double on_ms = pulse.duty * static_cast<double>(pulse.period.ms);
+  if (static_cast<double>(phase_ms) >= on_ms) return pulse.floor_scale;
+  switch (pulse.shape) {
+    case PulseShape::kSquare: return 1.0;
+    case PulseShape::kSawtooth:
+      // Ramp from just above the floor to full rate across the on-window;
+      // on_ms > 0 is guaranteed by the duty > 0 validation.
+      return (static_cast<double>(phase_ms) + 1.0) / on_ms;
+  }
+  return 1.0;
+}
+
+bool FaultSchedule::attack_hot(net::SimTime t,
+                               const attack::AttackSchedule& base) const noexcept {
+  if (const PulseWave* pulse = pulse_at(t)) {
+    const std::int64_t phase_ms =
+        pulse->period.ms > 0 ? (t.ms - pulse->window.begin.ms) % pulse->period.ms
+                             : 0;
+    return static_cast<double>(phase_ms) <
+           pulse->duty * static_cast<double>(pulse->period.ms);
+  }
+  return base.active(t) != nullptr;
+}
+
+net::SimTime FaultSchedule::last_hot_end(
+    const attack::AttackSchedule& base) const noexcept {
+  std::int64_t last = std::numeric_limits<std::int64_t>::min();
+  for (const attack::AttackEvent& event : base.events()) {
+    // A base event shadowed by a pulse window still contributes nothing
+    // beyond the pulse's own hot end, and pulse windows are handled below,
+    // so only count the part of the event outside every pulse window. The
+    // common case (no overlap) keeps the plain end.
+    std::int64_t end = event.when.end.ms;
+    for (const PulseWave& pulse : pulses) {
+      if (pulse.window.begin.ms <= event.when.begin.ms &&
+          event.when.end.ms <= pulse.window.end.ms) {
+        end = std::numeric_limits<std::int64_t>::min();  // fully shadowed
+      }
+    }
+    last = std::max(last, end);
+  }
+  for (const PulseWave& pulse : pulses) {
+    if (pulse.period.ms <= 0 || pulse.window.duration().ms <= 0) continue;
+    const std::int64_t on_ms = static_cast<std::int64_t>(
+        pulse.duty * static_cast<double>(pulse.period.ms));
+    // Walk back from the window end to the start of the last period that
+    // begins inside the window, then take the end of its on-portion,
+    // clamped to the window.
+    const std::int64_t span = pulse.window.duration().ms;
+    const std::int64_t periods = (span + pulse.period.ms - 1) / pulse.period.ms;
+    const std::int64_t last_begin =
+        pulse.window.begin.ms + (periods - 1) * pulse.period.ms;
+    const std::int64_t hot_end =
+        std::min(last_begin + std::max<std::int64_t>(on_ms, 1),
+                 pulse.window.end.ms);
+    last = std::max(last, hot_end);
+  }
+  return net::SimTime(last);
+}
+
+net::SimTime FaultSchedule::first_hot_begin(
+    const attack::AttackSchedule& base) const noexcept {
+  std::int64_t first = std::numeric_limits<std::int64_t>::max();
+  for (const attack::AttackEvent& event : base.events()) {
+    first = std::min(first, event.when.begin.ms);
+  }
+  for (const PulseWave& pulse : pulses) {
+    if (pulse.window.duration().ms <= 0) continue;
+    first = std::min(first, pulse.window.begin.ms);
+  }
+  return net::SimTime(first);
+}
+
+FaultSchedule FaultSchedule::pulse_wave_2015(double peak_qps) {
+  PulseWave pulse;
+  pulse.window = attack::kEvent1;
+  pulse.period = net::SimTime::from_minutes(20);
+  pulse.duty = 0.5;
+  pulse.shape = PulseShape::kSquare;
+  pulse.peak_qps = peak_qps;
+  pulse.floor_scale = 0.0;
+  return FaultScheduleBuilder()
+      .name("pulse_wave_2015")
+      .pulse_wave(pulse)
+      .build();
+}
+
+FaultSchedule FaultSchedule::rolling_site_outage(char letter) {
+  FaultScheduleBuilder b;
+  b.name("rolling_site_outage");
+  for (int i = 0; i < 3; ++i) {
+    const net::SimTime begin = net::SimTime::from_hours(7.0 + i);
+    b.site_fault(letter, i,
+                 {begin, begin + net::SimTime::from_minutes(45)});
+  }
+  BgpReset reset;
+  reset.letter = letter;
+  reset.site_ordinal = 3;
+  reset.at = net::SimTime::from_hours(8.5);
+  reset.hold = net::SimTime::from_minutes(2);
+  b.bgp_reset(reset);
+  return b.build();
+}
+
+FaultSchedule FaultSchedule::flash_crowd_plus_fault() {
+  const net::SimInterval surge{net::SimTime::from_hours(6.0),
+                               net::SimTime::from_hours(10.0)};
+  VpDropout dropout;
+  dropout.window = {net::SimTime::from_hours(7.0),
+                    net::SimTime::from_hours(9.0)};
+  dropout.fraction = 0.20;
+  dropout.salt = 0x2015'11'30;
+  return FaultScheduleBuilder()
+      .name("flash_crowd_plus_fault")
+      .legit_surge(surge, 3.0)
+      .site_fault('K', 0,
+                  {net::SimTime::from_hours(7.5),
+                   net::SimTime::from_hours(8.5)})
+      .vp_dropout(dropout)
+      .build();
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::name(std::string name) {
+  schedule_.name = std::move(name);
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::pulse_wave(PulseWave pulse) {
+  schedule_.pulses.push_back(std::move(pulse));
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::site_fault(SiteFault fault) {
+  schedule_.site_faults.push_back(fault);
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::site_fault(char letter,
+                                                       int site_ordinal,
+                                                       net::SimInterval window) {
+  return site_fault(SiteFault{letter, site_ordinal, window});
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::bgp_reset(BgpReset reset) {
+  schedule_.bgp_resets.push_back(reset);
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::vp_dropout(VpDropout dropout) {
+  schedule_.vp_dropouts.push_back(dropout);
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::telemetry_gap(
+    net::SimInterval window) {
+  schedule_.telemetry_gaps.push_back(TelemetryGap{window});
+  return *this;
+}
+
+FaultScheduleBuilder& FaultScheduleBuilder::legit_surge(net::SimInterval window,
+                                                        double scale) {
+  schedule_.legit_surges.push_back(LegitSurge{window, scale});
+  return *this;
+}
+
+std::string FaultScheduleBuilder::validate() const {
+  return fault::validate(schedule_);
+}
+
+FaultSchedule FaultScheduleBuilder::build() const {
+  if (std::string problem = validate(); !problem.empty()) {
+    throw std::invalid_argument("FaultSchedule: " + problem);
+  }
+  return schedule_;
+}
+
+namespace {
+
+bool valid_window(net::SimInterval window) noexcept {
+  return window.begin < window.end;
+}
+
+bool valid_letter(char letter) noexcept {
+  return letter >= 'A' && letter <= 'M';
+}
+
+bool finite_in(double x, double lo, double hi) noexcept {
+  return std::isfinite(x) && x >= lo && x <= hi;
+}
+
+}  // namespace
+
+std::string validate(const FaultSchedule& schedule) {
+  for (std::size_t i = 0; i < schedule.pulses.size(); ++i) {
+    const PulseWave& pulse = schedule.pulses[i];
+    const std::string where = "pulse " + std::to_string(i);
+    if (!valid_window(pulse.window)) return where + ": window must be non-empty";
+    if (pulse.period.ms <= 0) return where + ": period must be positive";
+    if (!finite_in(pulse.duty, 0.0, 1.0) || pulse.duty == 0.0) {
+      return where + ": duty must be in (0, 1]";
+    }
+    if (!std::isfinite(pulse.peak_qps) || pulse.peak_qps <= 0.0) {
+      return where + ": peak_qps must be positive";
+    }
+    if (!finite_in(pulse.floor_scale, 0.0, 1.0)) {
+      return where + ": floor_scale must be in [0, 1]";
+    }
+    if (!finite_in(pulse.duplicate_fraction, 0.0, 1.0)) {
+      return where + ": duplicate_fraction must be in [0, 1]";
+    }
+    if (!finite_in(pulse.spillover_fraction, 0.0, 1.0)) {
+      return where + ": spillover_fraction must be in [0, 1]";
+    }
+    if (pulse.query_payload_bytes <= 0.0 || pulse.response_payload_bytes <= 0.0) {
+      return where + ": payload bytes must be positive";
+    }
+    for (const auto& targets : pulse.pulse_targets) {
+      if (targets.empty()) return where + ": a pulse target set is empty";
+      for (char letter : targets) {
+        if (!valid_letter(letter)) {
+          return where + ": target letters must be 'A'..'M'";
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < schedule.site_faults.size(); ++i) {
+    const SiteFault& fault = schedule.site_faults[i];
+    const std::string where = "site_fault " + std::to_string(i);
+    if (!valid_letter(fault.letter)) return where + ": letter must be 'A'..'M'";
+    if (fault.site_ordinal < 0) return where + ": site_ordinal must be >= 0";
+    if (!valid_window(fault.window)) return where + ": window must be non-empty";
+  }
+  for (std::size_t i = 0; i < schedule.bgp_resets.size(); ++i) {
+    const BgpReset& reset = schedule.bgp_resets[i];
+    const std::string where = "bgp_reset " + std::to_string(i);
+    if (!valid_letter(reset.letter)) return where + ": letter must be 'A'..'M'";
+    if (reset.site_ordinal < 0) return where + ": site_ordinal must be >= 0";
+    if (reset.hold.ms <= 0) return where + ": hold must be positive";
+  }
+  for (std::size_t i = 0; i < schedule.vp_dropouts.size(); ++i) {
+    const VpDropout& dropout = schedule.vp_dropouts[i];
+    const std::string where = "vp_dropout " + std::to_string(i);
+    if (!valid_window(dropout.window)) return where + ": window must be non-empty";
+    if (!finite_in(dropout.fraction, 0.0, 1.0)) {
+      return where + ": fraction must be in [0, 1]";
+    }
+  }
+  for (std::size_t i = 0; i < schedule.telemetry_gaps.size(); ++i) {
+    if (!valid_window(schedule.telemetry_gaps[i].window)) {
+      return "telemetry_gap " + std::to_string(i) + ": window must be non-empty";
+    }
+  }
+  for (std::size_t i = 0; i < schedule.legit_surges.size(); ++i) {
+    const LegitSurge& surge = schedule.legit_surges[i];
+    const std::string where = "legit_surge " + std::to_string(i);
+    if (!valid_window(surge.window)) return where + ": window must be non-empty";
+    if (!std::isfinite(surge.scale) || surge.scale <= 0.0) {
+      return where + ": scale must be positive";
+    }
+  }
+  return {};
+}
+
+namespace {
+
+// Same tagging convention as sweep/cache.cc's fp(): non-finite doubles
+// become distinguishable strings, never JSON null, so two schedules that
+// differ only in a NaN cannot share a fingerprint.
+obs::JsonValue fp(double x) {
+  if (std::isnan(x)) return obs::JsonValue("nan");
+  if (std::isinf(x)) return obs::JsonValue(x > 0 ? "inf" : "-inf");
+  return obs::JsonValue(x);
+}
+
+obs::JsonValue interval_json(net::SimInterval window) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("begin_ms", obs::JsonValue(window.begin.ms));
+  doc.set("end_ms", obs::JsonValue(window.end.ms));
+  return doc;
+}
+
+}  // namespace
+
+obs::JsonValue fault_fingerprint(const FaultSchedule& schedule) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  obs::JsonValue pulses = obs::JsonValue::array();
+  for (const PulseWave& pulse : schedule.pulses) {
+    obs::JsonValue p = obs::JsonValue::object();
+    p.set("window", interval_json(pulse.window));
+    p.set("period_ms", obs::JsonValue(pulse.period.ms));
+    p.set("duty", fp(pulse.duty));
+    p.set("shape", obs::JsonValue(to_string(pulse.shape)));
+    p.set("peak_qps", fp(pulse.peak_qps));
+    p.set("floor_scale", fp(pulse.floor_scale));
+    obs::JsonValue targets = obs::JsonValue::array();
+    for (const auto& set : pulse.pulse_targets) {
+      std::string letters(set.begin(), set.end());
+      targets.push_back(obs::JsonValue(std::move(letters)));
+    }
+    p.set("pulse_targets", std::move(targets));
+    p.set("query_payload_bytes", fp(pulse.query_payload_bytes));
+    p.set("response_payload_bytes", fp(pulse.response_payload_bytes));
+    p.set("duplicate_fraction", fp(pulse.duplicate_fraction));
+    p.set("spillover_fraction", fp(pulse.spillover_fraction));
+    pulses.push_back(std::move(p));
+  }
+  doc.set("pulses", std::move(pulses));
+  obs::JsonValue faults = obs::JsonValue::array();
+  for (const SiteFault& fault : schedule.site_faults) {
+    obs::JsonValue f = obs::JsonValue::object();
+    f.set("letter", obs::JsonValue(std::string(1, fault.letter)));
+    f.set("site_ordinal", obs::JsonValue(fault.site_ordinal));
+    f.set("window", interval_json(fault.window));
+    faults.push_back(std::move(f));
+  }
+  doc.set("site_faults", std::move(faults));
+  obs::JsonValue resets = obs::JsonValue::array();
+  for (const BgpReset& reset : schedule.bgp_resets) {
+    obs::JsonValue r = obs::JsonValue::object();
+    r.set("letter", obs::JsonValue(std::string(1, reset.letter)));
+    r.set("site_ordinal", obs::JsonValue(reset.site_ordinal));
+    r.set("at_ms", obs::JsonValue(reset.at.ms));
+    r.set("hold_ms", obs::JsonValue(reset.hold.ms));
+    resets.push_back(std::move(r));
+  }
+  doc.set("bgp_resets", std::move(resets));
+  obs::JsonValue dropouts = obs::JsonValue::array();
+  for (const VpDropout& dropout : schedule.vp_dropouts) {
+    obs::JsonValue d = obs::JsonValue::object();
+    d.set("window", interval_json(dropout.window));
+    d.set("fraction", fp(dropout.fraction));
+    d.set("salt", obs::JsonValue(static_cast<std::uint64_t>(dropout.salt)));
+    dropouts.push_back(std::move(d));
+  }
+  doc.set("vp_dropouts", std::move(dropouts));
+  obs::JsonValue gaps = obs::JsonValue::array();
+  for (const TelemetryGap& gap : schedule.telemetry_gaps) {
+    gaps.push_back(interval_json(gap.window));
+  }
+  doc.set("telemetry_gaps", std::move(gaps));
+  obs::JsonValue surges = obs::JsonValue::array();
+  for (const LegitSurge& surge : schedule.legit_surges) {
+    obs::JsonValue s = obs::JsonValue::object();
+    s.set("window", interval_json(surge.window));
+    s.set("scale", fp(surge.scale));
+    surges.push_back(std::move(s));
+  }
+  doc.set("legit_surges", std::move(surges));
+  return doc;
+}
+
+}  // namespace rootstress::fault

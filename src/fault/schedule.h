@@ -1,0 +1,232 @@
+// Deterministic fault-and-attack chaos schedules.
+//
+// The paper's steady floods answer only half of §2.2's withdraw-vs-absorb
+// question: real events mix time-varying attacks with infrastructure
+// faults, and pulse-wave + fault-coincident timing is exactly where
+// reactive defenses break (Rizvi et al.; Khamaisi et al.). A
+// FaultSchedule is a declarative timeline of typed injectors:
+//
+//  - PulseWave: a square or sawtooth attack envelope with period, duty
+//    cycle, and optional per-pulse target letters. Inside its window the
+//    pulse OVERRIDES the scenario's base attack schedule (the engine
+//    synthesizes the step's AttackEvent from the envelope); between
+//    pulses the offered rate drops to `floor_scale` of the peak.
+//  - SiteFault: hardware failure — one site fully withdrawn for a window,
+//    restored afterwards, immune to the defense layers' re-announce paths.
+//  - BgpReset: a session flap — the announcement is torn down at `at` and
+//    reasserted after `hold`, without touching the site's scope.
+//  - VpDropout: a fraction of Atlas VPs go silent inside a window
+//    (deterministically chosen by hashing (vp, salt)).
+//  - TelemetryGap: the operator's dashboards freeze — the playbook
+//    controller keeps seeing the last pre-gap observations.
+//  - LegitSurge: a flash crowd — the legitimate per-letter rate scales.
+//
+// Everything is pure data, seed-free, and evaluated in the engine's
+// serial defense-injection phase, so runs are bit-identical at any thread
+// count (the same discipline as the playbook controller). The schedule is
+// part of the campaign cache fingerprint (fault_fingerprint below).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/schedule.h"
+#include "net/clock.h"
+#include "obs/json.h"
+
+namespace rootstress::fault {
+
+/// Envelope shape of a pulse-wave attack.
+enum class PulseShape : std::uint8_t {
+  kSquare,    ///< full rate for duty*period, then floor
+  kSawtooth,  ///< linear ramp 0 -> 1 across the on-window, then floor
+};
+
+const char* to_string(PulseShape shape) noexcept;
+
+/// A periodic burst envelope. Inside `window`, pulses repeat every
+/// `period`: the first `duty` fraction of each period is "on" (hot), the
+/// rest idles at `floor_scale` of the peak (0 = true silence between
+/// pulses, the classic pulse-wave gap that baits reactive controllers).
+struct PulseWave {
+  net::SimInterval window{};
+  net::SimTime period = net::SimTime::from_minutes(20);
+  double duty = 0.5;  ///< on-fraction of each period, in (0, 1]
+  PulseShape shape = PulseShape::kSquare;
+  double peak_qps = 5e6;     ///< per targeted letter at full envelope
+  double floor_scale = 0.0;  ///< envelope between pulses, in [0, 1]
+  /// Target letters per pulse, cycled by pulse index (pulse k targets
+  /// pulse_targets[k % size]). Empty = the letter table's static attacked
+  /// set (the 2015 event's targeting). Rotating targets is the
+  /// "carpet-bombing" variant: every pulse hits a different letter set.
+  std::vector<std::vector<char>> pulse_targets;
+  /// Synthesized-event stream shape (same meaning as attack::AttackEvent).
+  double query_payload_bytes = 32.0;
+  double response_payload_bytes = 490.0;
+  double duplicate_fraction = 0.60;
+  double spillover_fraction = 0.003;
+
+  bool operator==(const PulseWave&) const = default;
+};
+
+/// Hardware failure: site `site_ordinal` of `letter` (an index into the
+/// service's site list — stable across synthesized topologies) is fully
+/// withdrawn for `window`. Ordinals beyond the letter's site count are
+/// ignored at runtime (small test topologies).
+struct SiteFault {
+  char letter = 'K';
+  int site_ordinal = 0;
+  net::SimInterval window{};
+
+  bool operator==(const SiteFault&) const = default;
+};
+
+/// BGP session reset: the site's announcement is torn down at `at` and
+/// comes back after `hold`. Unlike SiteFault the site's scope is
+/// untouched — the announcement is reasserted to whatever the scope then
+/// implies (the routing layer emits session failure/restore trace events).
+struct BgpReset {
+  char letter = 'K';
+  int site_ordinal = 0;
+  net::SimTime at{};
+  net::SimTime hold = net::SimTime::from_minutes(2);
+
+  bool operator==(const BgpReset&) const = default;
+};
+
+/// Atlas VP dropout: inside `window`, each VP is silent with probability
+/// `fraction`, chosen deterministically from (vp id, salt) — no RNG
+/// state, so probing stays a pure function of the schedule.
+struct VpDropout {
+  net::SimInterval window{};
+  double fraction = 0.1;  ///< in [0, 1]
+  std::uint64_t salt = 0;
+
+  bool operator==(const VpDropout&) const = default;
+};
+
+/// Operator telemetry gap: while active, the playbook controller sees
+/// only the last pre-gap observations (frozen dashboards).
+struct TelemetryGap {
+  net::SimInterval window{};
+
+  bool operator==(const TelemetryGap&) const = default;
+};
+
+/// Flash crowd: the legitimate per-letter query rate is multiplied by
+/// `scale` inside `window`.
+struct LegitSurge {
+  net::SimInterval window{};
+  double scale = 2.0;  ///< > 0
+
+  bool operator==(const LegitSurge&) const = default;
+};
+
+/// The declarative timeline. Pure data (Playbook idiom): build by hand,
+/// through FaultScheduleBuilder, or from a preset; validate() checks it;
+/// fault_fingerprint() keys the campaign cache on its content.
+struct FaultSchedule {
+  /// Display label (campaign axis labels, logs). Not fingerprinted.
+  std::string name = "none";
+  std::vector<PulseWave> pulses;
+  std::vector<SiteFault> site_faults;
+  std::vector<BgpReset> bgp_resets;
+  std::vector<VpDropout> vp_dropouts;
+  std::vector<TelemetryGap> telemetry_gaps;
+  std::vector<LegitSurge> legit_surges;
+
+  /// True when the schedule injects nothing (the no-fault baseline).
+  bool empty() const noexcept {
+    return pulses.empty() && site_faults.empty() && bgp_resets.empty() &&
+           vp_dropouts.empty() && telemetry_gaps.empty() &&
+           legit_surges.empty();
+  }
+
+  /// The pulse whose window contains `t` (first declared wins; windows
+  /// are expected disjoint), or nullptr.
+  const PulseWave* pulse_at(net::SimTime t) const noexcept;
+
+  /// Envelope multiplier of `pulse` at `t` in [0, 1]: 1 (square) or the
+  /// ramp position (sawtooth) while on, `floor_scale` while off. 0 when
+  /// `t` is outside the pulse window.
+  static double envelope(const PulseWave& pulse, net::SimTime t) noexcept;
+
+  /// 0-based pulse ordinal at `t` (floor((t - window.begin) / period));
+  /// -1 outside the window.
+  static std::int64_t pulse_index(const PulseWave& pulse,
+                                  net::SimTime t) noexcept;
+
+  /// Whether the attack is "hot" at `t`: inside a pulse window, the
+  /// envelope's on-portion; elsewhere, whether `base` has an active
+  /// event. The quiet inter-pulse gaps (floor included) are NOT hot —
+  /// that is exactly when a flapping controller registers false
+  /// activations.
+  bool attack_hot(net::SimTime t,
+                  const attack::AttackSchedule& base) const noexcept;
+
+  /// End of the last hot instant, considering both pulses and base
+  /// events; SimTime(0)-valued nullopt semantics via `has_hot`: returns
+  /// the scenario's last hot end, or net::SimTime(INT64_MIN) when nothing
+  /// is ever hot.
+  net::SimTime last_hot_end(const attack::AttackSchedule& base) const noexcept;
+
+  /// First hot instant (pulses + base); net::SimTime(INT64_MAX) when
+  /// nothing is ever hot.
+  net::SimTime first_hot_begin(
+      const attack::AttackSchedule& base) const noexcept;
+
+  // -- Presets -----------------------------------------------------------
+
+  /// The Nov 30 morning re-imagined as a pulse wave: the 06:50-09:30
+  /// event window carved into 20-minute periods at 50% duty, full 2015
+  /// rate on-pulse, silence between pulses.
+  static FaultSchedule pulse_wave_2015(double peak_qps = 5e6);
+
+  /// Rolling hardware outage: three sites of one letter fail back to
+  /// back (45-minute windows, staggered hourly from 07:00), with a BGP
+  /// session reset on a fourth site mid-sequence.
+  static FaultSchedule rolling_site_outage(char letter = 'K');
+
+  /// Flash crowd colliding with faults: a 3x legit surge over 06:00-10:00
+  /// plus a site failure and a 20% VP dropout window inside it — load
+  /// rises exactly while the measurement mesh thins and capacity drops.
+  static FaultSchedule flash_crowd_plus_fault();
+};
+
+/// Fluent construction (mirrors ScenarioBuilder): setters append
+/// injectors, build() validates and throws std::invalid_argument on the
+/// first problem.
+class FaultScheduleBuilder {
+ public:
+  FaultScheduleBuilder& name(std::string name);
+  FaultScheduleBuilder& pulse_wave(PulseWave pulse);
+  FaultScheduleBuilder& site_fault(SiteFault fault);
+  FaultScheduleBuilder& site_fault(char letter, int site_ordinal,
+                                   net::SimInterval window);
+  FaultScheduleBuilder& bgp_reset(BgpReset reset);
+  FaultScheduleBuilder& vp_dropout(VpDropout dropout);
+  FaultScheduleBuilder& telemetry_gap(net::SimInterval window);
+  FaultScheduleBuilder& legit_surge(net::SimInterval window, double scale);
+
+  /// Empty when the staged schedule is valid, else the first problem.
+  std::string validate() const;
+  /// The validated schedule; throws std::invalid_argument when broken.
+  FaultSchedule build() const;
+
+ private:
+  FaultSchedule schedule_;
+};
+
+/// Empty when `schedule` is usable, else a description of the first
+/// problem (window/period/duty/fraction/scale range checks; target
+/// letters must be 'A'..'M').
+std::string validate(const FaultSchedule& schedule);
+
+/// Canonical JSON fingerprint of everything that shapes results (the
+/// display name excluded, like playbook_fingerprint). Doubles follow the
+/// fp() tagging convention of sweep/cache.cc so non-finite values cannot
+/// collapse distinct schedules.
+obs::JsonValue fault_fingerprint(const FaultSchedule& schedule);
+
+}  // namespace rootstress::fault

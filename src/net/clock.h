@@ -53,6 +53,8 @@ struct SimInterval {
     return begin <= t && t < end;
   }
   constexpr SimTime duration() const noexcept { return end - begin; }
+
+  friend constexpr bool operator==(SimInterval, SimInterval) noexcept = default;
 };
 
 }  // namespace rootstress::net

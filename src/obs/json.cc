@@ -195,6 +195,21 @@ class Parser {
     return JsonValue(out);
   }
 
+  // Four hex digits of a \uXXXX escape, already past the "\u".
+  std::optional<unsigned> hex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return std::nullopt;
+    }
+    return code;
+  }
+
   std::optional<std::string> string() {
     if (!consume('"')) return std::nullopt;
     std::string out;
@@ -217,25 +232,43 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return std::nullopt;
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return std::nullopt;
+          auto unit = hex4();
+          if (!unit) return std::nullopt;
+          unsigned code = *unit;
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: only meaningful when immediately followed by
+            // a \uDC00..\uDFFF low half — combine into one code point.
+            // Anything else leaves a lone half, which has no UTF-8 form.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              const std::size_t rewind = pos_;
+              pos_ += 2;
+              const auto low = hex4();
+              if (low && *low >= 0xdc00 && *low <= 0xdfff) {
+                code = 0x10000 + ((code - 0xd800) << 10) + (*low - 0xdc00);
+              } else {
+                pos_ = rewind;  // not a low half; re-parse it on its own
+                code = 0xfffd;
+              }
+            } else {
+              code = 0xfffd;
+            }
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            code = 0xfffd;  // low half with no preceding high half
           }
-          // UTF-8 encode (surrogate pairs are passed through individually;
-          // telemetry strings are ASCII in practice).
+          // UTF-8 encode the resolved code point (1..4 bytes).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xc0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3f));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
             out += static_cast<char>(0x80 | (code & 0x3f));
           }

@@ -23,6 +23,7 @@ const char* to_string(TraceEventType type) noexcept {
     case TraceEventType::kPlaybookDetection: return "playbook-detection";
     case TraceEventType::kPlaybookAction: return "playbook-action";
     case TraceEventType::kWithdrawVeto: return "policy-withdraw-veto";
+    case TraceEventType::kFaultInjection: return "fault-injection";
     case TraceEventType::kLog: return "log";
   }
   return "?";

@@ -39,7 +39,8 @@ enum class TraceEventType : std::uint8_t {
   kPlaybookDetection,  ///< the playbook estimator confirmed a site attack
   kPlaybookAction,     ///< a playbook rule scheduled / applied an action
   kWithdrawVeto,       ///< a withdrawal was refused (last-global-site guard)
-  kLog,                ///< a log line routed through the sink
+  kFaultInjection,     ///< a fault-schedule action was applied to the world
+  kLog,                ///< a log line routed through the sink (keep last)
 };
 
 /// Stable wire name, e.g. "site-withdraw" (used in the JSON "type" field).

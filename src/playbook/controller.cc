@@ -157,6 +157,7 @@ void PlaybookController::on_actuated(const PendingActuation& pending,
     case ActuationOutcome::kApplied: {
       ++stats_.activations;
       if (stats_.first_activation_ms < 0) stats_.first_activation_ms = now.ms;
+      stats_.activation_times_ms.push_back(now.ms);
       if (r < stats_.rules.size()) ++stats_.rules[r].applied;
       if (r < c_rule_activations_.size()) c_rule_activations_[r]->add();
       obs::emit_event(obs_, obs::TraceEventType::kPlaybookAction, now, '-',

@@ -49,6 +49,10 @@ struct PlaybookRunStats {
   std::int64_t first_detection_ms = -1;   ///< first confirmed detection
   std::int64_t first_activation_ms = -1;  ///< first applied actuation
   std::vector<RuleStats> rules;           ///< one per playbook rule
+  /// Sim time of every applied actuation, in order. Resilience analyses
+  /// bin these against the attack envelope to count false activations
+  /// (actions fired during quiet inter-pulse gaps).
+  std::vector<std::int64_t> activation_times_ms;
 
   /// Confirmed-detection latency behind the first raw evidence; -1 when
   /// either never happened.

@@ -73,6 +73,10 @@
 // Simulation construction.
 #include "sim/scenario_builder.h"
 
+// Fault and chaos schedules.
+#include "fault/runtime.h"
+#include "fault/schedule.h"
+
 // Reactive defense playbooks.
 #include "playbook/actuator.h"
 #include "playbook/controller.h"

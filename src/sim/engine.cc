@@ -175,6 +175,11 @@ SimulationEngine::SimulationEngine(ScenarioConfig config)
         static_cast<std::size_t>(deployment_->site_count()));
   }
 
+  if (!config_.fault_schedule.empty()) {
+    fault_ = std::make_unique<fault::FaultRuntime>(config_.fault_schedule,
+                                                   *deployment_);
+  }
+
   if (obs_) {
     deployment_->attach_obs(obs_.get());
     if (collector_) collector_->attach_obs(obs_.get());
@@ -335,6 +340,13 @@ SimulationResult SimulationEngine::run() {
   const net::SimTime step = config_.step;
   for (net::SimTime t = config_.start; t < config_.end; t = t + step) {
     if (c_steps != nullptr) c_steps->add();
+    // Scheduled faults land before anything else this step, so every
+    // defense layer below sees (and must live with) the injected state,
+    // and holds_site() answers for the current step.
+    if (fault_) {
+      obs::PhaseProfiler::Scope fault_phase(prof, "fault-injection");
+      apply_fault_step(t);
+    }
     // Maintenance flaps come back up first. Due entries are applied in
     // insertion order (same as the old erase-in-loop scan) and swept out
     // with one stable O(n) pass instead of an O(n^2) vector::erase per
@@ -346,7 +358,9 @@ SimulationResult SimulationEngine::run() {
         auto& site = deployment_->site(id);
         // Sites the playbook withdrew stay down until its restore rule
         // fires — a maintenance timer must not undo a deliberate defense.
+        // Likewise sites a hardware fault pins down.
         if (playbook_ && playbook_->holds(id)) continue;
+        if (fault_ && fault_->holds_site(id)) continue;
         if (!site.policy_state().withdrawn()) {
           deployment_->apply_scope(id,
                                    site.spec().global
@@ -359,7 +373,8 @@ SimulationResult SimulationEngine::run() {
                     [t](const PendingReannounce& p) { return p.when <= t; });
     }
 
-    active_event_ = config_.schedule.active(t);
+    active_event_ =
+        fault_ ? fault_->shape(t, config_.schedule) : config_.schedule.active(t);
     deployment_->facilities().begin_step();
 
     {
@@ -469,12 +484,19 @@ void SimulationEngine::run_fluid_step(
   // land, and what does it put on shared uplinks? Each lane writes only
   // its own ServiceLoad buffer and facility-contribution list; nothing
   // here reads another service's output.
+  // Fault-layer step state, read once before the parallel region (the
+  // runtime is mutated only in the serial fault-injection phase).
+  const double legit_scale = fault_ ? fault_->legit_scale() : 1.0;
   pool_->parallel_for(services.size(), [&](std::size_t s) {
     const auto& svc = services[s];
-    const bool attacked =
-        active_event_ != nullptr && svc.letter_index >= 0 &&
+    const bool statically_attacked =
+        svc.letter_index >= 0 &&
         deployment_->letters()[static_cast<std::size_t>(svc.letter_index)]
             .attacked;
+    const bool attacked =
+        active_event_ != nullptr &&
+        (fault_ ? fault_->letter_attacked(svc.letter, statically_attacked)
+                : statically_attacked);
     double attack_qps = attacked ? active_event_->per_letter_qps : 0.0;
     if (!attacked && active_event_ != nullptr && svc.letter_index >= 0) {
       // Spillover: spared letters still see a sliver of the (spoofed)
@@ -492,7 +514,10 @@ void SimulationEngine::run_fluid_step(
                     12.0;
       }
     }
-    const double legit_qps = config_.legit.per_letter_qps + retry_in;
+    // A flash-crowd surge scales the base legitimate rate; retries are
+    // already a consequence of load and are not double-scaled.
+    const double legit_qps =
+        config_.legit.per_letter_qps * legit_scale + retry_in;
     compute_service_load_into(*deployment_, svc, botnet_, legit_, attack_qps,
                               legit_qps, current_loads_[s]);
 
@@ -603,7 +628,10 @@ void SimulationEngine::record_rssac(net::SimTime now,
       legit_recv += load.legit_qps[static_cast<std::size_t>(id)] * pass;
     }
 
-    const bool under_attack = active_event_ != nullptr && cfg.attacked;
+    const bool under_attack =
+        active_event_ != nullptr &&
+        (fault_ ? fault_->letter_attacked(svc.letter, cfg.attacked)
+                : cfg.attacked);
     const double metering =
         under_attack ? 1.0 - cfg.rssac_metering_loss : 1.0;
 
@@ -670,6 +698,10 @@ void SimulationEngine::run_probes(net::SimTime step_begin,
       for (; tp < step_end.ms; tp += interval) {
         const net::SimTime when(tp);
         if (!config_.probe_window.contains(when)) continue;
+        // A dropped-out VP is silent for the whole dropout window: no
+        // record at all, like a real probe going dark. vp_dropped is a
+        // pure hash, so this stays thread-order-invariant.
+        if (fault_ && fault_->vp_dropped(vp.id, when)) continue;
         probe_once(vp, s, routes, when, shard.records);
       }
     }
@@ -755,6 +787,50 @@ void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
   out.push_back(rec);
 }
 
+void SimulationEngine::apply_fault_step(net::SimTime t) {
+  for (const fault::DueAction& action : fault_->begin_step(t)) {
+    auto& site = deployment_->site(action.site_id);
+    switch (action.kind) {
+      case fault::DueAction::Kind::kSiteDown:
+        if (site.scope() != anycast::SiteScope::kDown) {
+          deployment_->apply_scope(action.site_id, anycast::SiteScope::kDown,
+                                   t);
+        }
+        break;
+      case fault::DueAction::Kind::kSiteRestore: {
+        // Hardware is back, but a deliberate defense decision outranks
+        // the repair crew: a playbook hold or a policy-withdrawn state
+        // keeps the site dark until its own restore path fires.
+        if (playbook_ && playbook_->holds(action.site_id)) break;
+        if (site.policy_state().withdrawn()) break;
+        const auto normal = site.spec().global ? anycast::SiteScope::kGlobal
+                                               : anycast::SiteScope::kLocalOnly;
+        if (site.scope() != normal) {
+          deployment_->apply_scope(action.site_id, normal, t);
+        }
+        break;
+      }
+      case fault::DueAction::Kind::kSessionDown:
+        deployment_->routing().set_announced(action.prefix, action.site_id,
+                                             false, t);
+        break;
+      case fault::DueAction::Kind::kSessionRestore:
+        // Reassert whatever the site's scope currently implies; a site
+        // withdrawn (by fault or defense) while the session was down
+        // stays withdrawn.
+        if (site.scope() != anycast::SiteScope::kDown) {
+          deployment_->routing().set_origin_state(
+              action.prefix, action.site_id, true,
+              site.scope() == anycast::SiteScope::kLocalOnly, t);
+        }
+        break;
+    }
+    obs::emit_event(obs_.get(), obs::TraceEventType::kFaultInjection, t,
+                    site.letter(), site.label(), fault::to_string(action.kind),
+                    static_cast<double>(action.site_id));
+  }
+}
+
 void SimulationEngine::apply_adaptive_defense(net::SimTime now) {
   // The §2.2 reasoning applied live, per letter: withdraw an overloaded
   // site only while the letter's remaining sites have headroom for its
@@ -799,6 +875,8 @@ void SimulationEngine::apply_adaptive_defense(net::SimTime now) {
     for (const auto& a : advice) {
       const int id = svc.site_ids[static_cast<std::size_t>(a.site_index)];
       auto& site = deployment_->site(id);
+      // A fault-held site is physically down; no advice can act on it.
+      if (fault_ && fault_->holds_site(id)) continue;
       if (now - adaptive_last_change_[static_cast<std::size_t>(id)] <
           kCoolDown) {
         continue;  // operators do not re-decide every minute
@@ -840,8 +918,10 @@ void SimulationEngine::apply_policy_step(net::SimTime now,
     auto& site = deployment_->site(id);
     // Reactive playbook decisions outrank the static stress policy: a
     // site the playbook holds (withdrew and has not restored) is not
-    // re-decided here, whatever regime the scenario forces.
+    // re-decided here, whatever regime the scenario forces. Sites a
+    // hardware fault pins down are not the policy's to re-announce.
     if (playbook_ && playbook_->holds(id)) continue;
+    if (fault_ && fault_->holds_site(id)) continue;
     const auto action = site.policy_state().step(
         site.outcome().utilization, site.arrival_loss(), now, config_.step,
         rng_);
@@ -893,6 +973,15 @@ void SimulationEngine::apply_policy_step(net::SimTime now,
 
 void SimulationEngine::run_playbook_step(net::SimTime now) {
   const auto site_count = static_cast<std::size_t>(deployment_->site_count());
+  if (fault_ && fault_->telemetry_gap()) {
+    // Frozen dashboards: the controller keeps stepping (cooldowns and
+    // confirmation streaks still advance) but sees the last pre-gap
+    // observations. A gap opening before any observation exists shows
+    // clean defaults — no telemetry, no evidence.
+    playbook_obs_.resize(site_count);
+    playbook_->step(now, playbook_obs_, *this);
+    return;
+  }
   playbook_obs_.resize(site_count);
   for (std::size_t id = 0; id < site_count; ++id) {
     const auto& site = deployment_->site(static_cast<int>(id));
@@ -951,6 +1040,10 @@ playbook::ActuationOutcome SimulationEngine::actuate(
       return ActuationOutcome::kApplied;
     }
     case ActionKind::kRestoreSite: {
+      // Restoring a site whose hardware is down does nothing: the fault
+      // keeps it withdrawn until its own recovery, which then respects
+      // the playbook's (cleared) hold.
+      if (fault_ && fault_->holds_site(site_id)) return ActuationOutcome::kNoop;
       const auto normal = site.spec().global ? anycast::SiteScope::kGlobal
                                              : anycast::SiteScope::kLocalOnly;
       if (site.scope() == normal) return ActuationOutcome::kNoop;
@@ -1004,6 +1097,8 @@ void SimulationEngine::update_h_root_backup(net::SimTime now) {
     if (!cfg.primary_backup || svc.site_ids.size() < 2) continue;
     auto& primary = deployment_->site(svc.site_ids[0]);
     auto& backup = deployment_->site(svc.site_ids[1]);
+    // A fault-held backup cannot be pressed into service.
+    if (fault_ && fault_->holds_site(backup.site_id())) continue;
     const bool primary_up = primary.scope() == anycast::SiteScope::kGlobal;
     if (!primary_up && backup.scope() == anycast::SiteScope::kDown) {
       deployment_->apply_scope(backup.site_id(), anycast::SiteScope::kGlobal,

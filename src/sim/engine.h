@@ -20,6 +20,7 @@
 #include "attack/traffic.h"
 #include "bgp/collector.h"
 #include "dns/message.h"
+#include "fault/runtime.h"
 #include "net/geo.h"
 #include "obs/runtime.h"
 #include "playbook/controller.h"
@@ -168,6 +169,10 @@ class SimulationEngine : private playbook::ActuationBackend {
 
   void apply_policy_step(net::SimTime now, SimulationResult& result);
   void apply_adaptive_defense(net::SimTime now);
+  /// Advances the fault runtime to `t` and applies whatever injections
+  /// came due (site failures/recoveries, BGP session flaps). Serial
+  /// phase, before any defense layer runs, so holds are current.
+  void apply_fault_step(net::SimTime t);
   /// Builds this step's operator-view observations and runs the playbook
   /// controller (serial phase; decisions are thread-count-invariant).
   void run_playbook_step(net::SimTime now);
@@ -242,6 +247,9 @@ class SimulationEngine : private playbook::ActuationBackend {
   /// its per-step observation buffer (reused; indexed by site id).
   std::unique_ptr<playbook::PlaybookController> playbook_;
   std::vector<playbook::SiteObservation> playbook_obs_;
+  /// Fault/chaos runtime (null when the scenario's fault schedule is
+  /// empty). Mutated only in the serial fault-injection phase.
+  std::unique_ptr<fault::FaultRuntime> fault_;
 };
 
 }  // namespace rootstress::sim

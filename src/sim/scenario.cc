@@ -64,6 +64,12 @@ std::string validate(const ScenarioConfig& config) {
              "controllers; enable one";
     }
   }
+  if (!config.fault_schedule.empty()) {
+    if (std::string problem = fault::validate(config.fault_schedule);
+        !problem.empty()) {
+      return "fault_schedule: " + problem;
+    }
+  }
   return {};
 }
 

@@ -11,6 +11,7 @@
 #include "attack/schedule.h"
 #include "attack/traffic.h"
 #include "bgp/collector.h"
+#include "fault/schedule.h"
 #include "net/clock.h"
 #include "playbook/rules.h"
 
@@ -70,6 +71,13 @@ struct ScenarioConfig {
   /// (distinct from an absorb-only playbook, which detects but never
   /// acts).
   std::optional<playbook::Playbook> playbook;
+
+  /// Deterministic fault/pulse-wave chaos schedule: attack envelopes that
+  /// override `schedule` inside their windows, site hardware failures,
+  /// BGP session resets, Atlas VP dropouts, telemetry gaps, and legit
+  /// flash crowds. Applied in the engine's serial defense-injection
+  /// phase; empty (the default) injects nothing.
+  fault::FaultSchedule fault_schedule{};
 
   /// Telemetry (obs::Runtime): metrics + trace + phase profile, carried
   /// on SimulationResult::telemetry. Write-only with respect to the

@@ -74,6 +74,11 @@ ScenarioBuilder& ScenarioBuilder::schedule(attack::AttackSchedule schedule) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::fault_schedule(fault::FaultSchedule schedule) {
+  config_.fault_schedule = std::move(schedule);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::attack_qps(double per_letter_qps) {
   attack_qps_ = per_letter_qps;
   return *this;

@@ -72,6 +72,10 @@ class ScenarioBuilder {
   // -- Traffic -----------------------------------------------------------
 
   ScenarioBuilder& schedule(attack::AttackSchedule schedule);
+  /// Deterministic fault/pulse-wave chaos schedule (see fault/schedule.h).
+  /// Pulse windows override the attack schedule; site faults, BGP resets,
+  /// VP dropouts, telemetry gaps, and legit surges ride alongside.
+  ScenarioBuilder& fault_schedule(fault::FaultSchedule schedule);
   /// Per-attacked-letter offered rate: rewrites the rate of every event
   /// in the schedule (presets ship the paper's timeline; this scales it).
   ScenarioBuilder& attack_qps(double per_letter_qps);

@@ -8,6 +8,7 @@
 #include <system_error>
 #include <vector>
 
+#include "fault/schedule.h"
 #include "playbook/rules.h"
 
 namespace rootstress::sweep {
@@ -149,6 +150,13 @@ obs::JsonValue scenario_fingerprint(const sim::ScenarioConfig& config) {
   // only the rule/signal/delay content that shapes results.
   if (config.playbook.has_value()) {
     doc.set("playbook", playbook::playbook_fingerprint(*config.playbook));
+  }
+  // Same convention as the playbook: the schedule name is a display
+  // label; fault_fingerprint covers only the injector content. Absent
+  // entirely for fault-free runs so their keys match pre-fault caches
+  // (modulo the version salt).
+  if (!config.fault_schedule.empty()) {
+    doc.set("fault_schedule", fault::fault_fingerprint(config.fault_schedule));
   }
   return doc;
 }

@@ -15,6 +15,7 @@ std::string to_string(AxisKind kind) {
     case AxisKind::kSeed: return "seed";
     case AxisKind::kVpCount: return "vp_count";
     case AxisKind::kPlaybook: return "playbook";
+    case AxisKind::kFaultSchedule: return "fault_schedule";
   }
   return "?";
 }
@@ -68,6 +69,13 @@ Axis Axis::playbook(std::vector<playbook::Playbook> playbooks) {
   return axis;
 }
 
+Axis Axis::fault_schedule(std::vector<fault::FaultSchedule> schedules) {
+  Axis axis;
+  axis.kind = AxisKind::kFaultSchedule;
+  axis.fault_schedules = std::move(schedules);
+  return axis;
+}
+
 std::size_t Axis::size() const noexcept {
   switch (kind) {
     case AxisKind::kAttackQps:
@@ -78,6 +86,7 @@ std::size_t Axis::size() const noexcept {
     case AxisKind::kSeed: return seeds.size();
     case AxisKind::kVpCount: return counts.size();
     case AxisKind::kPlaybook: return playbooks.size();
+    case AxisKind::kFaultSchedule: return fault_schedules.size();
   }
   return 0;
 }
@@ -113,6 +122,10 @@ std::string Axis::label(std::size_t i) const {
       return "playbook=" +
              (playbooks[i].name.empty() ? std::string("unnamed")
                                         : playbooks[i].name);
+    case AxisKind::kFaultSchedule:
+      return "fault=" + (fault_schedules[i].name.empty()
+                             ? std::string("unnamed")
+                             : fault_schedules[i].name);
   }
   return "?";
 }
@@ -142,6 +155,9 @@ void Axis::apply(std::size_t i, sim::ScenarioConfig& config) const {
       return;
     case AxisKind::kPlaybook:
       config.playbook = playbooks[i];
+      return;
+    case AxisKind::kFaultSchedule:
+      config.fault_schedule = fault_schedules[i];
       return;
   }
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/whatif.h"
+#include "fault/schedule.h"
 #include "playbook/rules.h"
 #include "sim/scenario.h"
 
@@ -30,6 +31,7 @@ enum class AxisKind : std::uint8_t {
   kSeed,           ///< replicate seeds
   kVpCount,        ///< Atlas population size
   kPlaybook,       ///< reactive defense playbook (playbook::Playbook)
+  kFaultSchedule,  ///< fault/chaos timeline (fault::FaultSchedule)
 };
 
 std::string to_string(AxisKind kind);
@@ -44,6 +46,7 @@ struct Axis {
   std::vector<std::uint64_t> seeds;            ///< kSeed
   std::vector<int> counts;                     ///< kVpCount
   std::vector<playbook::Playbook> playbooks;   ///< kPlaybook
+  std::vector<fault::FaultSchedule> fault_schedules;  ///< kFaultSchedule
 
   static Axis attack_qps(std::vector<double> qps);
   static Axis capacity_scale(std::vector<double> scales);
@@ -52,6 +55,9 @@ struct Axis {
   static Axis replicate_seeds(std::vector<std::uint64_t> seeds);
   static Axis vp_count(std::vector<int> counts);
   static Axis playbook(std::vector<playbook::Playbook> playbooks);
+  /// Include an empty (default) FaultSchedule as one of the values to
+  /// keep a no-fault baseline cell in the matrix.
+  static Axis fault_schedule(std::vector<fault::FaultSchedule> schedules);
 
   /// Number of points on this axis.
   std::size_t size() const noexcept;

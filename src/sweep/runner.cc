@@ -20,6 +20,9 @@ std::string to_string(CellMetric metric) {
     case CellMetric::kRssacDay0Queries: return "rssac_day0_queries";
     case CellMetric::kPlaybookActivations: return "playbook_activations";
     case CellMetric::kTimeToMitigationMs: return "time_to_mitigation_ms";
+    case CellMetric::kWorstBinAnswered: return "worst_bin_answered";
+    case CellMetric::kRecoveryMs: return "recovery_ms";
+    case CellMetric::kFalseActivations: return "playbook_false_activations";
   }
   return "?";
 }
@@ -37,6 +40,11 @@ double metric_value(const RunSummary& summary, CellMetric metric) {
       return static_cast<double>(summary.playbook_activations);
     case CellMetric::kTimeToMitigationMs:
       return static_cast<double>(summary.time_to_mitigation_ms);
+    case CellMetric::kWorstBinAnswered: return summary.worst_bin_answered;
+    case CellMetric::kRecoveryMs:
+      return static_cast<double>(summary.recovery_ms);
+    case CellMetric::kFalseActivations:
+      return static_cast<double>(summary.playbook_false_activations);
   }
   return 0.0;
 }

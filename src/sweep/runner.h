@@ -77,6 +77,9 @@ enum class CellMetric : std::uint8_t {
   kRssacDay0Queries,
   kPlaybookActivations,
   kTimeToMitigationMs,
+  kWorstBinAnswered,    ///< resilience: worst per-bin answered fraction
+  kRecoveryMs,          ///< resilience: time to full service after last pulse
+  kFalseActivations,    ///< resilience: playbook actions in quiet gaps
 };
 
 std::string to_string(CellMetric metric);

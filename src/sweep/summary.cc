@@ -2,13 +2,53 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "analysis/route_changes.h"
 #include "anycast/letter.h"
 #include "core/whatif.h"
 #include "rssac/report.h"
+#include "util/stats.h"
 
 namespace rootstress::sweep {
+
+namespace {
+
+/// IEEE equality except NaN == NaN: summaries use NaN as an explicit
+/// "unmeasured" value, and two unmeasured cells are the same cell.
+bool same(double a, double b) noexcept {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+}  // namespace
+
+bool LetterCellSummary::operator==(
+    const LetterCellSummary& other) const noexcept {
+  return letter == other.letter && attacked == other.attacked &&
+         same(served_fraction, other.served_fraction) &&
+         baseline_vps == other.baseline_vps && min_vps == other.min_vps &&
+         same(worst_loss, other.worst_loss) &&
+         same(median_rtt_quiet_ms, other.median_rtt_quiet_ms) &&
+         same(median_rtt_event_ms, other.median_rtt_event_ms) &&
+         site_flips == other.site_flips && route_changes == other.route_changes;
+}
+
+bool RunSummary::operator==(const RunSummary& other) const noexcept {
+  return config_hash == other.config_hash &&
+         same(mean_served_attacked, other.mean_served_attacked) &&
+         same(worst_letter_loss, other.worst_letter_loss) &&
+         record_count == other.record_count &&
+         route_changes == other.route_changes && kept_vps == other.kept_vps &&
+         same(rssac_day0_queries, other.rssac_day0_queries) &&
+         playbook_activations == other.playbook_activations &&
+         playbook_vetoes == other.playbook_vetoes &&
+         time_to_mitigation_ms == other.time_to_mitigation_ms &&
+         same(worst_bin_answered, other.worst_bin_answered) &&
+         same(answered_bin_stddev, other.answered_bin_stddev) &&
+         recovery_ms == other.recovery_ms &&
+         playbook_false_activations == other.playbook_false_activations &&
+         letters == other.letters;
+}
 
 namespace {
 
@@ -36,6 +76,107 @@ double served_fraction(const sim::SimulationResult& result, int service,
   return total > 0.0 ? served_sum / total : 1.0;
 }
 
+/// Whether `letter` takes fire at some point of the run: statically
+/// attacked, or named by any pulse's rotating target sets.
+bool letter_engaged(char letter, bool statically_attacked,
+                    const fault::FaultSchedule& faults) {
+  if (statically_attacked) return true;
+  for (const auto& pulse : faults.pulses) {
+    for (const auto& targets : pulse.pulse_targets) {
+      if (std::find(targets.begin(), targets.end(), letter) != targets.end()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Fills the RunSummary resilience block from the engaged letters' legit
+/// served/failed series over the engagement span (first hot instant to
+/// last, pulse envelopes included). Leaves the NaN / -1 defaults when the
+/// run never gets hot or the span covers no usable bins.
+void summarize_resilience(const sim::ScenarioConfig& config,
+                          const sim::SimulationResult& result,
+                          const std::vector<int>& engaged_services,
+                          RunSummary& summary) {
+  const fault::FaultSchedule& faults = config.fault_schedule;
+  const net::SimTime first = faults.first_hot_begin(config.schedule);
+  const net::SimTime last = faults.last_hot_end(config.schedule);
+  if (first >= last || engaged_services.empty()) return;
+  const auto& reference =
+      result.service_served_legit_qps[static_cast<std::size_t>(
+          engaged_services.front())];
+  if (reference.bin_count() == 0) return;
+
+  // Aggregate answered fraction per bin: sum of engaged letters' served
+  // over served + failed (legit only; the attack stream is damage, not a
+  // service obligation).
+  std::vector<double> answered;
+  answered.reserve(reference.bin_count());
+  const auto bin_fraction = [&](std::size_t bin) -> double {
+    double served = 0.0;
+    double failed = 0.0;
+    for (const int s : engaged_services) {
+      served += result.service_served_legit_qps[static_cast<std::size_t>(s)]
+                    .mean(bin);
+      failed += result.service_failed_legit_qps[static_cast<std::size_t>(s)]
+                    .mean(bin);
+    }
+    const double total = served + failed;
+    return total > 0.0 ? served / total
+                       : std::numeric_limits<double>::quiet_NaN();
+  };
+
+  for (std::size_t bin = 0; bin < reference.bin_count(); ++bin) {
+    const std::int64_t begin = reference.bin_start(bin);
+    const std::int64_t end = begin + reference.bin_ms();
+    if (end <= first.ms || begin >= last.ms) continue;  // outside engagement
+    const double fraction = bin_fraction(bin);
+    if (!std::isnan(fraction)) answered.push_back(fraction);
+  }
+  if (!answered.empty()) {
+    summary.worst_bin_answered = util::min_of(answered);
+    // util::stddev returns 0 for n < 2, which would misread as "perfectly
+    // steady"; a single engaged bin simply has no spread estimate.
+    summary.answered_bin_stddev =
+        answered.size() >= 2 ? util::stddev(answered)
+                             : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // Recovery: the first post-attack bin whose aggregate answered fraction
+  // is back to (essentially) one. Bins with no legit traffic at all count
+  // as recovered — nothing is failing.
+  for (std::size_t bin = 0; bin < reference.bin_count(); ++bin) {
+    if (reference.bin_start(bin) < last.ms) continue;
+    const double fraction = bin_fraction(bin);
+    if (std::isnan(fraction) || fraction >= 0.999) {
+      summary.recovery_ms = reference.bin_start(bin) - last.ms;
+      break;
+    }
+  }
+
+  // False activations: playbook actuations applied inside the engagement
+  // span while the attack was not hot — withdraw/restore churn baited by
+  // the quiet inter-pulse gaps.
+  for (const std::int64_t t : result.playbook.activation_times_ms) {
+    if (t < first.ms || t >= last.ms) continue;
+    if (!faults.attack_hot(net::SimTime(t), config.schedule)) {
+      ++summary.playbook_false_activations;
+    }
+  }
+}
+
+/// NaN/Inf-safe number encoding: finite doubles stay plain JSON numbers;
+/// the values JSON cannot express become tagged strings ("nan", "inf",
+/// "-inf") instead of silently collapsing to null or zero.
+obs::JsonValue fp(double v) {
+  if (std::isnan(v)) return obs::JsonValue(std::string("nan"));
+  if (std::isinf(v)) {
+    return obs::JsonValue(std::string(v > 0 ? "inf" : "-inf"));
+  }
+  return obs::JsonValue(v);
+}
+
 }  // namespace
 
 RunSummary summarize(const sim::ScenarioConfig& config,
@@ -52,6 +193,7 @@ RunSummary summarize(const sim::ScenarioConfig& config,
 
   double served_sum = 0.0;
   int attacked = 0;
+  std::vector<int> engaged_services;
   for (const auto& ls : report.letters) {
     const int s = result.service_index(ls.letter);
     if (s < 0) continue;
@@ -62,8 +204,15 @@ RunSummary summarize(const sim::ScenarioConfig& config,
     cell.baseline_vps = ls.baseline_vps;
     cell.min_vps = ls.min_vps;
     cell.worst_loss = ls.worst_loss;
-    cell.median_rtt_quiet_ms = ls.median_rtt_quiet_ms;
-    cell.median_rtt_event_ms = ls.median_rtt_event_ms;
+    if (result.records.empty()) {
+      // Fluid-only run: no probe records exist, so the medians are
+      // unmeasured — not 0 ms, which would claim a perfect network.
+      cell.median_rtt_quiet_ms = std::numeric_limits<double>::quiet_NaN();
+      cell.median_rtt_event_ms = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      cell.median_rtt_quiet_ms = ls.median_rtt_quiet_ms;
+      cell.median_rtt_event_ms = ls.median_rtt_event_ms;
+    }
     cell.site_flips = ls.site_flips;
     cell.route_changes = analysis::route_change_count(result, s);
     summary.worst_letter_loss =
@@ -71,6 +220,9 @@ RunSummary summarize(const sim::ScenarioConfig& config,
     if (cell.attacked) {
       served_sum += cell.served_fraction;
       ++attacked;
+    }
+    if (letter_engaged(cell.letter, cell.attacked, config.fault_schedule)) {
+      engaged_services.push_back(s);
     }
     summary.letters.push_back(cell);
   }
@@ -95,6 +247,8 @@ RunSummary summarize(const sim::ScenarioConfig& config,
           result.playbook.first_activation_ms - onset_ms;
     }
   }
+
+  summarize_resilience(config, result, engaged_services, summary);
   return summary;
 }
 
@@ -115,6 +269,12 @@ obs::JsonValue summary_to_json(const RunSummary& summary) {
   doc.set("playbook_vetoes", obs::JsonValue(summary.playbook_vetoes));
   doc.set("time_to_mitigation_ms",
           obs::JsonValue(static_cast<double>(summary.time_to_mitigation_ms)));
+  doc.set("worst_bin_answered", fp(summary.worst_bin_answered));
+  doc.set("answered_bin_stddev", fp(summary.answered_bin_stddev));
+  doc.set("recovery_ms",
+          obs::JsonValue(static_cast<double>(summary.recovery_ms)));
+  doc.set("playbook_false_activations",
+          obs::JsonValue(summary.playbook_false_activations));
   obs::JsonValue letters = obs::JsonValue::array();
   for (const auto& cell : summary.letters) {
     obs::JsonValue l = obs::JsonValue::object();
@@ -124,8 +284,8 @@ obs::JsonValue summary_to_json(const RunSummary& summary) {
     l.set("baseline_vps", obs::JsonValue(cell.baseline_vps));
     l.set("min_vps", obs::JsonValue(cell.min_vps));
     l.set("worst_loss", obs::JsonValue(cell.worst_loss));
-    l.set("median_rtt_quiet_ms", obs::JsonValue(cell.median_rtt_quiet_ms));
-    l.set("median_rtt_event_ms", obs::JsonValue(cell.median_rtt_event_ms));
+    l.set("median_rtt_quiet_ms", fp(cell.median_rtt_quiet_ms));
+    l.set("median_rtt_event_ms", fp(cell.median_rtt_event_ms));
     l.set("site_flips", obs::JsonValue(cell.site_flips));
     l.set("route_changes", obs::JsonValue(cell.route_changes));
     letters.push_back(std::move(l));
@@ -147,6 +307,29 @@ bool read_int(const obs::JsonValue& doc, const char* key, int* out) {
   double d = 0.0;
   if (!read_number(doc, key, &d)) return false;
   *out = static_cast<int>(d);
+  return true;
+}
+
+/// Inverse of fp(): accepts a plain number or one of the tagged strings
+/// "nan" / "inf" / "-inf".
+bool read_fp_number(const obs::JsonValue& doc, const char* key, double* out) {
+  const obs::JsonValue* v = doc.find(key);
+  if (v == nullptr) return false;
+  if (v->kind() == obs::JsonValue::Kind::kNumber) {
+    *out = v->as_number();
+    return true;
+  }
+  if (v->kind() != obs::JsonValue::Kind::kString) return false;
+  const std::string& tag = v->as_string();
+  if (tag == "nan") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+  } else if (tag == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+  } else if (tag == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+  } else {
+    return false;
+  }
   return true;
 }
 
@@ -182,6 +365,17 @@ std::optional<RunSummary> summary_from_json(const obs::JsonValue& doc) {
   if (!read_number(doc, "time_to_mitigation_ms", &number))
     return std::nullopt;
   summary.time_to_mitigation_ms = static_cast<std::int64_t>(number);
+  if (!read_fp_number(doc, "worst_bin_answered", &summary.worst_bin_answered))
+    return std::nullopt;
+  if (!read_fp_number(doc, "answered_bin_stddev",
+                      &summary.answered_bin_stddev)) {
+    return std::nullopt;
+  }
+  if (!read_number(doc, "recovery_ms", &number)) return std::nullopt;
+  summary.recovery_ms = static_cast<std::int64_t>(number);
+  if (!read_number(doc, "playbook_false_activations", &number))
+    return std::nullopt;
+  summary.playbook_false_activations = static_cast<std::uint64_t>(number);
 
   const obs::JsonValue* letters = doc.find("letters");
   if (letters == nullptr || letters->kind() != obs::JsonValue::Kind::kArray) {
@@ -203,9 +397,9 @@ std::optional<RunSummary> summary_from_json(const obs::JsonValue& doc) {
     if (!read_int(l, "baseline_vps", &cell.baseline_vps)) return std::nullopt;
     if (!read_int(l, "min_vps", &cell.min_vps)) return std::nullopt;
     if (!read_number(l, "worst_loss", &cell.worst_loss)) return std::nullopt;
-    if (!read_number(l, "median_rtt_quiet_ms", &cell.median_rtt_quiet_ms))
+    if (!read_fp_number(l, "median_rtt_quiet_ms", &cell.median_rtt_quiet_ms))
       return std::nullopt;
-    if (!read_number(l, "median_rtt_event_ms", &cell.median_rtt_event_ms))
+    if (!read_fp_number(l, "median_rtt_event_ms", &cell.median_rtt_event_ms))
       return std::nullopt;
     if (!read_int(l, "site_flips", &cell.site_flips)) return std::nullopt;
     if (!read_number(l, "route_changes", &number)) return std::nullopt;

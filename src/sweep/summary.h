@@ -9,7 +9,9 @@
 // through JSON (obs::json dumps doubles shortest-exact).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -28,12 +30,17 @@ struct LetterCellSummary {
   int baseline_vps = 0;   ///< typical successful VPs per bin
   int min_vps = 0;        ///< worst bin
   double worst_loss = 0.0;
+  /// Median probe RTTs. NaN when the run collected no records (fluid-only
+  /// cells): "unmeasured" and "0 ms" are different claims, and a NaN here
+  /// round-trips through JSON as a tagged string, never a silent zero.
   double median_rtt_quiet_ms = 0.0;
   double median_rtt_event_ms = 0.0;
   int site_flips = 0;
   std::uint64_t route_changes = 0;
 
-  bool operator==(const LetterCellSummary&) const = default;
+  /// Field-wise equality with NaN == NaN (a cache-verify comparison must
+  /// treat two unmeasured cells as equal; IEEE != would always fail).
+  bool operator==(const LetterCellSummary& other) const noexcept;
 };
 
 /// The digest of one run.
@@ -57,9 +64,26 @@ struct RunSummary {
   std::uint64_t playbook_activations = 0;
   std::uint64_t playbook_vetoes = 0;
   std::int64_t time_to_mitigation_ms = -1;
+  /// Resilience digest over the run's engagement span (first hot attack
+  /// instant to the last, pulse envelopes included). NaN / -1 when the
+  /// scenario never gets hot (quiet runs) or the span has no usable bins.
+  /// worst_bin_answered: minimum per-bin answered fraction of engaged
+  /// letters' legit traffic — the depth of the worst pulse.
+  double worst_bin_answered = std::numeric_limits<double>::quiet_NaN();
+  /// Spread of the per-bin answered fractions (N-1 sample stddev); NaN
+  /// with fewer than two bins — a single bin has no spread estimate.
+  double answered_bin_stddev = std::numeric_limits<double>::quiet_NaN();
+  /// Time from the last hot instant to the first fully-answered bin
+  /// (aggregate answered >= 0.999); -1 = never recovered in-span.
+  std::int64_t recovery_ms = -1;
+  /// Playbook actuations applied inside the engagement span while the
+  /// attack was NOT hot — the oscillation a pulse wave baits reactive
+  /// defenses into (0 without a playbook or without quiet gaps).
+  std::uint64_t playbook_false_activations = 0;
   std::vector<LetterCellSummary> letters;
 
-  bool operator==(const RunSummary&) const = default;
+  /// Field-wise equality with NaN == NaN (see LetterCellSummary).
+  bool operator==(const RunSummary& other) const noexcept;
 };
 
 /// Digests one evaluated run. `config` must be the cell's fully-resolved

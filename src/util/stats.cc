@@ -17,6 +17,14 @@ double stddev(std::span<const double> xs) noexcept {
   const double m = mean(xs);
   double acc = 0.0;
   for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double stddev_population(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
   return std::sqrt(acc / static_cast<double>(xs.size()));
 }
 

@@ -1,0 +1,237 @@
+#include "fault/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "anycast/deployment.h"
+#include "attack/schedule.h"
+#include "fault/schedule.h"
+
+namespace rootstress::fault {
+namespace {
+
+using net::SimInterval;
+using net::SimTime;
+
+const anycast::RootDeployment& shared_deployment() {
+  static const anycast::RootDeployment* deployment = [] {
+    anycast::RootDeployment::Config config;
+    config.seed = 7;
+    config.topology.stub_count = 300;
+    return new anycast::RootDeployment(config);
+  }();
+  return *deployment;
+}
+
+std::vector<DueAction> step(FaultRuntime& runtime, double minutes) {
+  return runtime.begin_step(SimTime::from_minutes(minutes));
+}
+
+TEST(FaultRuntime, SiteFaultFiresDownThenRestoreExactlyOnce) {
+  const auto& deployment = shared_deployment();
+  const FaultSchedule schedule =
+      FaultScheduleBuilder()
+          .site_fault('K', 0,
+                      {SimTime::from_minutes(10), SimTime::from_minutes(30)})
+          .build();
+  FaultRuntime runtime(schedule, deployment);
+  const int expected_site = deployment.service('K').site_ids[0];
+
+  EXPECT_TRUE(step(runtime, 5).empty());
+  EXPECT_FALSE(runtime.holds_site(expected_site));
+
+  const auto down = step(runtime, 10);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].kind, DueAction::Kind::kSiteDown);
+  EXPECT_EQ(down[0].site_id, expected_site);
+  EXPECT_EQ(down[0].prefix, deployment.service('K').prefix);
+  EXPECT_TRUE(runtime.holds_site(expected_site));
+
+  // Mid-window: no repeat, the hold persists.
+  EXPECT_TRUE(step(runtime, 20).empty());
+  EXPECT_TRUE(runtime.holds_site(expected_site));
+
+  const auto restore = step(runtime, 30);
+  ASSERT_EQ(restore.size(), 1u);
+  EXPECT_EQ(restore[0].kind, DueAction::Kind::kSiteRestore);
+  EXPECT_EQ(restore[0].site_id, expected_site);
+  EXPECT_FALSE(runtime.holds_site(expected_site));
+
+  EXPECT_TRUE(step(runtime, 40).empty());
+}
+
+TEST(FaultRuntime, BgpResetFlapsTheSessionOnce) {
+  const auto& deployment = shared_deployment();
+  BgpReset reset;
+  reset.letter = 'K';
+  reset.site_ordinal = 1;
+  reset.at = SimTime::from_minutes(10);
+  reset.hold = SimTime::from_minutes(2);
+  FaultSchedule schedule;
+  schedule.bgp_resets.push_back(reset);
+  FaultRuntime runtime(schedule, deployment);
+  const int expected_site = deployment.service('K').site_ids[1];
+
+  EXPECT_TRUE(step(runtime, 9).empty());
+  const auto down = step(runtime, 10);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].kind, DueAction::Kind::kSessionDown);
+  EXPECT_EQ(down[0].site_id, expected_site);
+
+  EXPECT_TRUE(step(runtime, 11).empty());
+  const auto up = step(runtime, 12);
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].kind, DueAction::Kind::kSessionRestore);
+  // One-shot: the machine is done, it never refires.
+  EXPECT_TRUE(step(runtime, 13).empty());
+  EXPECT_TRUE(step(runtime, 60).empty());
+}
+
+TEST(FaultRuntime, UnresolvableOrdinalIsDropped) {
+  const auto& deployment = shared_deployment();
+  const FaultSchedule schedule =
+      FaultScheduleBuilder()
+          .site_fault('K', 100000,
+                      {SimTime::from_minutes(10), SimTime::from_minutes(30)})
+          .build();
+  FaultRuntime runtime(schedule, deployment);
+  EXPECT_TRUE(step(runtime, 10).empty());
+  EXPECT_TRUE(step(runtime, 30).empty());
+}
+
+TEST(FaultRuntime, ShapeSynthesizesPulseEventAndSilenceBetweenPulses) {
+  const auto& deployment = shared_deployment();
+  PulseWave pulse;
+  pulse.window = {SimTime(0), SimTime::from_minutes(60)};
+  pulse.period = SimTime::from_minutes(20);
+  pulse.duty = 0.5;
+  pulse.peak_qps = 1e6;
+  FaultSchedule schedule;
+  schedule.pulses.push_back(pulse);
+  FaultRuntime runtime(schedule, deployment);
+
+  attack::AttackEvent base_event;
+  base_event.when = {SimTime(0), SimTime::from_minutes(120)};
+  base_event.per_letter_qps = 5e6;
+  const attack::AttackSchedule base(
+      std::vector<attack::AttackEvent>{base_event});
+
+  // On-pulse: a synthesized event at the envelope-scaled peak, not the
+  // base event.
+  runtime.begin_step(SimTime::from_minutes(5));
+  const attack::AttackEvent* on = runtime.shape(SimTime::from_minutes(5), base);
+  ASSERT_NE(on, nullptr);
+  EXPECT_DOUBLE_EQ(on->per_letter_qps, 1e6);
+  EXPECT_NE(on->qname, base_event.qname);
+
+  // Between pulses with floor 0: true silence even though base is active.
+  runtime.begin_step(SimTime::from_minutes(15));
+  EXPECT_EQ(runtime.shape(SimTime::from_minutes(15), base), nullptr);
+
+  // Outside the pulse window the base schedule is back in force.
+  runtime.begin_step(SimTime::from_minutes(90));
+  const attack::AttackEvent* after =
+      runtime.shape(SimTime::from_minutes(90), base);
+  ASSERT_NE(after, nullptr);
+  EXPECT_DOUBLE_EQ(after->per_letter_qps, 5e6);
+}
+
+TEST(FaultRuntime, PulseTargetsRotateByPulseIndex) {
+  const auto& deployment = shared_deployment();
+  PulseWave pulse;
+  pulse.window = {SimTime(0), SimTime::from_minutes(60)};
+  pulse.period = SimTime::from_minutes(20);
+  pulse.duty = 0.5;
+  pulse.pulse_targets = {{'B'}, {'K'}};
+  FaultSchedule schedule;
+  schedule.pulses.push_back(pulse);
+  FaultRuntime runtime(schedule, deployment);
+  const attack::AttackSchedule no_base;
+
+  runtime.begin_step(SimTime::from_minutes(5));  // pulse 0 -> {'B'}
+  runtime.shape(SimTime::from_minutes(5), no_base);
+  EXPECT_TRUE(runtime.letter_attacked('B', false));
+  EXPECT_FALSE(runtime.letter_attacked('K', true));
+
+  runtime.begin_step(SimTime::from_minutes(25));  // pulse 1 -> {'K'}
+  runtime.shape(SimTime::from_minutes(25), no_base);
+  EXPECT_FALSE(runtime.letter_attacked('B', true));
+  EXPECT_TRUE(runtime.letter_attacked('K', false));
+
+  // Pulse 2 cycles back to {'B'}.
+  runtime.begin_step(SimTime::from_minutes(45));
+  runtime.shape(SimTime::from_minutes(45), no_base);
+  EXPECT_TRUE(runtime.letter_attacked('B', false));
+
+  // Outside the pulse the caller's static flag stands.
+  runtime.begin_step(SimTime::from_minutes(70));
+  runtime.shape(SimTime::from_minutes(70), no_base);
+  EXPECT_TRUE(runtime.letter_attacked('K', true));
+  EXPECT_FALSE(runtime.letter_attacked('K', false));
+}
+
+TEST(FaultRuntime, SurgesMultiplyAndTelemetryGapWindows) {
+  const auto& deployment = shared_deployment();
+  const FaultSchedule schedule =
+      FaultScheduleBuilder()
+          .legit_surge({SimTime(0), SimTime::from_minutes(30)}, 2.0)
+          .legit_surge({SimTime::from_minutes(10), SimTime::from_minutes(20)},
+                       3.0)
+          .telemetry_gap(
+              {SimTime::from_minutes(5), SimTime::from_minutes(15)})
+          .build();
+  FaultRuntime runtime(schedule, deployment);
+
+  step(runtime, 0);
+  EXPECT_DOUBLE_EQ(runtime.legit_scale(), 2.0);
+  EXPECT_FALSE(runtime.telemetry_gap());
+
+  step(runtime, 12);  // both surges + the gap
+  EXPECT_DOUBLE_EQ(runtime.legit_scale(), 6.0);
+  EXPECT_TRUE(runtime.telemetry_gap());
+
+  step(runtime, 25);
+  EXPECT_DOUBLE_EQ(runtime.legit_scale(), 2.0);
+  EXPECT_FALSE(runtime.telemetry_gap());
+
+  step(runtime, 45);
+  EXPECT_DOUBLE_EQ(runtime.legit_scale(), 1.0);
+}
+
+TEST(FaultRuntime, VpDropoutIsDeterministicAndProportional) {
+  const auto& deployment = shared_deployment();
+  VpDropout dropout;
+  dropout.window = {SimTime(0), SimTime::from_minutes(60)};
+  dropout.fraction = 0.5;
+  dropout.salt = 99;
+  FaultSchedule schedule;
+  schedule.vp_dropouts.push_back(dropout);
+  FaultRuntime runtime(schedule, deployment);
+
+  const SimTime inside = SimTime::from_minutes(30);
+  int dropped = 0;
+  for (int vp = 0; vp < 2000; ++vp) {
+    const bool first = runtime.vp_dropped(vp, inside);
+    // Pure hash: repeated queries agree (probe shards may race here).
+    EXPECT_EQ(first, runtime.vp_dropped(vp, inside));
+    dropped += first ? 1 : 0;
+    // Outside the window nobody is silent.
+    EXPECT_FALSE(runtime.vp_dropped(vp, SimTime::from_minutes(61)));
+  }
+  // Roughly the requested fraction of 2000 VPs.
+  EXPECT_GT(dropped, 850);
+  EXPECT_LT(dropped, 1150);
+
+  // A different salt silences a different cohort.
+  FaultSchedule resalted = schedule;
+  resalted.vp_dropouts[0].salt = 100;
+  FaultRuntime other(resalted, deployment);
+  int differing = 0;
+  for (int vp = 0; vp < 2000; ++vp) {
+    differing +=
+        runtime.vp_dropped(vp, inside) != other.vp_dropped(vp, inside) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 200);
+}
+
+}  // namespace
+}  // namespace rootstress::fault

@@ -1,0 +1,221 @@
+#include "fault/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "attack/events2015.h"
+#include "attack/schedule.h"
+
+namespace rootstress::fault {
+namespace {
+
+using net::SimInterval;
+using net::SimTime;
+
+PulseWave hour_pulse() {
+  PulseWave pulse;
+  pulse.window = {SimTime(0), SimTime::from_minutes(60)};
+  pulse.period = SimTime::from_minutes(20);
+  pulse.duty = 0.5;
+  pulse.shape = PulseShape::kSquare;
+  pulse.peak_qps = 1e6;
+  pulse.floor_scale = 0.0;
+  return pulse;
+}
+
+attack::AttackSchedule steady_base(SimInterval when, double qps = 2e6) {
+  attack::AttackEvent event;
+  event.when = when;
+  event.per_letter_qps = qps;
+  return attack::AttackSchedule({event});
+}
+
+TEST(PulseWaveMath, SquareEnvelopeAndPulseIndex) {
+  const PulseWave pulse = hour_pulse();
+
+  // Pulse 0: on for the first 10 minutes, floor for the next 10.
+  EXPECT_EQ(FaultSchedule::envelope(pulse, SimTime(0)), 1.0);
+  EXPECT_EQ(FaultSchedule::envelope(pulse, SimTime::from_minutes(9.99)), 1.0);
+  EXPECT_EQ(FaultSchedule::envelope(pulse, SimTime::from_minutes(10)), 0.0);
+  EXPECT_EQ(FaultSchedule::envelope(pulse, SimTime::from_minutes(19.99)), 0.0);
+  // Pulse 1 starts at 20 minutes and is hot again.
+  EXPECT_EQ(FaultSchedule::envelope(pulse, SimTime::from_minutes(20)), 1.0);
+
+  EXPECT_EQ(FaultSchedule::pulse_index(pulse, SimTime(0)), 0);
+  EXPECT_EQ(FaultSchedule::pulse_index(pulse, SimTime::from_minutes(19)), 0);
+  EXPECT_EQ(FaultSchedule::pulse_index(pulse, SimTime::from_minutes(20)), 1);
+  EXPECT_EQ(FaultSchedule::pulse_index(pulse, SimTime::from_minutes(59)), 2);
+
+  // Outside the window: zero envelope, sentinel index.
+  EXPECT_EQ(FaultSchedule::envelope(pulse, SimTime(-1)), 0.0);
+  EXPECT_EQ(FaultSchedule::envelope(pulse, SimTime::from_minutes(60)), 0.0);
+  EXPECT_EQ(FaultSchedule::pulse_index(pulse, SimTime(-1)), -1);
+  EXPECT_EQ(FaultSchedule::pulse_index(pulse, SimTime::from_minutes(60)), -1);
+}
+
+TEST(PulseWaveMath, SawtoothRampsToFullRateThenDropsToFloor) {
+  PulseWave pulse = hour_pulse();
+  pulse.shape = PulseShape::kSawtooth;
+  pulse.floor_scale = 0.25;
+
+  const double early = FaultSchedule::envelope(pulse, SimTime(0));
+  const double mid =
+      FaultSchedule::envelope(pulse, SimTime::from_minutes(5));
+  const double late =
+      FaultSchedule::envelope(pulse, SimTime(SimTime::from_minutes(10).ms - 1));
+  EXPECT_GT(early, 0.0);
+  EXPECT_LT(early, mid);
+  EXPECT_LT(mid, late);
+  EXPECT_DOUBLE_EQ(late, 1.0);
+  // Off-portion idles at the floor, not zero.
+  EXPECT_DOUBLE_EQ(
+      FaultSchedule::envelope(pulse, SimTime::from_minutes(15)), 0.25);
+}
+
+TEST(AttackHot, PulseWindowOverridesBaseAndFloorIsNotHot) {
+  FaultSchedule schedule;
+  PulseWave pulse = hour_pulse();
+  pulse.floor_scale = 0.1;  // floor traffic exists, but the pulse is "off"
+  schedule.pulses.push_back(pulse);
+
+  // Base event covers the whole pulse window and beyond.
+  const auto base =
+      steady_base({SimTime(0), SimTime::from_minutes(90)});
+
+  EXPECT_TRUE(schedule.attack_hot(SimTime::from_minutes(5), base));
+  // Inside the window but in the gap: NOT hot, even though the base event
+  // would be active and the floor still trickles traffic.
+  EXPECT_FALSE(schedule.attack_hot(SimTime::from_minutes(15), base));
+  // Past the pulse window the base schedule decides again.
+  EXPECT_TRUE(schedule.attack_hot(SimTime::from_minutes(70), base));
+  EXPECT_FALSE(schedule.attack_hot(SimTime::from_minutes(95), base));
+}
+
+TEST(HotSpan, PulseShadowsFullyCoveredBaseEvents) {
+  FaultSchedule schedule;
+  schedule.pulses.push_back(hour_pulse());
+
+  // Base event entirely inside the pulse window: the pulse's own hot end
+  // (last period's on-portion, 40..50 min) governs, not the event end.
+  const auto shadowed =
+      steady_base({SimTime::from_minutes(10), SimTime::from_minutes(55)});
+  EXPECT_EQ(schedule.last_hot_end(shadowed).ms, SimTime::from_minutes(50).ms);
+  EXPECT_EQ(schedule.first_hot_begin(shadowed).ms, SimTime(0).ms);
+
+  // Base event sticking out past the window keeps its own end.
+  const auto outlasting =
+      steady_base({SimTime::from_minutes(10), SimTime::from_minutes(80)});
+  EXPECT_EQ(schedule.last_hot_end(outlasting).ms,
+            SimTime::from_minutes(80).ms);
+}
+
+TEST(HotSpan, NeverHotUsesSentinels) {
+  const FaultSchedule none;
+  const attack::AttackSchedule quiet;
+  EXPECT_EQ(none.last_hot_end(quiet).ms,
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(none.first_hot_begin(quiet).ms,
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Validate, RejectsEachBrokenInjector) {
+  {
+    FaultSchedule s;
+    s.pulses.push_back(hour_pulse());
+    s.pulses.back().window = {SimTime(5), SimTime(5)};
+    EXPECT_NE(validate(s).find("window"), std::string::npos);
+  }
+  {
+    FaultSchedule s;
+    s.pulses.push_back(hour_pulse());
+    s.pulses.back().duty = 0.0;
+    EXPECT_NE(validate(s).find("duty"), std::string::npos);
+  }
+  {
+    FaultSchedule s;
+    s.pulses.push_back(hour_pulse());
+    s.pulses.back().pulse_targets = {{'Z'}};
+    EXPECT_NE(validate(s).find("'A'..'M'"), std::string::npos);
+  }
+  {
+    FaultSchedule s;
+    s.site_faults.push_back(
+        SiteFault{'K', -1, {SimTime(0), SimTime(10)}});
+    EXPECT_NE(validate(s).find("site_ordinal"), std::string::npos);
+  }
+  {
+    FaultSchedule s;
+    s.bgp_resets.push_back(BgpReset{'K', 0, SimTime(0), SimTime(0)});
+    EXPECT_NE(validate(s).find("hold"), std::string::npos);
+  }
+  {
+    FaultSchedule s;
+    s.vp_dropouts.push_back(VpDropout{{SimTime(0), SimTime(10)}, 1.5, 0});
+    EXPECT_NE(validate(s).find("fraction"), std::string::npos);
+  }
+  {
+    FaultSchedule s;
+    s.legit_surges.push_back(LegitSurge{{SimTime(0), SimTime(10)}, 0.0});
+    EXPECT_NE(validate(s).find("scale"), std::string::npos);
+  }
+}
+
+TEST(Builder, BuildsValidScheduleAndThrowsOnBroken) {
+  const FaultSchedule built =
+      FaultScheduleBuilder()
+          .name("combo")
+          .pulse_wave(hour_pulse())
+          .site_fault('K', 0, {SimTime(0), SimTime::from_minutes(30)})
+          .telemetry_gap({SimTime(0), SimTime::from_minutes(10)})
+          .legit_surge({SimTime(0), SimTime::from_minutes(10)}, 2.0)
+          .build();
+  EXPECT_EQ(built.name, "combo");
+  EXPECT_FALSE(built.empty());
+  EXPECT_TRUE(validate(built).empty());
+
+  FaultScheduleBuilder broken;
+  broken.legit_surge({SimTime(10), SimTime(0)}, 2.0);
+  EXPECT_FALSE(broken.validate().empty());
+  EXPECT_THROW(broken.build(), std::invalid_argument);
+}
+
+TEST(Presets, AllThreeValidateAndAreNonEmpty) {
+  for (const FaultSchedule& preset :
+       {FaultSchedule::pulse_wave_2015(), FaultSchedule::rolling_site_outage(),
+        FaultSchedule::flash_crowd_plus_fault()}) {
+    EXPECT_FALSE(preset.empty()) << preset.name;
+    EXPECT_TRUE(validate(preset).empty()) << preset.name;
+    EXPECT_NE(preset.name, "none");
+  }
+  // The 2015 pulse preset rides the real first-event window.
+  const FaultSchedule pulses = FaultSchedule::pulse_wave_2015();
+  ASSERT_EQ(pulses.pulses.size(), 1u);
+  EXPECT_EQ(pulses.pulses[0].window.begin.ms, attack::kEvent1.begin.ms);
+  EXPECT_EQ(pulses.pulses[0].window.end.ms, attack::kEvent1.end.ms);
+}
+
+TEST(Fingerprint, ContentDecidesAndNameDoesNot) {
+  const std::string a = fault_fingerprint(FaultSchedule::pulse_wave_2015()).dump();
+  const std::string b =
+      fault_fingerprint(FaultSchedule::rolling_site_outage()).dump();
+  const std::string c =
+      fault_fingerprint(FaultSchedule::flash_crowd_plus_fault()).dump();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+
+  // Renaming is cosmetic.
+  FaultSchedule renamed = FaultSchedule::pulse_wave_2015();
+  renamed.name = "something-else";
+  EXPECT_EQ(fault_fingerprint(renamed).dump(), a);
+
+  // Any content knob is not.
+  FaultSchedule retuned = FaultSchedule::pulse_wave_2015();
+  retuned.pulses[0].duty = 0.25;
+  EXPECT_NE(fault_fingerprint(retuned).dump(), a);
+}
+
+}  // namespace
+}  // namespace rootstress::fault

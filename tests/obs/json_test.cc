@@ -66,6 +66,57 @@ TEST(Json, ParseWhitespaceAndEscapes) {
   EXPECT_EQ(parsed->find("k")->as_string(), "a\xc3\xa9\n");
 }
 
+TEST(Json, SurrogatePairsDecodeToOneCodePoint) {
+  // U+1F600 arrives as a UTF-16 pair; pre-fix each half became an
+  // invalid 3-byte CESU-8 sequence instead of the 4-byte UTF-8 form.
+  const auto parsed = json_parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "\xf0\x9f\x98\x80");
+  // U+10000, the lowest astral code point.
+  const auto boundary = json_parse("\"\\ud800\\udc00\"");
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(boundary->as_string(), "\xf0\x90\x80\x80");
+  // U+10FFFF, the highest.
+  const auto top = json_parse("\"\\udbff\\udfff\"");
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->as_string(), "\xf4\x8f\xbf\xbf");
+}
+
+TEST(Json, LoneSurrogatesBecomeReplacementCharacter) {
+  const std::string replacement = "\xef\xbf\xbd";  // U+FFFD
+  // High half at end of string.
+  auto parsed = json_parse("\"\\ud83dX\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), replacement + "X");
+  // Low half with no preceding high half.
+  parsed = json_parse("\"\\ude00\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), replacement);
+  // High half followed by a non-surrogate escape: the follower must
+  // survive as its own character, not be swallowed.
+  parsed = json_parse("\"\\ud83d\\u0041\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), replacement + "A");
+  // Two high halves in a row: each is lone.
+  parsed = json_parse("\"\\ud83d\\ud83d\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), replacement + replacement);
+}
+
+TEST(Json, SurrogatePairRoundTripsThroughDump) {
+  // Parse -> dump -> parse must be a fixed point: the dumper emits the
+  // decoded UTF-8 bytes raw, and the parser accepts them unchanged.
+  const auto first = json_parse("{\"emoji\":\"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(first.has_value());
+  const std::string dumped = first->dump();
+  EXPECT_NE(dumped.find("\xf0\x9f\x98\x80"), std::string::npos);
+  const auto second = json_parse(dumped);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->dump(), dumped);
+  ASSERT_NE(second->find("emoji"), nullptr);
+  EXPECT_EQ(second->find("emoji")->as_string(), "\xf0\x9f\x98\x80");
+}
+
 TEST(Json, ParseRejectsGarbage) {
   EXPECT_FALSE(json_parse("").has_value());
   EXPECT_FALSE(json_parse("{").has_value());

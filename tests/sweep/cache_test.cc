@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <optional>
 
 #include "sim/scenario_builder.h"
 
@@ -140,6 +143,48 @@ TEST(Summary, JsonRoundTripIsExact) {
   EXPECT_TRUE(*parsed == original);
 }
 
+TEST(Summary, NanFieldsRoundTripAsTaggedStringsNotNull) {
+  RunSummary original = sample_summary();
+  // Every NaN-able field unmeasured at once: fluid-only medians plus a
+  // never-hot resilience block.
+  original.letters[0].median_rtt_quiet_ms =
+      std::numeric_limits<double>::quiet_NaN();
+  original.letters[0].median_rtt_event_ms =
+      std::numeric_limits<double>::quiet_NaN();
+  original.worst_bin_answered = std::numeric_limits<double>::quiet_NaN();
+  original.answered_bin_stddev = std::numeric_limits<double>::quiet_NaN();
+  original.recovery_ms = -1;
+  original.playbook_false_activations = 3;
+
+  const obs::JsonValue doc = summary_to_json(original);
+  const std::string text = doc.dump();
+  // Tagged strings, never JSON null (null would silently decay to 0 in
+  // sloppy readers) and never a bare unparseable `nan` token.
+  EXPECT_NE(text.find("\"nan\""), std::string::npos);
+  EXPECT_EQ(text.find("null"), std::string::npos);
+
+  const auto reparsed = obs::json_parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  const auto parsed = summary_from_json(*reparsed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == original);  // NaN-aware equality
+  EXPECT_TRUE(std::isnan(parsed->worst_bin_answered));
+  EXPECT_TRUE(std::isnan(parsed->letters[0].median_rtt_event_ms));
+  EXPECT_EQ(parsed->recovery_ms, -1);
+  EXPECT_EQ(parsed->playbook_false_activations, 3u);
+}
+
+TEST(Summary, ResilienceFieldsRoundTripWhenMeasured) {
+  RunSummary original = sample_summary();
+  original.worst_bin_answered = 0.4375;
+  original.answered_bin_stddev = 0.0625;
+  original.recovery_ms = 600'000;
+  original.playbook_false_activations = 11;
+  const auto parsed = summary_from_json(summary_to_json(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == original);
+}
+
 TEST(Summary, RejectsForeignJson) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("unrelated", obs::JsonValue(1.0));
@@ -258,6 +303,43 @@ TEST(RunCache, MaxBytesEvictsUntilUnderTheBudget) {
   }
   EXPECT_LE(total, limits.max_bytes);
   EXPECT_GE(cache.stats().evicted, 1u);
+}
+
+TEST(RunCache, AgeTiesEvictInPathOrderDeterministically) {
+  // Coarse-timestamp filesystems make whole batches of entries tie on
+  // mtime; the eviction order must then be decided by path, not directory
+  // iteration luck. Force an exact tie and check the same survivors on
+  // every run.
+  const fs::path dir = fresh_dir("rs_cache_evict_ties");
+  {
+    RunCache writer(dir);  // unlimited: no eviction while seeding
+    for (std::uint64_t key = 1; key <= 4; ++key) {
+      RunSummary summary = sample_summary();
+      summary.config_hash = key;
+      writer.store(key, summary);
+    }
+  }
+  std::optional<fs::file_time_type> stamp;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!stamp.has_value()) stamp = fs::last_write_time(entry.path());
+    fs::last_write_time(entry.path(), *stamp);
+  }
+
+  CacheLimits limits;
+  limits.max_entries = 2;
+  RunCache cache(dir, std::string(kCodeVersionSalt), limits);
+  RunSummary fifth = sample_summary();
+  fifth.config_hash = 5;
+  cache.store(5, fifth);  // triggers enforcement over the tied batch
+
+  // Keys hash to zero-padded hex filenames, so path order == key order:
+  // the tied 1..4 lose their three lowest, entry 5 (newest mtime) stays.
+  EXPECT_EQ(cache.stats().evicted, 3u);
+  EXPECT_FALSE(cache.load(1).has_value());
+  EXPECT_FALSE(cache.load(2).has_value());
+  EXPECT_FALSE(cache.load(3).has_value());
+  EXPECT_TRUE(cache.load(4).has_value());
+  EXPECT_TRUE(cache.load(5).has_value());
 }
 
 TEST(RunCache, UnlimitedByDefaultNeverEvicts) {

@@ -125,6 +125,45 @@ TEST(Campaign, PlaybookAxisAppliesAndLabels) {
   EXPECT_EQ(Axis::playbook({unnamed}).label(0), "playbook=unnamed");
 }
 
+TEST(Campaign, FaultScheduleAxisAppliesLabelsAndKeysTheCache) {
+  const Axis axis = Axis::fault_schedule({
+      fault::FaultSchedule{},  // the no-fault baseline cell
+      fault::FaultSchedule::pulse_wave_2015(),
+      fault::FaultSchedule::rolling_site_outage(),
+  });
+  EXPECT_EQ(axis.size(), 3u);
+  EXPECT_EQ(axis.label(0), "fault=none");
+  EXPECT_EQ(axis.label(1), "fault=pulse_wave_2015");
+  EXPECT_EQ(axis.label(2), "fault=rolling_site_outage");
+
+  sim::ScenarioConfig config = small_base();
+  ASSERT_TRUE(config.fault_schedule.empty());
+  axis.apply(1, config);
+  EXPECT_FALSE(config.fault_schedule.empty());
+  EXPECT_EQ(config.fault_schedule.name, "pulse_wave_2015");
+
+  // Every axis point hashes to a distinct cache key, and the baseline's
+  // key matches a config that never saw the axis at all (fault-free runs
+  // are not re-keyed by the feature existing).
+  const std::uint64_t none = config_hash(small_base(), kCodeVersionSalt);
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    sim::ScenarioConfig cell = small_base();
+    axis.apply(i, cell);
+    keys.push_back(config_hash(cell, kCodeVersionSalt));
+  }
+  EXPECT_EQ(keys[0], none);
+  EXPECT_NE(keys[1], keys[0]);
+  EXPECT_NE(keys[2], keys[0]);
+  EXPECT_NE(keys[1], keys[2]);
+
+  // The display name is not part of the key.
+  sim::ScenarioConfig renamed = small_base();
+  axis.apply(1, renamed);
+  renamed.fault_schedule.name = "renamed";
+  EXPECT_EQ(config_hash(renamed, kCodeVersionSalt), keys[1]);
+}
+
 TEST(Campaign, EmptyAxisFailsExpansionWithAClearError) {
   Campaign campaign;
   campaign.name = "holey";

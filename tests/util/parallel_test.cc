@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace rootstress::util {
@@ -91,6 +92,33 @@ TEST(ThreadPool, PropagatesFirstExceptionAndSurvives) {
     });
     EXPECT_EQ(count.load(), 10) << "threads=" << threads;
   }
+}
+
+TEST(ThreadPool, ManyConcurrentThrowersYieldExactlyOneException) {
+  // Every task throws, from every worker at once: exactly one exception
+  // must surface per dispatch (first recorded wins, the rest are
+  // swallowed), the pool must not terminate or deadlock, and it must stay
+  // usable afterwards. Repeat to shake out capture races.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> thrown{0};
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        thrown.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("worker " + std::to_string(i));
+      });
+      FAIL() << "parallel_for swallowed every exception (round " << round
+             << ")";
+    } catch (const std::runtime_error& error) {
+      // One of the workers' messages, intact — not a mangled mixture.
+      EXPECT_EQ(std::string(error.what()).rfind("worker ", 0), 0u);
+    }
+    EXPECT_GT(thrown.load(), 0) << "round " << round;
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      10, [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(count.load(), 10);
 }
 
 TEST(LanesPerWorker, SplitsTheBudgetAndClampsToOne) {

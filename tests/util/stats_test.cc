@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace rootstress::util {
@@ -46,8 +47,28 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Stats, StddevKnown) {
   EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
   EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
-  EXPECT_NEAR(stddev(std::vector<double>{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+  // Sample (N-1) estimator: sum of squared deviations is 32 over 8
+  // values, so sqrt(32/7) — not the population answer sqrt(32/8) = 2.
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  // Regression guard: the pre-fix population formula returned exactly
+  // 2.0 here, which underestimates spread for small replicate samples.
+  EXPECT_GT(stddev(v), 2.0);
+}
+
+TEST(Stats, StddevPopulationKnown) {
+  EXPECT_DOUBLE_EQ(stddev_population(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_population(std::vector<double>{5.0}), 0.0);
+  EXPECT_NEAR(stddev_population(
+                  std::vector<double>{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
               2.0, 1e-12);
+}
+
+TEST(Stats, StddevTwoSamples) {
+  // Smallest sample the estimator is defined for: |x0 - x1| / sqrt(2)
+  // scaled by the Bessel correction gives exactly the half-range * sqrt(2).
+  EXPECT_NEAR(stddev(std::vector<double>{1.0, 3.0}), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(stddev_population(std::vector<double>{1.0, 3.0}), 1.0, 1e-12);
 }
 
 TEST(Stats, MinMax) {
