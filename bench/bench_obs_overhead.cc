@@ -23,6 +23,9 @@ struct RunMeasurement {
   std::size_t route_changes = 0;  // determinism check across variants
   std::uint64_t trace_emitted = 0;
   std::size_t metric_count = 0;
+  std::size_t timeline_series = 0;   // flight-recorder shape (on-variant)
+  std::size_t timeline_spans = 0;
+  std::uint64_t timeline_digest = 0;
 };
 
 RunMeasurement measure(const sim::ScenarioConfig& config, int iterations) {
@@ -38,6 +41,10 @@ RunMeasurement measure(const sim::ScenarioConfig& config, int iterations) {
     m.route_changes = result.route_changes.size();
     m.trace_emitted = result.telemetry.trace.emitted;
     m.metric_count = result.telemetry.metrics.size();
+    const obs::TimelineData& tl = result.telemetry.timeline;
+    m.timeline_series = tl.series.size();
+    m.timeline_spans = tl.spans.size();
+    m.timeline_digest = tl.empty() ? 0 : tl.digest();
   }
   return m;
 }
@@ -71,10 +78,12 @@ int main(int argc, char** argv) {
   const bool pass = overhead_pct <= threshold_pct && deterministic;
 
   std::printf("baseline %.1f ms, instrumented %.1f ms -> %+.2f%% "
-              "(threshold %.1f%%); %llu trace events, %zu metrics\n",
+              "(threshold %.1f%%); %llu trace events, %zu metrics, "
+              "timeline %zu series / %zu spans (digest %016llx)\n",
               off.best_ms, on.best_ms, overhead_pct, threshold_pct,
               static_cast<unsigned long long>(on.trace_emitted),
-              on.metric_count);
+              on.metric_count, on.timeline_series, on.timeline_spans,
+              static_cast<unsigned long long>(on.timeline_digest));
   if (!deterministic) {
     std::printf("FAIL: telemetry changed the simulation (%zu vs %zu route "
                 "changes)\n",
@@ -91,6 +100,16 @@ int main(int argc, char** argv) {
   doc.set("threshold_pct", obs::JsonValue(threshold_pct));
   doc.set("trace_events", obs::JsonValue(static_cast<double>(on.trace_emitted)));
   doc.set("metrics", obs::JsonValue(static_cast<double>(on.metric_count)));
+  doc.set("timeline_series",
+          obs::JsonValue(static_cast<double>(on.timeline_series)));
+  doc.set("timeline_spans",
+          obs::JsonValue(static_cast<double>(on.timeline_spans)));
+  {
+    char digest_hex[24];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                  static_cast<unsigned long long>(on.timeline_digest));
+    doc.set("timeline_digest", obs::JsonValue(digest_hex));
+  }
   doc.set("deterministic", obs::JsonValue(deterministic));
   doc.set("pass", obs::JsonValue(pass));
   std::ofstream out(out_path);

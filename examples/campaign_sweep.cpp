@@ -3,14 +3,16 @@
 // different defense policy?" — expanded, cached, and run in parallel.
 //
 // Usage:
-//   ./build/examples/campaign_sweep [--cache DIR] [--workers N]
-//   ./build/examples/campaign_sweep --smoke [--cache DIR]
+//   ./build/examples/campaign_sweep [--cache DIR] [--workers N] [--progress]
+//   ./build/examples/campaign_sweep --smoke [--cache DIR] [--progress]
 //
 // The default mode runs the 3x3 policy-vs-attack-rate grid and prints a
 // comparison table (mean served fraction over the attacked letters during
 // the event windows). --smoke runs a tiny 2x2 grid (used by
 // scripts/check.sh to assert cold-vs-warm cache behaviour) and prints a
-// machine-greppable `executed=N cache_hits=M` line.
+// machine-greppable `executed=N cache_hits=M` line. --progress swaps the
+// per-cell stdout lines for the live stderr observatory (queued / running
+// / done counts, cache hit rate, EMA-based ETA, straggler flags).
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -42,10 +44,13 @@ sim::ScenarioConfig whatif_base() {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool progress = false;
   sweep::CampaignOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       options.cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
@@ -74,10 +79,15 @@ int main(int argc, char** argv) {
               options.cache_dir.empty()
                   ? ""
                   : (" (cache: " + options.cache_dir.string() + ")").c_str());
-  options.progress = [](const std::string& label, bool cached, double ms) {
-    std::printf("  %-32s %s\n", label.c_str(),
-                cached ? "cached" : ("ran in " + std::to_string(static_cast<int>(ms)) + " ms").c_str());
-  };
+  sweep::StderrProgress observatory;
+  if (progress) {
+    options.progress_sink = &observatory;
+  } else {
+    options.progress = [](const std::string& label, bool cached, double ms) {
+      std::printf("  %-32s %s\n", label.c_str(),
+                  cached ? "cached" : ("ran in " + std::to_string(static_cast<int>(ms)) + " ms").c_str());
+    };
+  }
 
   const sweep::CampaignResult result = rootstress::run_campaign(campaign, options);
 

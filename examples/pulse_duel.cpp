@@ -9,6 +9,12 @@
 // Usage:
 //   ./build/examples/pulse_duel [--cache DIR] [--quick]
 //
+// With ROOTSTRESS_PERFETTO=/path/trace.json in the environment, every
+// engine run re-writes that path with a Chrome-trace/Perfetto document
+// (phase slices + fault/playbook instant events; the last run wins), so a
+// pulse duel doubles as the flight-recorder export smoke test
+// (scripts/check.sh validates the JSON).
+//
 // Prints each plan's resilience digest (worst-bin answered fraction,
 // per-bin spread, recovery time after the last pulse, and the
 // false-activation count — actions applied in quiet gaps), then asserts

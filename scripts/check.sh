@@ -18,7 +18,12 @@
 #      baseline, fault-laden runs are thread-count invariant, the patient
 #      plan out-oscillates nothing, and the fault-schedule campaign axis
 #      caches four distinct digests cold then serves them all warm.
-#   5. Debug build with ThreadSanitizer, running the thread-pool unit
+#   5. Observability gate: bench_obs_overhead (full telemetry incl. the
+#      flight recorder must stay within 5% of a dark run on the June 2016
+#      scenario, writing BENCH_obs.json), and the first pulse_duel pass
+#      re-run with ROOTSTRESS_PERFETTO set — the exported Chrome-trace
+#      document must be valid JSON with a traceEvents array.
+#   6. Debug build with ThreadSanitizer, running the thread-pool unit
 #      tests and the parallel-determinism integration test under TSan.
 #
 # Usage: scripts/check.sh  (from the repo root; build trees land in
@@ -67,13 +72,32 @@ ROOTSTRESS_THREADS=4 ./build/check-release/tests/integration_test \
 
 echo "=== Pulse duel example: the chaos layer's end-to-end contract ==="
 PULSE_CACHE="$(mktemp -d)"
-ROOTSTRESS_THREADS=1 ./build/check-release/examples/pulse_duel --quick \
-  --cache "$PULSE_CACHE"
+PERFETTO_OUT="$PULSE_CACHE/pulse_duel_perfetto.json"
+ROOTSTRESS_THREADS=1 ROOTSTRESS_PERFETTO="$PERFETTO_OUT" \
+  ./build/check-release/examples/pulse_duel --quick --cache "$PULSE_CACHE"
+
+echo "=== Perfetto export: pulse duel trace must be valid JSON ==="
+[[ -s "$PERFETTO_OUT" ]] ||
+  { echo "FAIL: pulse_duel did not write $PERFETTO_OUT"; exit 1; }
+python3 - "$PERFETTO_OUT" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+phases = [e for e in events if e.get("ph") == "X"]
+instants = [e for e in events if e.get("ph") == "i"]
+assert phases, "no phase slices in the Perfetto export"
+assert instants, "no instant events in the Perfetto export"
+print(f"perfetto export ok: {len(phases)} slices, {len(instants)} instants")
+PYEOF
 rm -rf "$PULSE_CACHE"
+
 PULSE_CACHE="$(mktemp -d)"
 ROOTSTRESS_THREADS=4 ./build/check-release/examples/pulse_duel --quick \
   --cache "$PULSE_CACHE"
 rm -rf "$PULSE_CACHE"
+
+echo "=== Telemetry overhead: flight recorder must stay within budget ==="
+./build/check-release/bench/bench_obs_overhead BENCH_obs.json
 
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \

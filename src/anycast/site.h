@@ -30,6 +30,17 @@ enum class SiteScope : std::uint8_t {
   kDown,       ///< fully withdrawn
 };
 
+/// Announce state as a plot level (timeline "site.announce_state"
+/// series): 1.0 global, 0.5 local-only, 0.0 down.
+constexpr double scope_level(SiteScope scope) noexcept {
+  switch (scope) {
+    case SiteScope::kGlobal: return 1.0;
+    case SiteScope::kLocalOnly: return 0.5;
+    case SiteScope::kDown: return 0.0;
+  }
+  return 0.0;
+}
+
 /// Result of delivering one probe to the site.
 struct ProbeReply {
   bool answered = false;

@@ -194,6 +194,13 @@ void write_telemetry(const obs::Snapshot& snapshot, std::ostream& os) {
   trace.set("buffered", snapshot.trace.buffered);
   doc.set("trace", std::move(trace));
 
+  doc.set("profiler_slices_dropped",
+          static_cast<std::uint64_t>(snapshot.slices_dropped));
+
+  // Flight-recorder timeline; an empty object's bins == 0 marks "no
+  // recorder attached" (e.g. telemetry off or a pre-timeline snapshot).
+  doc.set("timeline", snapshot.timeline.to_json());
+
   os << doc.dump() << '\n';
 }
 

@@ -66,6 +66,10 @@ class FaultRuntime {
   /// Whether operator telemetry is frozen this step.
   bool telemetry_gap() const noexcept { return telemetry_gap_; }
 
+  /// The pulse wave whose window covers the current step (nullptr when
+  /// none). Valid until the next begin_step().
+  const PulseWave* active_pulse() const noexcept { return active_pulse_; }
+
   /// Whether a hardware fault currently pins `site_id` down (defense
   /// layers must not re-announce it).
   bool holds_site(int site_id) const noexcept;

@@ -386,4 +386,71 @@ obs::JsonValue fault_fingerprint(const FaultSchedule& schedule) {
   return doc;
 }
 
+namespace {
+
+std::string site_scope(char letter, int ordinal) {
+  return std::string(1, letter) + "#" + std::to_string(ordinal);
+}
+
+obs::TimelineSpan make_span(const char* category, const char* name,
+                            std::string scope, net::SimTime begin,
+                            net::SimTime end) {
+  obs::TimelineSpan span;
+  span.category = category;
+  span.name = name;
+  span.scope = std::move(scope);
+  span.begin = begin;
+  span.end = end;
+  return span;
+}
+
+}  // namespace
+
+std::vector<obs::TimelineSpan> timeline_spans(const FaultSchedule& schedule) {
+  std::vector<obs::TimelineSpan> spans;
+  for (const PulseWave& pulse : schedule.pulses) {
+    spans.push_back(make_span("fault", "pulse-window", schedule.name,
+                              pulse.window.begin, pulse.window.end));
+    // Each pulse's hot on-portion, capped: a degenerate period could
+    // otherwise explode the span list, and labels past a few hundred
+    // pulses carry no extra information.
+    constexpr int kMaxPulses = 512;
+    if (pulse.period.ms <= 0) continue;
+    const auto hot =
+        net::SimTime{static_cast<std::int64_t>(
+            static_cast<double>(pulse.period.ms) * pulse.duty)};
+    net::SimTime begin = pulse.window.begin;
+    for (int k = 0; k < kMaxPulses && begin < pulse.window.end;
+         ++k, begin = begin + pulse.period) {
+      net::SimTime end = begin + hot;
+      if (end > pulse.window.end) end = pulse.window.end;
+      spans.push_back(
+          make_span("attack", "pulse-hot", schedule.name, begin, end));
+    }
+  }
+  for (const SiteFault& fault : schedule.site_faults) {
+    spans.push_back(make_span("fault", "site-fault",
+                              site_scope(fault.letter, fault.site_ordinal),
+                              fault.window.begin, fault.window.end));
+  }
+  for (const BgpReset& reset : schedule.bgp_resets) {
+    spans.push_back(make_span("fault", "bgp-reset",
+                              site_scope(reset.letter, reset.site_ordinal),
+                              reset.at, reset.at + reset.hold));
+  }
+  for (const VpDropout& dropout : schedule.vp_dropouts) {
+    spans.push_back(make_span("fault", "vp-dropout", {},
+                              dropout.window.begin, dropout.window.end));
+  }
+  for (const TelemetryGap& gap : schedule.telemetry_gaps) {
+    spans.push_back(make_span("fault", "telemetry-gap", {}, gap.window.begin,
+                              gap.window.end));
+  }
+  for (const LegitSurge& surge : schedule.legit_surges) {
+    spans.push_back(make_span("fault", "legit-surge", {}, surge.window.begin,
+                              surge.window.end));
+  }
+  return spans;
+}
+
 }  // namespace rootstress::fault

@@ -34,6 +34,7 @@
 #include "attack/schedule.h"
 #include "net/clock.h"
 #include "obs/json.h"
+#include "obs/timeline.h"
 
 namespace rootstress::fault {
 
@@ -228,5 +229,13 @@ std::string validate(const FaultSchedule& schedule);
 /// fp() tagging convention of sweep/cache.cc so non-finite values cannot
 /// collapse distinct schedules.
 obs::JsonValue fault_fingerprint(const FaultSchedule& schedule);
+
+/// The schedule's active windows as labeled timeline spans — the label
+/// source the flight recorder (and later dataset export) attaches to a
+/// run. Pulse windows contribute both the whole envelope ("fault" /
+/// "pulse-window") and each pulse's hot on-portion ("attack" /
+/// "pulse-hot", capped at 512 per wave); site-scoped injectors encode
+/// the target as "K#2" (letter + site ordinal).
+std::vector<obs::TimelineSpan> timeline_spans(const FaultSchedule& schedule);
 
 }  // namespace rootstress::fault

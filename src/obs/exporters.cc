@@ -1,0 +1,226 @@
+#include "obs/exporters.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace rootstress::obs {
+namespace {
+
+/// Track category for an instant event (Perfetto groups legends by cat).
+const char* instant_category(TraceEventType type) noexcept {
+  switch (type) {
+    case TraceEventType::kFaultInjection:
+      return "fault";
+    case TraceEventType::kPlaybookDetection:
+    case TraceEventType::kPlaybookAction:
+    case TraceEventType::kWithdrawVeto:
+      return "playbook";
+    case TraceEventType::kDefenseActivation:
+    case TraceEventType::kRrlSuppression:
+      return "defense";
+    case TraceEventType::kQueueOverloadOnset:
+    case TraceEventType::kQueueOverloadEnd:
+      return "queue";
+    case TraceEventType::kSiteWithdraw:
+    case TraceEventType::kSiteRestore:
+    case TraceEventType::kBgpSessionFailure:
+    case TraceEventType::kBgpSessionRestore:
+    case TraceEventType::kCatchmentFlip:
+      return "routing";
+    case TraceEventType::kLog:
+      return nullptr;  // log lines stay in the JSONL trace, not the trace view
+  }
+  return nullptr;
+}
+
+JsonValue metadata_event(const char* name, const char* value) {
+  JsonValue e = JsonValue::object();
+  e.set("ph", "M");
+  e.set("pid", 1);
+  e.set("tid", 1);
+  e.set("name", name);
+  JsonValue args = JsonValue::object();
+  args.set("name", value);
+  e.set("args", std::move(args));
+  return e;
+}
+
+/// Prometheus metric name: "rootstress_" + name with every character
+/// outside [a-zA-Z0-9_:] replaced by '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "rootstress_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_prom_value(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+/// {k="v",...} with label-value escaping; `extra`/`extra_value` appends
+/// one more pair (the histogram "le" bound, preformatted).
+std::string prom_labels(const Labels& labels, const char* extra = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    out += "\"";
+  };
+  for (const auto& [key, value] : labels) append(key, value);
+  if (extra != nullptr) append(extra, extra_value);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const Snapshot& snapshot,
+                                const std::vector<TraceEvent>& events) {
+  JsonValue trace_events = JsonValue::array();
+  trace_events.push_back(metadata_event("process_name", "rootstress"));
+  trace_events.push_back(metadata_event("thread_name", "engine"));
+
+  for (const PhaseSlice& slice : snapshot.slices) {
+    if (slice.phase >= snapshot.phases.size()) continue;
+    JsonValue e = JsonValue::object();
+    e.set("ph", "X");
+    e.set("pid", 1);
+    e.set("tid", 1);
+    e.set("cat", "phase");
+    e.set("name", snapshot.phases[slice.phase].name);
+    e.set("ts", static_cast<double>(slice.start_us));
+    e.set("dur", static_cast<double>(slice.dur_us));
+    trace_events.push_back(std::move(e));
+  }
+
+  for (const TraceEvent& event : events) {
+    const char* cat = instant_category(event.type);
+    if (cat == nullptr) continue;
+    JsonValue e = JsonValue::object();
+    e.set("ph", "i");
+    e.set("pid", 1);
+    e.set("tid", 1);
+    e.set("s", "t");
+    e.set("cat", cat);
+    e.set("name", to_string(event.type));
+    e.set("ts", static_cast<double>(event.wall_us));
+    JsonValue args = JsonValue::object();
+    args.set("sim_ms", static_cast<double>(event.sim_time.ms));
+    if (event.letter != 0) args.set("letter", std::string(1, event.letter));
+    if (!event.site.empty()) args.set("site", event.site);
+    if (!event.detail.empty()) args.set("detail", event.detail);
+    if (event.value != 0.0) args.set("value", event.value);
+    e.set("args", std::move(args));
+    trace_events.push_back(std::move(e));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", "ms");
+  return doc.dump();
+}
+
+std::string perfetto_trace_json(Runtime& runtime, net::SimTime now) {
+  return perfetto_trace_json(runtime.snapshot(now), runtime.trace().events());
+}
+
+std::string prometheus_text(const std::vector<MetricSample>& metrics) {
+  std::string out;
+  std::string last_typed;  // family of the last emitted # TYPE line
+  for (const MetricSample& sample : metrics) {
+    const std::string family = prom_name(sample.name);
+    const char* type = sample.kind == MetricKind::kCounter   ? "counter"
+                       : sample.kind == MetricKind::kGauge   ? "gauge"
+                                                             : "histogram";
+    if (family != last_typed) {
+      out += "# TYPE " + family + " " + type + "\n";
+      last_typed = family;
+    }
+    if (sample.kind != MetricKind::kHistogram) {
+      out += family + prom_labels(sample.labels) + " ";
+      append_prom_value(out, sample.value);
+      out += "\n";
+      continue;
+    }
+    // Histogram: cumulative buckets at each bin's upper edge, then the
+    // mandatory +Inf bucket, approximate _sum from bin centers, _count.
+    std::uint64_t cumulative = 0;
+    double approx_sum = 0.0;
+    for (std::size_t i = 0; i < sample.bins.size(); ++i) {
+      cumulative += sample.bins[i];
+      approx_sum += static_cast<double>(sample.bins[i]) *
+                    (sample.bin_width * (static_cast<double>(i) + 0.5));
+      std::string le;
+      {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      sample.bin_width * static_cast<double>(i + 1));
+        le = buf;
+      }
+      out += family + "_bucket" + prom_labels(sample.labels, "le", le) + " ";
+      append_prom_value(out, static_cast<double>(cumulative));
+      out += "\n";
+    }
+    out += family + "_bucket" + prom_labels(sample.labels, "le", "+Inf") + " ";
+    append_prom_value(out, sample.value);  // total observation count
+    out += "\n";
+    out += family + "_sum" + prom_labels(sample.labels) + " ";
+    append_prom_value(out, approx_sum);
+    out += "\n";
+    out += family + "_count" + prom_labels(sample.labels) + " ";
+    append_prom_value(out, sample.value);
+    out += "\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  static std::atomic<unsigned> serial{0};
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%d.%u",
+                static_cast<int>(::getpid()),
+                serial.fetch_add(1, std::memory_order_relaxed));
+  const std::string tmp = path + suffix;
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) return false;
+    os << content;
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rootstress::obs

@@ -1,0 +1,51 @@
+// External telemetry formats: Chrome-trace/Perfetto JSON and Prometheus
+// text exposition, built from the plain-data Snapshot so they can be
+// produced from a live Runtime or a stored result alike.
+//
+// Perfetto: one run renders as a flamegraph in ui.perfetto.dev — phase
+// slices ("X" complete events, one per recorded PhaseSlice) with the
+// run's trace events (fault injections, playbook detections/actions,
+// withdraw/restore, defense activations) overlaid as "i" instant events
+// on the same wall-clock axis (the Runtime shares one epoch between the
+// TraceSink and the PhaseProfiler exactly for this).
+//
+// Prometheus: the metrics registry as text exposition format 0.0.4 —
+// counters and gauges verbatim, histograms as cumulative _bucket{le=...}
+// series plus _sum/_count — so long campaigns can drop scrape files for
+// node_exporter's textfile collector.
+//
+// The engine writes both on run completion when ROOTSTRESS_PERFETTO /
+// ROOTSTRESS_PROM name destination paths (next to the ROOTSTRESS_TRACE
+// flush); run_campaign rewrites ROOTSTRESS_PROM with campaign-level
+// metrics at campaign end. Writes go through write_text_file (temp +
+// rename) so concurrent writers never leave a torn file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/runtime.h"
+
+namespace rootstress::obs {
+
+/// Chrome-trace JSON ({"traceEvents":[...]}) of one run: snapshot phase
+/// slices as complete events, non-log trace events as named instants.
+/// Timestamps are microseconds on the runtime's shared epoch.
+std::string perfetto_trace_json(const Snapshot& snapshot,
+                                const std::vector<TraceEvent>& events);
+
+/// Convenience: snapshot `runtime` at `now` and render (pulls the trace
+/// ring's buffered events for the instant overlay).
+std::string perfetto_trace_json(Runtime& runtime, net::SimTime now);
+
+/// Prometheus text exposition of a metrics snapshot. Metric names are
+/// prefixed "rootstress_" and sanitized (dots become underscores);
+/// histogram _sum is approximated from bin centers (the registry stores
+/// fixed-width bins, not exact sums).
+std::string prometheus_text(const std::vector<MetricSample>& metrics);
+
+/// Atomically replaces `path` with `content` (write temp, rename).
+/// Returns false when the file cannot be written.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace rootstress::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace rootstress::obs {
@@ -36,6 +37,31 @@ std::string MetricSample::id() const {
   }
   out += '}';
   return out;
+}
+
+double MetricSample::quantile(double q) const noexcept {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  if (kind != MetricKind::kHistogram) return kNaN;
+  std::uint64_t total = 0;
+  for (std::uint64_t c : bins) total += c;
+  if (total == 0) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  // Walk the cumulative distribution; interpolate linearly inside the
+  // bin that crosses the target mass. target = 0 lands at the lower
+  // edge of the first populated bin (frac 0); target = total at the
+  // upper edge of the last populated bin (frac 1) — no special cases.
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i] == 0) continue;
+    const double count = static_cast<double>(bins[i]);
+    if (target <= cumulative + count) {
+      const double frac = (target - cumulative) / count;
+      return bin_width * (static_cast<double>(i) + frac);
+    }
+    cumulative += count;
+  }
+  return bin_width * static_cast<double>(bins.size());  // unreachable guard
 }
 
 MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name,

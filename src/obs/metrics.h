@@ -123,6 +123,14 @@ struct MetricSample {
 
   /// Rendered "name{k=v,...}" identity, for tests and tables.
   std::string id() const;
+
+  /// Histogram quantile by cumulative linear interpolation inside the
+  /// containing bin. Edge behavior is pinned (see metrics_test):
+  /// `q` is clamped to [0, 1]; q=0 is the lower edge of the first
+  /// populated bin, q=1 the upper edge of the last populated bin, and a
+  /// single observation puts the median at its bin's center. Returns NaN
+  /// for non-histograms and histograms with no observations.
+  double quantile(double q) const noexcept;
 };
 
 /// Registry of named instruments. Registration is mutex-guarded;

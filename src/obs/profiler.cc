@@ -148,9 +148,10 @@ void PhaseProfiler::exit() {
   if (stack_.empty()) return;
   const Frame frame = stack_.back();
   stack_.pop_back();
-  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - frame.start)
-                           .count();
+  const auto now = std::chrono::steady_clock::now();
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - frame.start)
+          .count();
   PhaseStats& stats = phases_[frame.phase];
   ++stats.calls;
   stats.total_ns += elapsed;
@@ -158,6 +159,19 @@ void PhaseProfiler::exit() {
   stats.alloc_bytes += allocated_bytes() - frame.bytes_at_entry;
   stats.allocs += allocation_count() - frame.allocs_at_entry;
   if (!stack_.empty()) stack_.back().child_ns += elapsed;
+
+  if (slices_.size() < kSliceCapacity) {
+    PhaseSlice slice;
+    slice.phase = static_cast<std::uint32_t>(frame.phase);
+    slice.depth = static_cast<std::uint16_t>(stack_.size());
+    slice.start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         frame.start - epoch_)
+                         .count();
+    slice.dur_us = elapsed / 1000;
+    slices_.push_back(slice);
+  } else {
+    ++slices_dropped_;
+  }
 }
 
 std::vector<PhaseStats> PhaseProfiler::stats() const { return phases_; }

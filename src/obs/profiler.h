@@ -37,6 +37,17 @@ struct PhaseStats {
   int depth = 0;  ///< nesting depth at first entry (for display indent)
 };
 
+/// One individual timed scope, kept (up to a cap) alongside the
+/// aggregates so a run can be rendered as a flamegraph: `phase` indexes
+/// the stats() order, timestamps are microseconds since the profiler's
+/// epoch (shared with the TraceSink so trace instants align).
+struct PhaseSlice {
+  std::uint32_t phase = 0;
+  std::uint16_t depth = 0;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
 class PhaseProfiler {
  public:
   PhaseProfiler() = default;
@@ -62,6 +73,19 @@ class PhaseProfiler {
   /// Aligned text summary (one row per phase, indented by nesting).
   std::string summary_table() const;
 
+  /// Individual slices in completion order, capped at kSliceCapacity
+  /// (scopes past the cap still aggregate, only the slice is dropped).
+  static constexpr std::size_t kSliceCapacity = 1u << 18;
+  const std::vector<PhaseSlice>& slices() const noexcept { return slices_; }
+  std::uint64_t slices_dropped() const noexcept { return slices_dropped_; }
+
+  /// Re-bases slice timestamps onto `epoch` (call before the first
+  /// scope). The Runtime points this at its TraceSink's epoch so slice
+  /// and trace-event timestamps share one axis.
+  void set_epoch(std::chrono::steady_clock::time_point epoch) noexcept {
+    epoch_ = epoch;
+  }
+
  private:
   friend class Scope;
   void enter(std::string_view name);
@@ -78,6 +102,10 @@ class PhaseProfiler {
   std::vector<PhaseStats> phases_;
   std::unordered_map<std::string, std::size_t> index_;
   std::vector<Frame> stack_;
+  std::vector<PhaseSlice> slices_;
+  std::uint64_t slices_dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace rootstress::obs

@@ -9,12 +9,23 @@ const MetricSample* Snapshot::find_metric(std::string_view id) const noexcept {
   return nullptr;
 }
 
-Snapshot Runtime::snapshot(net::SimTime now) const {
+Snapshot Runtime::snapshot(net::SimTime now) {
+  const TraceStats trace_stats = trace_.stats();
+  metrics_.gauge("trace.emitted_events", {{"component", "obs"}})
+      .set(static_cast<double>(trace_stats.emitted));
+  metrics_.gauge("trace.dropped_events", {{"component", "obs"}})
+      .set(static_cast<double>(trace_stats.dropped));
+  metrics_.gauge("profiler.slices_dropped", {{"component", "obs"}})
+      .set(static_cast<double>(profiler_.slices_dropped()));
+
   Snapshot out;
   out.sim_time = now;
   out.metrics = metrics_.snapshot();
   out.phases = profiler_.stats();
-  out.trace = trace_.stats();
+  out.slices = profiler_.slices();
+  out.slices_dropped = profiler_.slices_dropped();
+  out.trace = trace_stats;
+  if (timeline_ != nullptr) out.timeline = timeline_->snapshot();
   return out;
 }
 

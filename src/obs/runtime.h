@@ -4,12 +4,14 @@
 // telemetry at zero cost — instrumented code guards with `if (obs)`.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "net/clock.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace rootstress::obs {
@@ -20,7 +22,10 @@ struct Snapshot {
   net::SimTime sim_time{};
   std::vector<MetricSample> metrics;
   std::vector<PhaseStats> phases;
+  std::vector<PhaseSlice> slices;  ///< individual scopes (Perfetto input)
+  std::size_t slices_dropped = 0;  ///< scopes past the slice-ring capacity
   TraceStats trace;
+  TimelineData timeline;  ///< per-bin flight-recorder series + spans
 
   /// First sample whose id() matches; nullptr if absent.
   const MetricSample* find_metric(std::string_view id) const noexcept;
@@ -30,11 +35,26 @@ struct Snapshot {
 class Runtime {
  public:
   explicit Runtime(std::size_t trace_capacity = TraceSink::capacity_from_env())
-      : trace_(trace_capacity) {}
+      : trace_(trace_capacity) {
+    // One wall-clock axis for the whole runtime: profiler slices line up
+    // with trace-event wall_us stamps in a Perfetto export.
+    profiler_.set_epoch(trace_.epoch());
+  }
 
   MetricsRegistry& metrics() noexcept { return metrics_; }
   TraceSink& trace() noexcept { return trace_; }
   PhaseProfiler& profiler() noexcept { return profiler_; }
+
+  /// Creates the per-run flight recorder (replacing any previous one).
+  /// The engine calls this once per run with the scenario's bin grid.
+  Timeline& make_timeline(net::SimTime start, net::SimTime end,
+                          net::SimTime bin_width) {
+    timeline_ = std::make_unique<Timeline>(start, end, bin_width);
+    return *timeline_;
+  }
+
+  /// The current recorder; nullptr before make_timeline().
+  Timeline* timeline() noexcept { return timeline_.get(); }
 
   /// Convenience: emit a trace event in one call.
   void event(TraceEventType type, net::SimTime when, char letter,
@@ -49,13 +69,17 @@ class Runtime {
     trace_.emit(std::move(e));
   }
 
-  /// Copies all telemetry into a Snapshot stamped `now`.
-  Snapshot snapshot(net::SimTime now) const;
+  /// Copies all telemetry into a Snapshot stamped `now`. Non-const: the
+  /// sink's lifetime counters (trace.emitted_events / dropped_events,
+  /// profiler.slices_dropped) are published as gauges at snapshot time so
+  /// ring overflow is visible in the metrics surface, not just TraceStats.
+  Snapshot snapshot(net::SimTime now);
 
  private:
   MetricsRegistry metrics_;
   TraceSink trace_;
   PhaseProfiler profiler_;
+  std::unique_ptr<Timeline> timeline_;
 };
 
 /// Null-safe event helper for instrumented layers.

@@ -105,6 +105,13 @@ class TraceSink {
   static std::size_t capacity_from_env(
       std::size_t fallback = kDefaultCapacity);
 
+  /// The instant wall_us counts from. The Runtime re-bases its phase
+  /// profiler onto this so trace events and profiler slices share one
+  /// time axis (what lets Perfetto overlay instants on the flamegraph).
+  std::chrono::steady_clock::time_point epoch() const noexcept {
+    return epoch_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::vector<TraceEvent> ring_;   ///< grows to capacity, then wraps

@@ -8,6 +8,7 @@
 #include "dns/rrl.h"
 #include "dns/wire.h"
 #include "anycast/defense.h"
+#include "obs/exporters.h"
 #include "sim/probe_rng.h"
 #include "util/logging.h"
 
@@ -252,6 +253,10 @@ SimulationResult SimulationEngine::run() {
     load.legit_qps.assign(site_count, 0.0);
   }
   facility_contrib_.resize(services.size());
+  step_offered_.assign(services.size(), 0.0);
+  step_served_.assign(services.size(), 0.0);
+  step_served_legit_.assign(services.size(), 0.0);
+  setup_timeline();
   probe_shards_.clear();
   if (config_.collect_records && !vps_.empty()) {
     // Service-major, VP-ascending: concatenating shard outputs in this
@@ -408,6 +413,13 @@ SimulationResult SimulationEngine::run() {
       update_h_root_backup(t);
     }
 
+    if (timeline_ != nullptr) {
+      // After defense-policy, so announce states and playbook signals
+      // reflect this step's decisions.
+      obs::PhaseProfiler::Scope record_phase(prof, "timeline-record");
+      record_timeline_step(t);
+    }
+
     // Background maintenance churn.
     if (rng_.chance(config_.maintenance_flap_per_step)) {
       const int id =
@@ -470,8 +482,164 @@ SimulationResult SimulationEngine::run() {
     }
     obs_->trace().detach_logger();
     result.telemetry = obs_->snapshot(config_.end);
+
+    // External-format exports next to the trace flush. Atomic writes
+    // (temp + rename): campaign cells sharing one destination path never
+    // leave a torn file, and the last completed run wins.
+    if (const char* path = std::getenv("ROOTSTRESS_PERFETTO");
+        path != nullptr && *path != '\0') {
+      const std::string trace_json = obs::perfetto_trace_json(
+          result.telemetry, obs_->trace().events());
+      if (obs::write_text_file(path, trace_json)) {
+        RS_LOG_INFO << "perfetto trace written to " << path;
+      } else {
+        RS_LOG_ERROR << "could not write perfetto trace to " << path;
+      }
+    }
+    if (const char* path = std::getenv("ROOTSTRESS_PROM");
+        path != nullptr && *path != '\0') {
+      if (obs::write_text_file(path,
+                               obs::prometheus_text(result.telemetry.metrics))) {
+        RS_LOG_INFO << "prometheus metrics written to " << path;
+      } else {
+        RS_LOG_ERROR << "could not write prometheus metrics to " << path;
+      }
+    }
   }
   return result;
+}
+
+void SimulationEngine::setup_timeline() {
+  if (!obs_) return;
+  timeline_ =
+      &obs_->make_timeline(config_.start, config_.end, config_.bin_width);
+  const auto& services = deployment_->services();
+  const auto site_count = static_cast<std::size_t>(deployment_->site_count());
+
+  tl_letter_offered_.resize(services.size());
+  tl_letter_served_.resize(services.size());
+  tl_letter_answered_.resize(services.size());
+  tl_letter_delay_.resize(services.size());
+  tl_letter_announced_.resize(services.size());
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const char letter = services[s].letter;
+    tl_letter_offered_[s] = timeline_->add_series(
+        "letter.offered_qps", letter, {}, obs::SeriesAgg::kMean);
+    tl_letter_served_[s] = timeline_->add_series(
+        "letter.served_qps", letter, {}, obs::SeriesAgg::kMean);
+    tl_letter_answered_[s] = timeline_->add_series(
+        "letter.answered_fraction", letter, {}, obs::SeriesAgg::kMean);
+    tl_letter_delay_[s] = timeline_->add_series(
+        "letter.queue_delay_ms", letter, {}, obs::SeriesAgg::kMean);
+    tl_letter_announced_[s] = timeline_->add_series(
+        "letter.announced_sites", letter, {}, obs::SeriesAgg::kLast);
+  }
+
+  tl_site_answered_.resize(site_count);
+  tl_site_offered_.resize(site_count);
+  tl_site_state_.resize(site_count);
+  for (std::size_t id = 0; id < site_count; ++id) {
+    const auto& site = deployment_->site(static_cast<int>(id));
+    tl_site_answered_[id] =
+        timeline_->add_series("site.answered_fraction", site.letter(),
+                              site.label(), obs::SeriesAgg::kMean);
+    tl_site_offered_[id] =
+        timeline_->add_series("site.offered_qps", site.letter(), site.label(),
+                              obs::SeriesAgg::kMean);
+    tl_site_state_[id] =
+        timeline_->add_series("site.announce_state", site.letter(),
+                              site.label(), obs::SeriesAgg::kLast);
+  }
+
+  if (playbook_) {
+    tl_pb_detected_ = timeline_->add_series("playbook.detected_sites", 0, {},
+                                            obs::SeriesAgg::kLast);
+    tl_pb_loss_.resize(site_count);
+    for (std::size_t id = 0; id < site_count; ++id) {
+      const auto& site = deployment_->site(static_cast<int>(id));
+      tl_pb_loss_[id] =
+          timeline_->add_series("playbook.loss_ema", site.letter(),
+                                site.label(), obs::SeriesAgg::kLast);
+    }
+    const auto& rules = playbook_->stats().rules;
+    tl_pb_rule_fired_.resize(rules.size());
+    tl_prev_rule_fired_.assign(rules.size(), 0);
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      tl_pb_rule_fired_[r] = timeline_->add_series(
+          "playbook.rule_fired", 0, rules[r].name, obs::SeriesAgg::kSum);
+    }
+  }
+  tl_hold_span_.assign(site_count, obs::Timeline::npos);
+
+  // Schedule-derived labels: fault-injector windows plus the base attack
+  // events — the ground truth later dataset export labels bins with.
+  for (auto& span : fault::timeline_spans(config_.fault_schedule)) {
+    timeline_->add_span(std::move(span));
+  }
+  for (const auto& event : config_.schedule.events()) {
+    obs::TimelineSpan span;
+    span.category = "attack";
+    span.name = event.qname.empty() ? "attack-event" : event.qname;
+    span.begin = event.when.begin;
+    span.end = event.when.end;
+    timeline_->add_span(std::move(span));
+  }
+}
+
+void SimulationEngine::record_timeline_step(net::SimTime t) {
+  const auto& services = deployment_->services();
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto& svc = services[s];
+    const auto& load = current_loads_[s];
+    timeline_->record(tl_letter_offered_[s], t, step_offered_[s]);
+    timeline_->record(tl_letter_served_[s], t, step_served_[s]);
+    // Answered fraction weighs legit traffic only (the paper's user-view
+    // reachability); failed includes unrouted legit from pass 2.
+    const double denom = step_served_legit_[s] + prev_failed_legit_[s];
+    timeline_->record(tl_letter_answered_[s], t,
+                      denom > 0.0 ? step_served_legit_[s] / denom : 1.0);
+    double weighted_delay = 0.0;
+    double offered_across = 0.0;
+    int announced = 0;
+    for (int id : svc.site_ids) {
+      const auto& site = deployment_->site(id);
+      const auto idx = static_cast<std::size_t>(id);
+      const double offered = load.attack_qps[idx] + load.legit_qps[idx];
+      timeline_->record(tl_site_answered_[idx], t,
+                        offered > 0.0 ? 1.0 - site.arrival_loss() : 1.0);
+      timeline_->record(tl_site_offered_[idx], t, offered);
+      timeline_->record(tl_site_state_[idx], t,
+                        anycast::scope_level(site.scope()));
+      if (site.scope() != anycast::SiteScope::kDown) ++announced;
+      weighted_delay += site.outcome().queue_delay_ms * offered;
+      offered_across += offered;
+    }
+    // Offered-weighted mean queue delay: the letter's RTT inflation as
+    // its clients experience it.
+    timeline_->record(
+        tl_letter_delay_[s], t,
+        offered_across > 0.0 ? weighted_delay / offered_across : 0.0);
+    timeline_->record(tl_letter_announced_[s], t,
+                      static_cast<double>(announced));
+  }
+
+  if (playbook_) {
+    const auto& estimator = playbook_->estimator();
+    timeline_->record(tl_pb_detected_, t,
+                      static_cast<double>(estimator.detected_count()));
+    for (std::size_t id = 0; id < tl_pb_loss_.size(); ++id) {
+      timeline_->record(tl_pb_loss_[id], t, estimator.site(id).loss_ema);
+    }
+    const auto& rules = playbook_->stats().rules;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      const std::uint64_t delta = rules[r].fired - tl_prev_rule_fired_[r];
+      if (delta > 0) {
+        timeline_->record(tl_pb_rule_fired_[r], t,
+                          static_cast<double>(delta));
+      }
+      tl_prev_rule_fired_[r] = rules[r].fired;
+    }
+  }
 }
 
 void SimulationEngine::run_fluid_step(
@@ -597,6 +765,9 @@ void SimulationEngine::run_fluid_step(
     result.service_served_legit_qps[s].add(t.ms, served_legit);
     result.service_failed_legit_qps[s].add(t.ms, failed_legit);
     prev_failed_legit_[s] = failed_legit;
+    step_offered_[s] = offered_total;
+    step_served_[s] = served_total;
+    step_served_legit_[s] = served_legit;
     if (g_offered[s] != nullptr) {
       g_offered[s]->add(offered_total * step_s);
       g_served[s]->add(served_total * step_s);
@@ -829,6 +1000,19 @@ void SimulationEngine::apply_fault_step(net::SimTime t) {
                     site.letter(), site.label(), fault::to_string(action.kind),
                     static_cast<double>(action.site_id));
   }
+
+  // Pulse-envelope transitions are injections too: a pulse turning on or
+  // off changes the world the defenses see, so it gets an instant in the
+  // trace (and the Perfetto overlay) like any site-level fault action.
+  const fault::PulseWave* pulse = fault_->active_pulse();
+  const bool pulse_hot =
+      pulse != nullptr && fault::FaultSchedule::envelope(*pulse, t) > 0.0;
+  if (pulse_hot != fault_pulse_hot_) {
+    fault_pulse_hot_ = pulse_hot;
+    obs::emit_event(obs_.get(), obs::TraceEventType::kFaultInjection, t, 0,
+                    "", pulse_hot ? "pulse-on" : "pulse-off",
+                    pulse != nullptr ? pulse->peak_qps : 0.0);
+  }
 }
 
 void SimulationEngine::apply_adaptive_defense(net::SimTime now) {
@@ -1037,6 +1221,20 @@ playbook::ActuationOutcome SimulationEngine::actuate(
       }
       if (site.scope() == target) return ActuationOutcome::kNoop;
       deployment_->apply_scope(site_id, target, now);
+      if (timeline_ != nullptr &&
+          tl_hold_span_[static_cast<std::size_t>(site_id)] ==
+              obs::Timeline::npos) {
+        // Open a hold window; stays open to run end unless a restore
+        // closes it.
+        obs::TimelineSpan span;
+        span.category = "playbook";
+        span.name = "hold";
+        span.scope = site.label();
+        span.begin = now;
+        span.end = config_.end;
+        tl_hold_span_[static_cast<std::size_t>(site_id)] =
+            timeline_->add_span(std::move(span));
+      }
       return ActuationOutcome::kApplied;
     }
     case ActionKind::kRestoreSite: {
@@ -1048,6 +1246,13 @@ playbook::ActuationOutcome SimulationEngine::actuate(
                                              : anycast::SiteScope::kLocalOnly;
       if (site.scope() == normal) return ActuationOutcome::kNoop;
       deployment_->apply_scope(site_id, normal, now);
+      if (timeline_ != nullptr) {
+        std::size_t& open = tl_hold_span_[static_cast<std::size_t>(site_id)];
+        if (open != obs::Timeline::npos) {
+          timeline_->close_span(open, now);
+          open = obs::Timeline::npos;
+        }
+      }
       return ActuationOutcome::kApplied;
     }
     case ActionKind::kScaleCapacity:

@@ -169,6 +169,15 @@ class SimulationEngine : private playbook::ActuationBackend {
 
   void apply_policy_step(net::SimTime now, SimulationResult& result);
   void apply_adaptive_defense(net::SimTime now);
+  /// Registers the flight recorder's series and schedule-derived spans
+  /// (telemetry on only) and caches the handles the per-step recording
+  /// phase uses.
+  void setup_timeline();
+  /// Serial per-step recording phase: folds this step's published loads,
+  /// site states, and playbook signals into the timeline. Pure reads of
+  /// already-computed state — nothing in the simulation reads the
+  /// timeline back, so recording cannot perturb results.
+  void record_timeline_step(net::SimTime t);
   /// Advances the fault runtime to `t` and applies whatever injections
   /// came due (site failures/recoveries, BGP session flaps). Serial
   /// phase, before any defense layer runs, so holds are current.
@@ -250,6 +259,36 @@ class SimulationEngine : private playbook::ActuationBackend {
   /// Fault/chaos runtime (null when the scenario's fault schedule is
   /// empty). Mutated only in the serial fault-injection phase.
   std::unique_ptr<fault::FaultRuntime> fault_;
+  /// Whether the last step sat inside a hot pulse window (edge detector
+  /// for the pulse-on/pulse-off trace instants; telemetry-only).
+  bool fault_pulse_hot_ = false;
+
+  /// Flight recorder (owned by obs_; null when telemetry is off) and the
+  /// series handles setup_timeline() registered. tl_site_* / tl_pb_loss_
+  /// are indexed by site id, the rest by service / rule index.
+  obs::Timeline* timeline_ = nullptr;
+  std::vector<std::size_t> tl_letter_offered_;
+  std::vector<std::size_t> tl_letter_served_;
+  std::vector<std::size_t> tl_letter_answered_;
+  std::vector<std::size_t> tl_letter_delay_;
+  std::vector<std::size_t> tl_letter_announced_;
+  std::vector<std::size_t> tl_site_answered_;
+  std::vector<std::size_t> tl_site_offered_;
+  std::vector<std::size_t> tl_site_state_;
+  std::vector<std::size_t> tl_pb_loss_;
+  std::vector<std::size_t> tl_pb_rule_fired_;
+  std::size_t tl_pb_detected_ = 0;
+  /// Last-seen per-rule fired totals (rule firings are recorded as
+  /// per-step deltas into a kSum series).
+  std::vector<std::uint64_t> tl_prev_rule_fired_;
+  /// Open playbook hold-window span per site (Timeline::npos = none).
+  std::vector<std::size_t> tl_hold_span_;
+  /// Per-service step aggregates staged by fluid pass 2 (lane-private
+  /// writes) for the serial recording phase. Sized in run() regardless of
+  /// telemetry so pass 2 stays branchless.
+  std::vector<double> step_offered_;
+  std::vector<double> step_served_;
+  std::vector<double> step_served_legit_;
 };
 
 }  // namespace rootstress::sim

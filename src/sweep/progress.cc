@@ -1,0 +1,54 @@
+#include "sweep/progress.h"
+
+#include <cstdio>
+
+namespace rootstress::sweep {
+
+namespace {
+
+/// "MM:SS" (or "H:MM:SS") rendering of a millisecond duration.
+void format_duration(double ms, char* buf, std::size_t n) {
+  if (ms < 0.0) {
+    std::snprintf(buf, n, "--:--");
+    return;
+  }
+  const long total_s = static_cast<long>(ms / 1000.0 + 0.5);
+  if (total_s >= 3600) {
+    std::snprintf(buf, n, "%ld:%02ld:%02ld", total_s / 3600,
+                  (total_s / 60) % 60, total_s % 60);
+  } else {
+    std::snprintf(buf, n, "%02ld:%02ld", total_s / 60, total_s % 60);
+  }
+}
+
+}  // namespace
+
+void StderrProgress::campaign_started(const ProgressSnapshot& snapshot) {
+  std::fprintf(stderr,
+               "campaign: %zu cells, %zu from cache, %zu to run\n",
+               snapshot.total, snapshot.cached,
+               snapshot.total - snapshot.cached);
+}
+
+void StderrProgress::cell_finished(const CellProgress& cell,
+                                   const ProgressSnapshot& snapshot) {
+  char eta[24];
+  format_duration(snapshot.eta_ms, eta, sizeof(eta));
+  std::fprintf(stderr,
+               "[%3zu/%zu] done=%zu cached=%zu hit=%.0f%% eta=%s "
+               "wall=%.0fms %s%s\n",
+               snapshot.done + snapshot.cached, snapshot.total, snapshot.done,
+               snapshot.cached, snapshot.cache_hit_rate * 100.0, eta,
+               cell.wall_ms, cell.label.c_str(),
+               cell.straggler ? " [straggler]" : "");
+}
+
+void StderrProgress::campaign_finished(const ProgressSnapshot& snapshot) {
+  char wall[24];
+  format_duration(snapshot.elapsed_ms, wall, sizeof(wall));
+  std::fprintf(stderr,
+               "campaign done: %zu executed, %zu cached, wall %s\n",
+               snapshot.done, snapshot.cached, wall);
+}
+
+}  // namespace rootstress::sweep

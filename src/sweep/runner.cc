@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/exporters.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -116,6 +118,9 @@ obs::JsonValue CampaignResult::to_json() const {
   doc.set("cache_hits",
           obs::JsonValue(static_cast<std::uint64_t>(cache_hits)));
   doc.set("wall_ms", obs::JsonValue(wall_ms));
+  doc.set("workers", obs::JsonValue(workers));
+  doc.set("inner_lanes", obs::JsonValue(inner_lanes));
+  doc.set("ema_cell_ms", obs::JsonValue(ema_cell_ms));
   obs::JsonValue cache_doc = obs::JsonValue::object();
   cache_doc.set("hits", obs::JsonValue(cache_stats.hits));
   cache_doc.set("misses", obs::JsonValue(cache_stats.misses));
@@ -138,6 +143,18 @@ obs::JsonValue CampaignResult::to_json() const {
     c.set("key", obs::JsonValue(key_hex));
     c.set("from_cache", obs::JsonValue(cell.from_cache));
     c.set("wall_ms", obs::JsonValue(cell.wall_ms));
+    c.set("straggler", obs::JsonValue(cell.straggler));
+    if (cell.timeline_digest != 0) {
+      char digest_hex[24];
+      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                    static_cast<unsigned long long>(cell.timeline_digest));
+      c.set("timeline_digest", obs::JsonValue(digest_hex));
+      c.set("timeline_series", obs::JsonValue(
+                                   static_cast<std::uint64_t>(
+                                       cell.timeline_series)));
+      c.set("timeline_spans", obs::JsonValue(static_cast<std::uint64_t>(
+                                  cell.timeline_spans)));
+    }
     c.set("summary", summary_to_json(cell.summary));
     cell_docs.push_back(std::move(c));
   }
@@ -215,6 +232,8 @@ CampaignResult run_campaign(const Campaign& campaign,
   workers = std::min(
       workers, static_cast<int>(std::max<std::size_t>(to_run.size(), 1)));
   const int inner_lanes = util::lanes_per_worker(lane_budget, workers);
+  result.workers = workers;
+  result.inner_lanes = inner_lanes;
 
   obs::Counter* executed_counter = nullptr;
   obs::Histogram* wall_hist = nullptr;
@@ -231,19 +250,48 @@ CampaignResult run_campaign(const Campaign& campaign,
                                           /*bin_count=*/64);
   }
 
+  // Observatory state: counters + EMA/ETA under one lock. Display only —
+  // nothing below reads it back into cell execution.
+  std::mutex progress_mutex;
+  const auto execute_begin = std::chrono::steady_clock::now();
+  ProgressSnapshot progress;
+  progress.total = cells.size();
+  progress.cached = result.cache_hits;
+  progress.cache_hit_rate =
+      cells.empty() ? 0.0
+                    : static_cast<double>(result.cache_hits) /
+                          static_cast<double>(cells.size());
+  auto stamp_elapsed = [&progress, execute_begin] {
+    progress.elapsed_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - execute_begin)
+                              .count();
+  };
+  if (options.progress_sink != nullptr) {
+    stamp_elapsed();
+    options.progress_sink->campaign_started(progress);
+  }
+
   {
     obs::PhaseProfiler::Scope scope(profiler, "execute");
-    std::mutex progress_mutex;
     util::ThreadPool pool(workers);
     pool.parallel_for(to_run.size(), [&](std::size_t task) {
       const std::size_t i = to_run[task];
+      CellOutcome& outcome = result.cells[i];
+      if (options.progress_sink != nullptr) {
+        const std::scoped_lock lock(progress_mutex);
+        ++progress.running;
+        stamp_elapsed();
+        CellProgress cp;
+        cp.index = outcome.index;
+        cp.label = outcome.label;
+        options.progress_sink->cell_started(cp, progress);
+      }
       sim::ScenarioConfig config = cells[i].config;
       // An explicit per-cell thread count wins; auto cells get their
       // budget share.
       if (config.threads <= 0) config.threads = inner_lanes;
       const auto begin = std::chrono::steady_clock::now();
       const core::EvaluationReport report = core::evaluate_scenario(config);
-      CellOutcome& outcome = result.cells[i];
       // Summarize against the resolved config (not the thread-adjusted
       // copy's identity — summaries must match standalone runs).
       outcome.summary = summarize(cells[i].config, report);
@@ -251,16 +299,57 @@ CampaignResult run_campaign(const Campaign& campaign,
       outcome.wall_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - begin)
                             .count();
+      // Flight-recorder digest: observational sidecar, never part of the
+      // summary (cache entries stay recorder-agnostic).
+      const obs::TimelineData& timeline = report.result.telemetry.timeline;
+      if (!timeline.empty()) {
+        outcome.timeline_digest = timeline.digest();
+        outcome.timeline_series = timeline.series.size();
+        outcome.timeline_spans = timeline.spans.size();
+      }
       if (cache) cache->store(outcome.key, outcome.summary);
       if (executed_counter) executed_counter->add(1);
       if (wall_hist) wall_hist->observe(outcome.wall_ms);
-      if (options.progress) {
+      {
         const std::scoped_lock lock(progress_mutex);
-        options.progress(outcome.label, /*cached=*/false, outcome.wall_ms);
+        // EMA over completed cells (alpha 0.3; the first completion
+        // seeds it). A cell well past the prior estimate is a straggler
+        // — flagged before this sample drags the EMA up.
+        outcome.straggler = progress.done > 0 &&
+                            outcome.wall_ms > options.straggler_factor *
+                                                  progress.ema_cell_ms;
+        progress.ema_cell_ms =
+            progress.done == 0
+                ? outcome.wall_ms
+                : 0.3 * outcome.wall_ms + 0.7 * progress.ema_cell_ms;
+        if (progress.running > 0) --progress.running;
+        ++progress.done;
+        const std::size_t remaining = to_run.size() - progress.done;
+        progress.eta_ms = progress.ema_cell_ms *
+                          static_cast<double>(remaining) /
+                          static_cast<double>(std::max(workers, 1));
+        stamp_elapsed();
+        if (options.progress_sink != nullptr) {
+          CellProgress cp;
+          cp.index = outcome.index;
+          cp.label = outcome.label;
+          cp.wall_ms = outcome.wall_ms;
+          cp.straggler = outcome.straggler;
+          options.progress_sink->cell_finished(cp, progress);
+        }
+        if (options.progress) {
+          options.progress(outcome.label, /*cached=*/false, outcome.wall_ms);
+        }
       }
     });
   }
   result.executed = to_run.size();
+  result.ema_cell_ms = progress.ema_cell_ms;
+  if (options.progress_sink != nullptr) {
+    progress.eta_ms = 0.0;
+    stamp_elapsed();
+    options.progress_sink->campaign_finished(progress);
+  }
   if (options.progress) {
     for (const CellOutcome& outcome : result.cells) {
       if (outcome.from_cache) {
@@ -287,6 +376,18 @@ CampaignResult run_campaign(const Campaign& campaign,
   if (obs) {
     obs->metrics().gauge("sweep.wall_ms", {}).set(result.wall_ms);
     result.telemetry = obs->snapshot(net::SimTime(0));
+    // Campaign-level Prometheus exposition — same knob the engine honors,
+    // written atomically so a concurrent engine write never interleaves.
+    if (const char* prom = std::getenv("ROOTSTRESS_PROM");
+        prom != nullptr && *prom != '\0') {
+      if (obs::write_text_file(prom,
+                               obs::prometheus_text(
+                                   result.telemetry.metrics))) {
+        RS_LOG_INFO << "campaign metrics -> " << prom;
+      } else {
+        RS_LOG_ERROR << "failed to write campaign metrics to " << prom;
+      }
+    }
   }
   RS_LOG_INFO << "campaign '" << result.name << "': " << cells.size()
               << " cells, " << result.executed << " executed, "

@@ -26,6 +26,7 @@
 #include "obs/runtime.h"
 #include "sweep/cache.h"
 #include "sweep/campaign.h"
+#include "sweep/progress.h"
 #include "sweep/summary.h"
 #include "util/table.h"
 
@@ -55,6 +56,15 @@ struct CampaignOptions {
   /// depend on it.
   std::function<void(const std::string& label, bool cached, double wall_ms)>
       progress;
+  /// Structured progress observer (see sweep/progress.h); nullptr
+  /// disables. Like `progress`, invoked under a lock in completion order
+  /// and never read by cell execution — attach-or-not cannot change
+  /// results. Not owned; must outlive run_campaign.
+  ProgressSink* progress_sink = nullptr;
+  /// A finished cell whose wall time exceeds this multiple of the EMA of
+  /// completed cells is flagged a straggler (CellOutcome::straggler and
+  /// the sink's CellProgress).
+  double straggler_factor = 3.0;
 };
 
 /// One executed (or cache-served) cell.
@@ -65,6 +75,15 @@ struct CellOutcome {
   std::uint64_t key = 0;       ///< salted config hash (cache key)
   bool from_cache = false;
   double wall_ms = 0.0;        ///< 0 for cache hits
+  bool straggler = false;      ///< wall time >> the campaign's EMA
+  /// Flight-recorder digest of the cell's run (obs::TimelineData::digest)
+  /// plus series/span counts. 0 / 0 / 0 for cache hits and cells that ran
+  /// with telemetry off — the digest is observational and deliberately
+  /// NOT part of RunSummary, so summaries (and cache entries) stay
+  /// bit-identical whether or not the recorder ran.
+  std::uint64_t timeline_digest = 0;
+  std::size_t timeline_series = 0;
+  std::size_t timeline_spans = 0;
   RunSummary summary;
 };
 
@@ -94,6 +113,9 @@ struct CampaignResult {
   std::size_t executed = 0;    ///< cells that ran the engine
   std::size_t cache_hits = 0;  ///< cells served from the cache
   double wall_ms = 0.0;        ///< whole-campaign wall clock
+  int workers = 0;             ///< resolved outer cell workers
+  int inner_lanes = 0;         ///< resolved engine lanes per worker
+  double ema_cell_ms = 0.0;    ///< EMA of executed-cell wall times
   CacheStats cache_stats;      ///< run-cache counters (zeros without one)
   obs::Snapshot telemetry;     ///< campaign-level metrics + phases
 

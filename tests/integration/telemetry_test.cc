@@ -4,6 +4,7 @@
 // parses back.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -146,6 +147,76 @@ TEST_F(TelemetryRun, TelemetryJsonRoundTrips) {
   ASSERT_NE(trace, nullptr);
   ASSERT_NE(trace->find("emitted"), nullptr);
   EXPECT_GT(trace->find("emitted")->as_number(), 0.0);
+  ASSERT_NE(trace->find("dropped"), nullptr);
+
+  // The flight recorder rides the same export.
+  const obs::JsonValue* timeline = parsed->find("timeline");
+  ASSERT_NE(timeline, nullptr);
+  EXPECT_GT(timeline->find("bins")->as_number(), 0.0);
+  EXPECT_GT(timeline->find("series")->size(), 0u);
+}
+
+TEST_F(TelemetryRun, TimelineRecordsLetterSeriesAndAttackSpans) {
+  const obs::TimelineData& tl = result_->telemetry.timeline;
+  ASSERT_FALSE(tl.empty());
+  EXPECT_GT(tl.bins, 0u);
+
+  // Per-letter answered fraction exists and stays a fraction.
+  const obs::TimelineSeries* answered = tl.find("letter.answered_fraction");
+  ASSERT_NE(answered, nullptr);
+  bool sampled = false;
+  for (std::size_t b = 0; b < tl.bins; ++b) {
+    const double v = answered->value(b);
+    if (std::isnan(v)) continue;
+    sampled = true;
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_TRUE(sampled);
+
+  // Load series and announce state are recorded per letter and per site.
+  EXPECT_NE(tl.find("letter.offered_qps"), nullptr);
+  EXPECT_NE(tl.find("letter.served_qps"), nullptr);
+  EXPECT_NE(tl.find("letter.announced_sites"), nullptr);
+  EXPECT_NE(tl.find("site.answered_fraction"), nullptr);
+  EXPECT_NE(tl.find("site.announce_state"), nullptr);
+
+  // The attack schedule shows up as labeled spans.
+  bool saw_attack_span = false;
+  for (const obs::TimelineSpan& span : tl.spans) {
+    if (span.category == "attack") saw_attack_span = true;
+  }
+  EXPECT_TRUE(saw_attack_span);
+}
+
+TEST(TraceOverflow, DropsAreCountedExposedAsMetricAndExported) {
+  obs::Runtime runtime(/*trace_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    runtime.event(obs::TraceEventType::kCatchmentFlip, net::SimTime(i), 'K',
+                  "K-AMS", "flip", 1.0);
+  }
+  const obs::Snapshot snap = runtime.snapshot(net::SimTime(10));
+  EXPECT_EQ(snap.trace.emitted, 10u);
+  EXPECT_EQ(snap.trace.dropped, 6u);
+  EXPECT_EQ(snap.trace.buffered, 4u);
+
+  // Ring overflow is visible in the metrics surface, not just TraceStats.
+  const obs::MetricSample* dropped =
+      snap.find_metric("trace.dropped_events{component=obs}");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->value, 6.0);
+  const obs::MetricSample* emitted =
+      snap.find_metric("trace.emitted_events{component=obs}");
+  ASSERT_NE(emitted, nullptr);
+  EXPECT_DOUBLE_EQ(emitted->value, 10.0);
+
+  // ... and in the telemetry JSON export.
+  const auto parsed = obs::json_parse(core::telemetry_json(snap));
+  ASSERT_TRUE(parsed.has_value());
+  const obs::JsonValue* trace = parsed->find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_DOUBLE_EQ(trace->find("dropped")->as_number(), 6.0);
+  ASSERT_NE(parsed->find("profiler_slices_dropped"), nullptr);
 }
 
 TEST(TelemetryOff, DisabledTelemetryLeavesResultEmptyAndIdentical) {

@@ -1,0 +1,134 @@
+// Flight-recorder contract, end to end on the adversarial pulse-wave
+// scenario:
+//  1. the recorded timeline is bit-identical (equal digests) at 1 and 4
+//     engine threads — recording happens in serial phases over
+//     already-merged state, so lane count cannot leak in;
+//  2. recording is digest-neutral: RunSummary is bit-identical with the
+//     recorder on or off (telemetry toggles the recorder; nothing in the
+//     simulation reads it back);
+//  3. ROOTSTRESS_PERFETTO makes the engine emit a Chrome-trace/Perfetto
+//     JSON document with phase slices and fault/playbook instant events.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/evaluation.h"
+#include "fault/schedule.h"
+#include "obs/json.h"
+#include "playbook/rules.h"
+#include "sim/engine.h"
+#include "sim/scenario_builder.h"
+#include "sweep/summary.h"
+
+namespace rootstress {
+namespace {
+
+sim::ScenarioConfig pulse_scenario(int threads = 0) {
+  // Same shape as examples/pulse_duel, shrunk for test wall time: one
+  // event window carved into pulses, a reactive playbook in the loop.
+  sim::ScenarioConfig config = sim::ScenarioBuilder::november_2015()
+                                   .fluid_only()
+                                   .topology_stubs(150)
+                                   .duration(net::SimTime::from_hours(12))
+                                   .rrl_enabled(false)
+                                   .threads(threads)
+                                   .build();
+  config.schedule = attack::AttackSchedule({config.schedule.events().front()});
+  config.playbook = playbook::Playbook::layered_defense(0.35);
+  config.fault_schedule = fault::FaultSchedule::pulse_wave_2015();
+  return config;
+}
+
+TEST(TimelineDeterminism, DigestIdenticalAcrossThreadCounts) {
+  sim::SimulationEngine serial_engine(pulse_scenario(/*threads=*/1));
+  const sim::SimulationResult serial = serial_engine.run();
+  sim::SimulationEngine pooled_engine(pulse_scenario(/*threads=*/4));
+  const sim::SimulationResult pooled = pooled_engine.run();
+
+  const obs::TimelineData& a = serial.telemetry.timeline;
+  const obs::TimelineData& b = pooled.telemetry.timeline;
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(a.series.size(), b.series.size());
+  EXPECT_EQ(a.spans.size(), b.spans.size());
+  EXPECT_EQ(a.digest(), b.digest())
+      << "timeline diverged between 1 and 4 engine threads";
+
+  // The pulse wave and the playbook both left their mark.
+  std::set<std::string> categories;
+  for (const obs::TimelineSpan& span : a.spans) categories.insert(span.category);
+  EXPECT_TRUE(categories.count("fault")) << "no fault spans recorded";
+  EXPECT_TRUE(categories.count("attack")) << "no attack spans recorded";
+  EXPECT_NE(a.find("playbook.detected_sites"), nullptr);
+  EXPECT_NE(a.find("playbook.rule_fired"), nullptr);
+}
+
+TEST(TimelineDeterminism, RecorderOnOffLeavesRunSummaryBitIdentical) {
+  sim::ScenarioConfig on_config = pulse_scenario();
+  on_config.telemetry = true;
+  sim::ScenarioConfig off_config = pulse_scenario();
+  off_config.telemetry = false;
+
+  const core::EvaluationReport on_report = core::evaluate_scenario(on_config);
+  const core::EvaluationReport off_report =
+      core::evaluate_scenario(off_config);
+  ASSERT_FALSE(on_report.result.telemetry.timeline.empty());
+  EXPECT_TRUE(off_report.result.telemetry.timeline.empty());
+
+  sweep::RunSummary with = sweep::summarize(on_config, on_report);
+  sweep::RunSummary without = sweep::summarize(off_config, off_report);
+  // telemetry is not part of config identity, but align explicitly so the
+  // comparison pins only simulation outputs.
+  without.config_hash = with.config_hash;
+  EXPECT_TRUE(with == without)
+      << "flight recorder perturbed the simulation";
+}
+
+TEST(TimelineDeterminism, PerfettoExportHasPhaseSlicesAndInstants) {
+  const std::string path =
+      ::testing::TempDir() + "/timeline_perfetto_test.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("ROOTSTRESS_PERFETTO", path.c_str(), 1), 0);
+  sim::SimulationEngine engine(pulse_scenario());
+  (void)engine.run();
+  ASSERT_EQ(unsetenv("ROOTSTRESS_PERFETTO"), 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "engine did not write " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = obs::json_parse(buffer.str());
+  ASSERT_TRUE(parsed.has_value()) << buffer.str().substr(0, 200);
+
+  const obs::JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t slices = 0;
+  std::set<std::string> slice_names;
+  std::set<std::string> instant_categories;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const obs::JsonValue& e = (*events)[i];
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "X") {
+      ++slices;
+      slice_names.insert(e.find("name")->as_string());
+    } else if (ph == "i") {
+      instant_categories.insert(e.find("cat")->as_string());
+    }
+  }
+  EXPECT_GT(slices, 0u);
+  EXPECT_TRUE(slice_names.count("fluid-stepping"));
+  EXPECT_TRUE(slice_names.count("timeline-record"));
+  EXPECT_TRUE(instant_categories.count("fault"))
+      << "no fault instants in the Perfetto export";
+  EXPECT_TRUE(instant_categories.count("playbook"))
+      << "no playbook instants in the Perfetto export";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rootstress

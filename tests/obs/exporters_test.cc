@@ -1,0 +1,103 @@
+#include "obs/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/runtime.h"
+
+namespace rootstress::obs {
+namespace {
+
+TEST(Exporters, PerfettoRendersSlicesAndInstantsOnOneAxis) {
+  Runtime runtime;
+  {
+    PhaseProfiler::Scope outer(&runtime.profiler(), "step");
+    PhaseProfiler::Scope inner(&runtime.profiler(), "fluid-pass");
+  }
+  runtime.event(TraceEventType::kFaultInjection, net::SimTime(1500), 'K',
+                "K-AMS", "site-fault", 1.0);
+  runtime.event(TraceEventType::kPlaybookAction, net::SimTime(1600), '-',
+                "K-AMS", "withdraw-site");
+  runtime.event(TraceEventType::kLog, net::SimTime(1700), 0, "", "noise");
+
+  const std::string text = perfetto_trace_json(runtime, net::SimTime(2000));
+  const auto parsed = json_parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text.substr(0, 200);
+  const JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> slice_names, instant_cats;
+  std::size_t metadata = 0, logs = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = (*events)[i];
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M") ++metadata;
+    if (ph == "X") {
+      slice_names.insert(e.find("name")->as_string());
+      EXPECT_EQ(e.find("cat")->as_string(), "phase");
+      EXPECT_GE(e.find("dur")->as_number(), 0.0);
+    }
+    if (ph == "i") {
+      instant_cats.insert(e.find("cat")->as_string());
+      if (e.find("name")->as_string() == "log") ++logs;
+    }
+  }
+  EXPECT_EQ(metadata, 2u);  // process_name + thread_name
+  EXPECT_TRUE(slice_names.count("step"));
+  EXPECT_TRUE(slice_names.count("fluid-pass"));
+  EXPECT_TRUE(instant_cats.count("fault"));
+  EXPECT_TRUE(instant_cats.count("playbook"));
+  EXPECT_EQ(logs, 0u);  // kLog stays out of the trace view
+}
+
+TEST(Exporters, PrometheusTextCoversAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.counter("sim.steps", {{"component", "engine"}}).add(42);
+  registry.gauge("sweep.wall_ms").set(1234.5);
+  Histogram& h = registry.histogram("queue.delay_ms", {{"letter", "K"}},
+                                    /*bin_width=*/10.0, /*bin_count=*/8);
+  h.observe(5.0);   // bin 0
+  h.observe(15.0);  // bin 1
+  h.observe(15.0);  // bin 1
+
+  const std::string text = prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE rootstress_sim_steps counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rootstress_sim_steps{component=\"engine\"} 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rootstress_sweep_wall_ms 1234.5\n"), std::string::npos);
+  // Cumulative buckets: bin 0 holds 1, bins 0+1 hold 3.
+  EXPECT_NE(text.find("rootstress_queue_delay_ms_bucket{letter=\"K\",le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rootstress_queue_delay_ms_bucket{letter=\"K\",le=\"20\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rootstress_queue_delay_ms_count{letter=\"K\"} 3\n"),
+            std::string::npos);
+  // _sum approximates from bin centers: 1*5 + 2*15 = 35.
+  EXPECT_NE(text.find("rootstress_queue_delay_ms_sum{letter=\"K\"} 35\n"),
+            std::string::npos);
+}
+
+TEST(Exporters, WriteTextFileReplacesAtomically) {
+  const std::string path = ::testing::TempDir() + "/exporters_write_test.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(write_text_file(path, "first\n"));
+  ASSERT_TRUE(write_text_file(path, "second\n"));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "second\n");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(write_text_file("/nonexistent-dir/nope/file.txt", "x"));
+}
+
+}  // namespace
+}  // namespace rootstress::obs

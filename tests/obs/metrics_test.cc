@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -121,6 +122,58 @@ TEST(Metrics, SnapshotPreservesRegistrationOrderAndIds) {
   EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
   EXPECT_EQ(snap[1].id(), "a.first");
   EXPECT_EQ(snap[1].kind, MetricKind::kGauge);
+}
+
+TEST(Metrics, QuantileInterpolatesInsideTheCrossingBin) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rtt.ms", {}, 10.0, 16);
+  // 4 samples in bin 0 ([0,10)), 4 in bin 2 ([20,30)).
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  for (int i = 0; i < 4; ++i) h.observe(25.0);
+  const auto snap = registry.snapshot();
+  const MetricSample& s = snap[0];
+  // Median: target = 4 lands exactly at the top of bin 0.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+  // 75%: target = 6 -> halfway through bin 2's 4 samples.
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 25.0);
+}
+
+TEST(Metrics, QuantileEdgesArePinned) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rtt.ms", {}, 10.0, 16);
+  h.observe(35.0);  // bin 3
+  h.observe(37.0);  // bin 3
+  h.observe(55.0);  // bin 5
+  const auto snap = registry.snapshot();
+  const MetricSample& s = snap[0];
+  // q=0: lower edge of the first populated bin — never 0-by-accident
+  // when the low bins are empty.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 30.0);
+  // q=1: upper edge of the last populated bin, not the histogram's cap.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 60.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(s.quantile(-3.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(7.0), 60.0);
+}
+
+TEST(Metrics, QuantileSingleSampleSitsAtBinCenter) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("rtt.ms", {}, 10.0, 16);
+  h.observe(42.0);  // bin 4 = [40, 50)
+  const auto snap = registry.snapshot();
+  const MetricSample& s = snap[0];
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 45.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+}
+
+TEST(Metrics, QuantileIsNanForEmptyOrNonHistogram) {
+  MetricsRegistry registry;
+  registry.counter("a.counter").add(5);
+  registry.histogram("b.empty", {}, 1.0, 8);
+  const auto snap = registry.snapshot();
+  EXPECT_TRUE(std::isnan(snap[0].quantile(0.5)));  // counter
+  EXPECT_TRUE(std::isnan(snap[1].quantile(0.5)));  // no observations
 }
 
 TEST(Metrics, SnapshotTrimsTrailingEmptyHistogramBins) {

@@ -1,0 +1,180 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace rootstress::obs {
+namespace {
+
+net::SimTime ms(std::int64_t v) { return net::SimTime{v}; }
+
+TEST(Timeline, BinGeometryCoversSpanWithRaggedTail) {
+  // [0, 1000) at 300 ms -> bins [0,300) [300,600) [600,900) [900,1000).
+  Timeline tl(ms(0), ms(1000), ms(300));
+  EXPECT_EQ(tl.bin_count(), 4u);
+  EXPECT_EQ(tl.bin_of(ms(0)), 0u);
+  EXPECT_EQ(tl.bin_of(ms(299)), 0u);
+  EXPECT_EQ(tl.bin_of(ms(300)), 1u);
+  EXPECT_EQ(tl.bin_of(ms(950)), 3u);
+  EXPECT_EQ(tl.bin_of(ms(-1)), Timeline::npos);
+  EXPECT_EQ(tl.bin_of(ms(1200)), Timeline::npos);
+
+  // An exact multiple has no ragged tail.
+  Timeline even(ms(100), ms(700), ms(200));
+  EXPECT_EQ(even.bin_count(), 3u);
+  EXPECT_EQ(even.bin_of(ms(100)), 0u);
+  EXPECT_EQ(even.bin_of(ms(699)), 2u);
+}
+
+TEST(Timeline, InvalidGeometryThrows) {
+  EXPECT_THROW(Timeline(ms(0), ms(100), ms(0)), std::invalid_argument);
+  EXPECT_THROW(Timeline(ms(0), ms(100), ms(-5)), std::invalid_argument);
+  EXPECT_THROW(Timeline(ms(100), ms(100), ms(10)), std::invalid_argument);
+  EXPECT_THROW(Timeline(ms(200), ms(100), ms(10)), std::invalid_argument);
+}
+
+TEST(Timeline, MeanSumLastAggregationAndNanForUnsampledBins) {
+  Timeline tl(ms(0), ms(300), ms(100));
+  const std::size_t mean = tl.add_series("x.mean", 'K', "", SeriesAgg::kMean);
+  const std::size_t sum = tl.add_series("x.sum", 0, "", SeriesAgg::kSum);
+  const std::size_t last = tl.add_series("x.last", 0, "", SeriesAgg::kLast);
+
+  tl.record(mean, ms(10), 1.0);
+  tl.record(mean, ms(20), 3.0);
+  tl.record(sum, ms(10), 1.0);
+  tl.record(sum, ms(20), 3.0);
+  tl.record(last, ms(10), 1.0);
+  tl.record(last, ms(20), 3.0);
+  // Out-of-span samples are dropped silently.
+  tl.record(mean, ms(999), 100.0);
+
+  const TimelineData data = tl.snapshot();
+  EXPECT_DOUBLE_EQ(data.series[mean].value(0), 2.0);
+  EXPECT_DOUBLE_EQ(data.series[sum].value(0), 4.0);
+  EXPECT_DOUBLE_EQ(data.series[last].value(0), 3.0);
+  // Bins 1 and 2 never saw a sample.
+  EXPECT_TRUE(std::isnan(data.series[mean].value(1)));
+  EXPECT_TRUE(std::isnan(data.series[sum].value(2)));
+  EXPECT_TRUE(std::isnan(data.series[mean].value(99)));  // out of range
+}
+
+TEST(Timeline, FindMatchesNameAndOptionalScope) {
+  Timeline tl(ms(0), ms(100), ms(50));
+  tl.add_series("site.offered_qps", 'K', "K-AMS", SeriesAgg::kMean);
+  tl.add_series("site.offered_qps", 'K', "K-LHR", SeriesAgg::kMean);
+  const TimelineData data = tl.snapshot();
+  const TimelineSeries* any = data.find("site.offered_qps");
+  ASSERT_NE(any, nullptr);
+  EXPECT_EQ(any->scope, "K-AMS");  // first match
+  const TimelineSeries* lhr = data.find("site.offered_qps", "K-LHR");
+  ASSERT_NE(lhr, nullptr);
+  EXPECT_EQ(lhr->scope, "K-LHR");
+  EXPECT_EQ(data.find("nope"), nullptr);
+  EXPECT_EQ(data.find("site.offered_qps", "K-NRT"), nullptr);
+}
+
+TEST(Timeline, SpansClampToRunSpanAndCloseRewritesEnd) {
+  Timeline tl(ms(100), ms(500), ms(100));
+  TimelineSpan pulse;
+  pulse.category = "fault";
+  pulse.name = "pulse-hot";
+  pulse.scope = "pulse-wave-2015";
+  pulse.begin = ms(0);     // before the run -> clamped up
+  pulse.end = ms(9000);    // past the run -> clamped down
+  tl.add_span(pulse);
+
+  TimelineSpan hold;
+  hold.category = "playbook";
+  hold.name = "hold";
+  hold.begin = ms(250);
+  hold.end = ms(500);  // provisional "until end of run"
+  const std::size_t handle = tl.add_span(hold);
+  tl.close_span(handle, ms(300));
+  tl.close_span(999, ms(0));  // bad handle: no-op, no crash
+
+  const TimelineData data = tl.snapshot();
+  ASSERT_EQ(data.spans.size(), 2u);
+  EXPECT_EQ(data.spans[0].begin.ms, 100);
+  EXPECT_EQ(data.spans[0].end.ms, 500);
+  EXPECT_EQ(data.spans[1].end.ms, 300);
+}
+
+TEST(Timeline, DigestIsStableAndSensitive) {
+  auto build = [](double second_value) {
+    Timeline tl(ms(0), ms(200), ms(100));
+    const std::size_t s =
+        tl.add_series("letter.answered_fraction", 'B', "", SeriesAgg::kMean);
+    tl.record(s, ms(10), 0.5);
+    tl.record(s, ms(150), second_value);
+    TimelineSpan span;
+    span.category = "attack";
+    span.name = "event-1";
+    span.begin = ms(0);
+    span.end = ms(200);
+    tl.add_span(span);
+    return tl.snapshot();
+  };
+  const TimelineData a = build(0.75);
+  const TimelineData b = build(0.75);
+  const TimelineData c = build(0.750001);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+
+  // Geometry and identity changes also move the digest.
+  Timeline other(ms(0), ms(200), ms(50));
+  EXPECT_NE(other.snapshot().digest(), a.digest());
+}
+
+TEST(Timeline, ToJsonRoundTripsWithNullUnsampledBins) {
+  Timeline tl(ms(0), ms(300), ms(100));
+  const std::size_t s = tl.add_series("x", 'K', "K-AMS", SeriesAgg::kSum);
+  tl.record(s, ms(10), 2.0);
+  tl.record(s, ms(250), 5.0);
+  TimelineSpan span;
+  span.category = "fault";
+  span.name = "site-fault";
+  span.scope = "K#1";
+  span.begin = ms(100);
+  span.end = ms(200);
+  tl.add_span(span);
+
+  const TimelineData data = tl.snapshot();
+  const std::string text = data.to_json().dump();
+  const auto parsed = json_parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(parsed->find("bins")->as_number(), 3.0);
+  EXPECT_EQ(parsed->find("bin_ms")->as_number(), 100.0);
+  ASSERT_NE(parsed->find("digest"), nullptr);
+
+  const JsonValue* series = parsed->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 1u);
+  const JsonValue* values = (*series)[0].find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->size(), 3u);
+  EXPECT_DOUBLE_EQ((*values)[0].as_number(), 2.0);
+  EXPECT_TRUE((*values)[1].is_null());  // unsampled middle bin
+  EXPECT_DOUBLE_EQ((*values)[2].as_number(), 5.0);
+
+  const JsonValue* spans = parsed->find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 1u);
+  EXPECT_EQ((*spans)[0].find("category")->as_string(), "fault");
+  EXPECT_EQ((*spans)[0].find("begin_ms")->as_number(), 100.0);
+}
+
+TEST(Timeline, EmptyTimelineDataMarksNoRecorder) {
+  const TimelineData none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.bins, 0u);
+  const auto parsed = json_parse(none.to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("bins")->as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace rootstress::obs

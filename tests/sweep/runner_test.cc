@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "rootstress.h"
 
@@ -170,6 +173,7 @@ TEST(Runner, InvalidCellFailsBeforeAnythingRuns) {
 TEST(Runner, ToJsonCarriesAxesAndCells) {
   Campaign campaign = test_campaign();
   campaign.axes.resize(1);  // 2 cells is enough for shape checks
+  campaign.base.telemetry = false;  // cells run without the flight recorder
   const CampaignResult result = run_campaign(campaign, quiet_options());
   const obs::JsonValue doc = result.to_json();
   ASSERT_NE(doc.find("axes"), nullptr);
@@ -177,6 +181,113 @@ TEST(Runner, ToJsonCarriesAxesAndCells) {
   ASSERT_NE(doc.find("cells"), nullptr);
   EXPECT_EQ(doc.find("cells")->size(), 2u);
   EXPECT_EQ(doc.find("executed")->as_number(), 2.0);
+  ASSERT_NE(doc.find("workers"), nullptr);
+  EXPECT_GE(doc.find("workers")->as_number(), 1.0);
+  ASSERT_NE(doc.find("ema_cell_ms"), nullptr);
+  // Telemetry was off, so cells carry no timeline digest — and the JSON
+  // omits the field rather than writing zeros.
+  const obs::JsonValue& cell0 = (*doc.find("cells"))[0];
+  ASSERT_NE(cell0.find("straggler"), nullptr);
+  EXPECT_EQ(cell0.find("timeline_digest"), nullptr);
+}
+
+/// Records every sink callback for assertions.
+class RecordingSink : public ProgressSink {
+ public:
+  void campaign_started(const ProgressSnapshot& snapshot) override {
+    started = snapshot;
+    ++started_calls;
+  }
+  void cell_started(const CellProgress& cell,
+                    const ProgressSnapshot& snapshot) override {
+    (void)cell;
+    (void)snapshot;
+    ++cell_started_calls;
+  }
+  void cell_finished(const CellProgress& cell,
+                     const ProgressSnapshot& snapshot) override {
+    finished_labels.push_back(cell.label);
+    last = snapshot;
+    ++cell_finished_calls;
+  }
+  void campaign_finished(const ProgressSnapshot& snapshot) override {
+    final = snapshot;
+    ++finished_calls;
+  }
+
+  ProgressSnapshot started, last, final;
+  std::vector<std::string> finished_labels;
+  int started_calls = 0, cell_started_calls = 0, cell_finished_calls = 0,
+      finished_calls = 0;
+};
+
+TEST(Runner, ProgressSinkSeesEveryExecutedCell) {
+  Campaign campaign = test_campaign();
+  campaign.axes.resize(2);  // 2 x 2 = 4 cells
+  RecordingSink sink;
+  CampaignOptions options = quiet_options();
+  options.workers = 2;
+  options.progress_sink = &sink;
+  const CampaignResult result = run_campaign(campaign, options);
+
+  EXPECT_EQ(sink.started_calls, 1);
+  EXPECT_EQ(sink.finished_calls, 1);
+  EXPECT_EQ(sink.cell_started_calls, 4);
+  EXPECT_EQ(sink.cell_finished_calls, 4);
+  EXPECT_EQ(sink.started.total, 4u);
+  EXPECT_EQ(sink.started.cached, 0u);
+  EXPECT_EQ(sink.final.done, 4u);
+  EXPECT_EQ(sink.final.running, 0u);
+  EXPECT_GT(sink.final.ema_cell_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.ema_cell_ms, sink.final.ema_cell_ms);
+
+  // Every executed cell reported exactly once (order is scheduling-
+  // dependent, identity is not).
+  std::set<std::string> reported(sink.finished_labels.begin(),
+                                 sink.finished_labels.end());
+  EXPECT_EQ(reported.size(), 4u);
+  for (const CellOutcome& cell : result.cells) {
+    EXPECT_TRUE(reported.count(cell.label)) << cell.label;
+  }
+}
+
+TEST(Runner, ProgressSinkReportsCacheHitsWithoutCellEvents) {
+  Campaign campaign = test_campaign();
+  campaign.axes.resize(1);  // 2 cells
+  CampaignOptions options = quiet_options();
+  options.cache_dir = fresh_dir("rs_runner_progress_cache");
+  (void)run_campaign(campaign, options);  // cold pass fills the cache
+
+  RecordingSink sink;
+  options.progress_sink = &sink;
+  const CampaignResult warm = run_campaign(campaign, options);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(sink.started.cached, 2u);
+  EXPECT_DOUBLE_EQ(sink.started.cache_hit_rate, 1.0);
+  // Cached cells never start or finish through the sink.
+  EXPECT_EQ(sink.cell_started_calls, 0);
+  EXPECT_EQ(sink.cell_finished_calls, 0);
+  EXPECT_EQ(sink.finished_calls, 1);
+}
+
+TEST(Runner, TelemetryCellsCarryTimelineDigests) {
+  Campaign campaign = test_campaign();
+  campaign.axes.resize(1);  // 2 cells
+  CampaignOptions options;   // telemetry on: cells run the flight recorder
+  options.telemetry = true;
+  const CampaignResult result = run_campaign(campaign, options);
+  ASSERT_EQ(result.cells.size(), 2u);
+  for (const CellOutcome& cell : result.cells) {
+    EXPECT_NE(cell.timeline_digest, 0u) << cell.label;
+    EXPECT_GT(cell.timeline_series, 0u) << cell.label;
+  }
+  // Different attack rates record different timelines.
+  EXPECT_NE(result.cells[0].timeline_digest, result.cells[1].timeline_digest);
+
+  const obs::JsonValue doc = result.to_json();
+  const obs::JsonValue& cell0 = (*doc.find("cells"))[0];
+  ASSERT_NE(cell0.find("timeline_digest"), nullptr);
+  EXPECT_GT(cell0.find("timeline_series")->as_number(), 0.0);
 }
 
 }  // namespace
