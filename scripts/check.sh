@@ -23,8 +23,15 @@
 #      scenario, writing BENCH_obs.json), and the first pulse_duel pass
 #      re-run with ROOTSTRESS_PERFETTO set — the exported Chrome-trace
 #      document must be valid JSON with a traceEvents array.
-#   6. Debug build with ThreadSanitizer, running the thread-pool unit
-#      tests and the parallel-determinism integration test under TSan.
+#   6. Scale gate: bench_scale's smoke sizes — the churn-heavy 10^4-AS
+#      cell must show incremental BGP >= 5x faster than full recompute
+#      with bit-identical RouteChange/catchment output, plus records/sec
+#      at three growing populations (ROOTSTRESS_SCALE_FULL=1 runs the
+#      full population ladder instead), writing BENCH_scale.json.
+#   7. Debug build with ThreadSanitizer, running the thread-pool unit
+#      tests, the parallel-determinism integration test, and the
+#      incremental-vs-full BGP cross-check (debug builds cross-check
+#      every mutation) under TSan.
 #
 # Usage: scripts/check.sh  (from the repo root; build trees land in
 # build/check-release and build/check-tsan).
@@ -99,6 +106,9 @@ rm -rf "$PULSE_CACHE"
 echo "=== Telemetry overhead: flight recorder must stay within budget ==="
 ./build/check-release/bench/bench_obs_overhead BENCH_obs.json
 
+echo "=== Scale gate: incremental BGP must beat full recompute 5x ==="
+./build/check-release/bench/bench_scale BENCH_scale.json
+
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
@@ -109,6 +119,8 @@ echo "=== Pool tests under TSan ==="
 (cd build/check-tsan &&
   ./tests/util_test --gtest_filter='ThreadPool.*:ResolveThreadCount.*' &&
   ROOTSTRESS_THREADS=4 ./tests/integration_test \
-    --gtest_filter='ParallelDeterminism.*')
+    --gtest_filter='ParallelDeterminism.*' &&
+  ROOTSTRESS_THREADS=4 ./tests/integration_test \
+    --gtest_filter='ScaleDeterminism.FullAndIncrementalBgpProduceIdenticalRuns')
 
 echo "ALL CHECKS PASSED"

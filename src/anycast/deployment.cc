@@ -1,5 +1,7 @@
 #include "anycast/deployment.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "obs/runtime.h"
@@ -42,6 +44,48 @@ std::vector<SiteSpec> nl_sites() {
           mk("GRU", "")};
 }
 
+/// Deterministic CDN-style letter table for the scale family: pseudo-coded
+/// sites with explicit coordinates sampled from the geo registry, so
+/// resolve_location never consults the registry for them and codes stay
+/// short enough for packed site keys. The leading global_fraction of each
+/// service's sites announce globally; the rest are BGP-scoped.
+std::vector<LetterConfig> synthetic_letter_table(const SyntheticDeployment& syn,
+                                                 std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x5ca1ab1e);
+  const auto locations = net::all_locations();
+  std::vector<LetterConfig> table;
+  for (int s = 0; s < syn.services; ++s) {
+    LetterConfig cfg;
+    cfg.letter = static_cast<char>('A' + s);
+    cfg.operator_name = "synthetic";
+    cfg.attacked = true;
+    cfg.rssac_reporting = false;
+    cfg.default_policy = StressPolicy::absorber();
+    cfg.reported_sites = syn.sites_per_service;
+    cfg.reported_global = std::min(
+        syn.sites_per_service,
+        std::max(1, static_cast<int>(syn.global_fraction *
+                                         syn.sites_per_service + 0.5)));
+    cfg.reported_local = syn.sites_per_service - cfg.reported_global;
+    for (int i = 0; i < syn.sites_per_service; ++i) {
+      const net::Location& loc = locations[rng.below(locations.size())];
+      SiteSpec spec;
+      char code[8];
+      std::snprintf(code, sizeof(code), "Z%c%04d", cfg.letter, i);
+      spec.code = code;
+      spec.global = i < cfg.reported_global;
+      spec.capacity_qps = syn.site_capacity_qps;
+      spec.buffer_packets = syn.site_capacity_qps * 1.2;
+      spec.peer_stubs = syn.peer_stubs_per_site;
+      spec.location = loc.point;
+      spec.region = loc.region;
+      cfg.sites.push_back(std::move(spec));
+    }
+    table.push_back(std::move(cfg));
+  }
+  return table;
+}
+
 }  // namespace
 
 RootDeployment::RootDeployment(const Config& config) {
@@ -49,7 +93,10 @@ RootDeployment::RootDeployment(const Config& config) {
   bgp::TopologyConfig topo_cfg = config.topology;
   topo_cfg.seed = config.seed ^ 0x70706f;
   topology_ = bgp::AsTopology::synthesize(topo_cfg);
-  letters_ = root_letter_table(config.seed ^ 0x1e77e5);
+  letters_ = config.synthetic.has_value()
+                 ? synthetic_letter_table(*config.synthetic,
+                                          config.seed ^ 0x1e77e5)
+                 : root_letter_table(config.seed ^ 0x1e77e5);
   add_default_facilities(facilities_);
 
   const auto stubs = topology_.stub_indices();
@@ -137,7 +184,7 @@ RootDeployment::RootDeployment(const Config& config) {
                                       cfg.sites, cfg.default_policy,
                                       cfg.primary_backup));
   }
-  if (config.include_nl) {
+  if (config.include_nl && !config.synthetic.has_value()) {
     services_.push_back(build_service('N', -1, nl_sites(),
                                       StressPolicy::absorber(), false));
   }
@@ -148,6 +195,9 @@ RootDeployment::RootDeployment(const Config& config) {
         std::string(1, services_[s].letter), std::move(pending_origins_[s]));
   }
   pending_origins_.clear();
+  // Point the site_of() SoA mirror's unreachable entries at the sink lane
+  // right past the last site: the fluid kernels aggregate branch-free.
+  routing_->set_unrouted_slot(static_cast<std::int32_t>(sites_.size()));
   RS_LOG_INFO << "deployment: " << topology_.as_count() << " ASes, "
               << sites_.size() << " sites, " << services_.size()
               << " services";

@@ -25,6 +25,25 @@ struct ServiceInfo {
   std::vector<int> site_ids;  ///< deployment-global site ids
 };
 
+/// CDN-scale synthetic deployment family (scale benches and tests).
+/// When `RootDeployment::Config::synthetic` is set, the 13-letter root
+/// table is replaced by `services` synthetic anycast services whose sites
+/// are generated deterministically from the deployment seed: pseudo-codes
+/// ("ZA0017"-style, <= 7 chars so packed site keys stay on the fast path)
+/// with explicit coordinates sampled from the geo registry, spread across
+/// the same regions the topology synthesizer uses. RSSAC reporting is off
+/// and `include_nl` is ignored for synthetic deployments.
+struct SyntheticDeployment {
+  int services = 1;            ///< service count; letters 'A', 'B', ...
+  int sites_per_service = 32;
+  /// Tiering: fraction of each service's sites announced globally; the
+  /// rest are BGP-scoped local sites (NO_EXPORT analog).
+  double global_fraction = 0.75;
+  double site_capacity_qps = 500e3;
+  /// IXP-style direct stub peerings per site (catchment stickiness).
+  int peer_stubs_per_site = 2;
+};
+
 /// Builds and owns the simulated world: topology, letters, sites,
 /// facilities, and per-service routing.
 class RootDeployment {
@@ -33,6 +52,9 @@ class RootDeployment {
     std::uint64_t seed = 42;
     bgp::TopologyConfig topology{};
     bool include_nl = true;
+    /// When set, build the CDN-style synthetic deployment instead of the
+    /// root letter table (see SyntheticDeployment above).
+    std::optional<SyntheticDeployment> synthetic;
     /// Default uplink for facilities referenced by sites but not in the
     /// default facility table.
     double default_facility_uplink_gbps = 50.0;

@@ -85,4 +85,20 @@ void Botnet::attack_by_site_into(const std::vector<bgp::RouteChoice>& routes,
   if (unrouted_qps != nullptr) *unrouted_qps = unrouted;
 }
 
+void Botnet::attack_by_site_into(std::span<const std::int32_t> site_slot,
+                                 double total_qps,
+                                 std::span<double> per_site_with_sink) const {
+  std::fill(per_site_with_sink.begin(), per_site_with_sink.end(), 0.0);
+  const std::size_t sink = per_site_with_sink.size() - 1;
+  double* out = per_site_with_sink.data();
+  for (const auto& group : groups_) {
+    const std::size_t slot =
+        group.as_index >= 0 &&
+                group.as_index < static_cast<int>(site_slot.size())
+            ? static_cast<std::size_t>(site_slot[group.as_index])
+            : sink;
+    out[slot] += group.share * total_qps;
+  }
+}
+
 }  // namespace rootstress::attack

@@ -10,6 +10,7 @@
 // from a small heavy-hitter set.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -65,6 +66,14 @@ class Botnet {
   void attack_by_site_into(const std::vector<bgp::RouteChoice>& routes,
                            double total_qps, std::span<double> per_site,
                            double* unrouted_qps = nullptr) const;
+
+  /// Struct-of-arrays hot path: `site_slot` is AnycastRouting::site_of()
+  /// with the unrouted slot pointed at the trailing sink lane of
+  /// `per_site_with_sink`. Bit-identical to the route-based variant (same
+  /// group order; routeless traffic lands in the sink).
+  void attack_by_site_into(std::span<const std::int32_t> site_slot,
+                           double total_qps,
+                           std::span<double> per_site_with_sink) const;
 
  private:
   BotnetConfig config_;

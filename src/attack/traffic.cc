@@ -53,4 +53,17 @@ void LegitTraffic::legit_by_site_into(
   if (unrouted_qps != nullptr) *unrouted_qps = unrouted;
 }
 
+void LegitTraffic::legit_by_site_into(
+    std::span<const std::int32_t> site_slot, double letter_qps,
+    std::span<double> per_site_with_sink) const {
+  std::fill(per_site_with_sink.begin(), per_site_with_sink.end(), 0.0);
+  const std::size_t n = std::min(site_slot.size(), weights_.size());
+  double* out = per_site_with_sink.data();
+  // Zero-weight ASes add +0.0, which leaves a non-negative accumulator
+  // bitwise unchanged — the sums match the branching variant exactly.
+  for (std::size_t as = 0; as < n; ++as) {
+    out[site_slot[as]] += weights_[as] * letter_qps;
+  }
+}
+
 }  // namespace rootstress::attack

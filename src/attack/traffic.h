@@ -8,6 +8,7 @@
 // queries retry against another letter after a timeout.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -52,6 +53,15 @@ class LegitTraffic {
   void legit_by_site_into(const std::vector<bgp::RouteChoice>& routes,
                           double letter_qps, std::span<double> per_site,
                           double* unrouted_qps = nullptr) const;
+
+  /// Struct-of-arrays hot path: `site_slot` is AnycastRouting::site_of()
+  /// with the unrouted slot pointed at the trailing sink lane, i.e. every
+  /// slot is in [0, per_site_with_sink.size()), so the accumulation loop
+  /// is branch-free. Bit-identical to the route-based variant (same
+  /// ascending-AS accumulation order; unrouted weight lands in the sink).
+  void legit_by_site_into(std::span<const std::int32_t> site_slot,
+                          double letter_qps,
+                          std::span<double> per_site_with_sink) const;
 
  private:
   LegitConfig config_;

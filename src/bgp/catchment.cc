@@ -18,6 +18,20 @@ CatchmentSizes catchment_sizes(const std::vector<RouteChoice>& routes,
   return out;
 }
 
+CatchmentSizes catchment_sizes(std::span<const std::int32_t> site_of,
+                               int site_count) {
+  CatchmentSizes out;
+  out.per_site.assign(static_cast<std::size_t>(site_count), 0);
+  for (const std::int32_t site : site_of) {
+    if (site >= 0 && site < site_count) {
+      ++out.per_site[static_cast<std::size_t>(site)];
+    } else {
+      ++out.unreachable;
+    }
+  }
+  return out;
+}
+
 std::unordered_map<int, std::vector<int>> ases_by_site(
     const std::vector<RouteChoice>& routes) {
   std::unordered_map<int, std::vector<int>> out;

@@ -1,6 +1,8 @@
 // Catchment accounting: which ASes (and how many) each site serves.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +21,12 @@ struct CatchmentSizes {
 /// Computes per-site AS counts from a route table. `site_count` sizes the
 /// output vector (site ids must be < site_count).
 CatchmentSizes catchment_sizes(const std::vector<RouteChoice>& routes,
+                               int site_count);
+
+/// Struct-of-arrays variant over AnycastRouting::site_of(): entries
+/// outside [0, site_count) — the -1 default and the sink-slot convention
+/// alike — count as unreachable.
+CatchmentSizes catchment_sizes(std::span<const std::int32_t> site_of,
                                int site_count);
 
 /// Groups dense AS indices by the site they route to (-1 key holds

@@ -14,10 +14,12 @@ bool better(const RouteChoice& candidate, const RouteChoice& incumbent) {
 
 }  // namespace
 
-std::vector<RouteChoice> compute_routes(
-    const AsTopology& topo, std::span<const AnycastOrigin> origins) {
+RoutingState compute_routing_state(const AsTopology& topo,
+                                   std::span<const AnycastOrigin> origins) {
   const int n = topo.as_count();
-  std::vector<RouteChoice> best(n);
+  RoutingState state;
+  state.best.resize(n);
+  std::vector<RouteChoice>& best = state.best;
 
   // --- Stage 1: customer routes, BFS up transit edges from global origins.
   // `frontier` holds ASes whose customer-class route may still export
@@ -54,6 +56,9 @@ std::vector<RouteChoice> compute_routes(
       }
     }
   }
+  // Snapshot the customer-direction fixed point: this is what every AS
+  // exports to its providers and peers regardless of later stages.
+  state.up = best;
 
   // --- Stage 2: peer routes, one peering hop from any customer/origin
   // route. Peer routes are not re-exported to peers or providers, so a
@@ -84,7 +89,8 @@ std::vector<RouteChoice> compute_routes(
   // neighbors receive the route (classed by their relationship to the
   // host) but never re-export it. `scoped` marks ASes whose current best
   // route is scope-limited so stage 3 will not propagate it onward.
-  std::vector<char> scoped(n, 0);
+  state.scoped.assign(n, 0);
+  std::vector<char>& scoped = state.scoped;
   for (const auto& origin : origins) {
     if (!origin.announced || !origin.local_only) continue;
     const auto idx = topo.index_of(origin.host_as);
@@ -141,7 +147,12 @@ std::vector<RouteChoice> compute_routes(
       }
     }
   }
-  return best;
+  return state;
+}
+
+std::vector<RouteChoice> compute_routes(
+    const AsTopology& topo, std::span<const AnycastOrigin> origins) {
+  return std::move(compute_routing_state(topo, origins).best);
 }
 
 }  // namespace rootstress::bgp

@@ -17,6 +17,29 @@
 
 namespace rootstress::bgp {
 
+/// Full routing fixed point for one prefix. `best` is the chosen route
+/// per dense AS index (what compute_routes returns). `up` and `scoped`
+/// expose the internal stage state that incremental recomputation must
+/// persist between mutations:
+///  - `up[as]` is the stage-1 customer-direction route (kOrigin or
+///    kCustomer, kNone when the AS has no customer path). An AS whose
+///    final best was superseded by a peer/provider/scoped route still
+///    exports its stage-1 route upward, so `best` alone is not enough to
+///    reconstruct what an AS offers its providers and peers.
+///  - `scoped[as]` is nonzero when `best[as]` came from a local-only
+///    (NO_EXPORT) announcement and must not be re-exported down.
+struct RoutingState {
+  std::vector<RouteChoice> best;
+  std::vector<RouteChoice> up;
+  std::vector<char> scoped;
+};
+
+/// Computes the complete routing fixed point (best + stage internals)
+/// for the anycast prefix announced by `origins`. Withdrawn origins
+/// (announced == false) contribute nothing.
+RoutingState compute_routing_state(const AsTopology& topo,
+                                   std::span<const AnycastOrigin> origins);
+
 /// Computes, for every AS in `topo`, its chosen route toward the anycast
 /// prefix announced by `origins`. Withdrawn origins (announced == false)
 /// contribute nothing. Returns one RouteChoice per dense AS index.

@@ -249,8 +249,9 @@ SimulationResult SimulationEngine::run() {
   const auto site_count = static_cast<std::size_t>(deployment_->site_count());
   current_loads_.resize(services.size());
   for (auto& load : current_loads_) {
-    load.attack_qps.assign(site_count, 0.0);
-    load.legit_qps.assign(site_count, 0.0);
+    // site_count + 1: trailing sink lane for the SoA fluid kernels.
+    load.attack_qps.assign(site_count + 1, 0.0);
+    load.legit_qps.assign(site_count + 1, 0.0);
   }
   facility_contrib_.resize(services.size());
   step_offered_.assign(services.size(), 0.0);
@@ -878,17 +879,18 @@ void SimulationEngine::run_probes(net::SimTime step_begin,
     }
   });
   // Deterministic merge: shards are ordered service-major with ascending
-  // VP ranges and each appends in (VP, time) order, so concatenation
-  // reproduces the serial (service, VP, time) record stream exactly.
+  // VP ranges and each appends in (VP, time) order, so packing the SoA
+  // lanes back to AoS in shard order reproduces the serial
+  // (service, VP, time) record stream exactly.
   for (const ProbeShard& shard : probe_shards_) {
-    raw.insert(raw.end(), shard.records.begin(), shard.records.end());
+    shard.records.append_to(raw);
   }
 }
 
 void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
                                   int service_index,
                                   const std::vector<bgp::RouteChoice>& routes,
-                                  net::SimTime when, atlas::RecordSet& out) {
+                                  net::SimTime when, atlas::RecordSoA& out) {
   // Every random draw for this probe comes from its own stream keyed on
   // (seed, service, VP, time): probe outcomes are a pure function of the
   // schedule, independent of thread count and execution order.
@@ -904,13 +906,13 @@ void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
     // A middlebox answers locally: wrong pattern, implausibly fast.
     rec.outcome = atlas::ProbeOutcome::kError;
     rec.rtt_ms = static_cast<std::uint16_t>(2 + rng.below(4));
-    out.push_back(rec);
+    out.push(rec);
     return;
   }
 
   const auto& route = routes[static_cast<std::size_t>(vp.as_index)];
   if (!route.reachable()) {
-    out.push_back(rec);  // no route: query never arrives
+    out.push(rec);  // no route: query never arrives
     return;
   }
   auto& site = deployment_->site(route.site_id);
@@ -919,14 +921,14 @@ void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
       vp.address, chaos_query_[static_cast<std::size_t>(service_index)], when,
       rng);
   if (!reply.answered) {
-    out.push_back(rec);
+    out.push(rec);
     return;
   }
   const double base =
       net::base_rtt_ms(vp.location, site.location()) * rng.uniform(0.95, 1.1);
   const double rtt = base + reply.extra_delay_ms;
   if (rtt >= atlas::kTimeoutMs) {
-    out.push_back(rec);  // reply arrived after the Atlas timeout
+    out.push(rec);  // reply arrived after the Atlas timeout
     return;
   }
   rec.rtt_ms = static_cast<std::uint16_t>(
@@ -935,7 +937,7 @@ void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
   const auto response = dns::decode(reply.wire);
   if (!response || response->answers.empty()) {
     rec.outcome = atlas::ProbeOutcome::kError;
-    out.push_back(rec);
+    out.push(rec);
     return;
   }
   rec.rcode = static_cast<std::uint8_t>(response->header.rcode);
@@ -949,13 +951,13 @@ void SimulationEngine::probe_once(const atlas::VantagePoint& vp,
           : site_by_identity_.end();
   if (it == site_by_identity_.end()) {
     rec.outcome = atlas::ProbeOutcome::kError;
-    out.push_back(rec);
+    out.push(rec);
     return;
   }
   rec.outcome = atlas::ProbeOutcome::kSite;
   rec.site_id = static_cast<std::int16_t>(it->second >> 8);
   rec.server = static_cast<std::uint8_t>(it->second & 0xff);
-  out.push_back(rec);
+  out.push(rec);
 }
 
 void SimulationEngine::apply_fault_step(net::SimTime t) {

@@ -155,7 +155,9 @@ class SimulationEngine : private playbook::ActuationBackend {
     int service = -1;
     std::size_t vp_begin = 0;
     std::size_t vp_end = 0;
-    atlas::RecordSet records;  ///< reused across steps (capacity kept)
+    /// SoA staging lanes, reused across steps (capacity kept); packed to
+    /// AoS ProbeRecords at the deterministic merge.
+    atlas::RecordSoA records;
   };
 
   /// Heterogeneous string hash so CHAOS identity lookups take a
@@ -202,7 +204,7 @@ class SimulationEngine : private playbook::ActuationBackend {
   void record_rssac(net::SimTime now, SimulationResult& result);
   void probe_once(const atlas::VantagePoint& vp, int service_index,
                   const std::vector<bgp::RouteChoice>& routes,
-                  net::SimTime when, atlas::RecordSet& out);
+                  net::SimTime when, atlas::RecordSoA& out);
 
   ScenarioConfig config_;
   int threads_ = 1;

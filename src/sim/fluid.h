@@ -17,6 +17,12 @@
 namespace rootstress::sim {
 
 /// Per-site offered load of one service for one step.
+///
+/// The per-site vectors are sized site_count + 1: the trailing element is
+/// the sink lane the SoA kernels accumulate routeless traffic into (see
+/// AnycastRouting::set_unrouted_slot). compute_service_load_into drains
+/// the sink into unrouted_* and zeroes it before returning, so consumers
+/// indexing by global site id never observe it.
 struct ServiceLoad {
   std::vector<double> attack_qps;  ///< indexed by global site id
   std::vector<double> legit_qps;

@@ -49,6 +49,30 @@ ScenarioBuilder& ScenarioBuilder::topology_stubs(int stub_count) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::synthetic_topology(int n_ases, int n_sites,
+                                                     double tiering) {
+  anycast::SyntheticDeployment syn;
+  syn.services = 1;
+  syn.sites_per_service = n_sites;
+  syn.global_fraction = tiering;
+  config_.deployment.synthetic = syn;
+  config_.deployment.include_nl = false;
+  // Size the synthesized hierarchy to ~n_ases total ASes: fixed tier-1
+  // clique, tier-2 transit scaled with the target, the rest stubs. The
+  // topology synthesizer spreads tier-2s over seven regions; site host
+  // ASes (one per site) ride on top.
+  bgp::TopologyConfig& topo = config_.deployment.topology;
+  constexpr int kRegions = 7;
+  topo.tier1_count = 10;
+  topo.tier2_per_region = std::clamp(n_ases / 250, 8, 64);
+  const int overhead =
+      topo.tier1_count + kRegions * topo.tier2_per_region + n_sites;
+  topo.stub_count = std::max(64, n_ases - overhead);
+  config_.probe_letters = {'A'};
+  config_.collect_rssac = false;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::force_policy(anycast::StressPolicy policy) {
   config_.deployment.force_policy = policy;
   return *this;

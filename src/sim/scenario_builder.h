@@ -57,6 +57,14 @@ class ScenarioBuilder {
   ScenarioBuilder& capacity_scale(double scale);
   /// Stub-AS count of the synthesized topology (small = fast tests).
   ScenarioBuilder& topology_stubs(int stub_count);
+  /// CDN-scale synthetic scenario family (scale benches and tests): one
+  /// synthetic anycast service with `n_sites` sites on a topology sized
+  /// to roughly `n_ases` total ASes. `tiering` is the fraction of sites
+  /// announced globally (the rest are BGP-scoped local sites). Replaces
+  /// the root deployment: .nl is dropped, RSSAC collection is off, and
+  /// probing covers the synthetic service ('A').
+  ScenarioBuilder& synthetic_topology(int n_ases, int n_sites,
+                                      double tiering = 0.75);
   /// Forces one stress policy on every site (what-if studies).
   ScenarioBuilder& force_policy(anycast::StressPolicy policy);
   /// Omniscient per-letter withdraw/absorb controller (core::advise).

@@ -57,6 +57,19 @@ obs::JsonValue fp_deployment(const anycast::RootDeployment::Config& d) {
     doc.set("force_policy", fp_policy(*d.force_policy));
   }
   doc.set("rrl_enabled", obs::JsonValue(d.rrl_enabled));
+  // Absent entirely for root-table deployments so their keys match
+  // pre-scale-family caches (same convention as fault_schedule).
+  if (d.synthetic.has_value()) {
+    obs::JsonValue syn = obs::JsonValue::object();
+    syn.set("services", obs::JsonValue(d.synthetic->services));
+    syn.set("sites_per_service",
+            obs::JsonValue(d.synthetic->sites_per_service));
+    syn.set("global_fraction", fp(d.synthetic->global_fraction));
+    syn.set("site_capacity_qps", fp(d.synthetic->site_capacity_qps));
+    syn.set("peer_stubs_per_site",
+            obs::JsonValue(d.synthetic->peer_stubs_per_site));
+    doc.set("synthetic", std::move(syn));
+  }
   return doc;
 }
 

@@ -67,6 +67,39 @@ TEST(Botnet, AttackBySiteConservesTraffic) {
   EXPECT_LT(unrouted, 5e4);
 }
 
+TEST(Botnet, SoASlotPathBitIdenticalToRouteBasedPath) {
+  auto t = topo();
+  util::Rng rng(3);
+  std::vector<bgp::AnycastOrigin> origins;
+  for (int i = 0; i < 5; ++i) {
+    const net::Asn asn(80000 + static_cast<std::uint32_t>(i));
+    t.add_edge_as(asn, "EU", net::GeoPoint{50, 8}, 2, rng);
+    origins.push_back(bgp::AnycastOrigin{i, asn, true, false});
+  }
+  // Scope one origin so some bot groups route nowhere (sink lane).
+  origins[1].announced = false;
+  const auto net = Botnet::build(t, {});
+  const auto routes = bgp::compute_routes(t, origins);
+  constexpr int kSites = 5;
+
+  double unrouted = 0.0;
+  const auto aos = net.attack_by_site(routes, 5e6, kSites, &unrouted);
+
+  std::vector<std::int32_t> slots(routes.size());
+  for (std::size_t as = 0; as < routes.size(); ++as) {
+    const int site = routes[as].site_id;
+    slots[as] = (site >= 0 && site < kSites) ? site : kSites;
+  }
+  std::vector<double> soa(kSites + 1, -1.0);
+  net.attack_by_site_into(slots, 5e6, soa);
+
+  for (int s = 0; s < kSites; ++s) {
+    EXPECT_EQ(aos[static_cast<std::size_t>(s)], soa[static_cast<std::size_t>(s)])
+        << "site " << s << " diverged between SoA and route-based kernels";
+  }
+  EXPECT_EQ(unrouted, soa[kSites]);
+}
+
 TEST(Botnet, NoRoutesMeansAllUnrouted) {
   const auto t = topo();
   const auto net = Botnet::build(t, {});

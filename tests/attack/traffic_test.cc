@@ -44,6 +44,45 @@ TEST(LegitTraffic, LegitBySiteConserves) {
   EXPECT_NEAR(total, 40e3, 1.0);
 }
 
+TEST(LegitTraffic, SoASlotPathBitIdenticalToRouteBasedPath) {
+  bgp::TopologyConfig config;
+  config.stub_count = 200;
+  auto topo = bgp::AsTopology::synthesize(config);
+  util::Rng rng(1);
+  std::vector<bgp::AnycastOrigin> origins;
+  for (int i = 0; i < 3; ++i) {
+    const net::Asn asn(81000 + static_cast<std::uint32_t>(i));
+    topo.add_edge_as(asn, "EU", net::GeoPoint{50, 8}, 2, rng);
+    origins.push_back(bgp::AnycastOrigin{i, asn, true, false});
+  }
+  // Scope the surviving origin and withdraw the rest so most of the
+  // population genuinely loses its route and flows through the sink lane.
+  origins[0].local_only = true;
+  origins[1].announced = false;
+  origins[2].announced = false;
+  const auto legit = LegitTraffic::build(topo, {});
+  const auto routes = bgp::compute_routes(topo, origins);
+  constexpr int kSites = 3;
+
+  double unrouted = 0.0;
+  const auto aos = legit.legit_by_site(routes, 40e3, kSites, &unrouted);
+
+  std::vector<std::int32_t> slots(routes.size());
+  for (std::size_t as = 0; as < routes.size(); ++as) {
+    const int site = routes[as].site_id;
+    slots[as] = (site >= 0 && site < kSites) ? site : kSites;
+  }
+  std::vector<double> soa(kSites + 1, -1.0);
+  legit.legit_by_site_into(slots, 40e3, soa);
+
+  for (int s = 0; s < kSites; ++s) {
+    EXPECT_EQ(aos[static_cast<std::size_t>(s)], soa[static_cast<std::size_t>(s)])
+        << "site " << s << " diverged between SoA and route-based kernels";
+  }
+  EXPECT_EQ(unrouted, soa[kSites]);
+  EXPECT_GT(soa[kSites], 0.0) << "withdrawn origin produced no sink traffic";
+}
+
 TEST(LegitTraffic, HeavyTailedButEveryStubCounts) {
   bgp::TopologyConfig config;
   config.stub_count = 300;

@@ -1,0 +1,110 @@
+// Scale-tier determinism, end to end on the synthetic CDN-style family
+// (ScenarioBuilder::synthetic_topology):
+//  1. at ~10^4 ASes the engine stays bit-deterministic across thread
+//     counts, and the flight recorder stays digest-neutral — the same
+//     contract TimelineDeterminism pins on the root deployment;
+//  2. full-table and incremental BGP recompute modes (ROOTSTRESS_BGP_MODE)
+//     produce byte-identical runs: probe records, route-change streams,
+//     and summaries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/evaluation.h"
+#include "sim/engine.h"
+#include "sim/scenario_builder.h"
+#include "sweep/summary.h"
+
+namespace rootstress {
+namespace {
+
+sim::ScenarioConfig scale_scenario(int threads = 0, bool telemetry = true) {
+  // 10^4-AS tier, shrunk in time (2 simulated hours) so four runs fit in
+  // test wall time. The raised flap rate keeps BGP churning every step,
+  // which is exactly what the incremental path must survive.
+  return sim::ScenarioBuilder()
+      .synthetic_topology(10000, 48)
+      .vp_count(200)
+      .duration(net::SimTime::from_hours(2))
+      .probe_window(net::SimInterval{net::SimTime(0),
+                                     net::SimTime::from_hours(2)})
+      .maintenance_flap(0.05)
+      .threads(threads)
+      .telemetry(telemetry)
+      .build();
+}
+
+bool identical_outputs(const sim::SimulationResult& a,
+                       const sim::SimulationResult& b) {
+  if (a.route_changes.size() != b.route_changes.size()) return false;
+  if (a.records.size() != b.records.size()) return false;
+  return a.records.empty() ||
+         std::memcmp(a.records.data(), b.records.data(),
+                     a.records.size() * sizeof(atlas::ProbeRecord)) == 0;
+}
+
+TEST(ScaleDeterminism, TimelineDigestIdenticalAcrossThreadCounts) {
+  sim::SimulationEngine serial_engine(scale_scenario(/*threads=*/1));
+  const sim::SimulationResult serial = serial_engine.run();
+  sim::SimulationEngine pooled_engine(scale_scenario(/*threads=*/4));
+  const sim::SimulationResult pooled = pooled_engine.run();
+
+  EXPECT_TRUE(identical_outputs(serial, pooled))
+      << "probe records or route changes diverged between 1 and 4 threads";
+  const obs::TimelineData& a = serial.telemetry.timeline;
+  const obs::TimelineData& b = pooled.telemetry.timeline;
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(a.digest(), b.digest())
+      << "timeline diverged between 1 and 4 engine threads at scale";
+}
+
+TEST(ScaleDeterminism, RecorderOnOffLeavesRunSummaryBitIdentical) {
+  const sim::ScenarioConfig on_config = scale_scenario(0, /*telemetry=*/true);
+  const sim::ScenarioConfig off_config =
+      scale_scenario(0, /*telemetry=*/false);
+
+  const core::EvaluationReport on_report = core::evaluate_scenario(on_config);
+  const core::EvaluationReport off_report =
+      core::evaluate_scenario(off_config);
+  ASSERT_FALSE(on_report.result.telemetry.timeline.empty());
+  EXPECT_TRUE(off_report.result.telemetry.timeline.empty());
+
+  sweep::RunSummary with = sweep::summarize(on_config, on_report);
+  sweep::RunSummary without = sweep::summarize(off_config, off_report);
+  without.config_hash = with.config_hash;
+  EXPECT_TRUE(with == without)
+      << "flight recorder perturbed the synthetic-scale simulation";
+}
+
+TEST(ScaleDeterminism, FullAndIncrementalBgpProduceIdenticalRuns) {
+  const sim::ScenarioConfig config = scale_scenario();
+
+  ASSERT_EQ(setenv("ROOTSTRESS_BGP_MODE", "full", 1), 0);
+  sim::SimulationEngine full_engine(config);
+  const sim::SimulationResult full = full_engine.run();
+  ASSERT_EQ(setenv("ROOTSTRESS_BGP_MODE", "incremental", 1), 0);
+  sim::SimulationEngine incremental_engine(config);
+  const sim::SimulationResult incremental = incremental_engine.run();
+  ASSERT_EQ(unsetenv("ROOTSTRESS_BGP_MODE"), 0);
+
+  EXPECT_TRUE(identical_outputs(full, incremental))
+      << "recompute mode leaked into simulation outputs";
+  ASSERT_EQ(full.route_changes.size(), incremental.route_changes.size());
+  for (std::size_t i = 0; i < full.route_changes.size(); ++i) {
+    EXPECT_EQ(full.route_changes[i].as_index,
+              incremental.route_changes[i].as_index);
+    EXPECT_EQ(full.route_changes[i].old_site,
+              incremental.route_changes[i].old_site);
+    EXPECT_EQ(full.route_changes[i].new_site,
+              incremental.route_changes[i].new_site);
+    EXPECT_EQ(full.route_changes[i].time, incremental.route_changes[i].time);
+    if (HasFailure()) break;
+  }
+  EXPECT_EQ(full.telemetry.timeline.digest(),
+            incremental.telemetry.timeline.digest());
+}
+
+}  // namespace
+}  // namespace rootstress

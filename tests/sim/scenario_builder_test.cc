@@ -34,6 +34,51 @@ TEST(ScenarioBuilder, QuietAnd2016PresetsMatchLegacyFactories) {
   EXPECT_EQ(y16.end.ms, y16_legacy.end.ms);
 }
 
+TEST(ScenarioBuilder, SyntheticTopologySizesDeploymentToTarget) {
+  const ScenarioConfig config = ScenarioBuilder()
+                                    .synthetic_topology(4000, 40, 0.6)
+                                    .build();
+  ASSERT_TRUE(config.deployment.synthetic.has_value());
+  EXPECT_EQ(config.deployment.synthetic->sites_per_service, 40);
+  EXPECT_DOUBLE_EQ(config.deployment.synthetic->global_fraction, 0.6);
+  EXPECT_FALSE(config.deployment.include_nl);
+  EXPECT_FALSE(config.collect_rssac);
+  ASSERT_EQ(config.probe_letters.size(), 1u);
+  EXPECT_EQ(config.probe_letters[0], 'A');
+
+  anycast::RootDeployment deployment(config.deployment);
+  // One synthetic service, its sites all present, no .nl rider.
+  ASSERT_EQ(deployment.services().size(), 1u);
+  EXPECT_EQ(deployment.services().front().letter, 'A');
+  EXPECT_EQ(deployment.site_count(), 40);
+  // Total AS count lands near the requested size (site host ASes and the
+  // fixed tiers make it approximate, not exact).
+  EXPECT_GT(deployment.topology().as_count(), 3500);
+  EXPECT_LT(deployment.topology().as_count(), 4500);
+  // Tiering: 60% global plus the BGP-scoped rest, codes short enough for
+  // packed site keys, locations resolved without the geo registry.
+  int global = 0;
+  for (int s = 0; s < deployment.site_count(); ++s) {
+    const auto& site = deployment.site(s);
+    EXPECT_LE(site.code().size(), 7u);
+    if (site.spec().global) ++global;
+  }
+  EXPECT_EQ(global, 24);
+}
+
+TEST(ScenarioBuilder, SyntheticTopologyIsDeterministicPerSeed) {
+  const ScenarioConfig config =
+      ScenarioBuilder().synthetic_topology(2000, 16).seed(7).build();
+  anycast::RootDeployment a(config.deployment);
+  anycast::RootDeployment b(config.deployment);
+  ASSERT_EQ(a.site_count(), b.site_count());
+  for (int s = 0; s < a.site_count(); ++s) {
+    EXPECT_EQ(a.site(s).code(), b.site(s).code());
+    EXPECT_EQ(a.site(s).spec().region, b.site(s).spec().region);
+  }
+  EXPECT_EQ(a.topology().as_count(), b.topology().as_count());
+}
+
 TEST(ScenarioBuilder, AttackQpsRewritesEveryScheduledEvent) {
   const ScenarioConfig config =
       ScenarioBuilder::november_2015().attack_qps(7.5e6).build();

@@ -106,6 +106,25 @@ TEST(ConfigHash, ResultAffectingKnobsChangeTheHash) {
   EXPECT_NE(config_hash(changed), reference);
 }
 
+TEST(ConfigHash, SyntheticDeploymentAbsentWhenUnsetKeyedWhenSet) {
+  // Root-table deployments must keep their pre-scale-family keys: the
+  // synthetic block only enters the fingerprint when it is set.
+  const sim::ScenarioConfig config = base_config();
+  const obs::JsonValue doc = scenario_fingerprint(config);
+  const obs::JsonValue* deployment = doc.find("deployment");
+  ASSERT_NE(deployment, nullptr);
+  EXPECT_EQ(deployment->find("synthetic"), nullptr);
+  const std::uint64_t reference = config_hash(config);
+
+  sim::ScenarioConfig synthetic = config;
+  synthetic.deployment.synthetic = anycast::SyntheticDeployment{};
+  EXPECT_NE(config_hash(synthetic), reference);
+
+  sim::ScenarioConfig resized = synthetic;
+  resized.deployment.synthetic->sites_per_service += 8;
+  EXPECT_NE(config_hash(resized), config_hash(synthetic));
+}
+
 TEST(ConfigHash, PlaybooksAreFingerprintedByContentNotName) {
   const sim::ScenarioConfig config = base_config();
   const std::uint64_t reference = config_hash(config);
