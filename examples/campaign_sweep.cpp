@@ -3,7 +3,8 @@
 // different defense policy?" — expanded, cached, and run in parallel.
 //
 // Usage:
-//   ./build/examples/campaign_sweep [--cache DIR] [--workers N] [--progress]
+//   ./build/examples/campaign_sweep [--cache DIR] [--workers N]
+//                                   [--executor inproc|subprocess] [--progress]
 //   ./build/examples/campaign_sweep --smoke [--cache DIR] [--progress]
 //
 // The default mode runs the 3x3 policy-vs-attack-rate grid and prints a
@@ -12,7 +13,11 @@
 // scripts/check.sh to assert cold-vs-warm cache behaviour) and prints a
 // machine-greppable `executed=N cache_hits=M` line. --progress swaps the
 // per-cell stdout lines for the live stderr observatory (queued / running
-// / done counts, cache hit rate, EMA-based ETA, straggler flags).
+// / done counts, cache hit rate, EMA-based ETA, straggler flags, and which
+// executor lane ran each cell: `<- inproc`, `<- worker-2`, `<- cache`).
+// --executor subprocess runs the misses on the multi-process fabric
+// (sweep/fabric/): N forked workers leased cells over a pipe protocol,
+// bit-identical results to inproc at any worker count.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -54,7 +59,18 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       options.cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      options.workers = std::atoi(argv[++i]);
+      options.executor.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--executor") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "subprocess") == 0) {
+        options.executor.mode = sweep::ExecutorMode::kSubprocess;
+      } else if (std::strcmp(mode, "inproc") == 0) {
+        options.executor.mode = sweep::ExecutorMode::kInProcess;
+      } else {
+        std::fprintf(stderr, "unknown --executor '%s' (inproc|subprocess)\n",
+                     mode);
+        return 2;
+      }
     }
   }
 
@@ -101,8 +117,9 @@ int main(int argc, char** argv) {
   }
 
   // Machine-greppable summary (scripts/check.sh asserts on this line).
-  std::printf("executed=%zu cache_hits=%zu cells=%zu wall_ms=%.0f\n",
+  std::printf("executed=%zu cache_hits=%zu cells=%zu wall_ms=%.0f "
+              "executor=%s workers=%d\n",
               result.executed, result.cache_hits, result.cells.size(),
-              result.wall_ms);
+              result.wall_ms, result.executor.c_str(), result.workers);
   return 0;
 }

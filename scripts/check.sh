@@ -28,7 +28,14 @@
 #      with bit-identical RouteChange/catchment output, plus records/sec
 #      at three growing populations (ROOTSTRESS_SCALE_FULL=1 runs the
 #      full population ladder instead), writing BENCH_scale.json.
-#   7. Debug build with ThreadSanitizer, running the thread-pool unit
+#   7. Distributed gate: bench_distributed (subprocess fabric digests at
+#      1 and 4 workers must be bit-identical to in-process, a killed
+#      worker's cells must be re-leased to completion, coordination
+#      overhead bounded; writes BENCH_distributed.json), then the smoke
+#      campaign re-run on the fabric — cold on 2 workers must execute
+#      all 4 cells through the subprocess executor and a warm pass must
+#      serve every cell from the cache the workers populated.
+#   8. Debug build with ThreadSanitizer, running the thread-pool unit
 #      tests, the parallel-determinism integration test, and the
 #      incremental-vs-full BGP cross-check (debug builds cross-check
 #      every mutation) under TSan.
@@ -108,6 +115,24 @@ echo "=== Telemetry overhead: flight recorder must stay within budget ==="
 
 echo "=== Scale gate: incremental BGP must beat full recompute 5x ==="
 ./build/check-release/bench/bench_scale BENCH_scale.json
+
+echo "=== Distributed gate: fabric digests must match in-process ==="
+./build/check-release/bench/bench_distributed BENCH_distributed.json
+
+echo "=== Smoke campaign on the subprocess fabric, cold then warm ==="
+FABRIC_CACHE="$(mktemp -d)"
+fabric_cold=$(./build/check-release/examples/campaign_sweep --smoke \
+  --executor subprocess --workers 2 --cache "$FABRIC_CACHE" |
+  tee /dev/stderr | grep '^executed=')
+[[ "$fabric_cold" == executed=4\ cache_hits=0\ * &&
+   "$fabric_cold" == *executor=subprocess* ]] ||
+  { echo "FAIL: cold fabric smoke expected executed=4 on subprocess, got: $fabric_cold"; exit 1; }
+fabric_warm=$(./build/check-release/examples/campaign_sweep --smoke \
+  --executor subprocess --workers 2 --cache "$FABRIC_CACHE" |
+  tee /dev/stderr | grep '^executed=')
+[[ "$fabric_warm" == executed=0\ cache_hits=4\ * ]] ||
+  { echo "FAIL: warm fabric smoke expected executed=0 cache_hits=4, got: $fabric_warm"; exit 1; }
+rm -rf "$FABRIC_CACHE"
 
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \

@@ -93,6 +93,8 @@
 // Multi-scenario campaigns.
 #include "sweep/cache.h"
 #include "sweep/campaign.h"
+#include "sweep/executor.h"
+#include "sweep/progress.h"
 #include "sweep/runner.h"
 #include "sweep/summary.h"
 

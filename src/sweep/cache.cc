@@ -207,14 +207,36 @@ std::filesystem::path RunCache::entry_path(std::uint64_t key) const {
 }
 
 std::optional<RunSummary> RunCache::load(std::uint64_t key) {
-  std::ifstream in(entry_path(key));
-  if (!in) {
+  // The directory is shared by concurrent readers and writers (fabric
+  // workers, parallel campaigns), so anything found on disk is treated
+  // as a hint: a truncated, torn, garbled, or vanished entry is a miss
+  // (counted in `invalid`), never a campaign failure.
+  bool present = false;
+  std::optional<std::string> text;
+  try {
+    std::error_code ec;
+    const std::filesystem::path path = entry_path(key);
+    present = std::filesystem::exists(path, ec);
+    if (present && std::filesystem::is_regular_file(path, ec)) {
+      std::ifstream in(path);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (!in.bad()) text = buffer.str();
+      }
+    }
+  } catch (...) {
+    text.reset();  // filesystem/alloc hiccup: a miss, not an abort
+  }
+  if (!text.has_value()) {
+    // Present but unreadable (a directory squatting on the name, a
+    // permission problem, a vanished-mid-read file) is an invalid entry;
+    // plain absence is an ordinary miss.
+    if (present) invalid_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const auto doc = obs::json_parse(buffer.str());
+  const auto doc = obs::json_parse(*text);
   // The key already encodes the salt, but entries copied across versions
   // can land under a colliding name — verify the stored salt too.
   const obs::JsonValue* salt_doc = doc.has_value() ? doc->find("salt") : nullptr;
@@ -256,7 +278,14 @@ void RunCache::store(std::uint64_t key, const RunSummary& summary) {
   std::filesystem::rename(tmp, path, ec);
   if (ec) std::filesystem::remove(tmp, ec);
 
-  if (limits_.max_entries > 0 || limits_.max_bytes > 0) enforce_limits();
+  if (limits_.max_entries > 0 || limits_.max_bytes > 0) {
+    // Eviction races benignly with concurrent processes deleting or
+    // renaming entries; a scan tripping over one must not fail a store.
+    try {
+      enforce_limits();
+    } catch (...) {
+    }
+  }
 }
 
 void RunCache::enforce_limits() {

@@ -15,7 +15,11 @@
 //    (kCodeVersionSalt below); stale entries then simply miss.
 //  - Cache files are written via a temp file + rename so a crashed or
 //    concurrent writer never leaves a torn entry; unreadable or
-//    unparsable entries count as misses.
+//    unparsable entries count as misses (and `invalid` in CacheStats).
+//  - The directory is safely shared across processes: the fabric's
+//    worker fleet reads and writes one cache concurrently, so every
+//    disk observation is a hint — corrupt, truncated, or vanished
+//    entries degrade to misses, never to campaign failures.
 #pragma once
 
 #include <atomic>

@@ -34,13 +34,15 @@ void StderrProgress::cell_finished(const CellProgress& cell,
                                    const ProgressSnapshot& snapshot) {
   char eta[24];
   format_duration(snapshot.eta_ms, eta, sizeof(eta));
+  std::string who;
+  if (!cell.executed_by.empty()) who = " <- " + cell.executed_by;
   std::fprintf(stderr,
                "[%3zu/%zu] done=%zu cached=%zu hit=%.0f%% eta=%s "
-               "wall=%.0fms %s%s\n",
+               "wall=%.0fms %s%s%s\n",
                snapshot.done + snapshot.cached, snapshot.total, snapshot.done,
                snapshot.cached, snapshot.cache_hit_rate * 100.0, eta,
                cell.wall_ms, cell.label.c_str(),
-               cell.straggler ? " [straggler]" : "");
+               cell.straggler ? " [straggler]" : "", who.c_str());
 }
 
 void StderrProgress::campaign_finished(const ProgressSnapshot& snapshot) {

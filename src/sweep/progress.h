@@ -42,6 +42,9 @@ struct CellProgress {
   /// Flagged when this cell's wall time exceeded
   /// CampaignOptions::straggler_factor x the EMA at completion.
   bool straggler = false;
+  /// Who ran the cell ("inproc", "worker-K"); empty at cell_started —
+  /// the executor is only known once a result lands.
+  std::string executed_by;
 };
 
 /// Observer of one campaign execution. Default implementations are
@@ -69,8 +72,9 @@ class ProgressSink {
 };
 
 /// Renders progress to stderr, one line per completion:
-///   [ 12/48] done=10 cached=2 hit=4% eta=01:23 wall=1842ms cell-label
-/// Stragglers get a " [straggler]" suffix. Used by
+///   [ 12/48] done=10 cached=2 hit=4% eta=01:23 wall=1842ms cell-label <- worker-1
+/// Stragglers get a " [straggler]" suffix; the trailing "<- who" names
+/// the executor/worker that produced the cell. Used by
 /// examples/campaign_sweep --progress.
 class StderrProgress : public ProgressSink {
  public:

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/exporters.h"
@@ -12,6 +11,13 @@
 #include "util/parallel.h"
 
 namespace rootstress::sweep {
+
+ExecutorConfig resolved_executor(const CampaignOptions& options) {
+  ExecutorConfig config = options.executor;
+  if (config.workers <= 0) config.workers = options.workers;
+  if (config.lane_budget <= 0) config.lane_budget = options.lane_budget;
+  return config;
+}
 
 std::string to_string(CellMetric metric) {
   switch (metric) {
@@ -118,6 +124,7 @@ obs::JsonValue CampaignResult::to_json() const {
   doc.set("cache_hits",
           obs::JsonValue(static_cast<std::uint64_t>(cache_hits)));
   doc.set("wall_ms", obs::JsonValue(wall_ms));
+  doc.set("executor", obs::JsonValue(executor));
   doc.set("workers", obs::JsonValue(workers));
   doc.set("inner_lanes", obs::JsonValue(inner_lanes));
   doc.set("ema_cell_ms", obs::JsonValue(ema_cell_ms));
@@ -144,6 +151,9 @@ obs::JsonValue CampaignResult::to_json() const {
     c.set("from_cache", obs::JsonValue(cell.from_cache));
     c.set("wall_ms", obs::JsonValue(cell.wall_ms));
     c.set("straggler", obs::JsonValue(cell.straggler));
+    if (!cell.executed_by.empty()) {
+      c.set("executed_by", obs::JsonValue(cell.executed_by));
+    }
     if (cell.timeline_digest != 0) {
       char digest_hex[24];
       std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
@@ -218,6 +228,7 @@ CampaignResult run_campaign(const Campaign& campaign,
         if (auto cached = cache->load(outcome.key); cached.has_value()) {
           outcome.summary = std::move(*cached);
           outcome.from_cache = true;
+          outcome.executed_by = "cache";
           ++result.cache_hits;
           continue;
         }
@@ -226,12 +237,19 @@ CampaignResult run_campaign(const Campaign& campaign,
     }
   }
 
-  // Compose outer cell workers with inner engine lanes under one budget.
-  const int lane_budget = util::resolve_thread_count(options.lane_budget);
-  int workers = util::resolve_thread_count(options.workers);
+  // Compose outer cell workers with inner engine lanes under one budget,
+  // then build the executor the options name. The deprecated flat knobs
+  // fold into the ExecutorConfig here.
+  ExecutorConfig exec_config = resolved_executor(options);
+  const int lane_budget = util::resolve_thread_count(exec_config.lane_budget);
+  int workers = util::resolve_thread_count(exec_config.workers);
   workers = std::min(
       workers, static_cast<int>(std::max<std::size_t>(to_run.size(), 1)));
   const int inner_lanes = util::lanes_per_worker(lane_budget, workers);
+  exec_config.workers = workers;
+  exec_config.lane_budget = lane_budget;
+  const std::unique_ptr<Executor> executor = make_executor(exec_config);
+  result.executor = executor->name();
   result.workers = workers;
   result.inner_lanes = inner_lanes;
 
@@ -250,106 +268,30 @@ CampaignResult run_campaign(const Campaign& campaign,
                                           /*bin_count=*/64);
   }
 
-  // Observatory state: counters + EMA/ETA under one lock. Display only —
-  // nothing below reads it back into cell execution.
-  std::mutex progress_mutex;
-  const auto execute_begin = std::chrono::steady_clock::now();
-  ProgressSnapshot progress;
-  progress.total = cells.size();
-  progress.cached = result.cache_hits;
-  progress.cache_hit_rate =
-      cells.empty() ? 0.0
-                    : static_cast<double>(result.cache_hits) /
-                          static_cast<double>(cells.size());
-  auto stamp_elapsed = [&progress, execute_begin] {
-    progress.elapsed_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - execute_begin)
-                              .count();
-  };
-  if (options.progress_sink != nullptr) {
-    stamp_elapsed();
-    options.progress_sink->campaign_started(progress);
-  }
+  // One board for all executors: counters + EMA/ETA + sink callbacks
+  // under one lock. Display only — nothing reads it back into cells.
+  CompletionBoard board(cells.size(), result.cache_hits, workers,
+                        options.straggler_factor, options.progress_sink,
+                        options.progress);
+  if (options.progress_sink != nullptr) board.campaign_started();
 
   {
     obs::PhaseProfiler::Scope scope(profiler, "execute");
-    util::ThreadPool pool(workers);
-    pool.parallel_for(to_run.size(), [&](std::size_t task) {
-      const std::size_t i = to_run[task];
-      CellOutcome& outcome = result.cells[i];
-      if (options.progress_sink != nullptr) {
-        const std::scoped_lock lock(progress_mutex);
-        ++progress.running;
-        stamp_elapsed();
-        CellProgress cp;
-        cp.index = outcome.index;
-        cp.label = outcome.label;
-        options.progress_sink->cell_started(cp, progress);
-      }
-      sim::ScenarioConfig config = cells[i].config;
-      // An explicit per-cell thread count wins; auto cells get their
-      // budget share.
-      if (config.threads <= 0) config.threads = inner_lanes;
-      const auto begin = std::chrono::steady_clock::now();
-      const core::EvaluationReport report = core::evaluate_scenario(config);
-      // Summarize against the resolved config (not the thread-adjusted
-      // copy's identity — summaries must match standalone runs).
-      outcome.summary = summarize(cells[i].config, report);
-      outcome.summary.config_hash = outcome.key;
-      outcome.wall_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - begin)
-                            .count();
-      // Flight-recorder digest: observational sidecar, never part of the
-      // summary (cache entries stay recorder-agnostic).
-      const obs::TimelineData& timeline = report.result.telemetry.timeline;
-      if (!timeline.empty()) {
-        outcome.timeline_digest = timeline.digest();
-        outcome.timeline_series = timeline.series.size();
-        outcome.timeline_spans = timeline.spans.size();
-      }
-      if (cache) cache->store(outcome.key, outcome.summary);
-      if (executed_counter) executed_counter->add(1);
-      if (wall_hist) wall_hist->observe(outcome.wall_ms);
-      {
-        const std::scoped_lock lock(progress_mutex);
-        // EMA over completed cells (alpha 0.3; the first completion
-        // seeds it). A cell well past the prior estimate is a straggler
-        // — flagged before this sample drags the EMA up.
-        outcome.straggler = progress.done > 0 &&
-                            outcome.wall_ms > options.straggler_factor *
-                                                  progress.ema_cell_ms;
-        progress.ema_cell_ms =
-            progress.done == 0
-                ? outcome.wall_ms
-                : 0.3 * outcome.wall_ms + 0.7 * progress.ema_cell_ms;
-        if (progress.running > 0) --progress.running;
-        ++progress.done;
-        const std::size_t remaining = to_run.size() - progress.done;
-        progress.eta_ms = progress.ema_cell_ms *
-                          static_cast<double>(remaining) /
-                          static_cast<double>(std::max(workers, 1));
-        stamp_elapsed();
-        if (options.progress_sink != nullptr) {
-          CellProgress cp;
-          cp.index = outcome.index;
-          cp.label = outcome.label;
-          cp.wall_ms = outcome.wall_ms;
-          cp.straggler = outcome.straggler;
-          options.progress_sink->cell_finished(cp, progress);
-        }
-        if (options.progress) {
-          options.progress(outcome.label, /*cached=*/false, outcome.wall_ms);
-        }
-      }
-    });
+    ExecutionContext context;
+    context.cells = &cells;
+    context.to_run = &to_run;
+    context.outcomes = &result.cells;
+    context.cache = cache.get();
+    context.workers = workers;
+    context.inner_lanes = inner_lanes;
+    context.board = &board;
+    context.executed_counter = executed_counter;
+    context.wall_hist = wall_hist;
+    executor->execute(context);
   }
   result.executed = to_run.size();
-  result.ema_cell_ms = progress.ema_cell_ms;
-  if (options.progress_sink != nullptr) {
-    progress.eta_ms = 0.0;
-    stamp_elapsed();
-    options.progress_sink->campaign_finished(progress);
-  }
+  result.ema_cell_ms = board.ema_cell_ms();
+  if (options.progress_sink != nullptr) board.campaign_finished();
   if (options.progress) {
     for (const CellOutcome& outcome : result.cells) {
       if (outcome.from_cache) {
@@ -391,8 +333,8 @@ CampaignResult run_campaign(const Campaign& campaign,
   }
   RS_LOG_INFO << "campaign '" << result.name << "': " << cells.size()
               << " cells, " << result.executed << " executed, "
-              << result.cache_hits << " cached, " << workers << "x"
-              << inner_lanes << " lanes";
+              << result.cache_hits << " cached, " << result.executor << " "
+              << workers << "x" << inner_lanes << " lanes";
   return result;
 }
 

@@ -1,14 +1,16 @@
-// Campaign execution: expand, probe the cache, run the misses
-// concurrently, aggregate.
+// Campaign execution: expand, probe the cache, run the misses through a
+// pluggable Executor, aggregate.
 //
-// Concurrency model: cells run on an outer util::ThreadPool, composed
-// with each cell's inner engine parallelism through a shared lane
-// budget — outer_workers * inner_threads <= lane_budget, so a campaign
-// never oversubscribes the machine however the two knobs are set.
-// Because the engine is bit-identical for any thread count and every
-// cell's config is fully resolved before dispatch, per-cell results are
-// independent of the outer worker count and identical to running each
-// config standalone (the sweep test suite enforces both).
+// Concurrency model: cells run on an Executor (sweep/executor.h) —
+// in-process on a util::ThreadPool, or across forked worker processes on
+// the fabric (sweep/fabric/) — composed with each cell's inner engine
+// parallelism through a shared lane budget: outer_workers * inner_threads
+// <= lane_budget, so a campaign never oversubscribes the machine however
+// the two knobs are set. Because the engine is bit-identical for any
+// thread count and every cell's config is fully resolved before dispatch,
+// per-cell results are independent of the executor choice and the worker
+// count and identical to running each config standalone (the sweep and
+// executor test suites enforce all three).
 //
 // Telemetry: the runner owns a campaign-level obs::Runtime — progress
 // counters (cells executed / cached, per-cell wall histogram) plus
@@ -26,6 +28,7 @@
 #include "obs/runtime.h"
 #include "sweep/cache.h"
 #include "sweep/campaign.h"
+#include "sweep/executor.h"
 #include "sweep/progress.h"
 #include "sweep/summary.h"
 #include "util/table.h"
@@ -34,11 +37,15 @@ namespace rootstress::sweep {
 
 /// Knobs for one campaign execution.
 struct CampaignOptions {
-  /// Concurrent cells. <= 0 = auto (ROOTSTRESS_THREADS, else hardware),
-  /// capped at the number of cells to run.
+  /// Executor selection and its threading/fabric knobs (workers, lanes,
+  /// mode) — see sweep/executor.h. The single home for parallelism
+  /// configuration.
+  ExecutorConfig executor;
+  /// DEPRECATED: pre-fabric flat threading knobs, kept so existing
+  /// callers compile unchanged. Nonzero values are merged into
+  /// `executor` by resolved_executor() — `executor.workers` /
+  /// `executor.lane_budget` win when both are set. Use `executor`.
   int workers = 0;
-  /// Total worker lanes shared by outer x inner parallelism. <= 0 = auto
-  /// (same resolution as `workers`).
   int lane_budget = 0;
   /// Cache directory; empty disables caching (every cell executes).
   std::filesystem::path cache_dir;
@@ -67,25 +74,10 @@ struct CampaignOptions {
   double straggler_factor = 3.0;
 };
 
-/// One executed (or cache-served) cell.
-struct CellOutcome {
-  std::size_t index = 0;
-  std::vector<std::size_t> coords;
-  std::string label;
-  std::uint64_t key = 0;       ///< salted config hash (cache key)
-  bool from_cache = false;
-  double wall_ms = 0.0;        ///< 0 for cache hits
-  bool straggler = false;      ///< wall time >> the campaign's EMA
-  /// Flight-recorder digest of the cell's run (obs::TimelineData::digest)
-  /// plus series/span counts. 0 / 0 / 0 for cache hits and cells that ran
-  /// with telemetry off — the digest is observational and deliberately
-  /// NOT part of RunSummary, so summaries (and cache entries) stay
-  /// bit-identical whether or not the recorder ran.
-  std::uint64_t timeline_digest = 0;
-  std::size_t timeline_series = 0;
-  std::size_t timeline_spans = 0;
-  RunSummary summary;
-};
+/// The effective executor configuration: `options.executor` with the
+/// deprecated flat `workers` / `lane_budget` fields folded in (flat
+/// values apply only where the ExecutorConfig still says auto).
+ExecutorConfig resolved_executor(const CampaignOptions& options);
 
 /// The metric a comparison table projects out of each cell.
 enum class CellMetric : std::uint8_t {
@@ -110,9 +102,10 @@ struct CampaignResult {
   std::vector<AxisKind> axis_kinds;              ///< one per axis
   std::vector<std::vector<std::string>> axis_labels;  ///< per axis, per point
   std::vector<CellOutcome> cells;                ///< row-major, all cells
-  std::size_t executed = 0;    ///< cells that ran the engine
-  std::size_t cache_hits = 0;  ///< cells served from the cache
+  std::size_t executed = 0;    ///< cells that ran through the executor
+  std::size_t cache_hits = 0;  ///< cells served from the cache at probe
   double wall_ms = 0.0;        ///< whole-campaign wall clock
+  std::string executor;        ///< which Executor ran the misses
   int workers = 0;             ///< resolved outer cell workers
   int inner_lanes = 0;         ///< resolved engine lanes per worker
   double ema_cell_ms = 0.0;    ///< EMA of executed-cell wall times
@@ -134,7 +127,9 @@ struct CampaignResult {
 };
 
 /// Expands and executes `campaign`. Throws std::invalid_argument when any
-/// expanded cell fails sim::validate (before anything runs).
+/// expanded cell fails sim::validate (before anything runs), and
+/// std::runtime_error when the fabric loses every worker or a cell's
+/// engine throws on a worker.
 CampaignResult run_campaign(const Campaign& campaign,
                             const CampaignOptions& options = {});
 

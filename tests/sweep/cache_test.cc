@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "sim/scenario_builder.h"
 
@@ -255,6 +257,66 @@ TEST(RunCache, CorruptedEntryIsAMiss) {
   }
   EXPECT_FALSE(cache.load(summary.config_hash).has_value());
   EXPECT_GE(cache.stats().invalid, 1u);
+}
+
+TEST(RunCache, TruncatedAndGarbageEntriesAreCountedMisses) {
+  // The fabric shares one cache directory across worker processes, so
+  // every flavour of torn entry must degrade to a miss — never throw.
+  const fs::path dir = fresh_dir("rs_cache_torn");
+  RunCache cache(dir);
+  const RunSummary summary = sample_summary();
+  cache.store(1, summary);
+  cache.store(2, summary);
+  cache.store(3, summary);
+
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    entries.push_back(entry.path());
+  }
+  ASSERT_EQ(entries.size(), 3u);
+  std::sort(entries.begin(), entries.end());
+  // Entry 1: truncated to nothing. Entry 2: binary garbage. Entry 3:
+  // valid JSON that is not a summary envelope.
+  std::ofstream(entries[0], std::ios::trunc);
+  std::ofstream(entries[1], std::ios::trunc | std::ios::binary)
+      << "\xff\xfe\x7f garbage";
+  std::ofstream(entries[2], std::ios::trunc) << "{\"salt\": 42}";
+
+  const std::uint64_t invalid_before = cache.stats().invalid;
+  EXPECT_FALSE(cache.load(1).has_value());
+  EXPECT_FALSE(cache.load(2).has_value());
+  EXPECT_FALSE(cache.load(3).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalid, invalid_before + 3);
+  EXPECT_GE(stats.misses, 3u);
+
+  // A corrupt entry is recoverable: the next store overwrites it.
+  cache.store(1, summary);
+  EXPECT_TRUE(cache.load(1).has_value());
+}
+
+TEST(RunCache, DirectorySquattingAnEntryPathIsAMissNotAFailure) {
+  // A directory sitting where an entry file should be (operator mishap,
+  // weird sync tooling) must read as invalid, not throw out of load().
+  const fs::path dir = fresh_dir("rs_cache_squat");
+  RunCache cache(dir);
+  const RunSummary summary = sample_summary();
+  cache.store(7, summary);
+  fs::path entry;
+  for (const auto& e : fs::directory_iterator(dir)) entry = e.path();
+  fs::remove(entry);
+  fs::create_directory(entry);
+
+  EXPECT_FALSE(cache.load(7).has_value());
+  EXPECT_GE(cache.stats().invalid, 1u);
+}
+
+TEST(RunCache, AbsentEntryIsAPlainMissNotInvalid) {
+  RunCache cache(fresh_dir("rs_cache_absent"));
+  EXPECT_FALSE(cache.load(0xabcdef).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.invalid, 0u);  // nothing was present to be invalid
 }
 
 TEST(RunCache, MaxEntriesEvictsOldestFirst) {
