@@ -35,10 +35,17 @@
 #      campaign re-run on the fabric — cold on 2 workers must execute
 #      all 4 cells through the subprocess executor and a warm pass must
 #      serve every cell from the cache the workers populated.
-#   8. Debug build with ThreadSanitizer, running the thread-pool unit
-#      tests, the parallel-determinism integration test, and the
+#   8. Netio gate: a wirestress --duel --quick loopback smoke (real UDP
+#      packets through the generator and server-under-test), then
+#      bench_netio — batched-send throughput must clear the 50k q/s bar
+#      on loopback AND the measured answered fraction under a 2x capacity
+#      overload must agree with the fluid simulator's prediction within
+#      10% (writes BENCH_netio.json).
+#   9. Debug build with ThreadSanitizer, running the thread-pool unit
+#      tests, the parallel-determinism integration test, the
 #      incremental-vs-full BGP cross-check (debug builds cross-check
-#      every mutation) under TSan.
+#      every mutation), and the netio socket/server/generator tests
+#      (real threads + real sockets) under TSan.
 #
 # Usage: scripts/check.sh  (from the repo root; build trees land in
 # build/check-release and build/check-tsan).
@@ -134,11 +141,15 @@ fabric_warm=$(./build/check-release/examples/campaign_sweep --smoke \
   { echo "FAIL: warm fabric smoke expected executed=0 cache_hits=4, got: $fabric_warm"; exit 1; }
 rm -rf "$FABRIC_CACHE"
 
+echo "=== Netio gate: wire smoke, then throughput + calibration ==="
+./build/check-release/examples/wirestress --duel --quick
+./build/check-release/bench/bench_netio BENCH_netio.json
+
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build/check-tsan -j --target util_test integration_test
+cmake --build build/check-tsan -j --target util_test integration_test netio_test
 
 echo "=== Pool tests under TSan ==="
 (cd build/check-tsan &&
@@ -147,5 +158,10 @@ echo "=== Pool tests under TSan ==="
     --gtest_filter='ParallelDeterminism.*' &&
   ROOTSTRESS_THREADS=4 ./tests/integration_test \
     --gtest_filter='ScaleDeterminism.FullAndIncrementalBgpProduceIdenticalRuns')
+
+echo "=== Netio tests under TSan: sockets + server + generator threads ==="
+(cd build/check-tsan &&
+  ./tests/netio_test \
+    --gtest_filter='Modes/SocketRoundTrip.*:WireServer.LoopbackIntegrationAnswersRealSocketQuery:LoadGenerator.*')
 
 echo "ALL CHECKS PASSED"

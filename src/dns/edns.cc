@@ -2,8 +2,8 @@
 
 namespace rootstress::dns {
 
-ResourceRecord make_opt_record(std::uint16_t udp_payload_size,
-                               bool dnssec_ok) {
+ResourceRecord make_opt_record(std::uint16_t udp_payload_size, bool dnssec_ok,
+                               const std::optional<ClientSubnet>& subnet) {
   ResourceRecord rr;
   rr.name = Name::root();
   rr.type = static_cast<RrType>(kOptType);
@@ -11,6 +11,29 @@ ResourceRecord make_opt_record(std::uint16_t udp_payload_size,
   rr.klass = static_cast<RrClass>(udp_payload_size);
   // TTL: ext-rcode(8) | version(8) | DO(1) | zeros(15).
   rr.ttl = dnssec_ok ? 0x8000u : 0u;
+  if (subnet.has_value()) {
+    // RFC 7871 §6: FAMILY(2) | SOURCE PREFIX-LENGTH(1) |
+    // SCOPE PREFIX-LENGTH(1) | ADDRESS (source-prefix bits, zero-padded
+    // to whole octets). We always emit the full 4 address octets the
+    // source length covers.
+    const std::uint8_t source_len =
+        subnet->source_prefix_len > 32 ? 32 : subnet->source_prefix_len;
+    const std::size_t addr_octets = (source_len + 7) / 8;
+    const std::uint16_t option_len = static_cast<std::uint16_t>(4 + addr_octets);
+    rr.rdata.reserve(4 + option_len);
+    rr.rdata.push_back(static_cast<std::uint8_t>(kClientSubnetOption >> 8));
+    rr.rdata.push_back(static_cast<std::uint8_t>(kClientSubnetOption & 0xff));
+    rr.rdata.push_back(static_cast<std::uint8_t>(option_len >> 8));
+    rr.rdata.push_back(static_cast<std::uint8_t>(option_len & 0xff));
+    rr.rdata.push_back(0);  // FAMILY = 1 (IPv4)
+    rr.rdata.push_back(1);
+    rr.rdata.push_back(source_len);
+    rr.rdata.push_back(subnet->scope_prefix_len);
+    const std::uint32_t value = subnet->addr.value();
+    for (std::size_t i = 0; i < addr_octets; ++i) {
+      rr.rdata.push_back(static_cast<std::uint8_t>(value >> (24 - 8 * i)));
+    }
+  }
   return rr;
 }
 
@@ -26,9 +49,47 @@ std::optional<EdnsInfo> edns_info(const Message& message) {
   return std::nullopt;
 }
 
-void add_edns(Message& query, std::uint16_t udp_payload_size,
-              bool dnssec_ok) {
-  query.additional.push_back(make_opt_record(udp_payload_size, dnssec_ok));
+std::optional<ClientSubnet> client_subnet(const Message& message) {
+  for (const auto& rr : message.additional) {
+    if (static_cast<std::uint16_t>(rr.type) != kOptType) continue;
+    // Walk the {code, length, data} option list.
+    const auto& d = rr.rdata;
+    std::size_t pos = 0;
+    while (pos + 4 <= d.size()) {
+      const std::uint16_t code =
+          static_cast<std::uint16_t>((d[pos] << 8) | d[pos + 1]);
+      const std::uint16_t len =
+          static_cast<std::uint16_t>((d[pos + 2] << 8) | d[pos + 3]);
+      pos += 4;
+      if (pos + len > d.size()) return std::nullopt;  // truncated option
+      if (code == kClientSubnetOption) {
+        if (len < 4) return std::nullopt;
+        const std::uint16_t family =
+            static_cast<std::uint16_t>((d[pos] << 8) | d[pos + 1]);
+        if (family != 1) return std::nullopt;  // IPv4 only
+        ClientSubnet ecs;
+        ecs.source_prefix_len = d[pos + 2];
+        ecs.scope_prefix_len = d[pos + 3];
+        if (ecs.source_prefix_len > 32) return std::nullopt;
+        const std::size_t addr_octets = (ecs.source_prefix_len + 7) / 8;
+        if (len != 4 + addr_octets) return std::nullopt;
+        std::uint32_t value = 0;
+        for (std::size_t i = 0; i < addr_octets; ++i) {
+          value |= static_cast<std::uint32_t>(d[pos + 4 + i]) << (24 - 8 * i);
+        }
+        ecs.addr = net::Ipv4Addr(value);
+        return ecs;
+      }
+      pos += len;
+    }
+  }
+  return std::nullopt;
+}
+
+void add_edns(Message& query, std::uint16_t udp_payload_size, bool dnssec_ok,
+              const std::optional<ClientSubnet>& subnet) {
+  query.additional.push_back(
+      make_opt_record(udp_payload_size, dnssec_ok, subnet));
 }
 
 std::size_t max_udp_response_size(const Message& query) {

@@ -11,11 +11,28 @@
 #include <optional>
 
 #include "dns/message.h"
+#include "net/ipv4.h"
 
 namespace rootstress::dns {
 
 /// OPT pseudo-RR type code.
 inline constexpr std::uint16_t kOptType = 41;
+
+/// EDNS Client Subnet option code (RFC 7871).
+inline constexpr std::uint16_t kClientSubnetOption = 8;
+
+/// An EDNS Client Subnet option (IPv4 only). The wire-I/O load generator
+/// uses this to carry its *modeled* spoofed source address inside real
+/// packets: loopback UDP cannot forge IP headers without raw sockets, so
+/// the heavy-hitter source model rides as ECS and the server-under-test
+/// can be configured to key RRL on it (netio::WireServerConfig).
+struct ClientSubnet {
+  net::Ipv4Addr addr{};
+  std::uint8_t source_prefix_len = 32;
+  std::uint8_t scope_prefix_len = 0;
+
+  bool operator==(const ClientSubnet&) const = default;
+};
 
 /// Parsed EDNS parameters.
 struct EdnsInfo {
@@ -24,17 +41,24 @@ struct EdnsInfo {
   std::uint8_t version = 0;
 };
 
-/// Builds the OPT record for the additional section.
-ResourceRecord make_opt_record(std::uint16_t udp_payload_size,
-                               bool dnssec_ok = false);
+/// Builds the OPT record for the additional section. When `subnet` is
+/// set, its ECS option is encoded into the OPT rdata.
+ResourceRecord make_opt_record(
+    std::uint16_t udp_payload_size, bool dnssec_ok = false,
+    const std::optional<ClientSubnet>& subnet = std::nullopt);
 
 /// Extracts EDNS parameters from a message's additional section; nullopt
 /// when no OPT record is present (classic 512-byte DNS).
 std::optional<EdnsInfo> edns_info(const Message& message);
 
+/// Extracts the ECS option from a message's OPT rdata; nullopt when no
+/// OPT record carries one (or it is malformed / not IPv4).
+std::optional<ClientSubnet> client_subnet(const Message& message);
+
 /// Adds EDNS to a query in place (appends the OPT record).
 void add_edns(Message& query, std::uint16_t udp_payload_size,
-              bool dnssec_ok = false);
+              bool dnssec_ok = false,
+              const std::optional<ClientSubnet>& subnet = std::nullopt);
 
 /// The effective maximum UDP response size for a query: its advertised
 /// EDNS buffer, or 512 without EDNS.

@@ -63,6 +63,15 @@ class RootServer {
   std::optional<Message> answer(const Message& query, net::Ipv4Addr source,
                                 net::SimTime now);
 
+  /// Builds the root-referral response for an IN query without touching
+  /// RRL or the stats counters. The wire-I/O server (netio/) uses this to
+  /// populate its packet cache: the encoded referral for a given
+  /// (qname, EDNS size) is invariant, so the hot path patches the cached
+  /// bytes' message id instead of rebuilding 26 records per packet.
+  Message referral_response(const Message& query) const {
+    return answer_root_referral(query);
+  }
+
   /// The CHAOS identity string this server embeds in hostname.bind
   /// replies.
   const std::string& identity() const noexcept { return identity_; }

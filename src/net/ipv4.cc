@@ -35,6 +35,28 @@ std::string Ipv4Addr::to_string() const {
   return out;
 }
 
+std::optional<Endpoint> Endpoint::parse(std::string_view text) noexcept {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, colon));
+  if (!addr) return std::nullopt;
+  const auto port_text = text.substr(colon + 1);
+  if (port_text.empty()) return std::nullopt;
+  unsigned port = 0;
+  auto [next, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc() || next != port_text.data() + port_text.size() ||
+      port > 65535) {
+    return std::nullopt;
+  }
+  if (port_text.size() > 1 && port_text.front() == '0') return std::nullopt;
+  return Endpoint(*addr, static_cast<std::uint16_t>(port));
+}
+
+std::string Endpoint::to_string() const {
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
 std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
   const auto slash = text.find('/');
   if (slash == std::string_view::npos) return std::nullopt;

@@ -33,6 +33,29 @@ class Ipv4Addr {
   std::uint32_t value_ = 0;
 };
 
+/// A UDP/TCP endpoint: IPv4 address + port. The wire-I/O layer (netio/)
+/// uses this for listen/target addresses; `parse` accepts the
+/// "host:port" strings the CLI flags take.
+struct Endpoint {
+  Ipv4Addr addr{};
+  std::uint16_t port = 0;
+
+  constexpr Endpoint() noexcept = default;
+  constexpr Endpoint(Ipv4Addr a, std::uint16_t p) noexcept
+      : addr(a), port(p) {}
+
+  /// Parses "a.b.c.d:port". The port is required, must be decimal with no
+  /// leading zeros (matching Ipv4Addr::parse strictness), and must fit in
+  /// 16 bits; nullopt on any malformed input.
+  static std::optional<Endpoint> parse(std::string_view text) noexcept;
+
+  /// "a.b.c.d:port".
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Endpoint&,
+                                    const Endpoint&) noexcept = default;
+};
+
 /// A CIDR prefix (address + length).
 class Prefix {
  public:

@@ -1,0 +1,49 @@
+// Preallocated packet-buffer arena shared by the wire-I/O sender and
+// server paths.
+//
+// Batched socket I/O wants stable, contiguous buffers: recvmmsg scatters
+// into caller-owned iovecs and sendmmsg gathers out of them, so the hot
+// loops must never allocate per packet. A PacketArena is one contiguous
+// allocation carved into fixed-size slots; each worker owns an arena and
+// hands slot spans to the socket layer. Slot 0..batch-1 conventionally
+// back the in-flight batch; nothing in the arena itself tracks ownership.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rootstress::netio {
+
+/// Maximum DNS-over-UDP payload the wire paths size their slots for: a
+/// 4096-byte EDNS buffer covers every response the root server emits.
+inline constexpr std::size_t kMaxPacketBytes = 4096;
+
+class PacketArena {
+ public:
+  PacketArena(std::size_t slot_count, std::size_t slot_size = kMaxPacketBytes)
+      : slot_size_(slot_size), storage_(slot_count * slot_size) {}
+
+  std::size_t slot_count() const noexcept {
+    return slot_size_ == 0 ? 0 : storage_.size() / slot_size_;
+  }
+  std::size_t slot_size() const noexcept { return slot_size_; }
+
+  /// Full-capacity span of slot `i`. The returned span stays valid for
+  /// the arena's lifetime; slots never move.
+  std::span<std::uint8_t> slot(std::size_t i) noexcept {
+    return std::span<std::uint8_t>(storage_.data() + i * slot_size_,
+                                   slot_size_);
+  }
+  std::span<const std::uint8_t> slot(std::size_t i) const noexcept {
+    return std::span<const std::uint8_t>(storage_.data() + i * slot_size_,
+                                         slot_size_);
+  }
+
+ private:
+  std::size_t slot_size_;
+  std::vector<std::uint8_t> storage_;
+};
+
+}  // namespace rootstress::netio

@@ -1,0 +1,40 @@
+#include "netio/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dns/rrl.h"
+
+namespace rootstress::netio {
+
+WirePrediction predict_wire_outcome(double offered_qps,
+                                    const anycast::QueueConfig& queue,
+                                    bool rrl_enabled,
+                                    double duplicate_fraction) noexcept {
+  WirePrediction p;
+  if (offered_qps <= 0.0) return p;
+  if (queue.capacity_qps <= 0.0) {
+    // Unlimited capacity: the queue model treats <= 0 as "serves
+    // nothing", but the wire server treats it as "no admission gate" —
+    // this predictor follows the wire semantics.
+    p.served_qps = offered_qps;
+    p.utilization = 0.0;
+  } else {
+    const anycast::QueueOutcome q = anycast::evaluate_queue(offered_qps, queue);
+    p.queue_loss = q.loss_fraction;
+    p.served_qps = q.served_qps;
+    p.utilization = q.utilization;
+  }
+  p.rrl_suppression =
+      rrl_enabled ? dns::expected_suppression(duplicate_fraction) : 0.0;
+  p.answered_fraction =
+      (1.0 - p.queue_loss) * (1.0 - p.rrl_suppression);
+  return p;
+}
+
+double calibration_error(double measured, double predicted) noexcept {
+  const double denom = std::max(std::abs(predicted), 1e-9);
+  return std::abs(measured - predicted) / denom;
+}
+
+}  // namespace rootstress::netio

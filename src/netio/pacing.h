@@ -1,0 +1,71 @@
+// Token-bucket send pacing.
+//
+// The load generator must *offer* a requested rate, not blast as fast as
+// the socket accepts — achieved-vs-requested QPS is one of the two
+// numbers the calibration gate checks. Each worker paces with its own
+// bucket (rate = target/workers); time is injected in nanoseconds so the
+// bucket is a pure function of its call sequence and unit tests need no
+// real clock. Rates are adjustable mid-run, which is how attack-schedule
+// envelopes replay: the worker re-targets the bucket every tick.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rootstress::netio {
+
+class TokenBucket {
+ public:
+  /// `rate_per_s` tokens accrue per second up to `burst` (the batch-size
+  /// headroom; also the initial fill so startup is not penalized).
+  TokenBucket(double rate_per_s, double burst) noexcept
+      : rate_(rate_per_s < 0 ? 0 : rate_per_s),
+        burst_(burst < 1 ? 1 : burst),
+        tokens_(burst_) {}
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+  /// Re-targets the accrual rate (envelope replay). Accrued tokens keep.
+  void set_rate(double rate_per_s) noexcept {
+    rate_ = rate_per_s < 0 ? 0 : rate_per_s;
+  }
+
+  /// Grants up to `want` sends at monotonic time `now_ns`. The first call
+  /// anchors the clock. Returns the grant (possibly 0).
+  std::size_t grab(std::size_t want, std::int64_t now_ns) noexcept {
+    if (!anchored_) {
+      anchored_ = true;
+      last_ns_ = now_ns;
+    }
+    if (now_ns > last_ns_) {
+      tokens_ += rate_ * static_cast<double>(now_ns - last_ns_) * 1e-9;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_ns_ = now_ns;
+    }
+    const std::size_t grant =
+        tokens_ < 0 ? 0
+                    : (static_cast<std::size_t>(tokens_) < want
+                           ? static_cast<std::size_t>(tokens_)
+                           : want);
+    tokens_ -= static_cast<double>(grant);
+    return grant;
+  }
+
+  /// Nanoseconds until at least one token accrues (0 when one is ready;
+  /// workers use this to size their idle sleeps instead of busy-spinning).
+  std::int64_t ns_until_token() const noexcept {
+    if (tokens_ >= 1.0) return 0;
+    if (rate_ <= 0) return 1'000'000'000;  // parked: check back in 1s
+    return static_cast<std::int64_t>((1.0 - tokens_) / rate_ * 1e9) + 1;
+  }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::int64_t last_ns_ = 0;
+  bool anchored_ = false;
+};
+
+}  // namespace rootstress::netio

@@ -1,0 +1,217 @@
+#include "netio/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace rootstress::netio {
+namespace {
+
+// Largest batch a single sendmmsg/recvmmsg call handles; bigger caller
+// batches loop. Matches the stack arrays below.
+constexpr std::size_t kMaxSyscallBatch = 64;
+
+sockaddr_in to_sockaddr(const net::Endpoint& ep) noexcept {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(ep.port);
+  sa.sin_addr.s_addr = htonl(ep.addr.value());
+  return sa;
+}
+
+net::Endpoint from_sockaddr(const sockaddr_in& sa) noexcept {
+  return net::Endpoint(net::Ipv4Addr(ntohl(sa.sin_addr.s_addr)),
+                       ntohs(sa.sin_port));
+}
+
+}  // namespace
+
+const char* to_string(BatchMode mode) noexcept {
+  switch (mode) {
+    case BatchMode::kAuto:
+      return "auto";
+    case BatchMode::kSyscall:
+      return "syscall";
+    case BatchMode::kPortable:
+      return "portable";
+  }
+  return "?";
+}
+
+bool UdpSocket::syscall_batch_supported() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(other.fd_), mode_(other.mode_) {
+  other.fd_ = -1;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    mode_ = other.mode_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+UdpSocket UdpSocket::open(BatchMode mode, std::string* error) {
+  UdpSocket socket;
+  if (mode == BatchMode::kSyscall && !syscall_batch_supported()) {
+    if (error != nullptr) *error = "syscall batching unsupported here";
+    return socket;
+  }
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return socket;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return socket;
+  }
+  socket.fd_ = fd;
+  socket.mode_ = mode;
+  return socket;
+}
+
+void UdpSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpSocket::bind(const net::Endpoint& local, std::string* error) {
+  sockaddr_in sa = to_sockaddr(local);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+net::Endpoint UdpSocket::local_endpoint() const noexcept {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return net::Endpoint{};
+  }
+  return from_sockaddr(sa);
+}
+
+void UdpSocket::set_buffer_bytes(int bytes) noexcept {
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
+bool UdpSocket::wait_readable(int timeout_ms) noexcept {
+  pollfd pfd{fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+std::size_t UdpSocket::send_batch(std::span<const Datagram> batch) noexcept {
+  const bool use_syscall =
+      mode_ != BatchMode::kPortable && syscall_batch_supported();
+#if defined(__linux__)
+  if (use_syscall) {
+    std::size_t sent = 0;
+    while (sent < batch.size()) {
+      const std::size_t n =
+          std::min(batch.size() - sent, kMaxSyscallBatch);
+      std::array<mmsghdr, kMaxSyscallBatch> msgs{};
+      std::array<iovec, kMaxSyscallBatch> iovs{};
+      std::array<sockaddr_in, kMaxSyscallBatch> addrs{};
+      for (std::size_t i = 0; i < n; ++i) {
+        const Datagram& d = batch[sent + i];
+        addrs[i] = to_sockaddr(d.peer);
+        iovs[i] = {const_cast<std::uint8_t*>(d.payload.data()),
+                   d.payload.size()};
+        msgs[i].msg_hdr.msg_name = &addrs[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int rc = ::sendmmsg(fd_, msgs.data(), static_cast<unsigned>(n),
+                                MSG_NOSIGNAL);
+      if (rc <= 0) break;  // EAGAIN or a hard error: report the shortfall
+      sent += static_cast<std::size_t>(rc);
+      if (static_cast<std::size_t>(rc) < n) break;
+    }
+    return sent;
+  }
+#endif
+  (void)use_syscall;
+  std::size_t sent = 0;
+  for (const Datagram& d : batch) {
+    sockaddr_in sa = to_sockaddr(d.peer);
+    const ssize_t rc =
+        ::sendto(fd_, d.payload.data(), d.payload.size(), MSG_NOSIGNAL,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    if (rc < 0) break;
+    ++sent;
+  }
+  return sent;
+}
+
+std::size_t UdpSocket::recv_batch(std::span<Datagram> batch) noexcept {
+  const bool use_syscall =
+      mode_ != BatchMode::kPortable && syscall_batch_supported();
+#if defined(__linux__)
+  if (use_syscall) {
+    const std::size_t n = std::min(batch.size(), kMaxSyscallBatch);
+    std::array<mmsghdr, kMaxSyscallBatch> msgs{};
+    std::array<iovec, kMaxSyscallBatch> iovs{};
+    std::array<sockaddr_in, kMaxSyscallBatch> addrs{};
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs[i] = {batch[i].payload.data(), batch[i].payload.size()};
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int rc = ::recvmmsg(fd_, msgs.data(), static_cast<unsigned>(n),
+                              MSG_DONTWAIT, nullptr);
+    if (rc <= 0) return 0;
+    for (int i = 0; i < rc; ++i) {
+      batch[i].peer = from_sockaddr(addrs[i]);
+      batch[i].payload = batch[i].payload.first(msgs[i].msg_len);
+    }
+    return static_cast<std::size_t>(rc);
+  }
+#endif
+  (void)use_syscall;
+  std::size_t received = 0;
+  for (Datagram& d : batch) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    const ssize_t rc =
+        ::recvfrom(fd_, d.payload.data(), d.payload.size(), MSG_DONTWAIT,
+                   reinterpret_cast<sockaddr*>(&sa), &len);
+    if (rc < 0) break;
+    d.peer = from_sockaddr(sa);
+    d.payload = d.payload.first(static_cast<std::size_t>(rc));
+    ++received;
+  }
+  return received;
+}
+
+}  // namespace rootstress::netio

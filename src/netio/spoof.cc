@@ -1,0 +1,55 @@
+#include "netio/spoof.h"
+
+#include <algorithm>
+
+namespace rootstress::netio {
+namespace {
+
+/// Heavy hitter `rank`'s fixed address: deterministic from the seed, in
+/// 11.0.0.0/8..126.0.0.0/8 style unicast space (never loopback/multicast
+/// so wire captures read sensibly).
+net::Ipv4Addr hitter_address(std::uint64_t seed, int rank) {
+  const std::uint64_t h = util::mix64(seed ^ (0x9e3779b97f4a7c15ull +
+                                              static_cast<std::uint64_t>(rank)));
+  std::uint32_t value = static_cast<std::uint32_t>(h);
+  const std::uint32_t first = 11u + (value >> 8) % 116u;  // 11..126
+  return net::Ipv4Addr((first << 24) | (value & 0x00ffffffu));
+}
+
+}  // namespace
+
+SpoofShard::SpoofShard(const SpoofConfig& config, int worker_index,
+                       int worker_count)
+    : config_(config),
+      worker_index_(worker_index),
+      rng_(util::Rng(config.seed)
+               .fork(0x5f00f  /* shared model tag */)
+               .fork(static_cast<std::uint64_t>(worker_index))) {
+  (void)worker_count;  // shards are index-keyed; count does not shape draws
+  const int hitters = std::max(1, config.heavy_hitters);
+  hitters_.reserve(static_cast<std::size_t>(hitters));
+  cumulative_.reserve(static_cast<std::size_t>(hitters));
+  double total = 0.0;
+  for (int rank = 0; rank < hitters; ++rank) {
+    hitters_.push_back(hitter_address(config.seed, rank));
+    total += 1.0 / static_cast<double>(rank + 1);
+    cumulative_.push_back(total);
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+net::Ipv4Addr SpoofShard::next() {
+  if (rng_.chance(config_.spoof_uniform_fraction)) {
+    // Uniformly spoofed 32-bit source, the "895M distinct IPs" slice.
+    return net::Ipv4Addr(static_cast<std::uint32_t>(rng_.next()));
+  }
+  const double u = rng_.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t rank = it == cumulative_.end()
+                               ? cumulative_.size() - 1
+                               : static_cast<std::size_t>(
+                                     it - cumulative_.begin());
+  return hitters_[rank];
+}
+
+}  // namespace rootstress::netio

@@ -89,5 +89,52 @@ TEST(Edns, TinyBufferTriggersTruncation) {
   }
 }
 
+TEST(Edns, ClientSubnetRoundTripsThroughWire) {
+  Message query = Message::query(1, *Name::parse("www.336901.com"),
+                                 RrType::kA, RrClass::kIn);
+  EXPECT_FALSE(client_subnet(query).has_value());
+  const ClientSubnet subnet{net::Ipv4Addr(198, 51, 100, 42), 32, 0};
+  add_edns(query, 4096, /*dnssec_ok=*/false, subnet);
+  const auto direct = client_subnet(query);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(*direct, subnet);
+
+  const auto decoded = decode(encode(query));
+  ASSERT_TRUE(decoded.has_value());
+  const auto wired = client_subnet(*decoded);
+  ASSERT_TRUE(wired.has_value());
+  EXPECT_EQ(wired->addr, subnet.addr);
+  EXPECT_EQ(wired->source_prefix_len, 32);
+  // EDNS params are intact alongside the option.
+  const auto info = edns_info(*decoded);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->udp_payload_size, 4096);
+}
+
+TEST(Edns, ClientSubnetAbsentWithoutOption) {
+  Message query = Message::query(1, *Name::parse("www.336901.com"),
+                                 RrType::kA, RrClass::kIn);
+  add_edns(query, 4096);  // OPT without ECS
+  EXPECT_FALSE(client_subnet(query).has_value());
+}
+
+TEST(Edns, MalformedEcsOptionIsIgnoredNotFatal) {
+  Message query = Message::query(1, *Name::parse("www.336901.com"),
+                                 RrType::kA, RrClass::kIn);
+  add_edns(query, 4096);
+  // Hand-corrupt the OPT rdata: ECS option header promising more bytes
+  // than present.
+  ASSERT_FALSE(query.additional.empty());
+  query.additional.back().rdata = {0x00, 0x08, 0x00, 0x20, 0x00, 0x01};
+  EXPECT_FALSE(client_subnet(query).has_value());
+  // Truncated mid-header.
+  query.additional.back().rdata = {0x00, 0x08};
+  EXPECT_FALSE(client_subnet(query).has_value());
+  // Non-IPv4 family is skipped.
+  query.additional.back().rdata = {0x00, 0x08, 0x00, 0x04,
+                                   0x00, 0x02, 0x20, 0x00};
+  EXPECT_FALSE(client_subnet(query).has_value());
+}
+
 }  // namespace
 }  // namespace rootstress::dns

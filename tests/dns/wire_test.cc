@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dns/chaos.h"
+#include "dns/edns.h"
 #include "util/rng.h"
 
 namespace rootstress::dns {
@@ -204,6 +205,66 @@ TEST(Wire, RandomMessagesRoundTrip) {
       EXPECT_EQ(decoded->answers[i].type, m.answers[i].type);
       EXPECT_EQ(decoded->answers[i].ttl, m.answers[i].ttl);
       EXPECT_EQ(decoded->answers[i].rdata, m.answers[i].rdata);
+    }
+  }
+}
+
+// Property: queries with randomized names and EDNS buffer sizes (with
+// and without ECS options) survive the wire round trip byte-faithfully,
+// and mutations of them decode or fail — never crash.
+TEST(Wire, RandomizedEdnsQueriesRoundTrip) {
+  util::Rng rng(4242);
+  auto random_name = [&]() {
+    std::vector<std::string> labels;
+    const std::size_t n = 1 + rng.below(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string label;
+      const std::size_t len = 1 + rng.below(20);
+      for (std::size_t c = 0; c < len; ++c) {
+        label += static_cast<char>('a' + rng.below(26));
+      }
+      labels.push_back(std::move(label));
+    }
+    return *Name::from_labels(std::move(labels));
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    Message query = Message::query(
+        static_cast<std::uint16_t>(rng.below(65536)), random_name(),
+        rng.chance(0.5) ? RrType::kA : RrType::kAaaa, RrClass::kIn);
+    const auto udp_size = static_cast<std::uint16_t>(rng.below(65536));
+    const bool dnssec = rng.chance(0.5);
+    std::optional<ClientSubnet> subnet;
+    if (rng.chance(0.5)) {
+      subnet = ClientSubnet{
+          net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+          static_cast<std::uint8_t>(1 + rng.below(32)), 0};
+    }
+    add_edns(query, udp_size, dnssec, subnet);
+
+    const auto wire = encode(query);
+    const auto decoded = decode(wire);
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    EXPECT_EQ(decoded->questions[0].qname, query.questions[0].qname);
+    const auto info = edns_info(*decoded);
+    ASSERT_TRUE(info.has_value()) << "trial " << trial;
+    EXPECT_EQ(info->udp_payload_size, udp_size);
+    EXPECT_EQ(info->dnssec_ok, dnssec);
+    const auto ecs = client_subnet(*decoded);
+    if (subnet.has_value()) {
+      ASSERT_TRUE(ecs.has_value()) << "trial " << trial;
+      EXPECT_EQ(ecs->source_prefix_len, subnet->source_prefix_len);
+    } else {
+      EXPECT_FALSE(ecs.has_value());
+    }
+
+    // Garble a byte: must decode or fail, never crash — and the EDNS
+    // accessors must stay total on whatever comes back.
+    auto garbled = wire;
+    garbled[rng.below(garbled.size())] =
+        static_cast<std::uint8_t>(rng.below(256));
+    if (const auto m = decode(garbled)) {
+      edns_info(*m);
+      client_subnet(*m);
     }
   }
 }

@@ -96,5 +96,55 @@ TEST(Prefix, ParseAndFormat) {
   EXPECT_EQ(p->to_string(), "192.0.2.128/25");
 }
 
+class EndpointParseValid
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, std::uint32_t, std::uint16_t>> {};
+
+TEST_P(EndpointParseValid, Parses) {
+  const auto [text, addr, port] = GetParam();
+  const auto ep = Endpoint::parse(text);
+  ASSERT_TRUE(ep.has_value()) << text;
+  EXPECT_EQ(ep->addr.value(), addr);
+  EXPECT_EQ(ep->port, port);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EndpointParseValid,
+    ::testing::Values(std::tuple{"127.0.0.1:53", 0x7f000001u,
+                                 std::uint16_t{53}},
+                      std::tuple{"0.0.0.0:0", 0u, std::uint16_t{0}},
+                      std::tuple{"192.0.2.1:65535", 0xc0000201u,
+                                 std::uint16_t{65535}},
+                      std::tuple{"10.0.0.1:8053", 0x0a000001u,
+                                 std::uint16_t{8053}}));
+
+class EndpointParseInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EndpointParseInvalid, Rejects) {
+  EXPECT_FALSE(Endpoint::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EndpointParseInvalid,
+    ::testing::Values("", "127.0.0.1", ":53", "127.0.0.1:", "127.0.0.1:65536",
+                      "127.0.0.1:-1", "127.0.0.1:53x", "127.0.0.1:053",
+                      "256.0.0.1:53", "host:53", "127.0.0.1:53 ",
+                      "127.0.0.1 :53", "127.0.0.1::53"));
+
+TEST(Endpoint, RoundTripAndOrdering) {
+  const Endpoint ep{Ipv4Addr(127, 0, 0, 1), 8053};
+  EXPECT_EQ(ep.to_string(), "127.0.0.1:8053");
+  EXPECT_EQ(*Endpoint::parse(ep.to_string()), ep);
+  EXPECT_LT((Endpoint{Ipv4Addr(127, 0, 0, 1), 53}), ep);
+  EXPECT_LT(ep, (Endpoint{Ipv4Addr(127, 0, 0, 2), 1}));
+}
+
+TEST(Endpoint, PortZeroMeansKernelAssigned) {
+  const auto ep = Endpoint::parse("127.0.0.1:0");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->port, 0);
+  EXPECT_EQ(ep->to_string(), "127.0.0.1:0");
+}
+
 }  // namespace
 }  // namespace rootstress::net

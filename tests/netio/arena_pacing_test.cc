@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "netio/arena.h"
+#include "netio/pacing.h"
+
+namespace rootstress::netio {
+namespace {
+
+TEST(PacketArena, CarvesDistinctStableSlots) {
+  PacketArena arena(8, 512);
+  EXPECT_EQ(arena.slot_count(), 8u);
+  EXPECT_EQ(arena.slot_size(), 512u);
+  auto a = arena.slot(0);
+  auto b = arena.slot(1);
+  EXPECT_EQ(a.size(), 512u);
+  EXPECT_EQ(a.data() + 512, b.data());  // contiguous, non-overlapping
+  a[0] = 0xaa;
+  b[0] = 0xbb;
+  EXPECT_EQ(arena.slot(0)[0], 0xaa);
+  EXPECT_EQ(arena.slot(1)[0], 0xbb);
+}
+
+TEST(PacketArena, DefaultSlotSizeCoversEdnsBuffers) {
+  PacketArena arena(2);
+  EXPECT_EQ(arena.slot_size(), kMaxPacketBytes);
+  EXPECT_GE(kMaxPacketBytes, 4096u);
+}
+
+TEST(TokenBucket, StartsWithBurstAndAccruesAtRate) {
+  TokenBucket bucket(1000.0, 32.0);  // 1 token/ms, 32 deep
+  // Initial fill = burst.
+  EXPECT_EQ(bucket.grab(100, 0), 32u);
+  // Nothing left immediately after.
+  EXPECT_EQ(bucket.grab(1, 0), 0u);
+  // 5ms later: 5 tokens accrued.
+  EXPECT_EQ(bucket.grab(100, 5'000'000), 5u);
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket bucket(1000.0, 16.0);
+  EXPECT_EQ(bucket.grab(16, 0), 16u);
+  // A full second would accrue 1000 tokens; the bucket holds 16.
+  EXPECT_EQ(bucket.grab(100, 1'000'000'000), 16u);
+}
+
+TEST(TokenBucket, FirstGrabAnchorsClock) {
+  TokenBucket bucket(1000.0, 4.0);
+  // Anchoring at a large timestamp must not grant a giant backlog.
+  EXPECT_EQ(bucket.grab(100, 5'000'000'000), 4u);
+  EXPECT_EQ(bucket.grab(100, 5'001'000'000), 1u);
+}
+
+TEST(TokenBucket, SetRateRetargetsAccrual) {
+  TokenBucket bucket(1000.0, 8.0);
+  EXPECT_EQ(bucket.grab(8, 0), 8u);
+  bucket.set_rate(2000.0);
+  EXPECT_EQ(bucket.grab(100, 2'000'000), 4u);  // 2ms at 2k/s
+  bucket.set_rate(0.0);
+  EXPECT_EQ(bucket.grab(100, 1'000'000'000), 0u);  // parked
+}
+
+TEST(TokenBucket, NsUntilTokenSizesIdleSleep) {
+  TokenBucket bucket(1000.0, 2.0);
+  EXPECT_EQ(bucket.ns_until_token(), 0);  // initial fill ready
+  EXPECT_EQ(bucket.grab(2, 0), 2u);
+  // Empty at 1 token/ms: next token within ~1ms.
+  const std::int64_t wait = bucket.ns_until_token();
+  EXPECT_GT(wait, 0);
+  EXPECT_LE(wait, 1'000'001);
+  bucket.set_rate(0.0);
+  EXPECT_EQ(bucket.ns_until_token(), 1'000'000'000);  // parked: 1s checks
+}
+
+TEST(TokenBucket, PacesExactRateOverTime) {
+  // Property: over a long window, grants = burst + rate * time.
+  TokenBucket bucket(5000.0, 64.0);
+  std::size_t granted = 0;
+  for (std::int64_t now = 0; now <= 1'000'000'000; now += 250'000) {
+    granted += bucket.grab(64, now);
+  }
+  EXPECT_GE(granted, 5000u);
+  EXPECT_LE(granted, 5064u + 1);
+}
+
+}  // namespace
+}  // namespace rootstress::netio

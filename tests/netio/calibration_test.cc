@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "dns/rrl.h"
+#include "netio/calibration.h"
+
+namespace rootstress::netio {
+namespace {
+
+TEST(Calibration, UnlimitedCapacityAnswersEverything) {
+  anycast::QueueConfig queue;
+  queue.capacity_qps = 0.0;  // wire semantics: no admission gate
+  const WirePrediction p = predict_wire_outcome(50e3, queue);
+  EXPECT_DOUBLE_EQ(p.answered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.queue_loss, 0.0);
+  EXPECT_DOUBLE_EQ(p.served_qps, 50e3);
+}
+
+TEST(Calibration, BelowKneeIsLossless) {
+  anycast::QueueConfig queue;
+  queue.capacity_qps = 100e3;
+  const WirePrediction p = predict_wire_outcome(50e3, queue);
+  EXPECT_DOUBLE_EQ(p.queue_loss, 0.0);
+  EXPECT_DOUBLE_EQ(p.answered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.utilization, 0.5);
+}
+
+TEST(Calibration, SaturationLossMatchesQueueModel) {
+  // 2x overload: the queue serves capacity, drops the rest -> 0.5.
+  anycast::QueueConfig queue;
+  queue.capacity_qps = 15e3;
+  const WirePrediction p = predict_wire_outcome(30e3, queue);
+  EXPECT_NEAR(p.answered_fraction, 0.5, 1e-9);
+  EXPECT_NEAR(p.served_qps, 15e3, 1e-6);
+  // And it agrees with evaluate_queue directly.
+  const anycast::QueueOutcome q = anycast::evaluate_queue(30e3, queue);
+  EXPECT_DOUBLE_EQ(p.queue_loss, q.loss_fraction);
+}
+
+TEST(Calibration, RrlMultipliesSuppressionOntoSurvivors) {
+  anycast::QueueConfig queue;
+  queue.capacity_qps = 0.0;
+  const double dup = 0.60;
+  const WirePrediction p =
+      predict_wire_outcome(10e3, queue, /*rrl_enabled=*/true, dup);
+  EXPECT_DOUBLE_EQ(p.rrl_suppression, dns::expected_suppression(dup));
+  EXPECT_DOUBLE_EQ(p.answered_fraction,
+                   1.0 - dns::expected_suppression(dup));
+}
+
+TEST(Calibration, ZeroOfferedLoadIsIdentity) {
+  anycast::QueueConfig queue;
+  queue.capacity_qps = 10e3;
+  const WirePrediction p = predict_wire_outcome(0.0, queue);
+  EXPECT_DOUBLE_EQ(p.answered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.served_qps, 0.0);
+}
+
+TEST(Calibration, ErrorIsRelativeToPrediction) {
+  EXPECT_NEAR(calibration_error(0.55, 0.5), 0.1, 1e-12);
+  EXPECT_NEAR(calibration_error(0.45, 0.5), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(calibration_error(0.5, 0.5), 0.0);
+  // Guarded against a zero prediction.
+  EXPECT_GT(calibration_error(0.1, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace rootstress::netio

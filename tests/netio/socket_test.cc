@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netio/arena.h"
+#include "netio/socket.h"
+
+namespace rootstress::netio {
+namespace {
+
+/// Both batch paths must behave identically; run the loopback round trip
+/// through each.
+class SocketRoundTrip : public ::testing::TestWithParam<BatchMode> {};
+
+TEST_P(SocketRoundTrip, BatchOfDatagramsArrivesIntact) {
+  const BatchMode mode = GetParam();
+  if (mode == BatchMode::kSyscall && !UdpSocket::syscall_batch_supported()) {
+    GTEST_SKIP() << "no sendmmsg/recvmmsg on this platform";
+  }
+  std::string error;
+  UdpSocket rx = UdpSocket::open(mode, &error);
+  ASSERT_TRUE(rx.valid()) << error;
+  ASSERT_TRUE(rx.bind(net::Endpoint{net::Ipv4Addr(127, 0, 0, 1), 0}, &error))
+      << error;
+  const net::Endpoint dest = rx.local_endpoint();
+  EXPECT_NE(dest.port, 0);
+
+  UdpSocket tx = UdpSocket::open(mode, &error);
+  ASSERT_TRUE(tx.valid()) << error;
+  // Bind the sender so the receiver-observed peer is fully determined
+  // (an unbound socket reports the wildcard address from getsockname).
+  ASSERT_TRUE(tx.bind(net::Endpoint{net::Ipv4Addr(127, 0, 0, 1), 0}, &error))
+      << error;
+
+  // Send 8 distinct payloads in one batch.
+  constexpr std::size_t kCount = 8;
+  PacketArena out_arena(kCount, 64);
+  std::vector<Datagram> out(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    auto slot = out_arena.slot(i);
+    std::memset(slot.data(), static_cast<int>('a' + i), 16);
+    out[i] = Datagram{dest, slot.subspan(0, 16)};
+  }
+  ASSERT_EQ(tx.send_batch(out), kCount);
+
+  // Receive them all (order preserved on loopback).
+  PacketArena in_arena(kCount, 64);
+  std::vector<Datagram> in(kCount);
+  std::size_t got = 0;
+  for (int rounds = 0; rounds < 100 && got < kCount; ++rounds) {
+    ASSERT_TRUE(rx.wait_readable(200));
+    for (std::size_t i = got; i < kCount; ++i) {
+      in[i] = Datagram{{}, in_arena.slot(i)};
+    }
+    got += rx.recv_batch(
+        std::span<Datagram>(in.data() + got, kCount - got));
+  }
+  ASSERT_EQ(got, kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(in[i].payload.size(), 16u);
+    EXPECT_EQ(in[i].payload[0], static_cast<std::uint8_t>('a' + i));
+    // The sender's ephemeral port is echoed as the peer.
+    EXPECT_EQ(in[i].peer, tx.local_endpoint());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SocketRoundTrip,
+                         ::testing::Values(BatchMode::kAuto,
+                                           BatchMode::kPortable,
+                                           BatchMode::kSyscall),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(UdpSocket, RecvOnEmptySocketReturnsZero) {
+  std::string error;
+  UdpSocket sock = UdpSocket::open(BatchMode::kAuto, &error);
+  ASSERT_TRUE(sock.valid()) << error;
+  ASSERT_TRUE(sock.bind(net::Endpoint{net::Ipv4Addr(127, 0, 0, 1), 0}));
+  PacketArena arena(4);
+  std::vector<Datagram> batch(4);
+  for (std::size_t i = 0; i < 4; ++i) batch[i] = Datagram{{}, arena.slot(i)};
+  EXPECT_EQ(sock.recv_batch(batch), 0u);         // nonblocking: no data
+  EXPECT_FALSE(sock.wait_readable(1));           // times out quietly
+}
+
+TEST(UdpSocket, MoveTransfersOwnership) {
+  UdpSocket a = UdpSocket::open();
+  ASSERT_TRUE(a.valid());
+  const int fd = a.fd();
+  UdpSocket b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.fd(), fd);
+  b.close();
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(UdpSocket, BatchLargerThanSyscallCapIsChunked) {
+  // 200 packets exceeds the per-syscall cap; send_batch must still
+  // deliver them all.
+  std::string error;
+  UdpSocket rx = UdpSocket::open(BatchMode::kAuto, &error);
+  ASSERT_TRUE(rx.valid()) << error;
+  ASSERT_TRUE(rx.bind(net::Endpoint{net::Ipv4Addr(127, 0, 0, 1), 0}));
+  rx.set_buffer_bytes(1 << 21);
+  UdpSocket tx = UdpSocket::open(BatchMode::kAuto, &error);
+  ASSERT_TRUE(tx.valid()) << error;
+
+  constexpr std::size_t kCount = 200;
+  PacketArena arena(kCount, 32);
+  std::vector<Datagram> out(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    auto slot = arena.slot(i);
+    slot[0] = static_cast<std::uint8_t>(i);
+    out[i] = Datagram{rx.local_endpoint(), slot.subspan(0, 8)};
+  }
+  EXPECT_EQ(tx.send_batch(out), kCount);
+
+  PacketArena in_arena(64);
+  std::vector<Datagram> in(64);
+  std::size_t got = 0;
+  for (int rounds = 0; rounds < 100 && got < kCount; ++rounds) {
+    if (!rx.wait_readable(100)) break;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = Datagram{{}, in_arena.slot(i)};
+    }
+    got += rx.recv_batch(in);
+  }
+  EXPECT_EQ(got, kCount);
+}
+
+}  // namespace
+}  // namespace rootstress::netio
