@@ -1,0 +1,208 @@
+// End-user duel: what did clients of the root actually feel on
+// November 30, 2015? The paper's answer (§2.3, §6) is "much less than
+// the server-side graphs suggest", and this duel shows why: a resolver
+// population with referral caches and cross-letter retries rides out
+// the pulse window almost untouched, while a strawman population with
+// no cache and a single attempt per query eats the raw loss rate.
+//
+// Usage:
+//   ./build/examples/enduser_duel [--cache DIR] [--quick]
+//
+// With ROOTSTRESS_DATASET=/path/data.jsonl in the environment, every
+// evaluation re-writes that path with the labeled per-bin dataset
+// (attack / flash_crowd / legit ground truth from the schedules; the
+// last run wins), so the duel doubles as the exporter smoke test
+// (scripts/check.sh validates every line with python3).
+//
+// Prints each arm's user-experience digest, then asserts the resolver
+// subsystem's contract:
+//   1. cached+retrying resolvers see materially higher resolution
+//      success than cache-less single-shot clients across the
+//      06:50-09:30 pulse window (and near-perfect success overall),
+//   2. the EndUserReport is bit-identical at 1 and 4 engine threads,
+//   3. a campaign sweeping resolver profiles yields distinct cache keys
+//      per profile, no collision with the profile-free baseline, and a
+//      fully warm second pass.
+// Exits non-zero when any of those fail (scripts/check.sh runs this).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rootstress.h"
+
+using namespace rootstress;
+
+namespace {
+
+sim::ScenarioConfig duel_base(int stubs, int threads = 0) {
+  sim::ScenarioConfig config = sim::ScenarioBuilder::november_2015()
+                                   .fluid_only()
+                                   .topology_stubs(stubs)
+                                   .duration(net::SimTime::from_hours(12))
+                                   .rrl_enabled(false)
+                                   .threads(threads)
+                                   .build();
+  // First 2015 event only: the December 1 follow-up is past this horizon.
+  config.schedule = attack::AttackSchedule({config.schedule.events().front()});
+  config.fault_schedule = fault::FaultSchedule::pulse_wave_2015();
+  return config;
+}
+
+resolver::PopulationConfig cached_profile() {
+  resolver::PopulationConfig profile;  // srtt failover, cache on, 3 attempts
+  profile.name = "cached-srtt";
+  return profile;
+}
+
+resolver::PopulationConfig cacheless_profile() {
+  resolver::PopulationConfig profile;
+  profile.name = "cacheless-single-shot";
+  profile.strategy = resolver::Strategy::kUniform;
+  profile.enable_cache = false;
+  profile.max_attempts = 1;
+  return profile;
+}
+
+struct Arm {
+  std::string name;
+  sweep::RunSummary summary;
+  double pulse_success = 0.0;  ///< resolution success across 06:50-09:30
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path cache_dir;
+  int stubs = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      stubs = 200;
+    }
+  }
+  bool ok = true;
+
+  // The 2015 event window (06:50-09:30 UTC) in run-relative time.
+  const std::int64_t pulse_begin = net::SimTime::from_minutes(6 * 60 + 50).ms;
+  const std::int64_t pulse_end = net::SimTime::from_minutes(9 * 60 + 30).ms;
+
+  // --- The duel: two resolver populations, one pulse wave. -------------
+  std::vector<Arm> arms;
+  for (const resolver::PopulationConfig& profile :
+       {cached_profile(), cacheless_profile()}) {
+    sim::ScenarioConfig config = duel_base(stubs);
+    config.resolver_profile = profile;
+    const core::EvaluationReport report = core::evaluate_scenario(config);
+    Arm arm;
+    arm.name = profile.name;
+    arm.summary = sweep::summarize(config, report);
+    arm.pulse_success =
+        report.result.enduser.success_rate_between(pulse_begin, pulse_end);
+    arms.push_back(arm);
+  }
+
+  std::printf("pulse wave vs two resolver populations\n");
+  std::printf("%-24s %10s %10s %10s %10s %10s\n", "population", "success",
+              "pulse_ok", "cache_hit", "latency", "retries");
+  for (const Arm& arm : arms) {
+    std::printf("%-24s %10.4f %10.4f %10.4f %8.1fms %10.4f\n",
+                arm.name.c_str(), arm.summary.enduser_success_rate,
+                arm.pulse_success, arm.summary.enduser_cache_hit_rate,
+                arm.summary.enduser_added_latency_ms,
+                arm.summary.enduser_retries_per_query);
+  }
+
+  // 1. Caches plus retries must mute the user impact (the paper's §6
+  // story): a material pulse-window gap over the cache-less strawman,
+  // and near-perfect overall success for the realistic population.
+  const Arm& cached = arms[0];
+  const Arm& cacheless = arms[1];
+  if (!(cacheless.pulse_success < 1.0)) {
+    std::printf("FAIL: pulse window left cache-less clients unscathed\n");
+    ok = false;
+  }
+  if (!(cached.pulse_success >= cacheless.pulse_success + 0.10)) {
+    std::printf(
+        "FAIL: cached+retrying resolvers not materially better in the "
+        "pulse window (%.4f vs %.4f)\n",
+        cached.pulse_success, cacheless.pulse_success);
+    ok = false;
+  }
+  if (!(cached.summary.enduser_success_rate > 0.95)) {
+    std::printf("FAIL: realistic population success %.4f <= 0.95\n",
+                cached.summary.enduser_success_rate);
+    ok = false;
+  }
+  if (!(cached.summary.enduser_cache_hit_rate > 0.5)) {
+    std::printf("FAIL: referral cache absorbed too little (%.4f)\n",
+                cached.summary.enduser_cache_hit_rate);
+    ok = false;
+  }
+
+  // 2. Thread-count invariance of the client-side loop.
+  sim::ScenarioConfig serial_config = duel_base(stubs, /*threads=*/1);
+  serial_config.resolver_profile = cached_profile();
+  sim::ScenarioConfig pooled_config = serial_config;
+  pooled_config.threads = 4;
+  sim::SimulationEngine serial_engine(serial_config);
+  const sim::SimulationResult serial = serial_engine.run();
+  sim::SimulationEngine pooled_engine(pooled_config);
+  const sim::SimulationResult pooled = pooled_engine.run();
+  const bool identical = serial.enduser.digest() == pooled.enduser.digest();
+  std::printf("threads 1 vs 4 end-user digest: %s (%016llx)\n",
+              identical ? "bit-identical" : "DIVERGED",
+              static_cast<unsigned long long>(serial.enduser.digest()));
+  if (!identical) ok = false;
+
+  // 3. Resolver profiles as a campaign axis with distinct cached digests.
+  const bool temp_cache = cache_dir.empty();
+  if (temp_cache) {
+    cache_dir =
+        std::filesystem::temp_directory_path() / "rs_enduser_duel_cache";
+    std::filesystem::remove_all(cache_dir);
+  }
+  sweep::Campaign campaign;
+  campaign.name = "enduser-duel";
+  campaign.base = duel_base(stubs);
+  campaign.add(sweep::Axis::resolver_profile(
+      {cached_profile(), cacheless_profile()}));
+  sweep::CampaignOptions options;
+  options.cache_dir = cache_dir;
+  const sweep::CampaignResult cold = rootstress::run_campaign(campaign, options);
+  const sweep::CampaignResult warm = rootstress::run_campaign(campaign, options);
+  std::set<std::uint64_t> keys;
+  for (const auto& cell : cold.cells) keys.insert(cell.key);
+  const std::uint64_t baseline_key =
+      sweep::config_hash(duel_base(stubs), sweep::kCodeVersionSalt);
+  std::printf(
+      "campaign: cells=%zu distinct_keys=%zu cold_executed=%zu "
+      "warm_cache_hits=%zu\n",
+      cold.cells.size(), keys.size(), cold.executed, warm.cache_hits);
+  if (keys.size() != cold.cells.size() ||
+      warm.cache_hits != cold.cells.size() ||
+      cold.executed != cold.cells.size()) {
+    std::printf("FAIL: resolver axis did not cache distinct digests\n");
+    ok = false;
+  }
+  if (keys.count(baseline_key) != 0) {
+    std::printf("FAIL: a resolver profile collided with the profile-free "
+                "baseline key\n");
+    ok = false;
+  }
+  for (const auto& cell : cold.cells) {
+    if (std::isnan(cell.summary.enduser_success_rate)) {
+      std::printf("FAIL: campaign cell %s has no end-user digest\n",
+                  cell.label.c_str());
+      ok = false;
+    }
+  }
+  if (temp_cache) std::filesystem::remove_all(cache_dir);
+
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

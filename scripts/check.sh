@@ -41,10 +41,21 @@
 #      on loopback AND the measured answered fraction under a 2x capacity
 #      overload must agree with the fluid simulator's prediction within
 #      10% (writes BENCH_netio.json).
-#   9. Debug build with ThreadSanitizer, running the thread-pool unit
+#   9. End-user gate: the resolver-population integration tests on both
+#      engine paths, then the enduser_duel example at ROOTSTRESS_THREADS=1
+#      (with ROOTSTRESS_DATASET set — every exported line must be valid
+#      JSON with the attack/legit labels present) and 4 — it exits
+#      non-zero unless cached+retrying resolvers beat cache-less clients
+#      through the pulse window, reports are thread-count invariant, and
+#      the resolver-profile campaign axis caches distinct digests — and
+#      bench_enduser (stepping the population must cost < 5% wall clock
+#      and leave every server-side series bit-identical, writing
+#      BENCH_enduser.json).
+#  10. Debug build with ThreadSanitizer, running the thread-pool unit
 #      tests, the parallel-determinism integration test, the
 #      incremental-vs-full BGP cross-check (debug builds cross-check
-#      every mutation), and the netio socket/server/generator tests
+#      every mutation), the resolver-population unit tests (sharded
+#      stepping races), and the netio socket/server/generator tests
 #      (real threads + real sockets) under TSan.
 #
 # Usage: scripts/check.sh  (from the repo root; build trees land in
@@ -145,11 +156,51 @@ echo "=== Netio gate: wire smoke, then throughput + calibration ==="
 ./build/check-release/examples/wirestress --duel --quick
 ./build/check-release/bench/bench_netio BENCH_netio.json
 
+echo "=== End-user integration, serial and pooled engines ==="
+ROOTSTRESS_THREADS=1 ./build/check-release/tests/integration_test \
+  --gtest_filter='EndUserIntegration.*'
+ROOTSTRESS_THREADS=4 ./build/check-release/tests/integration_test \
+  --gtest_filter='EndUserIntegration.*'
+
+echo "=== End-user duel example: caches must mute the user impact ==="
+ENDUSER_CACHE="$(mktemp -d)"
+DATASET_OUT="$ENDUSER_CACHE/enduser_dataset.jsonl"
+ROOTSTRESS_THREADS=1 ROOTSTRESS_DATASET="$DATASET_OUT" \
+  ./build/check-release/examples/enduser_duel --quick --cache "$ENDUSER_CACHE"
+
+echo "=== Labeled dataset export: every line must be valid JSON ==="
+[[ -s "$DATASET_OUT" ]] ||
+  { echo "FAIL: enduser_duel did not write $DATASET_OUT"; exit 1; }
+python3 - "$DATASET_OUT" <<'PYEOF'
+import json, sys
+labels, types = set(), set()
+count = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        labels.add(rec["label"])
+        types.add(rec["type"])
+        count += 1
+assert "attack" in labels, f"no attack-labeled bins: {labels}"
+assert "legit" in labels, f"no legit-labeled bins: {labels}"
+assert types == {"letter_bin", "enduser_bin"}, f"unexpected types: {types}"
+print(f"labeled dataset ok: {count} records, labels={sorted(labels)}")
+PYEOF
+rm -rf "$ENDUSER_CACHE"
+
+ENDUSER_CACHE="$(mktemp -d)"
+ROOTSTRESS_THREADS=4 ./build/check-release/examples/enduser_duel --quick \
+  --cache "$ENDUSER_CACHE"
+rm -rf "$ENDUSER_CACHE"
+
+echo "=== Resolver-population overhead: in-loop clients must stay free ==="
+./build/check-release/bench/bench_enduser BENCH_enduser.json
+
 echo "=== Debug + ThreadSanitizer build ==="
 cmake -B build/check-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build/check-tsan -j --target util_test integration_test netio_test
+cmake --build build/check-tsan -j --target util_test integration_test netio_test resolver_test
 
 echo "=== Pool tests under TSan ==="
 (cd build/check-tsan &&
@@ -157,7 +208,8 @@ echo "=== Pool tests under TSan ==="
   ROOTSTRESS_THREADS=4 ./tests/integration_test \
     --gtest_filter='ParallelDeterminism.*' &&
   ROOTSTRESS_THREADS=4 ./tests/integration_test \
-    --gtest_filter='ScaleDeterminism.FullAndIncrementalBgpProduceIdenticalRuns')
+    --gtest_filter='ScaleDeterminism.FullAndIncrementalBgpProduceIdenticalRuns' &&
+  ./tests/resolver_test --gtest_filter='Population.*')
 
 echo "=== Netio tests under TSan: sockets + server + generator threads ==="
 (cd build/check-tsan &&

@@ -1,10 +1,13 @@
 #include "core/evaluation.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "analysis/flips.h"
 #include "analysis/rtt.h"
 #include "attack/events2015.h"
+#include "resolver/dataset.h"
+#include "util/logging.h"
 #include "util/stats.h"
 
 namespace rootstress::core {
@@ -14,6 +17,18 @@ EvaluationReport evaluate_scenario(sim::ScenarioConfig config) {
   EvaluationReport report;
   report.result = engine.run();
   const sim::SimulationResult& result = report.result;
+
+  // Labeled-dataset export (attack / flash_crowd / legit per bin, JSON
+  // lines): same env-hook convention as the engine's trace exporters.
+  // Atomic write, so campaign cells sharing one path never tear it.
+  if (const char* path = std::getenv("ROOTSTRESS_DATASET");
+      path != nullptr && *path != '\0') {
+    if (resolver::write_labeled_dataset(path, config, result)) {
+      RS_LOG_INFO << "labeled dataset written to " << path;
+    } else {
+      RS_LOG_ERROR << "could not write labeled dataset to " << path;
+    }
+  }
 
   // Bin over the probing window (baseline days carry no probes).
   const std::size_t bins = static_cast<std::size_t>(

@@ -4,28 +4,80 @@
 
 namespace rootstress::resolver {
 
+namespace {
+
+/// std:: heap algorithms build max-heaps; ordering by *later* expiry
+/// keeps the entry closest to expiry on top.
+bool expires_later(const net::SimTime a, const net::SimTime b) noexcept {
+  return a > b;
+}
+
+}  // namespace
+
 TtlCache::TtlCache(std::size_t capacity) : capacity_(capacity) {}
 
-bool TtlCache::hit(std::uint64_t key, net::SimTime now) const {
+bool TtlCache::hit(std::uint64_t key, net::SimTime now) {
   const auto it = entries_.find(key);
-  if (it != entries_.end() && now < it->second) {
-    ++hits_;
-    return true;
+  if (it != entries_.end()) {
+    if (now < it->second) {
+      ++hits_;
+      return true;
+    }
+    // Expired: release the slot immediately instead of letting a dead
+    // entry pin capacity (and force a live eviction) until sweep().
+    entries_.erase(it);
+    ++expirations_;
   }
   ++misses_;
   return false;
 }
 
 void TtlCache::put(std::uint64_t key, net::SimTime now, net::SimTime ttl) {
+  if (capacity_ == 0) return;  // a zero-capacity cache stores nothing
   if (entries_.size() >= capacity_ && !entries_.contains(key)) {
-    // Evict the entry closest to expiry.
-    auto victim = entries_.begin();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second < victim->second) victim = it;
-    }
-    entries_.erase(victim);
+    evict_one();
   }
-  entries_[key] = now + ttl;
+  const net::SimTime expiry = now + ttl;
+  entries_[key] = expiry;
+  heap_.push_back(HeapEntry{expiry, key});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return expires_later(a.expiry, b.expiry);
+                 });
+  maybe_compact();
+}
+
+void TtlCache::evict_one() {
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) {
+    return expires_later(a.expiry, b.expiry);
+  };
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    const auto it = entries_.find(top.key);
+    // Stale records (the entry was refreshed to a later expiry, or
+    // already erased by hit()/sweep()) are skipped; a match is the live
+    // entry closest to expiry.
+    if (it != entries_.end() && it->second == top.expiry) {
+      entries_.erase(it);
+      return;
+    }
+  }
+  // Every live entry has a heap record, so an exhausted heap means an
+  // empty map; nothing to evict.
+}
+
+void TtlCache::maybe_compact() {
+  if (heap_.size() <= 2 * entries_.size() + 32) return;
+  heap_.clear();
+  for (const auto& [key, expiry] : entries_) {
+    heap_.push_back(HeapEntry{expiry, key});
+  }
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return expires_later(a.expiry, b.expiry);
+                 });
 }
 
 void TtlCache::sweep(net::SimTime now) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "net/clock.h"
 
@@ -18,11 +19,14 @@ namespace rootstress::resolver {
 class TtlCache {
  public:
   /// `capacity` bounds memory; inserting beyond it evicts the entry
-  /// closest to expiry.
+  /// closest to expiry. A zero capacity stores nothing (every lookup
+  /// misses) instead of invoking UB on the empty map.
   explicit TtlCache(std::size_t capacity = 10000);
 
-  /// True if `key` is cached and fresh at `now`.
-  bool hit(std::uint64_t key, net::SimTime now) const;
+  /// True if `key` is cached and fresh at `now`. An entry found expired
+  /// is erased on the spot (counted in expirations()) so stale entries
+  /// never pin capacity until the next sweep().
+  bool hit(std::uint64_t key, net::SimTime now);
 
   /// Inserts/refreshes `key` until now + ttl.
   void put(std::uint64_t key, net::SimTime now, net::SimTime ttl);
@@ -31,14 +35,35 @@ class TtlCache {
   void sweep(net::SimTime now);
 
   std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+  /// Entries erased because a lookup found them expired.
+  std::uint64_t expirations() const noexcept { return expirations_; }
 
  private:
+  /// One eviction-order record. The heap is lazy: a record whose expiry
+  /// no longer matches the live entry (refreshed or already erased) is
+  /// skipped when popped, so put() stays amortized O(log n) instead of
+  /// the old O(n) full scan.
+  struct HeapEntry {
+    net::SimTime expiry{};
+    std::uint64_t key = 0;
+  };
+
+  /// Erases the live entry closest to expiry (min-heap pop, skipping
+  /// stale records).
+  void evict_one();
+  /// Rebuilds the heap from the live entries when stale records dominate
+  /// (amortized O(1) per operation).
+  void maybe_compact();
+
   std::size_t capacity_;
   std::unordered_map<std::uint64_t, net::SimTime> entries_;  ///< expiry
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  std::vector<HeapEntry> heap_;  ///< min-heap on expiry, lazily pruned
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t expirations_ = 0;
 };
 
 }  // namespace rootstress::resolver

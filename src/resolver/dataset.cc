@@ -1,0 +1,124 @@
+#include "resolver/dataset.h"
+
+#include <cmath>
+
+#include "obs/exporters.h"
+#include "obs/json.h"
+
+namespace rootstress::resolver {
+
+namespace {
+
+/// Hotness samples per bin: a 10-minute bin over a 20-minute 50%-duty
+/// pulse is hot for some offsets and quiet for others; 16 samples bound
+/// the miss window to bin/16 (well under any schedule's pulse widths).
+constexpr int kLabelSamples = 16;
+
+bool attack_inside(const sim::ScenarioConfig& config, net::SimTime begin,
+                   net::SimTime end) {
+  const std::int64_t span = end.ms - begin.ms;
+  if (span <= 0) return config.fault_schedule.attack_hot(begin, config.schedule);
+  for (int i = 0; i < kLabelSamples; ++i) {
+    const net::SimTime t(begin.ms + span * i / kLabelSamples);
+    if (config.fault_schedule.attack_hot(t, config.schedule)) return true;
+  }
+  return false;
+}
+
+bool surge_overlaps(const sim::ScenarioConfig& config, net::SimTime begin,
+                    net::SimTime end) {
+  for (const auto& surge : config.fault_schedule.legit_surges) {
+    if (surge.window.begin < end && begin < surge.window.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string dataset_label(const sim::ScenarioConfig& config, net::SimTime begin,
+                          net::SimTime end) {
+  // Priority attack > flash_crowd > legit: a surge colliding with a pulse
+  // is still an attack bin (the detector's hard case is labeled by the
+  // dominant ground truth).
+  if (attack_inside(config, begin, end)) return "attack";
+  if (surge_overlaps(config, begin, end)) return "flash_crowd";
+  return "legit";
+}
+
+std::string labeled_dataset_lines(const sim::ScenarioConfig& config,
+                                  const sim::SimulationResult& result) {
+  std::string out;
+  if (result.service_offered_qps.empty()) return out;
+  const std::size_t bins = result.service_offered_qps.front().bin_count();
+  const std::int64_t bin_ms = result.bin_width.ms;
+  out.reserve(bins * (result.letter_chars.size() + 1) * 160);
+
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    const std::int64_t left =
+        result.service_offered_qps.front().bin_start(bin);
+    const net::SimTime begin(left);
+    const net::SimTime end(left + bin_ms);
+    const std::string label = dataset_label(config, begin, end);
+
+    for (std::size_t s = 0; s < result.letter_chars.size(); ++s) {
+      const double served_legit = result.service_served_legit_qps[s].mean(bin);
+      const double failed_legit = result.service_failed_legit_qps[s].mean(bin);
+      const double legit_total = served_legit + failed_legit;
+      obs::JsonValue doc = obs::JsonValue::object();
+      doc.set("type", obs::JsonValue("letter_bin"));
+      doc.set("bin", obs::JsonValue(static_cast<std::uint64_t>(bin)));
+      doc.set("t_ms", obs::JsonValue(left));
+      doc.set("letter",
+              obs::JsonValue(std::string(1, result.letter_chars[s])));
+      doc.set("label", obs::JsonValue(label));
+      doc.set("offered_qps",
+              obs::JsonValue(result.service_offered_qps[s].mean(bin)));
+      doc.set("served_qps",
+              obs::JsonValue(result.service_served_qps[s].mean(bin)));
+      doc.set("served_legit_qps", obs::JsonValue(served_legit));
+      doc.set("failed_legit_qps", obs::JsonValue(failed_legit));
+      doc.set("answered_fraction",
+              obs::JsonValue(legit_total > 0.0 ? served_legit / legit_total
+                                               : 1.0));
+      out += doc.dump();
+      out += '\n';
+    }
+
+    const auto& eu = result.enduser;
+    if (eu.enabled && bin < eu.client_queries.size()) {
+      const std::uint64_t queries = eu.client_queries[bin];
+      obs::JsonValue doc = obs::JsonValue::object();
+      doc.set("type", obs::JsonValue("enduser_bin"));
+      doc.set("bin", obs::JsonValue(static_cast<std::uint64_t>(bin)));
+      doc.set("t_ms", obs::JsonValue(left));
+      doc.set("label", obs::JsonValue(label));
+      doc.set("client_queries", obs::JsonValue(queries));
+      doc.set("cache_hits", obs::JsonValue(eu.cache_hits[bin]));
+      doc.set("root_queries", obs::JsonValue(eu.root_queries[bin]));
+      doc.set("retries", obs::JsonValue(eu.retries[bin]));
+      doc.set("failures", obs::JsonValue(eu.failures[bin]));
+      doc.set("mean_latency_ms",
+              obs::JsonValue(queries > 0
+                                 ? eu.latency_sum_ms[bin] /
+                                       static_cast<double>(queries)
+                                 : 0.0));
+      doc.set("success_rate",
+              obs::JsonValue(
+                  queries > 0
+                      ? static_cast<double>(queries - eu.failures[bin]) /
+                            static_cast<double>(queries)
+                      : 1.0));
+      out += doc.dump();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool write_labeled_dataset(const std::string& path,
+                           const sim::ScenarioConfig& config,
+                           const sim::SimulationResult& result) {
+  return obs::write_text_file(path, labeled_dataset_lines(config, result));
+}
+
+}  // namespace rootstress::resolver

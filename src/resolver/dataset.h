@@ -1,0 +1,49 @@
+// Labeled dataset export for ML detection work.
+//
+// "Distributed Pulse-Wave Simulator for DDoS Dataset Generation"
+// (PAPERS.md) frames the missing artifact for detection research:
+// per-bin traffic records with ground-truth labels. The simulator knows
+// its own ground truth — the fault schedule and base attack schedule are
+// the label source — so the exporter emits JSON-lines records, one per
+// (bin, letter) plus one per bin for the end-user population when a run
+// carried one, each tagged attack / flash_crowd / legit:
+//
+//   {"type":"letter_bin","bin":41,"t_ms":24600000,"letter":"K",
+//    "label":"attack","offered_qps":5.1e6,"served_qps":8.3e5,
+//    "served_legit_qps":2.6e4,"failed_legit_qps":6.1e3,
+//    "answered_fraction":0.81}
+//   {"type":"enduser_bin","bin":41,"t_ms":24600000,"label":"attack",
+//    "client_queries":812,"cache_hits":640,"root_queries":260,
+//    "retries":71,"failures":9,"mean_latency_ms":212.4,
+//    "success_rate":0.989}
+//
+// Labels: a bin is "attack" when the attack is hot (fault envelope
+// on-portion or base event active) anywhere inside it, else
+// "flash_crowd" when a legit surge window overlaps it, else "legit".
+// Hotness is sampled at several evenly spaced offsets per bin so short
+// pulses inside a wide bin still label it.
+#pragma once
+
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/scenario.h"
+
+namespace rootstress::resolver {
+
+/// The ground-truth label of [begin, end) under `config`'s schedules.
+std::string dataset_label(const sim::ScenarioConfig& config,
+                          net::SimTime begin, net::SimTime end);
+
+/// The full dataset as JSON-lines text (deterministic: bin-major, letter
+/// order within a bin, the enduser record last).
+std::string labeled_dataset_lines(const sim::ScenarioConfig& config,
+                                  const sim::SimulationResult& result);
+
+/// Writes the dataset to `path` atomically (obs::write_text_file: temp +
+/// rename). Returns false when the write failed.
+bool write_labeled_dataset(const std::string& path,
+                           const sim::ScenarioConfig& config,
+                           const sim::SimulationResult& result);
+
+}  // namespace rootstress::resolver

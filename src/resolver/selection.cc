@@ -23,8 +23,17 @@ std::string to_string(Strategy strategy) {
 
 LetterSelector::LetterSelector(Strategy strategy, int fixed_preference)
     : strategy_(strategy),
-      fixed_preference_(fixed_preference % kLetterCount) {
+      // Floor-mod: C++ % is negative for negative inputs, and pick()'s
+      // result is used as an array index by every caller.
+      fixed_preference_(((fixed_preference % kLetterCount) + kLetterCount) %
+                        kLetterCount) {
   srtt_ms_.fill(kInitialSrttMs);
+  // Seed the preference epsilon-faster so kSrtt's first pick honours
+  // `fixed_preference` instead of herding every fresh resolver onto the
+  // all-equal tie-break at letter 0 (A-root). One real sample replaces
+  // the seed immediately (kSmoothing pulls hard toward observations).
+  srtt_ms_[static_cast<std::size_t>(fixed_preference_)] =
+      kInitialSrttMs * 0.99;
 }
 
 int LetterSelector::pick(int attempt, util::Rng& rng) {

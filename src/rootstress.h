@@ -65,7 +65,9 @@
 #include "analysis/servers.h"
 #include "analysis/site_series.h"
 #include "analysis/site_stability.h"
+#include "resolver/dataset.h"
 #include "resolver/enduser.h"
+#include "resolver/population.h"
 #include "sim/engine.h"
 #include "sim/scenario.h"
 #include "sim/scenario_2016.h"

@@ -181,6 +181,12 @@ SimulationEngine::SimulationEngine(ScenarioConfig config)
                                                    *deployment_);
   }
 
+  if (config_.resolver_profile.has_value()) {
+    resolver_pop_ = std::make_unique<resolver::ResolverPopulation>(
+        *config_.resolver_profile, config_.seed, config_.start, config_.end,
+        config_.step, config_.bin_width);
+  }
+
   if (obs_) {
     deployment_->attach_obs(obs_.get());
     if (collector_) collector_->attach_obs(obs_.get());
@@ -388,6 +394,14 @@ SimulationResult SimulationEngine::run() {
       run_fluid_step(t, result, g_offered, g_served, g_failed_legit);
     }
 
+    if (resolver_pop_) {
+      // Clients react to the state the fluid pass just published: the
+      // letters' live answered fractions and queue delays. Reads only;
+      // nothing server-side depends on the population.
+      obs::PhaseProfiler::Scope resolver_phase(prof, "resolver-population");
+      run_resolver_step(t);
+    }
+
     if (config_.collect_rssac) {
       obs::PhaseProfiler::Scope rssac_phase(prof, "rssac-accounting");
       record_rssac(t, result);
@@ -460,6 +474,20 @@ SimulationResult SimulationEngine::run() {
           .set(lag < 0 ? -1.0
                        : static_cast<double>(lag) /
                              static_cast<double>(config_.bin_width.ms));
+    }
+  }
+
+  if (resolver_pop_) {
+    result.enduser = resolver_pop_->report();
+    if (obs_) {
+      auto& metrics = obs_->metrics();
+      metrics.gauge("enduser.success_rate").set(result.enduser.success_rate());
+      metrics.gauge("enduser.cache_hit_rate")
+          .set(result.enduser.cache_hit_rate());
+      metrics.gauge("enduser.added_latency_ms")
+          .set(result.enduser.added_latency_ms());
+      metrics.gauge("enduser.retries_per_query")
+          .set(result.enduser.retries_per_query());
     }
   }
 
@@ -570,6 +598,19 @@ void SimulationEngine::setup_timeline() {
           "playbook.rule_fired", 0, rules[r].name, obs::SeriesAgg::kSum);
     }
   }
+  if (resolver_pop_) {
+    tl_eu_success_ = timeline_->add_series("enduser.success_fraction", 0, {},
+                                           obs::SeriesAgg::kMean);
+    tl_eu_cache_hit_ = timeline_->add_series("enduser.cache_hit_fraction", 0,
+                                             {}, obs::SeriesAgg::kMean);
+    tl_eu_root_qps_ = timeline_->add_series("enduser.root_qps", 0, {},
+                                            obs::SeriesAgg::kMean);
+    tl_eu_latency_ = timeline_->add_series("enduser.added_latency_ms", 0, {},
+                                           obs::SeriesAgg::kMean);
+    tl_eu_retries_ = timeline_->add_series("enduser.retries", 0, {},
+                                           obs::SeriesAgg::kSum);
+  }
+
   tl_hold_span_.assign(site_count, obs::Timeline::npos);
 
   // Schedule-derived labels: fault-injector windows plus the base attack
@@ -641,6 +682,63 @@ void SimulationEngine::record_timeline_step(net::SimTime t) {
       tl_prev_rule_fired_[r] = rules[r].fired;
     }
   }
+
+  if (resolver_pop_) {
+    const auto& step = resolver_pop_->last_step();
+    if (step.client_queries > 0) {
+      const double q = static_cast<double>(step.client_queries);
+      timeline_->record(tl_eu_success_, t,
+                        (q - static_cast<double>(step.failures)) / q);
+      timeline_->record(tl_eu_cache_hit_, t,
+                        static_cast<double>(step.cache_hits) / q);
+      timeline_->record(tl_eu_latency_, t, step.latency_sum_ms / q);
+    }
+    timeline_->record(tl_eu_root_qps_, t,
+                      static_cast<double>(step.root_queries) /
+                          (static_cast<double>(config_.step.ms) / 1000.0));
+    if (step.retries > 0) {
+      timeline_->record(tl_eu_retries_, t,
+                        static_cast<double>(step.retries));
+    }
+  }
+}
+
+void SimulationEngine::run_resolver_step(net::SimTime t) {
+  // Inputs mirror the flight recorder's letter series exactly: the legit
+  // answered fraction and the offered-weighted queue delay of each root
+  // letter, read from the fluid step that just published. '.nl' is not a
+  // root letter and is skipped.
+  constexpr double kBaseRttMs = 60.0;
+  const auto& services = deployment_->services();
+  resolver_success_.fill(1.0);
+  resolver_rtt_ms_.fill(kBaseRttMs);
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto& svc = services[s];
+    const int li = svc.letter_index;
+    if (li < 0 || li >= static_cast<int>(resolver::kLetterCount)) continue;
+    const auto lane = static_cast<std::size_t>(li);
+    const double denom = step_served_legit_[s] + prev_failed_legit_[s];
+    resolver_success_[lane] =
+        denom > 0.0 ? step_served_legit_[s] / denom : 1.0;
+    const auto& load = current_loads_[s];
+    double weighted_delay = 0.0;
+    double offered_across = 0.0;
+    for (int id : svc.site_ids) {
+      const auto idx = static_cast<std::size_t>(id);
+      const double offered = load.attack_qps[idx] + load.legit_qps[idx];
+      weighted_delay +=
+          deployment_->site(id).outcome().queue_delay_ms * offered;
+      offered_across += offered;
+    }
+    resolver_rtt_ms_[lane] =
+        kBaseRttMs +
+        (offered_across > 0.0 ? weighted_delay / offered_across : 0.0);
+  }
+  // Flash crowds raise client demand exactly as they raise the fluid
+  // model's legit rate.
+  const double demand_scale = fault_ ? fault_->legit_scale() : 1.0;
+  resolver_pop_->step(t, resolver_success_, resolver_rtt_ms_, demand_scale,
+                      *pool_);
 }
 
 void SimulationEngine::run_fluid_step(

@@ -4,6 +4,7 @@
 // consume.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -24,6 +25,7 @@
 #include "net/geo.h"
 #include "obs/runtime.h"
 #include "playbook/controller.h"
+#include "resolver/population.h"
 #include "rssac/metrics.h"
 #include "rssac/report.h"
 #include "sim/fluid.h"
@@ -87,6 +89,12 @@ struct SimulationResult {
   /// scenario ran without one): detections, activations, vetoes, and
   /// time-to-first-action, per rule and in total.
   playbook::PlaybookRunStats playbook;
+
+  /// User-experience report from the in-loop resolver population
+  /// (enabled == false when the scenario had no resolver_profile). Binned
+  /// on the same grid as the fluid series; digests are bit-identical for
+  /// any thread count.
+  resolver::EndUserReport enduser;
 
   /// Final telemetry snapshot (empty when ScenarioConfig::telemetry is
   /// off): metrics, phase profile, trace stats. core::write_telemetry()
@@ -200,6 +208,12 @@ class SimulationEngine : private playbook::ActuationBackend {
                       const std::vector<obs::Gauge*>& g_offered,
                       const std::vector<obs::Gauge*>& g_served,
                       const std::vector<obs::Gauge*>& g_failed_legit);
+  /// Steps the in-loop resolver population (no-op when the scenario has
+  /// no resolver_profile): builds the letters' answered fractions and
+  /// offered-weighted RTTs from the fluid step just completed, applies
+  /// the fault schedule's legit demand scale, and advances every
+  /// resolver one step. Purely observational for the server side.
+  void run_resolver_step(net::SimTime t);
   void run_probes(net::SimTime step_begin, atlas::RecordSet& raw);
   void record_rssac(net::SimTime now, SimulationResult& result);
   void probe_once(const atlas::VantagePoint& vp, int service_index,
@@ -261,6 +275,14 @@ class SimulationEngine : private playbook::ActuationBackend {
   /// Fault/chaos runtime (null when the scenario's fault schedule is
   /// empty). Mutated only in the serial fault-injection phase.
   std::unique_ptr<fault::FaultRuntime> fault_;
+  /// In-loop resolver population (null when the scenario has no
+  /// resolver_profile). Stepped in a serial phase right after the fluid
+  /// pass; internally parallel over a thread-count-independent shard
+  /// layout.
+  std::unique_ptr<resolver::ResolverPopulation> resolver_pop_;
+  /// Reused per-step input buffers for the population (letters only).
+  std::array<double, resolver::kLetterCount> resolver_success_{};
+  std::array<double, resolver::kLetterCount> resolver_rtt_ms_{};
   /// Whether the last step sat inside a hot pulse window (edge detector
   /// for the pulse-on/pulse-off trace instants; telemetry-only).
   bool fault_pulse_hot_ = false;
@@ -280,6 +302,13 @@ class SimulationEngine : private playbook::ActuationBackend {
   std::vector<std::size_t> tl_pb_loss_;
   std::vector<std::size_t> tl_pb_rule_fired_;
   std::size_t tl_pb_detected_ = 0;
+  /// End-user (resolver population) series; registered only when both
+  /// telemetry and a resolver profile are on.
+  std::size_t tl_eu_success_ = 0;
+  std::size_t tl_eu_cache_hit_ = 0;
+  std::size_t tl_eu_root_qps_ = 0;
+  std::size_t tl_eu_latency_ = 0;
+  std::size_t tl_eu_retries_ = 0;
   /// Last-seen per-rule fired totals (rule firings are recorded as
   /// per-step deltas into a kSum series).
   std::vector<std::uint64_t> tl_prev_rule_fired_;

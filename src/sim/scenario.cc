@@ -70,6 +70,13 @@ std::string validate(const ScenarioConfig& config) {
       return "fault_schedule: " + problem;
     }
   }
+  if (config.resolver_profile.has_value()) {
+    if (std::string problem =
+            resolver::validate_population(*config.resolver_profile);
+        !problem.empty()) {
+      return "resolver_profile: " + problem;
+    }
+  }
   return {};
 }
 

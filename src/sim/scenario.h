@@ -14,6 +14,7 @@
 #include "fault/schedule.h"
 #include "net/clock.h"
 #include "playbook/rules.h"
+#include "resolver/population.h"
 
 namespace rootstress::sim {
 
@@ -78,6 +79,15 @@ struct ScenarioConfig {
   /// flash crowds. Applied in the engine's serial defense-injection
   /// phase; empty (the default) injects nothing.
   fault::FaultSchedule fault_schedule{};
+
+  /// In-loop recursive-resolver population (the paper's §2.3/§6 client
+  /// side): a fleet of caching, retrying resolvers stepped between
+  /// modeled clients and the root, fed the letters' live answered
+  /// fractions each step. Purely observational for the server side —
+  /// every server-facing series is bit-identical with the population on
+  /// or off — but produces the user-experience report
+  /// (SimulationResult::enduser). nullopt = no client modeling.
+  std::optional<resolver::PopulationConfig> resolver_profile;
 
   /// Telemetry (obs::Runtime): metrics + trace + phase profile, carried
   /// on SimulationResult::telemetry. Write-only with respect to the

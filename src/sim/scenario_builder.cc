@@ -103,6 +103,12 @@ ScenarioBuilder& ScenarioBuilder::fault_schedule(fault::FaultSchedule schedule) 
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::resolver_profile(
+    resolver::PopulationConfig profile) {
+  config_.resolver_profile = std::move(profile);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::attack_qps(double per_letter_qps) {
   attack_qps_ = per_letter_qps;
   return *this;

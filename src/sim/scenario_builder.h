@@ -84,6 +84,10 @@ class ScenarioBuilder {
   /// Pulse windows override the attack schedule; site faults, BGP resets,
   /// VP dropouts, telemetry gaps, and legit surges ride alongside.
   ScenarioBuilder& fault_schedule(fault::FaultSchedule schedule);
+  /// In-loop recursive-resolver population (resolver/population.h):
+  /// caching, retrying clients whose user-experience report rides on
+  /// SimulationResult::enduser. Server-side results are unaffected.
+  ScenarioBuilder& resolver_profile(resolver::PopulationConfig profile);
   /// Per-attacked-letter offered rate: rewrites the rate of every event
   /// in the schedule (presets ship the paper's timeline; this scales it).
   ScenarioBuilder& attack_qps(double per_letter_qps);

@@ -171,6 +171,13 @@ obs::JsonValue scenario_fingerprint(const sim::ScenarioConfig& config) {
   if (!config.fault_schedule.empty()) {
     doc.set("fault_schedule", fault::fault_fingerprint(config.fault_schedule));
   }
+  // Absent when unset, like the playbook and fault blocks: profile-free
+  // configs fingerprint exactly as before the resolver population existed
+  // (modulo the version salt).
+  if (config.resolver_profile.has_value()) {
+    doc.set("resolver_profile",
+            resolver::population_fingerprint(*config.resolver_profile));
+  }
   return doc;
 }
 

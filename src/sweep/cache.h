@@ -38,7 +38,7 @@ namespace rootstress::sweep {
 
 /// Bump on any change that alters simulation results for an unchanged
 /// config, so every previously cached summary self-invalidates.
-inline constexpr std::string_view kCodeVersionSalt = "rootstress-sim-v5";
+inline constexpr std::string_view kCodeVersionSalt = "rootstress-sim-v6";
 
 /// Canonical JSON fingerprint of everything that affects a run's results
 /// (excludes `threads` and `telemetry`; see file comment). Stable across

@@ -16,6 +16,7 @@ std::string to_string(AxisKind kind) {
     case AxisKind::kVpCount: return "vp_count";
     case AxisKind::kPlaybook: return "playbook";
     case AxisKind::kFaultSchedule: return "fault_schedule";
+    case AxisKind::kResolverProfile: return "resolver_profile";
   }
   return "?";
 }
@@ -76,6 +77,13 @@ Axis Axis::fault_schedule(std::vector<fault::FaultSchedule> schedules) {
   return axis;
 }
 
+Axis Axis::resolver_profile(std::vector<resolver::PopulationConfig> profiles) {
+  Axis axis;
+  axis.kind = AxisKind::kResolverProfile;
+  axis.resolver_profiles = std::move(profiles);
+  return axis;
+}
+
 std::size_t Axis::size() const noexcept {
   switch (kind) {
     case AxisKind::kAttackQps:
@@ -87,6 +95,7 @@ std::size_t Axis::size() const noexcept {
     case AxisKind::kVpCount: return counts.size();
     case AxisKind::kPlaybook: return playbooks.size();
     case AxisKind::kFaultSchedule: return fault_schedules.size();
+    case AxisKind::kResolverProfile: return resolver_profiles.size();
   }
   return 0;
 }
@@ -126,6 +135,10 @@ std::string Axis::label(std::size_t i) const {
       return "fault=" + (fault_schedules[i].name.empty()
                              ? std::string("unnamed")
                              : fault_schedules[i].name);
+    case AxisKind::kResolverProfile:
+      return "resolver=" + (resolver_profiles[i].name.empty()
+                                ? std::string("unnamed")
+                                : resolver_profiles[i].name);
   }
   return "?";
 }
@@ -158,6 +171,9 @@ void Axis::apply(std::size_t i, sim::ScenarioConfig& config) const {
       return;
     case AxisKind::kFaultSchedule:
       config.fault_schedule = fault_schedules[i];
+      return;
+    case AxisKind::kResolverProfile:
+      config.resolver_profile = resolver_profiles[i];
       return;
   }
 }

@@ -32,6 +32,7 @@ enum class AxisKind : std::uint8_t {
   kVpCount,        ///< Atlas population size
   kPlaybook,       ///< reactive defense playbook (playbook::Playbook)
   kFaultSchedule,  ///< fault/chaos timeline (fault::FaultSchedule)
+  kResolverProfile,  ///< in-loop resolver population (resolver::PopulationConfig)
 };
 
 std::string to_string(AxisKind kind);
@@ -47,6 +48,7 @@ struct Axis {
   std::vector<int> counts;                     ///< kVpCount
   std::vector<playbook::Playbook> playbooks;   ///< kPlaybook
   std::vector<fault::FaultSchedule> fault_schedules;  ///< kFaultSchedule
+  std::vector<resolver::PopulationConfig> resolver_profiles;  ///< kResolverProfile
 
   static Axis attack_qps(std::vector<double> qps);
   static Axis capacity_scale(std::vector<double> scales);
@@ -58,6 +60,12 @@ struct Axis {
   /// Include an empty (default) FaultSchedule as one of the values to
   /// keep a no-fault baseline cell in the matrix.
   static Axis fault_schedule(std::vector<fault::FaultSchedule> schedules);
+  /// Resolver-population comparison axis (cached vs cache-less clients,
+  /// selection strategies). There is no "off" value on the axis itself —
+  /// a profile-free baseline is the base config without the axis, whose
+  /// fingerprint simply omits the resolver_profile block
+  /// (absent-when-unset, like playbook and fault_schedule).
+  static Axis resolver_profile(std::vector<resolver::PopulationConfig> profiles);
 
   /// Number of points on this axis.
   std::size_t size() const noexcept;

@@ -31,6 +31,7 @@ std::string to_string(CellMetric metric) {
     case CellMetric::kWorstBinAnswered: return "worst_bin_answered";
     case CellMetric::kRecoveryMs: return "recovery_ms";
     case CellMetric::kFalseActivations: return "playbook_false_activations";
+    case CellMetric::kEnduserSuccessRate: return "enduser_success_rate";
   }
   return "?";
 }
@@ -53,6 +54,7 @@ double metric_value(const RunSummary& summary, CellMetric metric) {
       return static_cast<double>(summary.recovery_ms);
     case CellMetric::kFalseActivations:
       return static_cast<double>(summary.playbook_false_activations);
+    case CellMetric::kEnduserSuccessRate: return summary.enduser_success_rate;
   }
   return 0.0;
 }

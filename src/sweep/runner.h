@@ -91,6 +91,7 @@ enum class CellMetric : std::uint8_t {
   kWorstBinAnswered,    ///< resilience: worst per-bin answered fraction
   kRecoveryMs,          ///< resilience: time to full service after last pulse
   kFalseActivations,    ///< resilience: playbook actions in quiet gaps
+  kEnduserSuccessRate,  ///< resolver population: client resolution success
 };
 
 std::string to_string(CellMetric metric);

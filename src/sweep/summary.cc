@@ -47,6 +47,10 @@ bool RunSummary::operator==(const RunSummary& other) const noexcept {
          same(answered_bin_stddev, other.answered_bin_stddev) &&
          recovery_ms == other.recovery_ms &&
          playbook_false_activations == other.playbook_false_activations &&
+         same(enduser_success_rate, other.enduser_success_rate) &&
+         same(enduser_cache_hit_rate, other.enduser_cache_hit_rate) &&
+         same(enduser_added_latency_ms, other.enduser_added_latency_ms) &&
+         same(enduser_retries_per_query, other.enduser_retries_per_query) &&
          letters == other.letters;
 }
 
@@ -248,6 +252,13 @@ RunSummary summarize(const sim::ScenarioConfig& config,
     }
   }
 
+  if (config.resolver_profile.has_value() && result.enduser.enabled) {
+    summary.enduser_success_rate = result.enduser.success_rate();
+    summary.enduser_cache_hit_rate = result.enduser.cache_hit_rate();
+    summary.enduser_added_latency_ms = result.enduser.added_latency_ms();
+    summary.enduser_retries_per_query = result.enduser.retries_per_query();
+  }
+
   summarize_resilience(config, result, engaged_services, summary);
   return summary;
 }
@@ -275,6 +286,10 @@ obs::JsonValue summary_to_json(const RunSummary& summary) {
           obs::JsonValue(static_cast<double>(summary.recovery_ms)));
   doc.set("playbook_false_activations",
           obs::JsonValue(summary.playbook_false_activations));
+  doc.set("enduser_success_rate", fp(summary.enduser_success_rate));
+  doc.set("enduser_cache_hit_rate", fp(summary.enduser_cache_hit_rate));
+  doc.set("enduser_added_latency_ms", fp(summary.enduser_added_latency_ms));
+  doc.set("enduser_retries_per_query", fp(summary.enduser_retries_per_query));
   obs::JsonValue letters = obs::JsonValue::array();
   for (const auto& cell : summary.letters) {
     obs::JsonValue l = obs::JsonValue::object();
@@ -376,6 +391,25 @@ std::optional<RunSummary> summary_from_json(const obs::JsonValue& doc) {
   if (!read_number(doc, "playbook_false_activations", &number))
     return std::nullopt;
   summary.playbook_false_activations = static_cast<std::uint64_t>(number);
+  // Required fields (strict, like everything above): the code-version
+  // salt bump that introduced them invalidates every older cache entry,
+  // so no stored summary legitimately lacks them.
+  if (!read_fp_number(doc, "enduser_success_rate",
+                      &summary.enduser_success_rate)) {
+    return std::nullopt;
+  }
+  if (!read_fp_number(doc, "enduser_cache_hit_rate",
+                      &summary.enduser_cache_hit_rate)) {
+    return std::nullopt;
+  }
+  if (!read_fp_number(doc, "enduser_added_latency_ms",
+                      &summary.enduser_added_latency_ms)) {
+    return std::nullopt;
+  }
+  if (!read_fp_number(doc, "enduser_retries_per_query",
+                      &summary.enduser_retries_per_query)) {
+    return std::nullopt;
+  }
 
   const obs::JsonValue* letters = doc.find("letters");
   if (letters == nullptr || letters->kind() != obs::JsonValue::Kind::kArray) {

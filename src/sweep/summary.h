@@ -80,6 +80,13 @@ struct RunSummary {
   /// attack was NOT hot — the oscillation a pulse wave baits reactive
   /// defenses into (0 without a playbook or without quiet gaps).
   std::uint64_t playbook_false_activations = 0;
+  /// End-user digest from the in-loop resolver population. All NaN
+  /// ("unmeasured") when the scenario has no resolver_profile — distinct
+  /// from a population whose clients all failed.
+  double enduser_success_rate = std::numeric_limits<double>::quiet_NaN();
+  double enduser_cache_hit_rate = std::numeric_limits<double>::quiet_NaN();
+  double enduser_added_latency_ms = std::numeric_limits<double>::quiet_NaN();
+  double enduser_retries_per_query = std::numeric_limits<double>::quiet_NaN();
   std::vector<LetterCellSummary> letters;
 
   /// Field-wise equality with NaN == NaN (see LetterCellSummary).

@@ -1,0 +1,145 @@
+// In-loop resolver population, end to end on a real scenario:
+//  1. the EndUserReport is bit-identical (equal digests) at 1 and 4
+//     engine threads — fixed shard layout + per-(resolver, step) RNG
+//     streams + shard-order merges;
+//  2. the population is purely observational: every server-side series
+//     is bit-identical with the population on or off;
+//  3. RunSummary carries the end-user digest fields (NaN without a
+//     profile — "unmeasured", not zero);
+//  4. the flight recorder grows the enduser.* series when a profile and
+//     telemetry are both on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/evaluation.h"
+#include "fault/schedule.h"
+#include "resolver/population.h"
+#include "sim/engine.h"
+#include "sim/scenario_builder.h"
+#include "sweep/summary.h"
+
+namespace rootstress {
+namespace {
+
+resolver::PopulationConfig test_profile() {
+  resolver::PopulationConfig profile;
+  profile.name = "test";
+  profile.resolvers = 200;
+  profile.root_lookups_per_hour = 900.0;
+  profile.name_space = 200;
+  return profile;
+}
+
+sim::ScenarioConfig enduser_scenario(int threads, bool with_profile,
+                                     bool telemetry = false) {
+  sim::ScenarioBuilder builder = sim::ScenarioBuilder::november_2015()
+                                     .fluid_only()
+                                     .topology_stubs(150)
+                                     .duration(net::SimTime::from_hours(8))
+                                     .rrl_enabled(false)
+                                     .threads(threads)
+                                     .telemetry(telemetry);
+  if (with_profile) builder.resolver_profile(test_profile());
+  sim::ScenarioConfig config = builder.build();
+  config.schedule = attack::AttackSchedule({config.schedule.events().front()});
+  config.fault_schedule = fault::FaultSchedule::pulse_wave_2015();
+  return config;
+}
+
+TEST(EndUserIntegration, ReportBitIdenticalAcrossEngineThreadCounts) {
+  sim::SimulationEngine serial_engine(
+      enduser_scenario(/*threads=*/1, /*with_profile=*/true));
+  const sim::SimulationResult serial = serial_engine.run();
+  sim::SimulationEngine pooled_engine(
+      enduser_scenario(/*threads=*/4, /*with_profile=*/true));
+  const sim::SimulationResult pooled = pooled_engine.run();
+
+  ASSERT_TRUE(serial.enduser.enabled);
+  ASSERT_TRUE(pooled.enduser.enabled);
+  ASSERT_GT(serial.enduser.client_queries.size(), 0u);
+  EXPECT_EQ(serial.enduser.digest(), pooled.enduser.digest())
+      << "end-user report diverged between 1 and 4 engine threads";
+  EXPECT_EQ(serial.enduser.client_queries, pooled.enduser.client_queries);
+  EXPECT_EQ(serial.enduser.failures, pooled.enduser.failures);
+  EXPECT_EQ(serial.enduser.latency_sum_ms, pooled.enduser.latency_sum_ms);
+}
+
+TEST(EndUserIntegration, PopulationIsPurelyObservationalServerSide) {
+  sim::SimulationEngine with_engine(
+      enduser_scenario(/*threads=*/2, /*with_profile=*/true));
+  const sim::SimulationResult with_pop = with_engine.run();
+  sim::SimulationEngine without_engine(
+      enduser_scenario(/*threads=*/2, /*with_profile=*/false));
+  const sim::SimulationResult without_pop = without_engine.run();
+
+  EXPECT_TRUE(with_pop.enduser.enabled);
+  EXPECT_FALSE(without_pop.enduser.enabled);
+
+  // Every server-facing series must be bit-identical: the population
+  // reads published fluid state, it never feeds back.
+  ASSERT_EQ(with_pop.service_offered_qps.size(),
+            without_pop.service_offered_qps.size());
+  for (std::size_t s = 0; s < with_pop.service_offered_qps.size(); ++s) {
+    for (std::size_t bin = 0;
+         bin < with_pop.service_offered_qps[s].bin_count(); ++bin) {
+      ASSERT_EQ(with_pop.service_offered_qps[s].mean(bin),
+                without_pop.service_offered_qps[s].mean(bin))
+          << "offered diverged at service " << s << " bin " << bin;
+      ASSERT_EQ(with_pop.service_served_legit_qps[s].mean(bin),
+                without_pop.service_served_legit_qps[s].mean(bin))
+          << "served_legit diverged at service " << s << " bin " << bin;
+      ASSERT_EQ(with_pop.service_failed_legit_qps[s].mean(bin),
+                without_pop.service_failed_legit_qps[s].mean(bin))
+          << "failed_legit diverged at service " << s << " bin " << bin;
+    }
+  }
+  EXPECT_EQ(with_pop.route_changes.size(), without_pop.route_changes.size());
+}
+
+TEST(EndUserIntegration, RunSummaryCarriesEnduserFields) {
+  const sim::ScenarioConfig with_config =
+      enduser_scenario(/*threads=*/1, /*with_profile=*/true);
+  const sweep::RunSummary with =
+      sweep::summarize(with_config, core::evaluate_scenario(with_config));
+  EXPECT_FALSE(std::isnan(with.enduser_success_rate));
+  EXPECT_FALSE(std::isnan(with.enduser_cache_hit_rate));
+  EXPECT_FALSE(std::isnan(with.enduser_added_latency_ms));
+  EXPECT_FALSE(std::isnan(with.enduser_retries_per_query));
+  EXPECT_GT(with.enduser_success_rate, 0.0);
+  EXPECT_LE(with.enduser_success_rate, 1.0);
+
+  const sim::ScenarioConfig without_config =
+      enduser_scenario(/*threads=*/1, /*with_profile=*/false);
+  const sweep::RunSummary without = sweep::summarize(
+      without_config, core::evaluate_scenario(without_config));
+  EXPECT_TRUE(std::isnan(without.enduser_success_rate))
+      << "profile-free run must report 'unmeasured', not a number";
+  EXPECT_TRUE(std::isnan(without.enduser_retries_per_query));
+
+  // The new fields round-trip exactly through the cache's JSON format.
+  const auto parsed = sweep::summary_from_json(sweep::summary_to_json(with));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == with);
+  const auto parsed_nan =
+      sweep::summary_from_json(sweep::summary_to_json(without));
+  ASSERT_TRUE(parsed_nan.has_value());
+  EXPECT_TRUE(*parsed_nan == without);
+}
+
+TEST(EndUserIntegration, TimelineGrowsEnduserSeries) {
+  sim::SimulationEngine engine(enduser_scenario(
+      /*threads=*/1, /*with_profile=*/true, /*telemetry=*/true));
+  const sim::SimulationResult result = engine.run();
+  const obs::TimelineData& timeline = result.telemetry.timeline;
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_NE(timeline.find("enduser.success_fraction"), nullptr);
+  EXPECT_NE(timeline.find("enduser.cache_hit_fraction"), nullptr);
+  EXPECT_NE(timeline.find("enduser.root_qps"), nullptr);
+  EXPECT_NE(timeline.find("enduser.added_latency_ms"), nullptr);
+  EXPECT_NE(timeline.find("enduser.retries"), nullptr);
+}
+
+}  // namespace
+}  // namespace rootstress

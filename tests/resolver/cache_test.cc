@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+
 namespace rootstress::resolver {
 namespace {
 
@@ -48,6 +51,81 @@ TEST(Cache, SweepDropsExpired) {
   cache.put(2, net::SimTime(0), net::SimTime::from_minutes(100));
   cache.sweep(net::SimTime::from_minutes(10));
   EXPECT_EQ(cache.size(), 1u);
+}
+
+// Regression: a zero-capacity cache used to evict from an empty map
+// (*begin() on end(), UB). It must simply store nothing.
+TEST(Cache, ZeroCapacityStoresNothing) {
+  TtlCache cache(0);
+  cache.put(1, net::SimTime(0), net::SimTime::from_hours(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.hit(1, net::SimTime(1)));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// Regression: an entry found expired used to stay in the map (pinning
+// capacity until the next sweep) — hit() now erases it on the spot and
+// counts the expiry separately from plain misses.
+TEST(Cache, ExpiredHitEvictsTheEntry) {
+  TtlCache cache(2);
+  cache.put(1, net::SimTime(0), net::SimTime::from_minutes(1));
+  EXPECT_FALSE(cache.hit(1, net::SimTime::from_minutes(2)));
+  EXPECT_EQ(cache.size(), 0u) << "expired entry pinned its slot";
+  EXPECT_EQ(cache.expirations(), 1u);
+  // The freed slot is usable again without evicting anything live.
+  cache.put(2, net::SimTime(0), net::SimTime::from_minutes(50));
+  cache.put(3, net::SimTime(0), net::SimTime::from_minutes(50));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.hit(2, net::SimTime(1)));
+  EXPECT_TRUE(cache.hit(3, net::SimTime(1)));
+}
+
+TEST(Cache, CounterAccountingAcrossExpiry) {
+  TtlCache cache;
+  cache.put(1, net::SimTime(0), net::SimTime::from_minutes(1));
+  EXPECT_TRUE(cache.hit(1, net::SimTime(1)));                       // hit
+  EXPECT_FALSE(cache.hit(1, net::SimTime::from_minutes(2)));        // expired
+  EXPECT_FALSE(cache.hit(1, net::SimTime::from_minutes(3)));        // plain miss
+  EXPECT_FALSE(cache.hit(2, net::SimTime(0)));                      // plain miss
+  EXPECT_EQ(cache.hits(), 1u);
+  // An expired lookup is still a miss to the client; expirations() only
+  // says how many of the misses found (and erased) a stale entry.
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.expirations(), 1u);
+}
+
+// Heavy churn far past capacity: the lazy eviction heap must keep the
+// map bounded and always sacrifice the entry closest to expiry.
+TEST(Cache, ChurnKeepsCapacityBoundAndEvictsSoonest) {
+  constexpr std::size_t kCapacity = 32;
+  TtlCache cache(kCapacity);
+  // Ascending expiries: every insertion beyond capacity evicts the
+  // oldest-expiry key, so exactly the last kCapacity keys survive.
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    cache.put(key, net::SimTime(0),
+              net::SimTime::from_minutes(static_cast<double>(key + 1)));
+    ASSERT_LE(cache.size(), kCapacity);
+  }
+  EXPECT_EQ(cache.size(), kCapacity);
+  for (std::uint64_t key = 1000 - kCapacity; key < 1000; ++key) {
+    EXPECT_TRUE(cache.hit(key, net::SimTime(1))) << "lost key " << key;
+  }
+  EXPECT_FALSE(cache.hit(0, net::SimTime(1)));
+  EXPECT_FALSE(cache.hit(1000 - kCapacity - 1, net::SimTime(1)));
+}
+
+// Refreshing one key repeatedly must not bloat the eviction heap into
+// evicting live entries (stale heap records are skipped, not trusted).
+TEST(Cache, RefreshChurnDoesNotEvictLiveEntries) {
+  TtlCache cache(2);
+  cache.put(7, net::SimTime(0), net::SimTime::from_minutes(200));
+  for (int round = 0; round < 500; ++round) {
+    cache.put(8, net::SimTime(round), net::SimTime::from_minutes(100));
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.hit(7, net::SimTime(1000)));
+  EXPECT_TRUE(cache.hit(8, net::SimTime(1000)));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <set>
 
 namespace rootstress::resolver {
@@ -87,6 +89,80 @@ TEST(Selection, StrategyNames) {
   EXPECT_EQ(to_string(Strategy::kUniform), "uniform");
   EXPECT_EQ(to_string(Strategy::kFixed), "fixed");
   EXPECT_EQ(to_string(Strategy::kSrtt), "srtt");
+}
+
+// Regression: C++ % is negative for negative operands, and pick()'s
+// result indexes arrays in every caller. The constructor floor-mods the
+// preference into [0, kLetterCount).
+TEST(Selection, NegativeFixedPreferenceWrapsIntoRange) {
+  util::Rng rng(6);
+  EXPECT_EQ(LetterSelector(Strategy::kFixed, -1).pick(0, rng), 12);
+  EXPECT_EQ(LetterSelector(Strategy::kFixed, -13).pick(0, rng), 0);
+  EXPECT_EQ(LetterSelector(Strategy::kFixed, -14).pick(0, rng), 12);
+  EXPECT_EQ(LetterSelector(Strategy::kFixed, 13).pick(0, rng), 0);
+  EXPECT_EQ(LetterSelector(Strategy::kFixed, 40).pick(0, rng), 1);
+  // Every wrapped preference must land in range for any strategy.
+  for (int pref = -30; pref <= 30; ++pref) {
+    for (const Strategy strategy :
+         {Strategy::kUniform, Strategy::kFixed, Strategy::kSrtt}) {
+      LetterSelector selector(strategy, pref);
+      const int letter = selector.pick(0, rng);
+      ASSERT_GE(letter, 0) << "pref=" << pref;
+      ASSERT_LT(letter, kLetterCount) << "pref=" << pref;
+    }
+  }
+}
+
+// Regression (herd bug): the header promises `fixed_preference` seeds
+// kSrtt's initial choice, but an all-equal SRTT table tie-broke every
+// fresh resolver onto letter 0 — a synthetic thundering herd onto
+// A-root. Fresh selectors must spread across the letters.
+TEST(Selection, SrttInitialPicksHonourThePreference) {
+  std::set<int> seen;
+  for (int r = 0; r < 52; ++r) {
+    LetterSelector selector(Strategy::kSrtt, r);
+    util::Rng rng(static_cast<std::uint64_t>(100 + r));
+    seen.insert(selector.pick(0, rng));
+  }
+  // 52 fresh resolvers cover each preference four times; ~5% exploration
+  // cannot collapse that onto a handful of letters, but the herd bug
+  // put essentially all of them on letter 0.
+  EXPECT_GE(seen.size(), 10u);
+}
+
+TEST(Selection, ReportOutOfRangeLetterIsIgnored) {
+  LetterSelector selector(Strategy::kSrtt, 0);
+  std::array<double, kLetterCount> before{};
+  for (int letter = 0; letter < kLetterCount; ++letter) {
+    before[static_cast<std::size_t>(letter)] = selector.srtt(letter);
+  }
+  selector.report(-1, true, 1.0);
+  selector.report(kLetterCount, false, 0.0);
+  selector.report(1000, true, 1.0);
+  for (int letter = 0; letter < kLetterCount; ++letter) {
+    EXPECT_EQ(selector.srtt(letter),
+              before[static_cast<std::size_t>(letter)])
+        << "out-of-range report touched letter " << letter;
+  }
+}
+
+// The retry guarantee must hold across chained retries, not just the
+// first: attempt n never repeats attempt n-1's letter.
+TEST(Selection, ChainedRetriesNeverRepeatThePreviousLetter) {
+  for (const Strategy strategy :
+       {Strategy::kUniform, Strategy::kFixed, Strategy::kSrtt}) {
+    LetterSelector selector(strategy, 5);
+    util::Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+      int previous = selector.pick(0, rng);
+      for (int attempt = 1; attempt < 4; ++attempt) {
+        const int next = selector.pick(attempt, rng);
+        ASSERT_NE(next, previous)
+            << to_string(strategy) << " attempt " << attempt;
+        previous = next;
+      }
+    }
+  }
 }
 
 }  // namespace

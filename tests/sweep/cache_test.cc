@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "resolver/population.h"
 #include "sim/scenario_builder.h"
 
 namespace rootstress::sweep {
@@ -148,6 +149,30 @@ TEST(ConfigHash, PlaybooksAreFingerprintedByContentNotName) {
   sim::ScenarioConfig renamed = withdraw;
   renamed.playbook->name = "same-rules-other-label";
   EXPECT_EQ(config_hash(renamed), config_hash(withdraw));
+}
+
+TEST(ConfigHash, ResolverProfilesAreFingerprintedByContentNotName) {
+  const sim::ScenarioConfig config = base_config();
+  const std::uint64_t reference = config_hash(config);
+  // A profile-free config's fingerprint never mentions the feature, so
+  // old keys for profile-free cells survive resolver-layer growth.
+  EXPECT_EQ(scenario_fingerprint(config).dump().find("resolver_profile"),
+            std::string::npos);
+
+  sim::ScenarioConfig with_profile = config;
+  with_profile.resolver_profile = resolver::PopulationConfig{};
+  EXPECT_NE(config_hash(with_profile), reference);
+
+  // Distinct profiles get distinct keys...
+  sim::ScenarioConfig cacheless = config;
+  cacheless.resolver_profile = resolver::PopulationConfig{};
+  cacheless.resolver_profile->enable_cache = false;
+  EXPECT_NE(config_hash(cacheless), config_hash(with_profile));
+
+  // ...but renaming a profile does not move its cache identity.
+  sim::ScenarioConfig renamed = with_profile;
+  renamed.resolver_profile->name = "same-profile-other-label";
+  EXPECT_EQ(config_hash(renamed), config_hash(with_profile));
 }
 
 TEST(ConfigHash, SaltChangesTheKey) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "resolver/population.h"
 #include "sim/scenario_builder.h"
 #include "sweep/cache.h"
 
@@ -162,6 +163,47 @@ TEST(Campaign, FaultScheduleAxisAppliesLabelsAndKeysTheCache) {
   axis.apply(1, renamed);
   renamed.fault_schedule.name = "renamed";
   EXPECT_EQ(config_hash(renamed, kCodeVersionSalt), keys[1]);
+}
+
+TEST(Campaign, ResolverProfileAxisAppliesLabelsAndKeysTheCache) {
+  resolver::PopulationConfig cached;
+  cached.name = "cached";
+  resolver::PopulationConfig cacheless;
+  cacheless.name = "cacheless";
+  cacheless.enable_cache = false;
+  const Axis axis = Axis::resolver_profile({cached, cacheless});
+  EXPECT_EQ(axis.size(), 2u);
+  EXPECT_EQ(axis.label(0), "resolver=cached");
+  EXPECT_EQ(axis.label(1), "resolver=cacheless");
+  resolver::PopulationConfig unnamed;
+  unnamed.name.clear();
+  EXPECT_EQ(Axis::resolver_profile({unnamed}).label(0), "resolver=unnamed");
+
+  sim::ScenarioConfig config = small_base();
+  ASSERT_FALSE(config.resolver_profile.has_value());
+  axis.apply(1, config);
+  ASSERT_TRUE(config.resolver_profile.has_value());
+  EXPECT_FALSE(config.resolver_profile->enable_cache);
+
+  // Each axis point keys a distinct cache cell; the profile-free baseline
+  // is the base config itself (the axis carries no "off" value, so a
+  // config that never saw the feature keeps its key — absent-when-unset).
+  const std::uint64_t none = config_hash(small_base(), kCodeVersionSalt);
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    sim::ScenarioConfig cell = small_base();
+    axis.apply(i, cell);
+    keys.push_back(config_hash(cell, kCodeVersionSalt));
+  }
+  EXPECT_NE(keys[0], none);
+  EXPECT_NE(keys[1], none);
+  EXPECT_NE(keys[0], keys[1]);
+
+  // The display name never moves the key.
+  sim::ScenarioConfig renamed = small_base();
+  axis.apply(0, renamed);
+  renamed.resolver_profile->name = "same-profile-other-label";
+  EXPECT_EQ(config_hash(renamed, kCodeVersionSalt), keys[0]);
 }
 
 TEST(Campaign, EmptyAxisFailsExpansionWithAClearError) {
